@@ -1,0 +1,264 @@
+(* Benchmark harness: one Bechamel test (or test group) per paper figure.
+
+   These are single-threaded protocol-cost microbenchmarks: each measures
+   committed transactions pushed through the compacted LOCK machine of
+   the figure's data type, under the figure's conflict relation and the
+   baselines.  (They quantify the protocol's overhead; the *concurrency*
+   measurements — throughput under real multicore contention, where the
+   relations actually differ — are produced by `dune exec bin/main.exe --
+   experiments`, since wall-clock contention experiments are not a
+   microbenchmark shape.)
+
+   Groups:
+   - fig-4-1  File ops under hybrid / commutativity / RW locking
+   - fig-4-2  Queue enq+deq transactions under the Figure 4-2 relation
+   - fig-4-3  the same workload under the Figure 4-3 relation and RW
+   - fig-4-4  SemiQueue ins+rem transactions
+   - fig-4-5  Account transactions: generic engine (hybrid) vs the
+              appendix's Avalon-style affine-intentions implementation
+   - fig-7-1  Account transactions under commutativity-based conflicts
+   - derivation  cost of deriving each figure's table from its spec
+   - compaction  Section 6 ablation: LOCK with vs without compaction *)
+
+open Bechamel
+open Toolkit
+
+(* Drive one ADT's compacted machine single-threadedly: the returned
+   closure executes the given transactions (each a list of invocations,
+   responses chosen by the machine) and commits each with the next
+   timestamp.  State persists across benchmark iterations; with no
+   concurrent transactions the horizon advances at every commit, so
+   compaction keeps the machine size constant and the measurement
+   stationary. *)
+module Make_driver (A : Spec.Adt_sig.S) = struct
+  module C = Hybrid.Compacted.Make (A)
+
+  let make ~conflict ~txns () =
+    let machine = ref (C.create ~conflict) in
+    let clock = ref 0 in
+    let txn_ids = ref 0 in
+    let one invs =
+      incr txn_ids;
+      let q = Model.Txn.make !txn_ids in
+      List.iter
+        (fun i ->
+          (match C.step !machine (C.H.Invoke (q, i)) with
+          | Ok m -> machine := m
+          | Error _ -> assert false);
+          match C.choose_response !machine q with
+          | Ok (_, m) -> machine := m
+          | Error _ -> assert false)
+        invs;
+      incr clock;
+      match C.step !machine (C.H.Commit (q, !clock)) with
+      | Ok m -> machine := m
+      | Error _ -> assert false
+    in
+    fun () -> List.iter one txns
+end
+
+module File_driver = Make_driver (Adt.File_adt)
+module Queue_driver = Make_driver (Adt.Fifo_queue)
+module Semi_driver = Make_driver (Adt.Semiqueue)
+module Acct_driver = Make_driver (Adt.Account)
+
+let test_fig_4_1 =
+  let txn conflict =
+    File_driver.make ~conflict ~txns:[ [ Adt.File_adt.Write 1; Adt.File_adt.Read ] ] ()
+  in
+  Test.make_grouped ~name:"fig-4-1-file"
+    [
+      Test.make ~name:"hybrid" (Staged.stage (txn Adt.File_adt.conflict_hybrid));
+      Test.make ~name:"commutativity"
+        (Staged.stage (txn Adt.File_adt.conflict_commutativity));
+      Test.make ~name:"rw-locking" (Staged.stage (txn Adt.File_adt.conflict_rw));
+    ]
+
+(* Queue benchmarks alternate an enq-enq and a deq-deq transaction so the
+   committed queue stays bounded. *)
+let queue_txns =
+  [ [ Adt.Fifo_queue.Enq 1; Adt.Fifo_queue.Enq 2 ]; [ Adt.Fifo_queue.Deq; Adt.Fifo_queue.Deq ] ]
+
+let test_fig_4_2 =
+  Test.make ~name:"fig-4-2-queue/hybrid"
+    (Staged.stage
+       (Queue_driver.make ~conflict:Adt.Fifo_queue.conflict_hybrid ~txns:queue_txns ()))
+
+let test_fig_4_3 =
+  Test.make_grouped ~name:"fig-4-3-queue"
+    [
+      Test.make ~name:"fig-4-3"
+        (Staged.stage
+           (Queue_driver.make ~conflict:Adt.Fifo_queue.conflict_fig_4_3 ~txns:queue_txns
+              ()));
+      Test.make ~name:"rw-locking"
+        (Staged.stage
+           (Queue_driver.make ~conflict:Adt.Fifo_queue.conflict_rw ~txns:queue_txns ()));
+    ]
+
+let test_fig_4_4 =
+  Test.make ~name:"fig-4-4-semiqueue/hybrid"
+    (Staged.stage
+       (Semi_driver.make ~conflict:Adt.Semiqueue.conflict_hybrid
+          ~txns:
+            [ [ Adt.Semiqueue.Ins 1; Adt.Semiqueue.Ins 2 ]; [ Adt.Semiqueue.Rem; Adt.Semiqueue.Rem ] ]
+          ()))
+
+let account_invs = [ Adt.Account.Credit 10; Adt.Account.Debit 5; Adt.Account.Post 1 ]
+
+let test_fig_4_5 =
+  let generic conflict = Acct_driver.make ~conflict ~txns:[ account_invs ] () in
+  let avalon () =
+    let acc = Runtime.Avalon_account.create () in
+    let mgr = Runtime.Manager.create () in
+    fun () ->
+      Runtime.Manager.run mgr (fun txn ->
+          Runtime.Avalon_account.credit acc txn 10;
+          ignore (Runtime.Avalon_account.debit acc txn 5);
+          Runtime.Avalon_account.post acc txn 1)
+  in
+  Test.make_grouped ~name:"fig-4-5-account"
+    [
+      Test.make ~name:"generic-hybrid"
+        (Staged.stage (generic Adt.Account.conflict_hybrid));
+      Test.make ~name:"avalon-affine" (Staged.stage (avalon ()));
+      Test.make ~name:"rw-locking" (Staged.stage (generic Adt.Account.conflict_rw));
+    ]
+
+let test_fig_7_1 =
+  Test.make ~name:"fig-7-1-account/commutativity"
+    (Staged.stage
+       (Acct_driver.make ~conflict:Adt.Account.conflict_commutativity
+          ~txns:[ account_invs ] ()))
+
+(* Deriving each figure's table from the serial specification (depth 2
+   keeps the per-iteration cost benchmarkable; correctness tests use
+   depth 3). *)
+let test_derivation =
+  let module FQ = Spec.Dependency.Make (Adt.Fifo_queue) in
+  let module FS = Spec.Dependency.Make (Adt.Semiqueue) in
+  let module FF = Spec.Dependency.Make (Adt.File_adt) in
+  let module CA = Spec.Commutativity.Make (Adt.Account) in
+  Test.make_grouped ~name:"derivation"
+    [
+      Test.make ~name:"fig-4-1-file"
+        (Staged.stage (fun () -> ignore (FF.invalidated_by ~depth:2)));
+      Test.make ~name:"fig-4-2-queue"
+        (Staged.stage (fun () -> ignore (FQ.invalidated_by ~depth:2)));
+      Test.make ~name:"fig-4-4-semiqueue"
+        (Staged.stage (fun () -> ignore (FS.invalidated_by ~depth:2)));
+      Test.make ~name:"fig-7-1-account-commut"
+        (Staged.stage (fun () -> ignore (CA.failure_to_commute ~depth:2)));
+    ]
+
+(* Section 6 ablation: the same 60-transaction account run through the
+   formal machine with intentions kept forever vs the compacted one. *)
+let test_compaction =
+  let module L = Hybrid.Lock_machine.Make (Adt.Account) in
+  let run_full () =
+    let machine = ref (L.create ~conflict:Adt.Account.conflict_hybrid) in
+    for ts = 1 to 60 do
+      let q = Model.Txn.make ts in
+      List.iter
+        (fun i ->
+          (match L.step !machine (L.H.Invoke (q, i)) with
+          | Ok m -> machine := m
+          | Error _ -> assert false);
+          match L.available_responses !machine q with
+          | r :: _ -> (
+            match L.step !machine (L.H.Respond (q, r)) with
+            | Ok m -> machine := m
+            | Error _ -> assert false)
+          | [] -> assert false)
+        account_invs;
+      match L.step !machine (L.H.Commit (q, ts)) with
+      | Ok m -> machine := m
+      | Error _ -> assert false
+    done
+  in
+  let run_compacted =
+    (* A fresh compacted driver per iteration for a fair comparison. *)
+    fun () -> (Acct_driver.make ~conflict:Adt.Account.conflict_hybrid
+                 ~txns:(List.init 60 (fun _ -> account_invs)) ()) ()
+  in
+  Test.make_grouped ~name:"compaction-60txn"
+    [
+      Test.make ~name:"intentions-kept-forever" (Staged.stage run_full);
+      Test.make ~name:"horizon-compacted" (Staged.stage run_compacted);
+    ]
+
+(* The deterministic simulator itself: cost of simulating a small
+   enqueue workload under each relation. *)
+let test_det_sim =
+  let module DQ = Sim.Det_sim.Make (Adt.Fifo_queue) in
+  let scripts =
+    Array.init 2 (fun w ->
+        List.init 5 (fun k -> List.init 3 (fun j -> Adt.Fifo_queue.Enq (1 + ((w + k + j) mod 2)))))
+  in
+  let sim conflict () = ignore (DQ.run ~conflict scripts) in
+  Test.make_grouped ~name:"det-sim-30op"
+    [
+      Test.make ~name:"hybrid" (Staged.stage (sim Adt.Fifo_queue.conflict_hybrid));
+      Test.make ~name:"rw-locking" (Staged.stage (sim Adt.Fifo_queue.conflict_rw));
+    ]
+
+(* Snapshot reads: a pinned lock-free read against a live account. *)
+let test_snapshot =
+  let module AObj = Runtime.Atomic_obj.Make (Adt.Account) in
+  let mgr = Runtime.Manager.create () in
+  let acc = AObj.create ~conflict:Adt.Account.conflict_hybrid () in
+  Runtime.Manager.run mgr (fun txn ->
+      ignore (AObj.invoke acc txn (Adt.Account.Credit 1000)));
+  let sources = [ AObj.snapshot_source acc ] in
+  let read_roundtrip () =
+    ignore
+      (Runtime.Snapshot.read mgr ~sources (fun ~at ->
+           AObj.read_at acc ~at (Adt.Account.Debit 1)))
+  in
+  Test.make_grouped ~name:"snapshot"
+    [ Test.make ~name:"read-only-roundtrip" (Staged.stage read_roundtrip) ]
+
+let all_tests =
+  Test.make_grouped ~name:"hybrid-cc"
+    [
+      test_fig_4_1;
+      test_fig_4_2;
+      test_fig_4_3;
+      test_fig_4_4;
+      test_fig_4_5;
+      test_fig_7_1;
+      test_derivation;
+      test_compaction;
+      test_det_sim;
+      test_snapshot;
+    ]
+
+let () =
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] all_tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns = match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan in
+        let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
+        (name, ns, r2) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Printf.printf "%-55s %15s %8s\n" "benchmark" "time/run" "r^2";
+  List.iter
+    (fun (name, ns, r2) ->
+      let time =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e6 then Printf.sprintf "%10.3f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%10.3f us" (ns /. 1e3)
+        else Printf.sprintf "%10.1f ns" ns
+      in
+      Printf.printf "%-55s %15s %8.3f\n" name time r2)
+    rows;
+  print_endline "";
+  print_endline
+    "note: multicore contention experiments (throughput per conflict relation)";
+  print_endline "      are produced by: dune exec bin/main.exe -- experiments"

@@ -1,0 +1,222 @@
+(* hybrid-cc: command-line entry point for the reproduction.
+
+   Subcommands:
+   - figures: regenerate the paper's dependency/commutativity tables from
+     the serial specifications and diff them against the paper.
+   - experiments: run the measured concurrency experiments (the EXP-
+     series from DESIGN.md).
+   - history: replay the paper's Section 3.2 queue history through the
+     LOCK machine and the atomicity checkers. *)
+
+let pp_figure ~verbose f =
+  let derived = f.Figures.derived () in
+  let ok = Figures.check f in
+  Format.printf "%a@." Spec.Classify.pp_table derived;
+  Format.printf "matches the paper: %s@." (if ok then "YES" else "NO");
+  if verbose then Format.printf "note: %s@." f.Figures.notes;
+  if (not ok) && verbose then
+    Format.printf "expected:@.%a@." Spec.Classify.pp_table f.Figures.expected;
+  Format.printf "@.";
+  ok
+
+let figures_cmd id verbose =
+  let figs =
+    match id with
+    | None -> Figures.all
+    | Some id -> (
+      match Figures.by_id id with
+      | Some f -> [ f ]
+      | None ->
+        Format.eprintf "unknown figure id %S (use 4-1 .. 4-5 or 7-1)@." id;
+        exit 2)
+  in
+  let ok = List.fold_left (fun acc f -> pp_figure ~verbose f && acc) true figs in
+  if not ok then exit 1
+
+let scale_of domains txns think_us =
+  { Sim.Experiments.domains; txns; think_us }
+
+let experiments_cmd id deterministic domains txns think_us =
+  if deterministic then begin
+    let tables =
+      match id with
+      | None -> Sim.Det_experiments.all ()
+      | Some "queue" -> [ Sim.Det_experiments.det_queue_enq () ]
+      | Some "queue-mixed" -> [ Sim.Det_experiments.det_queue_mixed () ]
+      | Some "account" -> [ Sim.Det_experiments.det_account () ]
+      | Some "semiqueue" -> [ Sim.Det_experiments.det_semiqueue () ]
+      | Some other ->
+        Format.eprintf
+          "unknown experiment id %S (use queue, queue-mixed, account, semiqueue)@."
+          other;
+        exit 2
+    in
+    List.iter (fun t -> Format.printf "%a@." Sim.Det_experiments.pp_table t) tables
+  end
+  else
+    let scale = scale_of domains txns think_us in
+    let tables =
+      match id with
+      | None -> Sim.Experiments.all ~scale ()
+      | Some "queue" -> [ Sim.Experiments.exp_queue_enq ~scale () ]
+      | Some "queue-mixed" -> [ Sim.Experiments.exp_queue_mixed ~scale () ]
+      | Some "account" -> [ Sim.Experiments.exp_account ~scale () ]
+      | Some "semiqueue" -> [ Sim.Experiments.exp_semiqueue ~scale () ]
+      | Some other ->
+        Format.eprintf
+          "unknown experiment id %S (use queue, queue-mixed, account, semiqueue)@."
+          other;
+        exit 2
+    in
+    List.iter (fun t -> Format.printf "%a@." Sim.Experiments.pp_table t) tables
+
+(* Registry for `derive`: every shipped ADT's tables, computed on demand
+   from the serial specification alone. *)
+let derive_registry =
+  let entry (type i r s) name
+      (module X : Spec.Adt_sig.BOUNDED with type inv = i and type res = r and type state = s)
+      depth =
+    let module D = Spec.Dependency.Make (X) in
+    let module C = Spec.Commutativity.Make (X) in
+    let module K = Spec.Classify.Make (X) in
+    ( name,
+      fun () ->
+        let inv = D.invalidated_by ~depth in
+        Format.printf "%a@."
+          Spec.Classify.pp_table
+          (K.classify ~title:(name ^ ": invalidated-by (minimal dependency relation)")
+             (Spec.Relation.pred inv));
+        Format.printf "is a dependency relation (Theorem 10): %b@.is minimal: %b@.@."
+          (D.is_dependency_relation ~depth (Spec.Relation.pred inv))
+          (D.is_minimal ~depth inv);
+        let ftc = C.failure_to_commute ~depth in
+        Format.printf "%a@."
+          Spec.Classify.pp_table
+          (K.classify ~title:(name ^ ": failure-to-commute (commutativity-based conflicts)")
+             (Spec.Relation.pred ftc));
+        let hybrid = Spec.Relation.symmetric_closure inv in
+        Format.printf
+          "hybrid conflicts vs commutativity conflicts: %s@.@."
+          (if Spec.Relation.equal hybrid ftc then "equal"
+           else if Spec.Relation.proper_subset hybrid ftc then
+             "hybrid strictly finer (more concurrency)"
+           else if Spec.Relation.proper_subset ftc hybrid then
+             "commutativity strictly finer (invalidated-by is not minimal here)"
+           else "incomparable") )
+  in
+  [
+    entry "file" (module Adt.File_adt) 3;
+    entry "queue" (module Adt.Fifo_queue) 3;
+    entry "semiqueue" (module Adt.Semiqueue) 3;
+    entry "account" (module Adt.Account) 3;
+    entry "counter" (module Adt.Counter) 2;
+    entry "directory" (module Adt.Directory) 2;
+    entry "log" (module Adt.Log_adt) 3;
+    entry "bounded-buffer" (module Adt.Bounded_buffer) 3;
+  ]
+
+let derive_cmd id =
+  let entries =
+    match id with
+    | None -> derive_registry
+    | Some name -> (
+      match List.assoc_opt name derive_registry with
+      | Some f -> [ (name, f) ]
+      | None ->
+        Format.eprintf "unknown type %S (use %s)@." name
+          (String.concat ", " (List.map fst derive_registry));
+        exit 2)
+  in
+  List.iter (fun (_, f) -> f ()) entries
+
+let history_cmd () =
+  let module Q = Adt.Fifo_queue in
+  let module L = Hybrid.Lock_machine.Make (Q) in
+  let module At = Model.Atomicity.Make (Q) in
+  let module H = L.H in
+  let p = Model.Txn.make ~label:"P" 1 in
+  let q = Model.Txn.make ~label:"Q" 2 in
+  let r = Model.Txn.make ~label:"R" 3 in
+  let history : H.t =
+    [
+      H.Invoke (p, Q.Enq 1);
+      H.Respond (p, Q.Ok);
+      H.Invoke (q, Q.Enq 2);
+      H.Respond (q, Q.Ok);
+      H.Commit (p, 2);
+      H.Commit (q, 1);
+      H.Invoke (r, Q.Deq);
+      H.Respond (r, Q.Val 2);
+      H.Invoke (r, Q.Deq);
+      H.Respond (r, Q.Val 1);
+      H.Commit (r, 5);
+    ]
+  in
+  Format.printf "The paper's Section 3.2 FIFO-queue history:@.%a@.@." H.pp history;
+  Format.printf "well-formed:                        %s@."
+    (match H.well_formed history with Ok () -> "yes" | Error e -> "NO: " ^ e);
+  Format.printf "accepted by LOCK (hybrid, fig 4-2): %b@."
+    (L.accepts ~conflict:Q.conflict_hybrid history);
+  Format.printf "accepted by LOCK (commutativity):   %b   <- concurrent Enqs conflict there@."
+    (L.accepts ~conflict:Q.conflict_commutativity history);
+  Format.printf "hybrid atomic:                      %b@." (At.hybrid_atomic history);
+  Format.printf "online hybrid atomic:               %b@." (At.online_hybrid_atomic history)
+
+open Cmdliner
+
+let id_arg =
+  Arg.(value & opt (some string) None & info [ "id" ] ~docv:"ID" ~doc:"Select one item.")
+
+let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Show notes and diffs.")
+
+let domains_arg =
+  Arg.(value & opt int 4 & info [ "domains" ] ~docv:"N" ~doc:"Concurrent domains.")
+
+let txns_arg =
+  Arg.(value & opt int 100 & info [ "txns" ] ~docv:"N" ~doc:"Transactions per domain.")
+
+let think_arg =
+  Arg.(
+    value
+    & opt float 100.
+    & info [ "think-us" ] ~docv:"US" ~doc:"Think time between operations (microseconds).")
+
+let deterministic_arg =
+  Arg.(
+    value & flag
+    & info [ "deterministic" ]
+        ~doc:"Run under the virtual-time simulator: exactly reproducible results.")
+
+let figures_t =
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Regenerate the paper's figures from the specifications")
+    Term.(const figures_cmd $ id_arg $ verbose_arg)
+
+let experiments_t =
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Run the measured concurrency experiments")
+    Term.(
+      const experiments_cmd $ id_arg $ deterministic_arg $ domains_arg $ txns_arg
+      $ think_arg)
+
+let history_t =
+  Cmd.v
+    (Cmd.info "history" ~doc:"Replay the paper's Section 3.2 worked history")
+    Term.(const history_cmd $ const ())
+
+let derive_t =
+  Cmd.v
+    (Cmd.info "derive"
+       ~doc:
+         "Derive conflict tables for any shipped data type (including the extension           types) from its serial specification")
+    Term.(const derive_cmd $ id_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "hybrid-cc" ~version:"1.0.0"
+       ~doc:
+         "Reproduction of Herlihy & Weihl, \"Hybrid Concurrency Control for Abstract \
+          Data Types\" (1988)")
+    [ figures_t; experiments_t; history_t; derive_t ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,71 @@
+type inv = Credit of int | Post of int | Debit of int
+type res = Ok | Overdraft
+type state = int
+type op = inv * res
+
+let name = "Account"
+let amounts = [ 2; 3 ]
+let post_factors = [ 1; 2 ]
+let initial = 0
+
+let step s = function
+  | Credit n -> [ (Ok, s + n) ]
+  | Post n -> [ (Ok, s * (1 + n)) ]
+  | Debit n -> if s >= n then [ (Ok, s - n) ] else [ (Overdraft, s) ]
+
+let equal_inv (a : inv) b = a = b
+let equal_res (a : res) b = a = b
+let equal_state (a : state) b = a = b
+
+let pp_inv ppf = function
+  | Credit n -> Format.fprintf ppf "Credit(%d)" n
+  | Post n -> Format.fprintf ppf "Post(%d)" n
+  | Debit n -> Format.fprintf ppf "Debit(%d)" n
+
+let pp_res ppf = function
+  | Ok -> Format.fprintf ppf "Ok"
+  | Overdraft -> Format.fprintf ppf "Overdraft"
+
+let pp_state ppf s = Format.fprintf ppf "%d" s
+
+let credit n = (Credit n, Ok)
+let post n = (Post n, Ok)
+let debit_ok n = (Debit n, Ok)
+let debit_overdraft n = (Debit n, Overdraft)
+
+let universe =
+  List.map credit amounts
+  @ List.map post post_factors
+  @ List.map debit_ok amounts
+  @ List.map debit_overdraft amounts
+
+let op_label = function
+  | Credit _, _ -> "Credit/Ok"
+  | Post _, _ -> "Post/Ok"
+  | Debit _, Ok -> "Debit/Ok"
+  | Debit _, Overdraft -> "Debit/Overdraft"
+
+let op_values = function
+  | (Credit n | Post n | Debit n), _ -> [ n ]
+
+let dependency_fig_4_5 q p =
+  match (q, p) with
+  | (Debit _, Ok), (Debit _, Ok) -> true
+  | (Debit _, Overdraft), ((Credit _ | Post _), Ok) -> true
+  | ((Credit _ | Post _ | Debit _), _), _ -> false
+
+let symmetric rel p q = rel p q || rel q p
+let conflict_hybrid = symmetric dependency_fig_4_5
+
+let conflict_commutativity p q =
+  let one_way a b =
+    match (a, b) with
+    | (Credit _, _), (Post _, _) -> true
+    | (Credit _, _), (Debit _, Overdraft) -> true
+    | (Post _, _), (Debit _, _) -> true
+    | (Debit _, Ok), (Debit _, Ok) -> true
+    | ((Credit _ | Post _ | Debit _), _), _ -> false
+  in
+  one_way p q || one_way q p
+
+let conflict_rw _ _ = true

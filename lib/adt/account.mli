@@ -1,0 +1,59 @@
+(** The Account data type (paper Section 4.3, Figure 4-5; Section 7.1,
+    Figure 7-1; appendix).
+
+    [Credit] adds to the balance, [Post] posts interest (multiplies the
+    balance), and [Debit] subtracts — returning [Overdraft] and leaving
+    the balance unchanged when it would go negative.  The Account is the
+    paper's showcase for two ideas:
+
+    - {e result-dependent lock modes}: a successful Debit and an
+      Overdraft acquire different locks.  Credits never invalidate a
+      successful Debit but can invalidate an Overdraft, so Credit
+      conflicts only with the Overdraft mode.
+    - {e dependency beats commutativity}: Post fails to commute with
+      Credit and Debit (it is a multiplicative map), yet invalidates only
+      Overdrafts; commutativity-based locking (Figure 7-1) therefore
+      serializes Post against everything Credit/Debit while the hybrid
+      protocol lets them run concurrently.
+
+    Modelling note ({e substitution documented in DESIGN.md}): the paper's
+    [Post(5)] multiplies the balance by 1.05; we use exact integer
+    arithmetic, [Post p] multiplying by [1 + p], so legality and
+    equivalence are exact.  This preserves every property the figures
+    depend on (Post is a balance-non-decreasing affine map that commutes
+    with Posts but not with Credits/Debits).  The bounded-derivation value
+    domain uses credit/debit amounts [{2, 3}] and post factors [{1, 2}];
+    amount 1 is excluded because with integer balances an overdraft of 1
+    implies balance 0, which a multiplication cannot invalidate — a
+    degenerate artifact of the integer domain, not of the construction. *)
+
+type inv = Credit of int | Post of int | Debit of int
+type res = Ok | Overdraft
+
+include
+  Spec.Adt_sig.BOUNDED with type inv := inv and type res := res and type state = int
+(** The state is the balance (a non-negative integer). *)
+
+type op = inv * res
+
+val credit : int -> op
+val post : int -> op
+val debit_ok : int -> op
+val debit_overdraft : int -> op
+
+val dependency_fig_4_5 : op -> op -> bool
+(** Figure 4-5, the unique minimal dependency relation: a successful
+    Debit depends on successful Debits; an Overdraft depends on Credits
+    and Posts. *)
+
+val conflict_hybrid : op -> op -> bool
+(** Symmetric closure of {!dependency_fig_4_5} — the conflict relation
+    installed by the appendix's [account] constructor:
+    [CREDIT-OVERDRAFT], [POST-OVERDRAFT], [DEBIT-DEBIT]. *)
+
+val conflict_commutativity : op -> op -> bool
+(** Figure 7-1, failure-to-commute: adds Post/Credit, Post/Debit
+    conflicts and keeps Debit/Debit and Credit/Overdraft. *)
+
+val conflict_rw : op -> op -> bool
+(** All three operations write, so everything conflicts. *)

@@ -1,0 +1,68 @@
+type inv = Put of int | Get
+type res = Ok | Val of int
+type state = int list
+type op = inv * res
+
+let name = "BoundedBuffer"
+let capacity = 2
+let values = [ 1; 2 ]
+let initial = []
+
+let step s = function
+  | Put v -> if List.length s < capacity then [ (Ok, s @ [ v ]) ] else []
+  | Get -> ( match s with [] -> [] | front :: rest -> [ (Val front, rest) ])
+
+let equal_inv (a : inv) b = a = b
+let equal_res (a : res) b = a = b
+let equal_state (a : state) b = a = b
+
+let pp_inv ppf = function
+  | Put v -> Format.fprintf ppf "Put(%d)" v
+  | Get -> Format.fprintf ppf "Get()"
+
+let pp_res ppf = function
+  | Ok -> Format.fprintf ppf "Ok"
+  | Val v -> Format.fprintf ppf "%d" v
+
+let pp_state ppf s =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       Format.pp_print_int)
+    s
+
+let put v = (Put v, Ok)
+let get v = (Get, Val v)
+let universe = List.map put values @ List.map get values
+
+let op_label = function
+  | Put _, _ -> "Put"
+  | Get, _ -> "Get"
+
+let op_values = function
+  | Put v, _ -> [ v ]
+  | Get, Val v -> [ v ]
+  | Get, Ok -> []
+
+let dependency_hybrid q p =
+  match (q, p) with
+  | (Put _, _), (Put _, _) -> true (* an earlier Put can fill the buffer *)
+  | (Get, Val v), (Put v', Ok) -> v <> v'
+  | (Get, Val v), (Get, Val v') -> v = v'
+  | ((Put _ | Get), _), _ -> false
+
+let symmetric rel p q = rel p q || rel q p
+let conflict_hybrid = symmetric dependency_hybrid
+
+(* Failure-to-commute drops the Get/Put cross-conflicts (they commute,
+   as in the unbounded queue) but keeps Put/Put — strictly finer than
+   the invalidated-by closure, making the bounded buffer a concrete
+   instance of the paper's remark that invalidated-by need not be
+   minimal. *)
+let conflict_commutativity p q =
+  match (p, q) with
+  | (Put _, _), (Put _, _) -> true
+  | (Get, Val v), (Get, Val v') -> v = v'
+  | ((Put _ | Get), _), _ -> false
+
+let conflict_rw _ _ = true

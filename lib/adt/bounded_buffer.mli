@@ -1,0 +1,48 @@
+(** A bounded FIFO buffer — an extension ADT with {e two-sided}
+    partiality: [Put] blocks when the buffer is full and [Get] blocks
+    when it is empty (the paper motivates partial operations exactly for
+    such producer/consumer shapes).
+
+    Two instructive derived facts, both machine-checked in the tests:
+
+    - {e bounding the buffer destroys the paper's headline
+      concurrent-enqueue property}: in the unbounded queue nothing
+      invalidates an [Enq], but here an earlier [Put] can fill the
+      buffer and invalidate a later [Put]'s [Ok] response, so
+      invalidated-by makes [Put] depend on every [Put] regardless of
+      values ([Get] keeps the unbounded queue's Figure 4-2 pattern);
+    - this type is a concrete instance of the paper's remark that
+      {e invalidated-by need not be minimal}: the failure-to-commute
+      relation (Puts never commute against the bound; Gets of the same
+      item do not commute; Put/Get commute) is itself a dependency
+      relation sitting strictly below the invalidated-by closure, so
+      commutativity-based locking is actually the better choice for a
+      bounded buffer. *)
+
+type inv = Put of int | Get
+type res = Ok | Val of int
+
+include
+  Spec.Adt_sig.BOUNDED
+    with type inv := inv
+     and type res := res
+     and type state = int list
+(** The state is the buffer contents, front first; at most
+    {!capacity}. *)
+
+val capacity : int
+(** 2 in the bounded universe. *)
+
+type op = inv * res
+
+val put : int -> op
+val get : int -> op
+
+val dependency_hybrid : op -> op -> bool
+(** The derived invalidated-by relation (checked by tests — not minimal
+    for this type, see above): [Put] depends on every [Put]; [Get v]
+    depends on [Put v'] with [v ≠ v'] and on [Get v]. *)
+
+val conflict_hybrid : op -> op -> bool
+val conflict_commutativity : op -> op -> bool
+val conflict_rw : op -> op -> bool

@@ -1,0 +1,63 @@
+type inv = Inc of int | Dec of int | Read
+type res = Ok | Val of int
+type state = int
+type op = inv * res
+
+let name = "Counter"
+let amounts = [ 1; 2 ]
+
+(* Reads in the bounded universe: every value reachable within the
+   derivation depth from 0 by +-1/+-2 steps. *)
+let read_values = [ -4; -3; -2; -1; 0; 1; 2; 3; 4 ]
+let initial = 0
+
+let step s = function
+  | Inc n -> [ (Ok, s + n) ]
+  | Dec n -> [ (Ok, s - n) ]
+  | Read -> [ (Val s, s) ]
+
+let equal_inv (a : inv) b = a = b
+let equal_res (a : res) b = a = b
+let equal_state (a : state) b = a = b
+
+let pp_inv ppf = function
+  | Inc n -> Format.fprintf ppf "Inc(%d)" n
+  | Dec n -> Format.fprintf ppf "Dec(%d)" n
+  | Read -> Format.fprintf ppf "Read()"
+
+let pp_res ppf = function
+  | Ok -> Format.fprintf ppf "Ok"
+  | Val v -> Format.fprintf ppf "%d" v
+
+let pp_state ppf s = Format.fprintf ppf "%d" s
+
+let inc n = (Inc n, Ok)
+let dec n = (Dec n, Ok)
+let read v = (Read, Val v)
+
+let universe =
+  List.map inc amounts @ List.map dec amounts @ List.map read read_values
+
+let op_label = function
+  | Inc _, _ -> "Inc"
+  | Dec _, _ -> "Dec"
+  | Read, _ -> "Read"
+
+let op_values = function
+  | (Inc n | Dec n), _ -> [ n ]
+  | Read, Val v -> [ v ]
+  | Read, Ok -> []
+
+let dependency_hybrid q p =
+  match (q, p) with
+  | (Read, _), ((Inc _ | Dec _), _) -> true
+  | ((Inc _ | Dec _ | Read), _), _ -> false
+
+let symmetric rel p q = rel p q || rel q p
+let conflict_hybrid = symmetric dependency_hybrid
+let conflict_commutativity = conflict_hybrid
+
+let conflict_rw p q =
+  match (p, q) with
+  | (Read, _), (Read, _) -> false
+  | ((Inc _ | Dec _ | Read), _), _ -> true

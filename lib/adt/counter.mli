@@ -1,0 +1,34 @@
+(** An unbounded counter — an extension ADT (not in the paper's figures)
+    exercising the derivation machinery on a type where the hybrid and
+    commutativity-based conflict relations {e coincide}.
+
+    [Inc]/[Dec] adjust the counter by a positive amount; [Read] returns
+    its value.  Increments and decrements never invalidate anything
+    (they are total and the counter is unbounded), so the derived
+    invalidated-by relation only makes a [Read] depend on earlier
+    updates.  Failure-to-commute gives exactly the same table: updates
+    commute with each other and only reads observe them.  Contrast with
+    {!Account}, where bounding the balance (overdrafts) and the
+    multiplicative [Post] split the two relations apart. *)
+
+type inv = Inc of int | Dec of int | Read
+type res = Ok | Val of int
+
+include
+  Spec.Adt_sig.BOUNDED with type inv := inv and type res := res and type state = int
+
+type op = inv * res
+
+val inc : int -> op
+val dec : int -> op
+val read : int -> op
+
+val dependency_hybrid : op -> op -> bool
+(** The minimal dependency relation: a [Read] returning [v] depends on
+    every earlier [Inc] and [Dec]. *)
+
+val conflict_hybrid : op -> op -> bool
+val conflict_commutativity : op -> op -> bool
+(** Equal to {!conflict_hybrid} (asserted by tests). *)
+
+val conflict_rw : op -> op -> bool

@@ -1,0 +1,112 @@
+type inv = Insert of int | Remove of int | Member of int
+type res = Ok | Duplicate | Missing | True | False
+type state = int list
+type op = inv * res
+
+let name = "Directory"
+let keys = [ 1; 2 ]
+let initial = []
+
+let rec insert_sorted k = function
+  | [] -> [ k ]
+  | x :: _ as l when k < x -> k :: l
+  | x :: rest -> x :: insert_sorted k rest
+
+let step s = function
+  | Insert k ->
+    if List.mem k s then [ (Duplicate, s) ] else [ (Ok, insert_sorted k s) ]
+  | Remove k ->
+    if List.mem k s then [ (Ok, List.filter (fun x -> x <> k) s) ]
+    else [ (Missing, s) ]
+  | Member k -> if List.mem k s then [ (True, s) ] else [ (False, s) ]
+
+let equal_inv (a : inv) b = a = b
+let equal_res (a : res) b = a = b
+let equal_state (a : state) b = a = b
+
+let pp_inv ppf = function
+  | Insert k -> Format.fprintf ppf "Insert(%d)" k
+  | Remove k -> Format.fprintf ppf "Remove(%d)" k
+  | Member k -> Format.fprintf ppf "Member(%d)" k
+
+let pp_res ppf r =
+  Format.pp_print_string ppf
+    (match r with
+    | Ok -> "Ok"
+    | Duplicate -> "Duplicate"
+    | Missing -> "Missing"
+    | True -> "True"
+    | False -> "False")
+
+let pp_state ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       Format.pp_print_int)
+    s
+
+let insert_ok k = (Insert k, Ok)
+let insert_dup k = (Insert k, Duplicate)
+let remove_ok k = (Remove k, Ok)
+let remove_missing k = (Remove k, Missing)
+let member_true k = (Member k, True)
+let member_false k = (Member k, False)
+
+let universe =
+  List.concat_map
+    (fun k ->
+      [
+        insert_ok k;
+        insert_dup k;
+        remove_ok k;
+        remove_missing k;
+        member_true k;
+        member_false k;
+      ])
+    keys
+
+let op_label = function
+  | Insert _, Ok -> "Insert/Ok"
+  | Insert _, _ -> "Insert/Duplicate"
+  | Remove _, Ok -> "Remove/Ok"
+  | Remove _, _ -> "Remove/Missing"
+  | Member _, True -> "Member/True"
+  | Member _, _ -> "Member/False"
+
+let op_values = function (Insert k | Remove k | Member k), _ -> [ k ]
+
+let key_of = function (Insert k | Remove k | Member k), _ -> k
+
+(* Presence/absence requirements drive the dependencies: an operation
+   whose response requires the key to be absent is invalidated by a
+   successful Insert of that key, and one requiring presence by a
+   successful Remove. *)
+let requires_absence = function
+  | Insert _, Ok | Remove _, Missing | Member _, False -> true
+  | _, _ -> false
+
+let requires_presence = function
+  | Insert _, Duplicate | Remove _, Ok | Member _, True -> true
+  | _, _ -> false
+
+let dependency_hybrid q p =
+  key_of q = key_of p
+  &&
+  match p with
+  | Insert _, Ok -> requires_absence q
+  | Remove _, Ok -> requires_presence q
+  | (Insert _ | Remove _ | Member _), _ -> false
+
+let symmetric rel p q = rel p q || rel q p
+let conflict_hybrid = symmetric dependency_hybrid
+
+(* For the Directory, failure-to-commute happens to coincide with the
+   symmetric closure of the minimal dependency relation (asserted by the
+   tests): a set's non-commuting pairs are exactly the invalidating
+   ones.  Contrast with Queue/Account, where they differ. *)
+let conflict_commutativity = conflict_hybrid
+
+let conflict_rw p q =
+  match (p, q) with
+  | (Member _, _), (Member _, _) -> false
+  | ((Insert _ | Remove _ | Member _), _), _ -> true

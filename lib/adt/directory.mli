@@ -1,0 +1,45 @@
+(** A Directory (set of keys) — an extension ADT showing result-dependent
+    lock modes on a lookup structure, the style of type-specific locking
+    the paper's Account example advocates.
+
+    [Insert k] returns [Ok] when the key was absent and [Duplicate] when
+    present; [Remove k] returns [Ok]/[Missing] symmetrically; [Member k]
+    observes presence.  Operations on {e different} keys never conflict.
+    On the same key, the derived relation distinguishes outcomes: e.g. a
+    successful [Insert] is invalidated only by an earlier successful
+    [Insert] of the same key, and a [Duplicate] response is invalidated
+    by a successful [Remove]. *)
+
+type inv = Insert of int | Remove of int | Member of int
+type res = Ok | Duplicate | Missing | True | False
+
+include
+  Spec.Adt_sig.BOUNDED
+    with type inv := inv
+     and type res := res
+     and type state = int list
+(** The state is the sorted list of present keys. *)
+
+type op = inv * res
+
+val insert_ok : int -> op
+val insert_dup : int -> op
+val remove_ok : int -> op
+val remove_missing : int -> op
+val member_true : int -> op
+val member_false : int -> op
+
+val dependency_hybrid : op -> op -> bool
+(** The derived minimal dependency relation (asserted equal to the
+    machine-derived invalidated-by in the tests):
+    on equal keys only —
+    - [Insert/Ok] and [Remove/Missing] and [Member/False] depend on
+      [Insert/Ok] (presence invalidates them) and on [Remove/Ok] for
+      re-validation symmetry: precisely, anything requiring absence
+      depends on [Insert/Ok], anything requiring presence depends on
+      [Remove/Ok]. *)
+
+val conflict_hybrid : op -> op -> bool
+val conflict_commutativity : op -> op -> bool
+val conflict_rw : op -> op -> bool
+(** [Member] is the only reader. *)

@@ -1,0 +1,63 @@
+type inv = Enq of int | Deq
+type res = Ok | Val of int
+type state = int list
+type op = inv * res
+
+let name = "FIFO-Queue"
+let values = [ 1; 2 ]
+let initial = []
+
+let step s = function
+  | Enq v -> [ (Ok, s @ [ v ]) ]
+  | Deq -> ( match s with [] -> [] | front :: rest -> [ (Val front, rest) ])
+
+let equal_inv (a : inv) b = a = b
+let equal_res (a : res) b = a = b
+let equal_state (a : state) b = a = b
+
+let pp_inv ppf = function
+  | Enq v -> Format.fprintf ppf "Enq(%d)" v
+  | Deq -> Format.fprintf ppf "Deq()"
+
+let pp_res ppf = function
+  | Ok -> Format.fprintf ppf "Ok"
+  | Val v -> Format.fprintf ppf "%d" v
+
+let pp_state ppf s =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       Format.pp_print_int)
+    s
+
+let enq v = (Enq v, Ok)
+let deq v = (Deq, Val v)
+let universe = List.map enq values @ List.map deq values
+
+let op_label = function
+  | Enq _, _ -> "Enq"
+  | Deq, _ -> "Deq"
+
+let op_values = function
+  | Enq v, _ -> [ v ]
+  | Deq, Val v -> [ v ]
+  | Deq, Ok -> []
+
+let dependency_fig_4_2 q p =
+  match (q, p) with
+  | (Deq, Val v), (Enq v', Ok) -> v <> v'
+  | (Deq, Val v), (Deq, Val v') -> v = v'
+  | ((Enq _ | Deq), _), _ -> false
+
+let dependency_fig_4_3 q p =
+  match (q, p) with
+  | (Enq v, Ok), (Enq v', Ok) -> v <> v'
+  | (Deq, Val v), (Deq, Val v') -> v = v'
+  | ((Enq _ | Deq), _), _ -> false
+
+let symmetric rel p q = rel p q || rel q p
+let conflict_hybrid = symmetric dependency_fig_4_2
+let conflict_fig_4_3 = symmetric dependency_fig_4_3
+let conflict_commutativity = conflict_fig_4_3
+
+let conflict_rw _ _ = true

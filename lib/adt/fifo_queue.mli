@@ -1,0 +1,51 @@
+(** The FIFO Queue data type (paper Section 4.3, Figures 4-2 and 4-3).
+
+    [Enq] places an item at the end; [Deq] removes and returns the item
+    at the front, {e blocking} when the queue is empty (a partial
+    operation: [step] returns no legal response).
+
+    FIFO queues are the paper's motivating example: they have two
+    distinct, incomparable minimal dependency relations.
+
+    - Figure 4-2 (the invalidated-by relation): Deq depends on Enqs of
+      different items and on Deqs of the same item.  Enqueues never
+      conflict, so {e concurrent enqueues are permitted} even though they
+      do not commute — the dequeue order of concurrently enqueued items
+      is decided by commit timestamps.
+    - Figure 4-3: Enqs of different items depend on each other, Deqs of
+      the same item depend on each other, and Enq/Deq never conflict.
+      Its symmetric closure coincides with the commutativity-based
+      conflict relation. *)
+
+type inv = Enq of int | Deq
+type res = Ok | Val of int
+
+include
+  Spec.Adt_sig.BOUNDED
+    with type inv := inv
+     and type res := res
+     and type state = int list
+(** The state is the queue contents, front first. *)
+
+type op = inv * res
+
+val enq : int -> op
+val deq : int -> op
+(** [deq v] is the operation [Deq] returning item [v]. *)
+
+val dependency_fig_4_2 : op -> op -> bool
+val dependency_fig_4_3 : op -> op -> bool
+
+val conflict_hybrid : op -> op -> bool
+(** Symmetric closure of {!dependency_fig_4_2} — allows concurrent
+    enqueues.  This is the relation showcased by the paper's protocol. *)
+
+val conflict_fig_4_3 : op -> op -> bool
+(** Symmetric closure of {!dependency_fig_4_3}. *)
+
+val conflict_commutativity : op -> op -> bool
+(** Failure-to-commute; equal to {!conflict_fig_4_3} (paper §7.1). *)
+
+val conflict_rw : op -> op -> bool
+(** Read/write locking: both operations are writers, so everything
+    conflicts. *)

@@ -1,0 +1,60 @@
+type inv = Read | Write of int
+type res = Val of int | Ok
+type state = int
+type op = inv * res
+
+let name = "File"
+
+(* The value domain used for bounded derivation; 0 is the initial value. *)
+let values = [ 0; 1; 2 ]
+let initial = 0
+
+let step s = function
+  | Read -> [ (Val s, s) ]
+  | Write v -> [ (Ok, v) ]
+
+let equal_inv (a : inv) b = a = b
+let equal_res (a : res) b = a = b
+let equal_state (a : state) b = a = b
+
+let pp_inv ppf = function
+  | Read -> Format.fprintf ppf "Read()"
+  | Write v -> Format.fprintf ppf "Write(%d)" v
+
+let pp_res ppf = function
+  | Val v -> Format.fprintf ppf "%d" v
+  | Ok -> Format.fprintf ppf "Ok"
+
+let pp_state ppf s = Format.fprintf ppf "%d" s
+
+let read v = (Read, Val v)
+let write v = (Write v, Ok)
+let universe = List.map read values @ List.map write values
+
+let op_label = function
+  | Read, _ -> "Read"
+  | Write _, _ -> "Write"
+
+let op_values = function
+  | Read, Val v -> [ v ]
+  | Read, Ok -> []
+  | Write v, _ -> [ v ]
+
+let dependency_fig_4_1 q p =
+  match (q, p) with
+  | (Read, Val v'), (Write v, Ok) -> v <> v'
+  | ((Read | Write _), _), _ -> false
+
+let symmetric rel p q = rel p q || rel q p
+let conflict_hybrid = symmetric dependency_fig_4_1
+
+let conflict_commutativity p q =
+  match (p, q) with
+  | (Write v, _), (Write v', _) -> v <> v'
+  | (Read, Val v), (Write v', _) | (Write v', _), (Read, Val v) -> v <> v'
+  | ((Read | Write _), _), _ -> false
+
+let conflict_rw p q =
+  match (p, q) with
+  | (Read, _), (Read, _) -> false
+  | ((Read | Write _), _), _ -> true

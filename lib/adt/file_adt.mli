@@ -1,0 +1,36 @@
+(** The File data type (paper Section 4.3, Figure 4-1).
+
+    A File provides [Read], returning the most recently written value,
+    and [Write].  The unique minimal dependency relation makes a Read
+    depend on Writes of {e different} values only, so concurrent writes
+    are permitted — the protocol generalizes the Thomas Write Rule:
+    later transactions read the value written by the transaction with the
+    later commit timestamp. *)
+
+type inv = Read | Write of int
+type res = Val of int | Ok
+
+include
+  Spec.Adt_sig.BOUNDED with type inv := inv and type res := res and type state = int
+
+type op = inv * res
+
+val read : int -> op
+(** [read v] is the operation [Read] returning [v]. *)
+
+val write : int -> op
+
+val dependency_fig_4_1 : op -> op -> bool
+(** The paper's Figure 4-1: [(q, p)] related iff [q] is a Read of value
+    [v'] and [p] a Write of [v] with [v ≠ v'].  Rows depend on columns. *)
+
+val conflict_hybrid : op -> op -> bool
+(** Symmetric closure of {!dependency_fig_4_1}: the lock-conflict
+    relation used by the hybrid protocol. *)
+
+val conflict_commutativity : op -> op -> bool
+(** Failure-to-commute: Read/Write conflict when values differ,
+    Write/Write conflict when values differ. *)
+
+val conflict_rw : op -> op -> bool
+(** Classical read/write locking: conflict unless both are Reads. *)

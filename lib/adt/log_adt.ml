@@ -1,0 +1,78 @@
+type inv = Append of int | Size | Last
+type res = Ok | Count of int | Val of int
+type state = int list
+type op = inv * res
+
+let name = "Log"
+let values = [ 1; 2 ]
+let counts = [ 0; 1; 2; 3 ]
+let initial = []
+
+let step s = function
+  | Append v -> [ (Ok, s @ [ v ]) ]
+  | Size -> [ (Count (List.length s), s) ]
+  | Last -> (
+    match List.rev s with [] -> [] | v :: _ -> [ (Val v, s) ])
+
+let equal_inv (a : inv) b = a = b
+let equal_res (a : res) b = a = b
+let equal_state (a : state) b = a = b
+
+let pp_inv ppf = function
+  | Append v -> Format.fprintf ppf "Append(%d)" v
+  | Size -> Format.fprintf ppf "Size()"
+  | Last -> Format.fprintf ppf "Last()"
+
+let pp_res ppf = function
+  | Ok -> Format.fprintf ppf "Ok"
+  | Count n -> Format.fprintf ppf "Count(%d)" n
+  | Val v -> Format.fprintf ppf "%d" v
+
+let pp_state ppf s =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       Format.pp_print_int)
+    s
+
+let append v = (Append v, Ok)
+let size n = (Size, Count n)
+let last v = (Last, Val v)
+
+let universe = List.map append values @ List.map size counts @ List.map last values
+
+let op_label = function
+  | Append _, _ -> "Append"
+  | Size, _ -> "Size"
+  | Last, _ -> "Last"
+
+let op_values = function
+  | Append v, _ -> [ v ]
+  | Size, Count n -> [ n ]
+  | Size, _ -> []
+  | Last, Val v -> [ v ]
+  | Last, _ -> []
+
+let dependency_hybrid q p =
+  match (q, p) with
+  | (Size, _), (Append _, _) -> true
+  | (Last, Val v), (Append v', _) -> v <> v'
+  | ((Append _ | Size | Last), _), _ -> false
+
+let symmetric rel p q = rel p q || rel q p
+let conflict_hybrid = symmetric dependency_hybrid
+
+let conflict_commutativity p q =
+  let one_way a b =
+    match (a, b) with
+    | (Append v, _), (Append v', _) -> v <> v'
+    | (Size, _), (Append _, _) -> true
+    | (Last, Val v), (Append v', _) -> v <> v'
+    | ((Append _ | Size | Last), _), _ -> false
+  in
+  one_way p q || one_way q p
+
+let conflict_rw p q =
+  match (p, q) with
+  | ((Size | Last), _), ((Size | Last), _) -> false
+  | ((Append _ | Size | Last), _), _ -> true

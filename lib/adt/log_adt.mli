@@ -1,0 +1,39 @@
+(** An append-only Log — an extension ADT generalizing the paper's
+    concurrent-enqueue observation.
+
+    [Append v] adds a record; [Size] returns the record count; [Last]
+    returns the most recent record ({e partial}: no response on an empty
+    log).  Appends never invalidate anything, so under the hybrid
+    protocol concurrent appenders proceed without conflicts and the
+    commit-timestamp order decides the record order — exactly the FIFO
+    queue's Enq story.  Commutativity-based locking must serialize
+    appends of different values (the final log differs), so the hybrid
+    relation is strictly finer here, as it is for the Queue. *)
+
+type inv = Append of int | Size | Last
+type res = Ok | Count of int | Val of int
+
+include
+  Spec.Adt_sig.BOUNDED
+    with type inv := inv
+     and type res := res
+     and type state = int list
+(** The state is the appended records, oldest first. *)
+
+type op = inv * res
+
+val append : int -> op
+val size : int -> op
+(** [size n] is the [Size] operation observing [n] records. *)
+
+val last : int -> op
+
+val dependency_hybrid : op -> op -> bool
+(** [Size] observations depend on every Append; a [Last] returning [v]
+    depends on Appends of [v' <> v]; Appends depend on nothing. *)
+
+val conflict_hybrid : op -> op -> bool
+val conflict_commutativity : op -> op -> bool
+(** Adds Append/Append conflicts for distinct values. *)
+
+val conflict_rw : op -> op -> bool

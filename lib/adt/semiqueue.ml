@@ -1,0 +1,65 @@
+type inv = Ins of int | Rem
+type res = Ok | Val of int
+type state = int list
+type op = inv * res
+
+let name = "SemiQueue"
+let values = [ 1; 2 ]
+let initial = []
+
+let rec insert_sorted v = function
+  | [] -> [ v ]
+  | x :: _ as l when v <= x -> v :: l
+  | x :: rest -> x :: insert_sorted v rest
+
+let rec remove_one v = function
+  | [] -> []
+  | x :: rest -> if x = v then rest else x :: remove_one v rest
+
+let distinct s = List.sort_uniq compare s
+
+let step s = function
+  | Ins v -> [ (Ok, insert_sorted v s) ]
+  | Rem -> List.map (fun v -> (Val v, remove_one v s)) (distinct s)
+
+let equal_inv (a : inv) b = a = b
+let equal_res (a : res) b = a = b
+let equal_state (a : state) b = a = b
+
+let pp_inv ppf = function
+  | Ins v -> Format.fprintf ppf "Ins(%d)" v
+  | Rem -> Format.fprintf ppf "Rem()"
+
+let pp_res ppf = function
+  | Ok -> Format.fprintf ppf "Ok"
+  | Val v -> Format.fprintf ppf "%d" v
+
+let pp_state ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       Format.pp_print_int)
+    s
+
+let ins v = (Ins v, Ok)
+let rem v = (Rem, Val v)
+let universe = List.map ins values @ List.map rem values
+
+let op_label = function
+  | Ins _, _ -> "Ins"
+  | Rem, _ -> "Rem"
+
+let op_values = function
+  | Ins v, _ -> [ v ]
+  | Rem, Val v -> [ v ]
+  | Rem, Ok -> []
+
+let dependency_fig_4_4 q p =
+  match (q, p) with
+  | (Rem, Val v), (Rem, Val v') -> v = v'
+  | ((Ins _ | Rem), _), _ -> false
+
+let symmetric rel p q = rel p q || rel q p
+let conflict_hybrid = symmetric dependency_fig_4_4
+let conflict_commutativity = conflict_hybrid
+let conflict_rw _ _ = true

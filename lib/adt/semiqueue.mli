@@ -1,0 +1,31 @@
+(** The SemiQueue data type (paper Section 4.3, Figure 4-4).
+
+    [Ins] inserts an item; [Rem] {e nondeterministically} removes and
+    returns some present item, blocking when empty.  The paper uses the
+    SemiQueue to show that weakening a sequential specification with
+    nondeterminism buys concurrency: its unique minimal dependency
+    relation only prevents two Rems returning the {e same} item from
+    running concurrently, so inserts run concurrently with everything. *)
+
+type inv = Ins of int | Rem
+type res = Ok | Val of int
+
+include
+  Spec.Adt_sig.BOUNDED
+    with type inv := inv
+     and type res := res
+     and type state = int list
+(** The state is the multiset of present items, kept sorted (canonical). *)
+
+type op = inv * res
+
+val ins : int -> op
+val rem : int -> op
+
+val dependency_fig_4_4 : op -> op -> bool
+val conflict_hybrid : op -> op -> bool
+val conflict_commutativity : op -> op -> bool
+(** For the SemiQueue, failure-to-commute coincides with the symmetric
+    closure of the minimal dependency relation. *)
+
+val conflict_rw : op -> op -> bool

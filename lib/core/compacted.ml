@@ -1,0 +1,239 @@
+module Make (A : Spec.Adt_sig.S) = struct
+  module H = Model.History.Make (A)
+  module L = Lock_machine.Make (A)
+  module Txn = Model.Txn
+  module Tmap = Map.Make (Txn)
+
+  type op = A.inv * A.res
+
+  type t = {
+    conflict : op -> op -> bool;
+    version : A.state list; (* state set after the forgotten prefix *)
+    forgotten : int;
+    remembered : (Model.Timestamp.t * Txn.t * op list) list;
+        (* committed but not yet forgotten, ascending timestamp order *)
+    folded_upto : Xts.t; (* largest timestamp folded into the version *)
+    committed_cache : A.state list;
+        (* state set after version * remembered — recomputed only when a
+           commit event reorders the remembered list, so views need not
+           replay committed intentions on every invocation *)
+    pending : A.inv Tmap.t;
+    intentions : op list Tmap.t; (* active transactions only; reversed *)
+    aborted : unit Tmap.t;
+    committed_set : unit Tmap.t; (* all transactions ever committed *)
+    clock : Xts.t;
+    bound : Xts.t Tmap.t;
+  }
+
+  let create ~conflict =
+    {
+      conflict;
+      version = [ A.initial ];
+      forgotten = 0;
+      remembered = [];
+      folded_upto = Xts.Neg_inf;
+      committed_cache = [ A.initial ];
+      pending = Tmap.empty;
+      intentions = Tmap.empty;
+      aborted = Tmap.empty;
+      committed_set = Tmap.empty;
+      clock = Xts.Neg_inf;
+      bound = Tmap.empty;
+    }
+
+  let is_completed t q = Tmap.mem q t.aborted || Tmap.mem q t.committed_set
+
+  let horizon t =
+    let min_bound =
+      Tmap.fold
+        (fun _ b acc -> match acc with None -> Some b | Some m -> Some (Xts.min m b))
+        t.bound None
+    in
+    (* [clock] equals the largest commit timestamp ever seen, so it is
+       exactly Definition 20's max over committed transactions. *)
+    match min_bound with None -> t.clock | Some b -> Xts.min b t.clock
+
+  let forget t =
+    let hz = horizon t in
+    let rec go version forgotten upto = function
+      | (ts, _, ops) :: rest when Xts.(of_ts ts <= hz) ->
+        let version = H.Seq.states_after' version (List.rev ops) in
+        assert (version <> []);
+        go version (forgotten + 1) (Xts.of_ts ts) rest
+      | remembered -> (version, forgotten, upto, remembered)
+    in
+    let version, forgotten, folded_upto, remembered =
+      go t.version t.forgotten t.folded_upto t.remembered
+    in
+    { t with version; forgotten; folded_upto; remembered }
+
+  let own_intentions t q =
+    match Tmap.find_opt q t.intentions with Some ops -> List.rev ops | None -> []
+
+  let recompute_cache t =
+    let cache =
+      List.fold_left
+        (fun ss (_, _, ops) -> H.Seq.states_after' ss (List.rev ops))
+        t.version t.remembered
+    in
+    { t with committed_cache = cache }
+
+  let view_states t q = H.Seq.states_after' t.committed_cache (own_intentions t q)
+
+  let find_conflict t q candidate =
+    Tmap.fold
+      (fun p ops acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if Txn.equal p q || is_completed t p then None
+          else
+            List.find_opt (fun op -> t.conflict op candidate) ops
+            |> Option.map (fun op -> (p, op)))
+      t.intentions None
+
+  let insert_by_ts entry l =
+    let ts_of (ts, _, _) = ts in
+    let rec go = function
+      | [] -> [ entry ]
+      | x :: rest ->
+        if Model.Timestamp.compare (ts_of entry) (ts_of x) < 0 then entry :: x :: rest
+        else x :: go rest
+    in
+    go l
+
+  let step t (event : H.event) =
+    match event with
+    | H.Invoke (q, i) ->
+      let bound = if is_completed t q then t.bound else Tmap.add q t.clock t.bound in
+      Ok (forget { t with pending = Tmap.add q i t.pending; bound })
+    | H.Commit (q, ts) ->
+      let ops = Option.value ~default:[] (Tmap.find_opt q t.intentions) in
+      (* When the new timestamp is the largest committed so far (the
+         common case: timestamps are drawn just before commit events are
+         distributed), the committed sequence is only extended at the
+         end, so the cache extends incrementally; an out-of-order commit
+         splices into the middle and forces a full replay. *)
+      let in_order = Xts.(t.clock <= of_ts ts) in
+      let t' =
+        forget
+          {
+            t with
+            remembered = insert_by_ts (ts, q, ops) t.remembered;
+            intentions = Tmap.remove q t.intentions;
+            committed_set = Tmap.add q () t.committed_set;
+            clock = Xts.max t.clock (Xts.of_ts ts);
+            bound = Tmap.remove q t.bound;
+            pending = Tmap.remove q t.pending;
+          }
+      in
+      Ok
+        (if in_order then
+           { t' with committed_cache = H.Seq.states_after' t.committed_cache (List.rev ops) }
+         else recompute_cache t')
+    | H.Abort q ->
+      Ok
+        (forget
+           {
+             t with
+             aborted = Tmap.add q () t.aborted;
+             intentions = Tmap.remove q t.intentions;
+             bound = Tmap.remove q t.bound;
+             pending = Tmap.remove q t.pending;
+           })
+    | H.Respond (q, r) -> (
+      match Tmap.find_opt q t.pending with
+      | None -> Error L.No_pending
+      | Some _ when is_completed t q -> Error L.Already_completed
+      | Some i ->
+        let candidate = (i, r) in
+        if H.Seq.states_after' (view_states t q) [ candidate ] = [] then
+          Error L.Illegal_in_view
+        else (
+          match find_conflict t q candidate with
+          | Some (p, op) -> Error (L.Lock_conflict (p, op))
+          | None ->
+            let ops = Option.value ~default:[] (Tmap.find_opt q t.intentions) in
+            Ok
+              (forget
+                 {
+                   t with
+                   pending = Tmap.remove q t.pending;
+                   intentions = Tmap.add q (candidate :: ops) t.intentions;
+                   bound = Tmap.add q t.clock t.bound;
+                 })))
+
+  let run ~conflict h =
+    let rec go t = function
+      | [] -> Ok t
+      | e :: rest -> (
+        match step t e with Ok t' -> go t' rest | Error refusal -> Error (e, refusal))
+    in
+    go (create ~conflict) h
+
+  let available_responses t q =
+    match Tmap.find_opt q t.pending with
+    | None -> []
+    | Some i ->
+      let ss = view_states t q in
+      let candidates =
+        List.concat_map (fun s -> List.map fst (A.step s i)) ss
+        |> List.fold_left
+             (fun acc r -> if List.exists (A.equal_res r) acc then acc else r :: acc)
+             []
+        |> List.rev
+      in
+      List.filter
+        (fun r -> match step t (H.Respond (q, r)) with Ok _ -> true | Error _ -> false)
+        candidates
+
+  let choose_response t q =
+    match Tmap.find_opt q t.pending with
+    | None -> invalid_arg "Compacted.choose_response: no pending invocation"
+    | Some i ->
+      let ss = view_states t q in
+      let candidates =
+        List.concat_map (fun s -> List.map fst (A.step s i)) ss
+        |> List.fold_left
+             (fun acc r -> if List.exists (A.equal_res r) acc then acc else r :: acc)
+             []
+        |> List.rev
+      in
+      if candidates = [] then Error `Blocked
+      else
+        let rec try_all holder = function
+          | [] -> Error (`Conflict holder)
+          | r :: rest -> (
+            match step t (H.Respond (q, r)) with
+            | Ok t' -> Ok (r, t')
+            | Error (L.Lock_conflict (p, _)) -> try_all (Some p) rest
+            | Error _ -> try_all holder rest)
+        in
+        try_all None candidates
+
+  let pending t q = Tmap.find_opt q t.pending
+  let committed_states t = t.committed_cache
+
+  let pin t q ts = { t with bound = Tmap.add q (Xts.of_ts ts) t.bound }
+  let unpin t q = forget { t with bound = Tmap.remove q t.bound }
+  let folded_upto t = t.folded_upto
+
+  let states_at t ~at =
+    if Xts.(of_ts at < t.folded_upto) then None
+    else
+      Some
+        (List.fold_left
+           (fun ss (ts, _, ops) ->
+             if Model.Timestamp.compare ts at <= 0 then
+               H.Seq.states_after' ss (List.rev ops)
+             else ss)
+           t.version t.remembered)
+
+  let version_states t = t.version
+  let forgotten t = t.forgotten
+  let remembered t = List.length t.remembered
+
+  let live_ops t =
+    List.fold_left (fun acc (_, _, ops) -> acc + List.length ops) 0 t.remembered
+    + Tmap.fold (fun _ ops acc -> acc + List.length ops) t.intentions 0
+end

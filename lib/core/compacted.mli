@@ -1,0 +1,101 @@
+(** The LOCK protocol with Section 6 compaction applied.
+
+    {!Lock_machine} is the paper's formal description: it retains the
+    intentions list of every committed transaction forever, which is
+    "clearly not practical" (Section 5.1).  This module is the practical
+    variant sketched in Section 6: committed transactions whose timestamp
+    is at or below the {e horizon} (Definition 20) are {e forgotten} —
+    their intentions are applied, in timestamp order, to a materialized
+    {e version}, and both their intentions and their timestamp are
+    discarded.  Theorem 24 (the common prefix grows monotonically under
+    every accepted event) is what makes the fold sound; the test suite
+    checks observational equivalence with {!Lock_machine} on random
+    histories and the monotonicity property itself.
+
+    The version is a {e set} of specification states, which collapses to
+    a singleton for deterministic ADTs; SemiQueue-style nondeterminism is
+    handled without special cases. *)
+
+module Make (A : Spec.Adt_sig.S) : sig
+  module H : module type of Model.History.Make (A)
+  module L : module type of Lock_machine.Make (A)
+
+  type op = A.inv * A.res
+  type t
+
+  val create : conflict:(op -> op -> bool) -> t
+
+  val step : t -> H.event -> (t, L.refusal) result
+  (** Accepts and refuses exactly as {!Lock_machine.Make.step} does
+      (the compaction is transparent). *)
+
+  val run : conflict:(op -> op -> bool) -> H.t -> (t, H.event * L.refusal) result
+  val available_responses : t -> Model.Txn.t -> A.res list
+
+  val choose_response :
+    t ->
+    Model.Txn.t ->
+    (A.res * t, [ `Blocked | `Conflict of Model.Txn.t option ]) result
+  (** Execute the pending invocation of the given transaction: pick the
+      first response legal in its view whose lock can be granted, record
+      the operation and return the successor machine.  [`Blocked] — no
+      response is legal in the view (partial operation, e.g. [Deq] on an
+      empty queue); [`Conflict h] — legal responses exist but every one
+      conflicts with a lock held by another active transaction ([h] is
+      one such holder, for deadlock-resolution policies).  This is the
+      entry point used by the concurrent runtime. *)
+
+  (** {1 Observers} *)
+
+  val pending : t -> Model.Txn.t -> A.inv option
+
+  val committed_states : t -> A.state list
+  (** The state set reached by every committed transaction's operations
+      in timestamp order: the version extended by the remembered
+      committed intentions. *)
+
+  val version_states : t -> A.state list
+  (** The state set reached by the forgotten common prefix. *)
+
+  val forgotten : t -> int
+  (** Number of committed transactions folded into the version so far. *)
+
+  val remembered : t -> int
+  (** Committed transactions not yet forgettable (timestamp above the
+      horizon). *)
+
+  val horizon : t -> Xts.t
+  val live_ops : t -> int
+  (** Total operations currently retained (committed-but-remembered plus
+      active intentions) — the measure of the memory the compaction
+      saves. *)
+
+  (** {1 Snapshots (read-only transactions)}
+
+      The general form of hybrid atomicity (paper Section 7.1, after
+      [22, 23]) lets read-only transactions choose their timestamp when
+      they {e start} and serialize there, lock-free — the "static
+      atomic" ingredient of the hybrid.  The machinery needed is just
+      more horizon bookkeeping: a {e pin} at timestamp [ts] acts as a
+      lower bound, stopping the horizon (and hence folding) from passing
+      [ts], so the committed state {e as of} [ts] stays reconstructable
+      from the version plus the remembered intentions with timestamps at
+      or below [ts]. *)
+
+  val pin : t -> Model.Txn.t -> Model.Timestamp.t -> t
+  (** Register a horizon pin under the given (reader) transaction id.
+      Bookkeeping only: the accepted language is unchanged. *)
+
+  val unpin : t -> Model.Txn.t -> t
+  (** Drop the pin and fold whatever became foldable. *)
+
+  val folded_upto : t -> Xts.t
+  (** The largest commit timestamp already folded into the version. *)
+
+  val states_at : t -> at:Model.Timestamp.t -> A.state list option
+  (** The committed state set as of timestamp [at]: the version extended
+      by remembered committed intentions with timestamp [<= at].  [None]
+      when the version has already folded transactions beyond [at] (the
+      snapshot is too old to reconstruct — callers pin first to prevent
+      this). *)
+end

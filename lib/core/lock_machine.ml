@@ -1,0 +1,187 @@
+module Make (A : Spec.Adt_sig.S) = struct
+  module H = Model.History.Make (A)
+  module Txn = Model.Txn
+
+  type op = A.inv * A.res
+
+  type refusal =
+    | No_pending
+    | Already_completed
+    | Illegal_in_view
+    | Lock_conflict of Txn.t * op
+
+  let pp_refusal ppf = function
+    | No_pending -> Format.pp_print_string ppf "no pending invocation"
+    | Already_completed -> Format.pp_print_string ppf "transaction already completed"
+    | Illegal_in_view -> Format.pp_print_string ppf "operation illegal in view"
+    | Lock_conflict (p, op) ->
+      Format.fprintf ppf "lock conflict with %a holding %a" Txn.pp p H.Seq.pp_op op
+
+  module Tmap = Map.Make (Txn)
+
+  type t = {
+    conflict : op -> op -> bool;
+    pending : A.inv Tmap.t;
+    intentions : op list Tmap.t; (* reversed: newest first *)
+    committed : Model.Timestamp.t Tmap.t;
+    aborted : unit Tmap.t;
+    clock : Xts.t;
+    bound : Xts.t Tmap.t;
+  }
+
+  let create ~conflict =
+    {
+      conflict;
+      pending = Tmap.empty;
+      intentions = Tmap.empty;
+      committed = Tmap.empty;
+      aborted = Tmap.empty;
+      clock = Xts.Neg_inf;
+      bound = Tmap.empty;
+    }
+
+  let intentions t q =
+    match Tmap.find_opt q t.intentions with Some ops -> List.rev ops | None -> []
+
+  let pending t q = Tmap.find_opt q t.pending
+  let committed_ts t q = Tmap.find_opt q t.committed
+  let is_aborted t q = Tmap.mem q t.aborted
+  let is_completed t q = is_aborted t q || Tmap.mem q t.committed
+
+  let active_txns t =
+    let with_footprint =
+      Tmap.fold (fun q ops acc -> if ops <> [] then q :: acc else acc) t.intentions []
+    in
+    let with_pending = Tmap.fold (fun q _ acc -> q :: acc) t.pending [] in
+    List.sort_uniq Txn.compare (with_footprint @ with_pending)
+    |> List.filter (fun q -> not (is_completed t q))
+
+  let committed_in_ts_order t =
+    Tmap.bindings t.committed
+    |> List.sort (fun (_, ts1) (_, ts2) -> Model.Timestamp.compare ts1 ts2)
+
+  let permanent_seq t =
+    List.concat_map (fun (q, _) -> intentions t q) (committed_in_ts_order t)
+
+  let view t q = permanent_seq t @ intentions t q
+
+  let find_conflict t q candidate =
+    (* An active transaction other than q holding a conflicting lock. *)
+    Tmap.fold
+      (fun p ops acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if Txn.equal p q || is_completed t p then None
+          else
+            List.find_opt (fun op -> t.conflict op candidate) ops
+            |> Option.map (fun op -> (p, op)))
+      t.intentions None
+
+  let step t (event : H.event) =
+    match event with
+    | H.Invoke (q, i) ->
+      (* The bound is only tracked for transactions that can still
+         commit; re-invocations by aborted transactions (which the model
+         permits) must not pin the horizon. *)
+      let bound =
+        if is_completed t q then t.bound else Tmap.add q t.clock t.bound
+      in
+      Ok { t with pending = Tmap.add q i t.pending; bound }
+    | H.Commit (q, ts) ->
+      Ok
+        {
+          t with
+          committed = Tmap.add q ts t.committed;
+          clock = Xts.max t.clock (Xts.of_ts ts);
+          bound = Tmap.remove q t.bound;
+          pending = Tmap.remove q t.pending;
+        }
+    | H.Abort q ->
+      Ok
+        {
+          t with
+          aborted = Tmap.add q () t.aborted;
+          bound = Tmap.remove q t.bound;
+          pending = Tmap.remove q t.pending;
+        }
+    | H.Respond (q, r) -> (
+      match Tmap.find_opt q t.pending with
+      | None -> Error No_pending
+      | Some _ when is_completed t q -> Error Already_completed
+      | Some i ->
+        let candidate = (i, r) in
+        if not (H.Seq.legal (view t q @ [ candidate ])) then Error Illegal_in_view
+        else (
+          match find_conflict t q candidate with
+          | Some (p, op) -> Error (Lock_conflict (p, op))
+          | None ->
+            let ops = Option.value ~default:[] (Tmap.find_opt q t.intentions) in
+            Ok
+              {
+                t with
+                pending = Tmap.remove q t.pending;
+                intentions = Tmap.add q (candidate :: ops) t.intentions;
+                bound = Tmap.add q t.clock t.bound;
+              }))
+
+  let run ~conflict h =
+    let rec go t = function
+      | [] -> Ok t
+      | e :: rest -> (
+        match step t e with
+        | Ok t' -> go t' rest
+        | Error refusal -> Error (e, refusal))
+    in
+    go (create ~conflict) h
+
+  let accepts ~conflict h =
+    match H.well_formed h with
+    | Error _ -> false
+    | Ok () -> ( match run ~conflict h with Ok _ -> true | Error _ -> false)
+
+  let available_responses t q =
+    match pending t q with
+    | None -> []
+    | Some i ->
+      let ss = H.Seq.states_after (view t q) in
+      let candidates =
+        List.concat_map (fun s -> List.map fst (A.step s i)) ss
+        |> List.fold_left
+             (fun acc r -> if List.exists (A.equal_res r) acc then acc else r :: acc)
+             []
+        |> List.rev
+      in
+      List.filter (fun r -> match step t (H.Respond (q, r)) with Ok _ -> true | Error _ -> false) candidates
+
+  let clock t = t.clock
+  let bound t q = Tmap.find_opt q t.bound
+
+  let horizon t =
+    let min_bound =
+      Tmap.fold (fun _ b acc ->
+          match acc with None -> Some b | Some m -> Some (Xts.min m b))
+        t.bound None
+    in
+    let max_committed =
+      Tmap.fold
+        (fun _ ts acc ->
+          match acc with
+          | None -> Some (Xts.of_ts ts)
+          | Some m -> Some (Xts.max m (Xts.of_ts ts)))
+        t.committed None
+    in
+    (* min over an empty bound set is +inf: the horizon is then just the
+       largest committed timestamp; with no commits at all it is -inf. *)
+    match (min_bound, max_committed) with
+    | None, None -> Xts.Neg_inf
+    | None, Some m -> m
+    | Some _, None -> Xts.Neg_inf
+    | Some b, Some m -> Xts.min b m
+
+  let common_seq t =
+    let hz = t |> horizon in
+    committed_in_ts_order t
+    |> List.filter (fun (_, ts) -> Xts.(of_ts ts <= hz))
+    |> List.concat_map (fun (q, _) -> intentions t q)
+end

@@ -1,0 +1,98 @@
+(** The LOCK state machine — the paper's hybrid locking protocol
+    (Section 5.1), with the Section 6 bookkeeping components.
+
+    A state holds, exactly as in the paper:
+    - [pending]: the pending invocation of each transaction;
+    - [intentions]: the operation sequence each transaction has executed
+      (locks are implicit in intentions: a transaction holds a lock for
+      every operation on its list);
+    - [committed]: commit timestamps of committed transactions;
+    - [aborted]: the set of aborted transactions;
+    and, for compaction bookkeeping (Section 6, no effect on the accepted
+    language): [clock], the largest commit timestamp seen, and [bound],
+    a lower bound on the commit timestamp each active transaction can
+    eventually choose.
+
+    Invocation, commit and abort events are inputs and always accepted
+    for well-formed histories.  A response event [<r, X, Q>] is accepted
+    iff (Section 5.1):
+    + [Q] has a pending invocation and has not completed;
+    + the operation [q = (pending(Q), r)] is legal after [View(Q, s)] —
+      the committed intentions in timestamp order followed by [Q]'s own
+      intentions;
+    + [q] conflicts with no operation executed by another active
+      transaction.
+
+    Theorem 16: when the conflict relation is a (symmetric) dependency
+    relation, every accepted history is online hybrid atomic.  The test
+    suite checks this against {!Model.Atomicity} on randomly generated
+    histories, and reproduces the Theorem 17 converse. *)
+
+module Make (A : Spec.Adt_sig.S) : sig
+  module H : module type of Model.History.Make (A)
+
+  type op = A.inv * A.res
+
+  type refusal =
+    | No_pending  (** response with no pending invocation *)
+    | Already_completed  (** response for a committed/aborted transaction *)
+    | Illegal_in_view  (** the operation is not legal after [View(Q, s)] *)
+    | Lock_conflict of Model.Txn.t * op
+        (** another active transaction holds a conflicting lock *)
+
+  val pp_refusal : Format.formatter -> refusal -> unit
+
+  type t
+
+  val create : conflict:(op -> op -> bool) -> t
+
+  val step : t -> H.event -> (t, refusal) result
+  (** Apply one transition.  Input events (invoke/commit/abort) always
+      succeed; the caller is responsible for feeding a well-formed
+      history (checked by {!accepts}). *)
+
+  val accepts : conflict:(op -> op -> bool) -> H.t -> bool
+  (** Language membership: the history is well-formed and every event is
+      accepted in sequence. *)
+
+  val run : conflict:(op -> op -> bool) -> H.t -> (t, H.event * refusal) result
+  (** Like {!accepts} but returns the final state, or the offending event
+      (well-formedness is not checked). *)
+
+  (** {1 State observers} *)
+
+  val intentions : t -> Model.Txn.t -> op list
+  val pending : t -> Model.Txn.t -> A.inv option
+  val committed_ts : t -> Model.Txn.t -> Model.Timestamp.t option
+  val is_aborted : t -> Model.Txn.t -> bool
+  val active_txns : t -> Model.Txn.t list
+  (** Transactions with non-empty intentions or a pending invocation that
+      have not completed. *)
+
+  val view : t -> Model.Txn.t -> op list
+  (** [View(Q, s)] (Section 5.1, footnote 6). *)
+
+  val permanent_seq : t -> op list
+  (** [s.permanent]: committed intentions in timestamp order
+      (Definition 21). *)
+
+  val available_responses : t -> Model.Txn.t -> A.res list
+  (** Every response [r] such that [step t (Respond (q, r))] succeeds —
+      used by history generators and by the reference interpreter. *)
+
+  (** {1 Section 6 bookkeeping} *)
+
+  val clock : t -> Xts.t
+  val bound : t -> Model.Txn.t -> Xts.t option
+  (** [None] when undefined (transaction quiescent or completed). *)
+
+  val horizon : t -> Xts.t
+  (** Definition 20: the smaller of the smallest active bound and the
+      largest committed timestamp; [-inf] when neither exists. *)
+
+  val common_seq : t -> op list
+  (** [s.common] (Definition 22): committed intentions with timestamp at
+      or below the horizon, in timestamp order.  Theorem 24: grows
+      monotonically under any accepted event, so it can be folded into a
+      version — see {!Compacted}. *)
+end

@@ -1,0 +1,18 @@
+type t = Neg_inf | Fin of Model.Timestamp.t
+
+let compare a b =
+  match (a, b) with
+  | Neg_inf, Neg_inf -> 0
+  | Neg_inf, Fin _ -> -1
+  | Fin _, Neg_inf -> 1
+  | Fin x, Fin y -> Model.Timestamp.compare x y
+
+let max a b = if compare a b >= 0 then a else b
+let min a b = if compare a b <= 0 then a else b
+let of_ts ts = Fin ts
+let ( <= ) a b = compare a b <= 0
+let ( < ) a b = compare a b < 0
+
+let pp ppf = function
+  | Neg_inf -> Format.pp_print_string ppf "-inf"
+  | Fin ts -> Model.Timestamp.pp ppf ts

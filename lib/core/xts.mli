@@ -1,0 +1,12 @@
+(** Timestamps extended with -infinity, used by the Section 6 compaction
+    bookkeeping ([s.clock] starts at -infinity; so do lower bounds). *)
+
+type t = Neg_inf | Fin of Model.Timestamp.t
+
+val compare : t -> t -> int
+val max : t -> t -> t
+val min : t -> t -> t
+val of_ts : Model.Timestamp.t -> t
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val pp : Format.formatter -> t -> unit

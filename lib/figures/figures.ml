@@ -1,0 +1,171 @@
+type figure = {
+  id : string;
+  title : string;
+  derived : unit -> Spec.Classify.table;
+  expected : Spec.Classify.table;
+  notes : string;
+}
+
+let depth = 3
+
+let memo f =
+  let cache = ref None in
+  fun () ->
+    match !cache with
+    | Some v -> v
+    | None ->
+      let v = f () in
+      cache := Some v;
+      v
+
+let mk_table title labels cells =
+  {
+    Spec.Classify.title;
+    labels;
+    cells = Array.of_list (List.map Array.of_list cells);
+  }
+
+(* ------------------------------------------------------------------ *)
+
+module File_dep = Spec.Dependency.Make (Adt.File_adt)
+module File_cls = Spec.Classify.Make (Adt.File_adt)
+
+let fig_4_1 =
+  let title = "Figure 4-1: Minimal Dependency Relation for File" in
+  {
+    id = "4-1";
+    title;
+    derived =
+      memo (fun () ->
+          File_cls.classify ~title
+            (Spec.Relation.pred (File_dep.invalidated_by ~depth)));
+    expected =
+      mk_table title [ "Read"; "Write" ]
+        Spec.Classify.[ [ Never; Neq_values ]; [ Never; Never ] ];
+    notes =
+      "A Read returning v' depends on Writes of v <> v' only; Writes depend on \
+       nothing, so concurrent Writes are permitted (generalizing the Thomas \
+       Write Rule).";
+  }
+
+module Queue_dep = Spec.Dependency.Make (Adt.Fifo_queue)
+module Queue_cls = Spec.Classify.Make (Adt.Fifo_queue)
+
+let fig_4_2 =
+  let title = "Figure 4-2: First Minimal Dependency Relation for Queue" in
+  {
+    id = "4-2";
+    title;
+    derived =
+      memo (fun () ->
+          Queue_cls.classify ~title
+            (Spec.Relation.pred (Queue_dep.invalidated_by ~depth)));
+    expected =
+      mk_table title [ "Enq"; "Deq" ]
+        Spec.Classify.[ [ Never; Never ]; [ Neq_values; Eq_values ] ];
+    notes =
+      "The invalidated-by relation: Deq of v depends on Enqs of different items \
+       and Deqs of the same item; Enqs never conflict, so concurrent enqueuers \
+       proceed and commit timestamps decide their dequeue order.";
+  }
+
+let fig_4_3 =
+  let title = "Figure 4-3: Second Minimal Dependency Relation for Queue" in
+  {
+    id = "4-3";
+    title;
+    derived =
+      memo (fun () ->
+          Queue_cls.classify ~title Adt.Fifo_queue.dependency_fig_4_3);
+    expected =
+      mk_table title [ "Enq"; "Deq" ]
+        Spec.Classify.[ [ Neq_values; Never ]; [ Never; Eq_values ] ];
+    notes =
+      "A second, incomparable minimal dependency relation (declared, then \
+       machine-checked to be a minimal dependency relation): Enqs of different \
+       items depend on each other and Deqs of the same item depend on each \
+       other, but Enq and Deq never conflict.  Its symmetric closure equals \
+       the commutativity-based conflict relation.";
+  }
+
+module Semi_dep = Spec.Dependency.Make (Adt.Semiqueue)
+module Semi_cls = Spec.Classify.Make (Adt.Semiqueue)
+
+let fig_4_4 =
+  let title = "Figure 4-4: Minimal Dependency Relation for SemiQueue" in
+  {
+    id = "4-4";
+    title;
+    derived =
+      memo (fun () ->
+          Semi_cls.classify ~title
+            (Spec.Relation.pred (Semi_dep.invalidated_by ~depth)));
+    expected =
+      mk_table title [ "Ins"; "Rem" ]
+        Spec.Classify.[ [ Never; Never ]; [ Never; Eq_values ] ];
+    notes =
+      "Nondeterministic removal: only Rems returning the same item conflict; \
+       Ins runs concurrently with everything.  Weakening the specification \
+       with nondeterminism buys concurrency relative to the FIFO queue.";
+  }
+
+module Acct_dep = Spec.Dependency.Make (Adt.Account)
+module Acct_com = Spec.Commutativity.Make (Adt.Account)
+module Acct_cls = Spec.Classify.Make (Adt.Account)
+
+let account_labels = [ "Credit/Ok"; "Post/Ok"; "Debit/Ok"; "Debit/Overdraft" ]
+
+let fig_4_5 =
+  let title = "Figure 4-5: Minimal Dependency Relation for Account" in
+  {
+    id = "4-5";
+    title;
+    derived =
+      memo (fun () ->
+          Acct_cls.classify ~title
+            (Spec.Relation.pred (Acct_dep.invalidated_by ~depth)));
+    expected =
+      mk_table title account_labels
+        Spec.Classify.
+          [
+            [ Never; Never; Never; Never ];
+            [ Never; Never; Never; Never ];
+            [ Never; Never; Always; Never ];
+            [ Always; Always; Never; Never ];
+          ];
+    notes =
+      "Result-dependent lock modes: a successful Debit depends only on \
+       successful Debits; an Overdraft depends on Credits and Posts (either \
+       can invalidate the exception).  Credits and Posts depend on nothing.";
+  }
+
+let fig_7_1 =
+  let title = "Figure 7-1: \"Failure to Commute\" Relation for Account" in
+  {
+    id = "7-1";
+    title;
+    derived =
+      memo (fun () ->
+          Acct_cls.classify ~title
+            (Spec.Relation.pred (Acct_com.failure_to_commute ~depth)));
+    expected =
+      mk_table title account_labels
+        Spec.Classify.
+          [
+            [ Never; Always; Never; Always ];
+            [ Always; Never; Always; Always ];
+            [ Never; Always; Always; Never ];
+            [ Always; Always; Never; Never ];
+          ];
+    notes =
+      "Commutativity-based locking must add Post/Credit and Post/Debit \
+       conflicts (Post is a multiplicative map) on top of the Figure 4-5 \
+       conflicts, which is why the hybrid protocol strictly dominates it on \
+       Account workloads.  Successful Debits fail to commute with each other \
+       (combined legality), but a successful Debit commutes with an \
+       Overdraft.";
+  }
+
+let all = [ fig_4_1; fig_4_2; fig_4_3; fig_4_4; fig_4_5; fig_7_1 ]
+let by_id id = List.find_opt (fun f -> String.equal f.id id) all
+let check f = Spec.Classify.equal_table (f.derived ()) f.expected

@@ -1,0 +1,35 @@
+(** Mechanical regeneration of every figure in the paper.
+
+    Each figure packages: the table {e derived} from the serial
+    specification alone (via {!Spec.Dependency} / {!Spec.Commutativity}
+    at the standard bound), the table the {e paper} prints, and notes on
+    how to read it.  [check] compares the two — this is the reproduction
+    of the paper's "evaluation": the type-specific conflict tables fall
+    out of the specifications exactly as claimed.
+
+    Figure 4-3 is special: the paper exhibits it as a {e second} minimal
+    dependency relation for FIFO queues, incomparable with the derived
+    invalidated-by relation of Figure 4-2.  Its entry derives the
+    classification of the declared relation; the dependency/minimality/
+    incomparability properties are asserted by the test suite using
+    {!Spec.Dependency.Make.is_dependency_relation}. *)
+
+type figure = {
+  id : string;  (** e.g. ["4-1"] *)
+  title : string;
+  derived : unit -> Spec.Classify.table;
+      (** computed from the serial specification (memoized) *)
+  expected : Spec.Classify.table;  (** the table printed in the paper *)
+  notes : string;
+}
+
+val depth : int
+(** Context-length bound used for every derivation (3; tests check
+    stability against depth 2 and, for the cheap ADTs, depth 4). *)
+
+val all : figure list
+(** Figures 4-1, 4-2, 4-3, 4-4, 4-5 and 7-1, in paper order. *)
+
+val by_id : string -> figure option
+val check : figure -> bool
+(** Derived table equals the paper's. *)

@@ -1,0 +1,32 @@
+module Make (A : Spec.Adt_sig.S) = struct
+  module H = History.Make (A)
+
+  let acceptable h = H.Seq.legal (H.op_seq_in_order h (H.transactions h))
+  let serializable_in h order = H.Seq.legal (H.op_seq_in_order h order)
+
+  let serializable h =
+    List.exists (serializable_in h) (Util.Combinat.permutations (H.transactions h))
+
+  let atomic h = serializable (H.permanent h)
+
+  let ts_order h =
+    (* Committed transactions sorted by commit timestamp. *)
+    let cs = H.committed h in
+    let key p = match H.timestamp_of h p with Some ts -> ts | None -> assert false in
+    List.sort (fun p q -> Timestamp.compare (key p) (key q)) cs
+
+  let hybrid_atomic h =
+    let perm = H.permanent h in
+    serializable_in perm (ts_order h)
+
+  let online_hybrid_atomic h =
+    let commit_sets =
+      List.map (fun s -> H.committed h @ s) (Util.Combinat.subsets (H.active h))
+    in
+    List.for_all
+      (fun c ->
+        let hc = H.restrict_set h c in
+        let orders = Util.Combinat.topological_orders c (H.known h) in
+        List.for_all (serializable_in hc) orders)
+      commit_sets
+end

@@ -1,0 +1,35 @@
+(** Atomicity properties of histories (paper Section 3).
+
+    All checkers are exact, brute-force decision procedures intended for
+    test-sized histories: [serializable] tries every permutation of the
+    transactions, and [online_hybrid_atomic] additionally quantifies over
+    every commit set and every total order consistent with [Known(H)].
+    They are the executable ground truth against which the protocol
+    implementation is validated (Theorems 11/16/17). *)
+
+module Make (A : Spec.Adt_sig.S) : sig
+  module H : module type of History.Make (A)
+
+  val acceptable : H.t -> bool
+  (** The history — assumed serial and failure-free — corresponds to a
+      legal operation sequence of the serial specification. *)
+
+  val serializable_in : H.t -> Txn.t list -> bool
+  (** [OpSeq(Serial(H, T))] is legal, for failure-free [H]. *)
+
+  val serializable : H.t -> bool
+  (** Some total order of the transactions witnesses serializability. *)
+
+  val atomic : H.t -> bool
+  (** [permanent(H)] is serializable (Section 3.2). *)
+
+  val hybrid_atomic : H.t -> bool
+  (** [permanent(H)] is serializable in commit-timestamp order
+      (Section 3.3). *)
+
+  val online_hybrid_atomic : H.t -> bool
+  (** Section 3.4: for every commit set [C] (committed transactions plus
+      any subset of active ones) and every total order [T] on [C]
+      consistent with [Known(H)], [H|C] is serializable in [T].  Implies
+      {!hybrid_atomic} (Lemma 2). *)
+end

@@ -1,0 +1,159 @@
+module Make (A : Spec.Adt_sig.S) = struct
+  module Seq = Spec.Sequences.Make (A)
+
+  type event =
+    | Invoke of Txn.t * A.inv
+    | Respond of Txn.t * A.res
+    | Commit of Txn.t * Timestamp.t
+    | Abort of Txn.t
+
+  type t = event list
+
+  let event_txn = function
+    | Invoke (p, _) | Respond (p, _) | Commit (p, _) | Abort p -> p
+
+  let pp_event ppf = function
+    | Invoke (p, i) -> Format.fprintf ppf "<%a, %a>" A.pp_inv i Txn.pp p
+    | Respond (p, r) -> Format.fprintf ppf "<%a, %a>" A.pp_res r Txn.pp p
+    | Commit (p, ts) -> Format.fprintf ppf "<commit(%a), %a>" Timestamp.pp ts Txn.pp p
+    | Abort p -> Format.fprintf ppf "<abort, %a>" Txn.pp p
+
+  let pp ppf h =
+    Format.fprintf ppf "@[<v>%a@]" (Format.pp_print_list pp_event) h
+
+  let transactions h =
+    List.fold_left
+      (fun acc e ->
+        let p = event_txn e in
+        if List.exists (Txn.equal p) acc then acc else acc @ [ p ])
+      [] h
+
+  let restrict h p = List.filter (fun e -> Txn.equal (event_txn e) p) h
+  let restrict_set h ps = List.filter (fun e -> List.exists (Txn.equal (event_txn e)) ps) h
+
+  let committed h =
+    transactions h
+    |> List.filter (fun p ->
+           List.exists (function Commit (q, _) -> Txn.equal p q | _ -> false) h)
+
+  let aborted h =
+    transactions h
+    |> List.filter (fun p ->
+           List.exists (function Abort q -> Txn.equal p q | _ -> false) h)
+
+  let completed h = committed h @ aborted h
+
+  let active h =
+    let done_ = completed h in
+    List.filter (fun p -> not (List.exists (Txn.equal p) done_)) (transactions h)
+
+  let permanent h = restrict_set h (committed h)
+
+  let timestamp_of h p =
+    List.find_map (function Commit (q, ts) when Txn.equal p q -> Some ts | _ -> None) h
+
+  let op_seq_txn h p =
+    let rec go pending acc = function
+      | [] -> List.rev acc
+      | Invoke (_, i) :: rest -> go (Some i) acc rest
+      | Respond (_, r) :: rest -> (
+        match pending with
+        | Some i -> go None ((i, r) :: acc) rest
+        | None -> go None acc rest (* ill-formed; ignore orphan response *))
+      | (Commit _ | Abort _) :: rest -> go pending acc rest
+    in
+    go None [] (restrict h p)
+
+  let serial h order = List.concat_map (restrict h) order
+  let op_seq_in_order h order = List.concat_map (op_seq_txn h) order
+
+  let precedes h p q =
+    (* Scan left to right; once P's commit is seen, any response of Q
+       establishes (P, Q). *)
+    let rec go seen_commit = function
+      | [] -> false
+      | Commit (r, _) :: rest when Txn.equal r p -> go true rest
+      | Respond (r, _) :: _ when seen_commit && Txn.equal r q -> true
+      | _ :: rest -> go seen_commit rest
+    in
+    (not (Txn.equal p q)) && go false h
+
+  let ts_lt h p q =
+    match (timestamp_of h p, timestamp_of h q) with
+    | Some tp, Some tq -> Timestamp.compare tp tq < 0
+    | (None | Some _), _ -> false
+
+  let known h p q = precedes h p q || ts_lt h p q
+
+  let timestamps_respect_precedes h =
+    let cs = committed h in
+    List.for_all
+      (fun p -> List.for_all (fun q -> (not (precedes h p q)) || ts_lt h p q) cs)
+      cs
+
+  let well_formed h =
+    let ( let* ) = Result.bind in
+    let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+    let check_txn p =
+      let hp = restrict h p in
+      let is_committed = List.exists (function Commit _ -> true | _ -> false) hp in
+      let is_aborted = List.exists (function Abort _ -> true | _ -> false) hp in
+      let* () =
+        if is_committed && is_aborted then err "%a both commits and aborts" Txn.pp p
+        else Ok ()
+      in
+      (* Alternation of invocations and responses. *)
+      let rec alternation pending = function
+        | [] -> Ok pending
+        | Invoke _ :: rest ->
+          if pending then err "%a invokes while an invocation is pending" Txn.pp p
+          else alternation true rest
+        | Respond _ :: rest ->
+          if pending then alternation false rest
+          else err "%a receives a response with no pending invocation" Txn.pp p
+        | (Commit _ | Abort _) :: rest -> alternation pending rest
+      in
+      let* pending = alternation false hp in
+      if is_committed then begin
+        (* op-events followed by commit events, ending in a response *)
+        let rec after_commit seen = function
+          | [] -> Ok ()
+          | Commit _ :: rest -> after_commit true rest
+          | (Invoke _ | Respond _) :: rest ->
+            if seen then err "%a executes operations after committing" Txn.pp p
+            else after_commit seen rest
+          | Abort _ :: _ -> err "%a both commits and aborts" Txn.pp p
+        in
+        let* () = after_commit false hp in
+        if pending then err "%a commits with a pending invocation" Txn.pp p else Ok ()
+      end
+      else Ok ()
+    in
+    let rec check_all = function
+      | [] -> Ok ()
+      | p :: rest ->
+        let* () = check_txn p in
+        check_all rest
+    in
+    let* () = check_all (transactions h) in
+    (* Timestamp uniqueness and consistency. *)
+    let commits =
+      List.filter_map (function Commit (p, ts) -> Some (p, ts) | _ -> None) h
+    in
+    let rec check_ts = function
+      | [] -> Ok ()
+      | (p, ts) :: rest ->
+        let* () =
+          if
+            List.exists
+              (fun (q, ts') ->
+                if Txn.equal p q then not (Timestamp.equal ts ts')
+                else Timestamp.equal ts ts')
+              rest
+          then err "timestamp clash involving %a" Txn.pp p
+          else Ok ()
+        in
+        check_ts rest
+    in
+    check_ts commits
+end

@@ -1,0 +1,88 @@
+(** Histories over a single object (paper Section 2).
+
+    A history is a sequence of events at the interface between
+    transactions and one object [X].  (Atomicity properties are local —
+    defined object by object — so the formal machinery is a functor over
+    one serial specification; the multi-object runtime composes objects
+    and checks each one locally, which Theorem 1 makes sufficient for
+    global atomicity.)
+
+    Events are listed oldest first. *)
+
+module Make (A : Spec.Adt_sig.S) : sig
+  module Seq : module type of Spec.Sequences.Make (A)
+
+  type event =
+    | Invoke of Txn.t * A.inv
+    | Respond of Txn.t * A.res
+    | Commit of Txn.t * Timestamp.t
+    | Abort of Txn.t
+
+  type t = event list
+
+  val event_txn : event -> Txn.t
+  val pp_event : Format.formatter -> event -> unit
+  val pp : Format.formatter -> t -> unit
+
+  (** {1 Restriction and projection} *)
+
+  val transactions : t -> Txn.t list
+  (** In order of first appearance, without duplicates. *)
+
+  val restrict : t -> Txn.t -> t
+  (** [H|P]: the subsequence of events involving transaction [P]. *)
+
+  val restrict_set : t -> Txn.t list -> t
+  (** [H|C] for a set of transactions. *)
+
+  val committed : t -> Txn.t list
+  val aborted : t -> Txn.t list
+  val completed : t -> Txn.t list
+  val active : t -> Txn.t list
+  (** Transactions appearing in [H] that neither commit nor abort. *)
+
+  val permanent : t -> t
+  (** [H | committed(H)] — the events of committed transactions. *)
+
+  val timestamp_of : t -> Txn.t -> Timestamp.t option
+  (** The commit timestamp of [P] in [H], if [P] commits. *)
+
+  (** {1 Operation sequences} *)
+
+  val op_seq_txn : t -> Txn.t -> Seq.op list
+  (** [OpSeq(H|P)]: invocation events paired with their responses,
+      pending invocations and completion events discarded. *)
+
+  val serial : t -> Txn.t list -> t
+  (** [Serial(H, T)]: the equivalent serial history with transactions in
+      the order [T] (which must list every transaction of [H]). *)
+
+  val op_seq_in_order : t -> Txn.t list -> Seq.op list
+  (** [OpSeq(Serial(H, T))] — concatenation of per-transaction operation
+      sequences in the order [T]. *)
+
+  (** {1 Orders on transactions} *)
+
+  val precedes : t -> Txn.t -> Txn.t -> bool
+  (** [(P, Q) ∈ precedes(H)] iff some operation invoked by [Q] returns a
+      result after [P] commits — the potential information flow that any
+      two-phase mechanism induces. *)
+
+  val ts_lt : t -> Txn.t -> Txn.t -> bool
+  (** [(P, Q) ∈ TS(H)] iff both commit and [P]'s timestamp is smaller. *)
+
+  val known : t -> Txn.t -> Txn.t -> bool
+  (** [Known(H) = precedes(H) ∪ TS(H)] (Section 3.4). *)
+
+  val timestamps_respect_precedes : t -> bool
+  (** The constraint on timestamp generation: [precedes(H) ⊆ TS(H)] on
+      committed transactions. *)
+
+  (** {1 Well-formedness} (Section 2)} *)
+
+  val well_formed : t -> (unit, string) result
+  (** Checks: alternation of invocations and responses per transaction;
+      no transaction both commits and aborts; committed transactions
+      stop invoking and have no pending invocation; commit timestamps are
+      unique across transactions and consistent within one. *)
+end

@@ -1,0 +1,153 @@
+module Make (X : Spec.Adt_sig.S) (Y : Spec.Adt_sig.S) = struct
+  module HX = History.Make (X)
+  module HY = History.Make (Y)
+
+  type event = At_x of HX.event | At_y of HY.event
+  type t = event list
+
+  let project_x h = List.filter_map (function At_x e -> Some e | At_y _ -> None) h
+  let project_y h = List.filter_map (function At_y e -> Some e | At_x _ -> None) h
+
+  let event_txn = function
+    | At_x e -> HX.event_txn e
+    | At_y e -> HY.event_txn e
+
+  let transactions h =
+    List.fold_left
+      (fun acc e ->
+        let p = event_txn e in
+        if List.exists (Txn.equal p) acc then acc else acc @ [ p ])
+      [] h
+
+  (* Classify an event for the global alternation/commit checks without
+     caring which object it is at. *)
+  type kind = Inv of [ `X | `Y ] | Res of [ `X | `Y ] | Commit of Timestamp.t | Abort
+
+  let kind = function
+    | At_x (HX.Invoke _) -> Inv `X
+    | At_x (HX.Respond _) -> Res `X
+    | At_x (HX.Commit (_, ts)) -> Commit ts
+    | At_x (HX.Abort _) -> Abort
+    | At_y (HY.Invoke _) -> Inv `Y
+    | At_y (HY.Respond _) -> Res `Y
+    | At_y (HY.Commit (_, ts)) -> Commit ts
+    | At_y (HY.Abort _) -> Abort
+
+  let well_formed h =
+    let ( let* ) = Result.bind in
+    let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+    let check_txn p =
+      let events = List.filter (fun e -> Txn.equal (event_txn e) p) h in
+      let kinds = List.map kind events in
+      (* alternation across the whole system, responses at the pending
+         invocation's object *)
+      let rec alternation pending = function
+        | [] -> Ok pending
+        | Inv obj :: rest -> (
+          match pending with
+          | None -> alternation (Some obj) rest
+          | Some _ -> err "%a invokes while an invocation is pending" Txn.pp p)
+        | Res obj :: rest -> (
+          match pending with
+          | Some obj' when obj = obj' -> alternation None rest
+          | Some _ -> err "%a answered at the wrong object" Txn.pp p
+          | None -> err "%a receives a response with no pending invocation" Txn.pp p)
+        | (Commit _ | Abort) :: rest -> alternation pending rest
+      in
+      let* pending = alternation None kinds in
+      let commits = List.filter_map (function Commit ts -> Some ts | _ -> None) kinds in
+      let aborts = List.exists (function Abort -> true | _ -> false) kinds in
+      let* () =
+        if commits <> [] && aborts then err "%a both commits and aborts" Txn.pp p
+        else Ok ()
+      in
+      let* () =
+        match commits with
+        | [] -> Ok ()
+        | ts :: rest ->
+          if List.for_all (Timestamp.equal ts) rest then Ok ()
+          else err "%a commits with different timestamps" Txn.pp p
+      in
+      let* () =
+        if commits <> [] then begin
+          (* no operations after the first commit, no pending invocation *)
+          let rec after_commit committed = function
+            | [] -> Ok ()
+            | Commit _ :: rest -> after_commit true rest
+            | (Inv _ | Res _) :: rest ->
+              if committed then err "%a executes operations after committing" Txn.pp p
+              else after_commit committed rest
+            | Abort :: _ -> err "%a both commits and aborts" Txn.pp p
+          in
+          let* () = after_commit false kinds in
+          if pending <> None then err "%a commits with a pending invocation" Txn.pp p
+          else Ok ()
+        end
+        else Ok ()
+      in
+      Ok ()
+    in
+    let rec check_all = function
+      | [] -> Ok ()
+      | p :: rest ->
+        let* () = check_txn p in
+        check_all rest
+    in
+    let* () = check_all (transactions h) in
+    (* unique timestamps across transactions *)
+    let commits =
+      List.filter_map
+        (fun e -> match kind e with Commit ts -> Some (event_txn e, ts) | _ -> None)
+        h
+    in
+    let rec check_ts = function
+      | [] -> Ok ()
+      | (p, ts) :: rest ->
+        if
+          List.exists
+            (fun (q, ts') -> (not (Txn.equal p q)) && Timestamp.equal ts ts')
+            rest
+        then err "timestamp clash involving %a" Txn.pp p
+        else check_ts rest
+    in
+    check_ts commits
+
+  let serializable_in h order =
+    HX.Seq.legal (HX.op_seq_in_order (project_x h) order)
+    && HY.Seq.legal (HY.op_seq_in_order (project_y h) order)
+
+  let serializable h =
+    List.exists (serializable_in h) (Util.Combinat.permutations (transactions h))
+
+  let committed h =
+    transactions h
+    |> List.filter (fun p ->
+           List.exists
+             (fun e -> Txn.equal (event_txn e) p && match kind e with Commit _ -> true | _ -> false)
+             h)
+
+  let permanent h =
+    let cs = committed h in
+    List.filter (fun e -> List.exists (Txn.equal (event_txn e)) cs) h
+
+  let atomic h = serializable (permanent h)
+
+  let hybrid_atomic h =
+    let perm = permanent h in
+    let ts_of p =
+      List.find_map
+        (fun e ->
+          if Txn.equal (event_txn e) p then
+            match kind e with Commit ts -> Some ts | _ -> None
+          else None)
+        h
+    in
+    let order =
+      committed h
+      |> List.sort (fun p q ->
+             match (ts_of p, ts_of q) with
+             | Some a, Some b -> Timestamp.compare a b
+             | _ -> assert false)
+    in
+    serializable_in perm order
+end

@@ -1,0 +1,49 @@
+(** Global (multi-object) histories over two typed objects.
+
+    Atomicity properties in this development are {e local} — defined
+    object by object — because that is the paper's point (Section 3.3):
+    locality is what makes systems composable.  This module provides the
+    global side needed to state and test that point: histories whose
+    events are tagged with one of two objects, global well-formedness
+    (one pending invocation per transaction across the whole system,
+    consistent commit timestamps everywhere), and global atomicity — one
+    total order serializing {e both} objects simultaneously.
+
+    Two things are checked with it in the test suite:
+    - the paper's motivating failure: two objects each using a
+      "correct" (locally atomic) but {e incompatible} serialization
+      policy compose into a globally non-serializable system;
+    - Theorem 1 at the formal level: when both objects are hybrid
+      atomic, the global history is atomic — indeed serializable in the
+      shared commit-timestamp order. *)
+
+module Make (X : Spec.Adt_sig.S) (Y : Spec.Adt_sig.S) : sig
+  module HX : module type of History.Make (X)
+  module HY : module type of History.Make (Y)
+
+  type event = At_x of HX.event | At_y of HY.event
+  type t = event list
+
+  val project_x : t -> HX.t
+  val project_y : t -> HY.t
+
+  val transactions : t -> Txn.t list
+  (** In order of first appearance anywhere in the system. *)
+
+  val well_formed : t -> (unit, string) result
+  (** Global Section 2 constraints: per-transaction alternation of
+      invocations and responses {e across objects} (at most one pending
+      invocation system-wide, answered at the object it was issued to);
+      commit/abort exclusivity; commit timestamps consistent for one
+      transaction across objects and unique across transactions. *)
+
+  val serializable_in : t -> Txn.t list -> bool
+  (** Both projections are serializable in the same order. *)
+
+  val serializable : t -> bool
+  val atomic : t -> bool
+  (** [permanent] (committed-only) events are globally serializable. *)
+
+  val hybrid_atomic : t -> bool
+  (** Globally serializable in the shared commit-timestamp order. *)
+end

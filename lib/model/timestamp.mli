@@ -1,0 +1,11 @@
+(** Commit timestamps: a countable totally ordered set (paper Section 2).
+
+    Timestamps are drawn by transactions at commit time; well-formedness
+    requires distinct transactions to pick distinct timestamps.  We use
+    integers. *)
+
+type t = int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

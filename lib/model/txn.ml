@@ -1,0 +1,11 @@
+type t = { id : int; label : string }
+
+let make ?label id =
+  let label = match label with Some l -> l | None -> Printf.sprintf "T%d" id in
+  { id; label }
+
+let id t = t.id
+let label t = t.label
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let pp ppf t = Format.pp_print_string ppf t.label

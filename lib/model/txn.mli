@@ -1,0 +1,14 @@
+(** Transaction identifiers.
+
+    The formal model (paper Section 2) ranges over an abstract set of
+    transactions; we use small integers with an optional display name so
+    test histories read like the paper's examples ([P], [Q], [R]). *)
+
+type t
+
+val make : ?label:string -> int -> t
+val id : t -> int
+val label : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

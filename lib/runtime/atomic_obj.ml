@@ -1,0 +1,164 @@
+module Make (A : Spec.Adt_sig.S) = struct
+  module C = Hybrid.Compacted.Make (A)
+  module H = Model.History.Make (A)
+
+  type op = A.inv * A.res
+
+  type stats = {
+    invocations : int;
+    conflicts : int;
+    blocked : int;
+    commits : int;
+    aborts : int;
+    forgotten : int;
+  }
+
+  type t = {
+    name : string;
+    key : int; (* process-unique, for participant registration *)
+    mutex : Mutex.t;
+    mutable machine : C.t;
+    mutable invocations : int;
+    mutable conflicts : int;
+    mutable blocked : int;
+    mutable commits : int;
+    mutable aborts : int;
+    record : bool;
+    mutable events : H.event list; (* newest first *)
+  }
+
+  let create ?name ?(record = false) ~conflict () =
+    let key = Txn_rt.fresh_object_key () in
+    let name = match name with Some n -> n | None -> Printf.sprintf "%s#%d" A.name key in
+    {
+      name;
+      key;
+      mutex = Mutex.create ();
+      machine = C.create ~conflict;
+      invocations = 0;
+      conflicts = 0;
+      blocked = 0;
+      commits = 0;
+      aborts = 0;
+      record;
+      events = [];
+    }
+
+  let name t = t.name
+
+  let with_lock t f =
+    Mutex.lock t.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+  let push_event t e = if t.record then t.events <- e :: t.events
+
+  (* Transition helpers; all must run under the mutex.  The pure machine
+     never refuses invoke/commit/abort events. *)
+  let apply_input t event =
+    match C.step t.machine event with
+    | Ok m ->
+      t.machine <- m;
+      push_event t event
+    | Error _ -> assert false
+
+  let participant t txn : Txn_rt.participant =
+    let q = Txn_rt.model_txn txn in
+    {
+      Txn_rt.name = t.name;
+      on_commit =
+        (fun ts ->
+          with_lock t (fun () ->
+              apply_input t (H.Commit (q, ts));
+              t.commits <- t.commits + 1));
+      on_abort =
+        (fun () ->
+          with_lock t (fun () ->
+              apply_input t (H.Abort q);
+              t.aborts <- t.aborts + 1));
+    }
+
+  let try_invoke t txn i =
+    (* Orphan detection (the paper's Section 2 allows aborted
+       transactions to keep invoking — modelling orphans — and cites
+       orphan-detection mechanisms): an already-completed transaction
+       attempting an operation is told to stop rather than being left to
+       spin against Already_completed refusals. *)
+    (match Txn_rt.status txn with
+    | `Active -> ()
+    | `Aborted ->
+      raise (Txn_rt.Abort_requested (t.name ^ ": orphan (transaction already aborted)"))
+    | `Committed _ -> invalid_arg "Atomic_obj.try_invoke: transaction already committed");
+    let q = Txn_rt.model_txn txn in
+    let result =
+      with_lock t (fun () ->
+          (* A refused attempt leaves the invocation pending (the paper
+             retries the response, not the invocation), so only record a
+             fresh invoke event when none is pending. *)
+          (match C.pending t.machine q with
+          | Some i' when A.equal_inv i i' -> ()
+          | Some _ | None -> apply_input t (H.Invoke (q, i)));
+          match C.choose_response t.machine q with
+          | Ok (r, m) ->
+            t.machine <- m;
+            t.invocations <- t.invocations + 1;
+            push_event t (H.Respond (q, r));
+            Ok r
+          | Error `Blocked ->
+            t.blocked <- t.blocked + 1;
+            Error `Blocked
+          | Error (`Conflict holder) ->
+            t.conflicts <- t.conflicts + 1;
+            Error (`Conflict (Option.map Model.Txn.id holder)))
+    in
+    (* Register even after a refusal: the machine now tracks a pending
+       invocation and a timestamp lower bound for this transaction, and
+       the eventual commit/abort event must reach this object to release
+       them. *)
+    Txn_rt.add_participant txn ~key:t.key (participant t txn);
+    result
+
+  let invoke ?retries t txn i =
+    Retry.run ?retries ~name:t.name ~self:txn (fun () -> try_invoke t txn i)
+
+  let committed_states t =
+    with_lock t (fun () ->
+        let m = t.machine in
+        (* Extend the forgotten version with remembered committed
+           intentions: replay the permanent prefix. *)
+        C.committed_states m)
+
+  let stats t =
+    with_lock t (fun () ->
+        {
+          invocations = t.invocations;
+          conflicts = t.conflicts;
+          blocked = t.blocked;
+          commits = t.commits;
+          aborts = t.aborts;
+          forgotten = C.forgotten t.machine;
+        })
+
+  let live_ops t = with_lock t (fun () -> C.live_ops t.machine)
+  let history t = with_lock t (fun () -> List.rev t.events)
+
+  (* ---- snapshot reads (see Snapshot) ---- *)
+
+  let snapshot_source t =
+    {
+      Snapshot.source_name = t.name;
+      pin =
+        (fun reader at ->
+          with_lock t (fun () -> t.machine <- C.pin t.machine reader at));
+      unpin =
+        (fun reader -> with_lock t (fun () -> t.machine <- C.unpin t.machine reader));
+    }
+
+  let read_at t ~at i =
+    with_lock t (fun () ->
+        match C.states_at t.machine ~at with
+        | None -> raise Snapshot.Unavailable
+        | Some ss -> (
+          match List.concat_map (fun s -> A.step s i) ss with
+          | (r, _) :: _ -> Some r
+          | [] -> None))
+end

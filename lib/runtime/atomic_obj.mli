@@ -1,0 +1,75 @@
+(** A concurrent atomic object running the hybrid locking protocol.
+
+    This is the production engine: the {!Hybrid.Compacted} machine
+    behind a mutex, usable from multiple domains/threads.  Per the paper
+    (Section 4.1): an invocation builds the transaction's view (committed
+    version, plus committed-but-unforgotten intentions in timestamp
+    order, plus the transaction's own intentions), chooses a response
+    legal in the view, requests the lock for the resulting operation, and
+    either records the operation in the intentions list or refuses so the
+    caller can retry.  Commit merges intentions in timestamp order and
+    triggers horizon-based compaction; abort discards intentions.
+
+    The conflict relation is supplied at creation, so the same engine
+    runs the hybrid relation and the commutativity / read-write baselines
+    in apples-to-apples comparisons. *)
+
+module Make (A : Spec.Adt_sig.S) : sig
+  type op = A.inv * A.res
+
+  type t
+
+  type stats = {
+    invocations : int;  (** successful operations recorded *)
+    conflicts : int;  (** refusals due to a lock conflict *)
+    blocked : int;  (** refusals because no response was legal *)
+    commits : int;
+    aborts : int;
+    forgotten : int;  (** committed transactions folded into the version *)
+  }
+
+  val create : ?name:string -> ?record:bool -> conflict:(op -> op -> bool) -> unit -> t
+  (** [record] keeps the object-local event history for offline
+      atomicity checking (tests); off by default. *)
+
+  val name : t -> string
+
+  val try_invoke : t -> Txn_rt.t -> A.inv -> (A.res, Retry.failure) result
+  (** One protocol attempt.  [`Conflict h]: every legal response needs a
+      lock held by another active transaction ([h] is one holder's id).
+      [`Blocked]: the invocation has no legal response in the view
+      (partial operation).  On success the operation is recorded and the
+      object registered with the transaction handle. *)
+
+  val invoke : ?retries:int -> t -> Txn_rt.t -> A.inv -> A.res
+  (** {!try_invoke} under {!Retry.run}: short-quantum retrying with
+      wait-die deadlock resolution; raises {!Txn_rt.Abort_requested}
+      when the transaction must restart. *)
+
+  val committed_states : t -> A.state list
+  (** The state set reached by all committed transactions' operations in
+      timestamp order (forgotten prefix extended by remembered
+      intentions) — e.g. for draining or inspecting an object after a
+      run.  Singleton for deterministic ADTs. *)
+
+  val stats : t -> stats
+  val live_ops : t -> int
+
+  val history : t -> Model.History.Make(A).t
+  (** The recorded object-local history (empty unless [record] was set).
+      Feed it to {!Model.Atomicity} to check hybrid atomicity. *)
+
+  (** {1 Snapshot reads} *)
+
+  val snapshot_source : t -> Snapshot.source
+  (** Hooks for {!Snapshot.read}: pin/unpin this object's compaction
+      horizon around a read-only transaction. *)
+
+  val read_at : t -> at:Model.Timestamp.t -> A.inv -> A.res option
+  (** Invoke against the committed state as of the snapshot timestamp
+      [at]: lock-free, side-effect-free, invisible to writers.  [None]
+      when the operation has no legal response there (partial
+      operation).  Raises {!Snapshot.Unavailable} when the object has
+      already folded past [at] (callers go through {!Snapshot.read},
+      which pins first and retries). *)
+end

@@ -1,0 +1,98 @@
+type outcome_stats = { started : int; committed : int; aborted : int }
+
+type t = {
+  clock : int Atomic.t; (* last issued timestamp *)
+  attempts : int Atomic.t;
+  commits : int Atomic.t;
+  failures : int Atomic.t;
+  inflight_mutex : Mutex.t;
+  mutable inflight : int list; (* timestamps drawn, commit not yet fully distributed *)
+}
+
+exception Too_many_attempts of string
+
+let create () =
+  {
+    clock = Atomic.make 0;
+    attempts = Atomic.make 0;
+    commits = Atomic.make 0;
+    failures = Atomic.make 0;
+    inflight_mutex = Mutex.create ();
+    inflight = [];
+  }
+
+let current_time t = Atomic.get t.clock
+
+let with_inflight t f =
+  Mutex.lock t.inflight_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.inflight_mutex) f
+
+(* Draw a timestamp and mark it in flight in one critical section, so
+   [stable_time] can never miss a drawn-but-undistributed commit. *)
+let begin_commit t =
+  with_inflight t (fun () ->
+      let ts = 1 + Atomic.fetch_and_add t.clock 1 in
+      t.inflight <- ts :: t.inflight;
+      ts)
+
+let end_commit t ts =
+  with_inflight t (fun () -> t.inflight <- List.filter (fun x -> x <> ts) t.inflight)
+
+let stable_time t =
+  with_inflight t (fun () ->
+      match t.inflight with
+      | [] -> Atomic.get t.clock
+      | l -> List.fold_left min max_int l - 1)
+
+let attempt_once ?priority t body =
+  Atomic.incr t.attempts;
+  let txn = Txn_rt.fresh ?priority () in
+  match body txn with
+  | v ->
+    (* Draw the timestamp before any commit event becomes visible (see
+       the interface comment), and keep it in the in-flight set until
+       every participant has seen the commit so snapshot readers can
+       wait for a stable watermark. *)
+    let ts = begin_commit t in
+    Fun.protect ~finally:(fun () -> end_commit t ts) (fun () -> Txn_rt.commit txn ts);
+    Atomic.incr t.commits;
+    Ok (v, Txn_rt.priority txn)
+  | exception Txn_rt.Abort_requested reason ->
+    Txn_rt.abort txn;
+    Atomic.incr t.failures;
+    Error (reason, Txn_rt.priority txn)
+  | exception e ->
+    Txn_rt.abort txn;
+    Atomic.incr t.failures;
+    raise e
+
+let run_once t body =
+  match attempt_once t body with
+  | Ok (v, _) -> Ok v
+  | Error (reason, _) -> Error reason
+
+let run ?(max_attempts = 1000) t body =
+  (* A restarted transaction keeps its first attempt's priority:
+     wait-die's no-starvation argument needs seniority to be stable. *)
+  let rec go attempt priority last_reason =
+    if attempt >= max_attempts then
+      raise
+        (Too_many_attempts
+           (Printf.sprintf "transaction failed %d times; last: %s" attempt last_reason))
+    else
+      match attempt_once ?priority t body with
+      | Ok (v, _) -> v
+      | Error (reason, prio) ->
+        Unix.sleepf 5e-5;
+        go (attempt + 1) (Some prio) reason
+  in
+  go 0 None "never attempted"
+
+let abort_in ?(reason = "explicit abort") () = raise (Txn_rt.Abort_requested reason)
+
+let stats t =
+  {
+    started = Atomic.get t.attempts;
+    committed = Atomic.get t.commits;
+    aborted = Atomic.get t.failures;
+  }

@@ -1,0 +1,54 @@
+(** The transaction manager: commit timestamps and the retry loop.
+
+    Commit timestamps come from a per-manager logical clock
+    ({!Model.Timestamp.t} values drawn from an atomic counter).  Drawing
+    the timestamp strictly before distributing commit events yields the
+    hybrid-atomicity timestamp constraint [precedes(H|X) ⊆ TS(H)]: if
+    transaction [Q] observes [P]'s commit at some object, [P]'s timestamp
+    was drawn before that observation, hence before [Q]'s own draw, and
+    the counter is monotonic (paper Section 3.3; Lamport logical
+    clocks).
+
+    {!run} executes a transaction body with automatic abort-and-retry:
+    an object wrapper that exhausts its conflict retries raises
+    {!Txn_rt.Abort_requested}; the manager sends abort events to every
+    touched object (releasing locks and discarding intentions) and
+    restarts the body. *)
+
+type t
+
+type outcome_stats = {
+  started : int;  (** attempts, including retries *)
+  committed : int;
+  aborted : int;  (** aborted attempts (each may be retried) *)
+}
+
+val create : unit -> t
+
+val current_time : t -> Model.Timestamp.t
+(** Largest timestamp issued so far (0 if none). *)
+
+val stable_time : t -> Model.Timestamp.t
+(** The commit watermark: every transaction with a timestamp at or below
+    this has fully distributed its commit events to the objects it
+    touched.  Snapshot readers (see {!Snapshot}) serialize at a stable
+    timestamp so they can never miss a smaller-timestamped commit that
+    is still in flight. *)
+
+exception Too_many_attempts of string
+
+val run : ?max_attempts:int -> t -> (Txn_rt.t -> 'a) -> 'a
+(** Run a transaction to commit.  The body may raise
+    {!Txn_rt.Abort_requested} (usually via {!Atomic_obj.Make.invoke}) to
+    abort; any other exception aborts the transaction and propagates.
+    After [max_attempts] (default 1000) failed attempts raises
+    {!Too_many_attempts}. *)
+
+val run_once : t -> (Txn_rt.t -> 'a) -> ('a, string) result
+(** Single attempt, no retry: [Error reason] when the body requested an
+    abort. *)
+
+val abort_in : ?reason:string -> unit -> 'a
+(** Convenience for transaction bodies: raise {!Txn_rt.Abort_requested}. *)
+
+val stats : t -> outcome_stats

@@ -1,0 +1,29 @@
+type failure = [ `Blocked | `Conflict of int option ]
+
+let die ~name reason =
+  raise (Txn_rt.Abort_requested (Printf.sprintf "%s: %s" name reason))
+
+let run ?(retries = 500) ~name ~self attempt =
+  let my_priority = Txn_rt.priority self in
+  let rec go n =
+    match attempt () with
+    | Ok v -> v
+    | Error failure ->
+      (match failure with
+      | `Conflict (Some holder_id) -> (
+        match Txn_rt.priority_of_id holder_id with
+        | Some holder_priority when my_priority > holder_priority ->
+          (* Wait-die: the younger transaction dies immediately. *)
+          die ~name (Printf.sprintf "wait-die vs txn %d" holder_id)
+        | Some _ | None ->
+          (* Older than the holder (wait), or the holder just completed
+             (retry will likely succeed). *)
+          ())
+      | `Conflict None | `Blocked -> ());
+      if n >= retries then die ~name (Printf.sprintf "giving up after %d attempts" n);
+      (* Spin briefly, then poll on a short flat quantum: the expected
+         wait is the holder's remaining transaction time. *)
+      if n < 10 then Domain.cpu_relax () else Unix.sleepf 2e-5;
+      go (n + 1)
+  in
+  go 0

@@ -1,0 +1,30 @@
+(** Conflict-retry with wait-die deadlock resolution.
+
+    The paper's protocol refuses a lock request and retries the
+    invocation later (Section 4.1; Avalon/C++'s [when] guard retries
+    "after an arbitrary duration").  Pure retrying cannot resolve
+    hold-and-wait cycles, so we layer the classical wait-die policy on
+    top: on a conflict the requester compares its {!Txn_rt.priority}
+    (birth order, preserved across restarts) with the lock holder's —
+    an {e older} requester waits and retries, a {e younger} one dies
+    (raises {!Txn_rt.Abort_requested}) so the manager restarts it with
+    its original priority.  Waits-for edges then only point from older
+    to younger transactions, so cycles are impossible, and a restarted
+    transaction eventually becomes the oldest in the system, so it
+    cannot starve. *)
+
+type failure = [ `Blocked | `Conflict of int option ]
+(** [`Blocked]: no legal response right now (partial operation) — wait
+    for some transaction to commit.  [`Conflict h]: a lock conflict with
+    holder id [h] (when known). *)
+
+val run :
+  ?retries:int ->
+  name:string ->
+  self:Txn_rt.t ->
+  (unit -> ('a, [< failure ]) result) ->
+  'a
+(** Attempt until [Ok].  Conflicts against a younger holder (or unknown
+    holder, or [`Blocked]) are retried on a short flat quantum at most
+    [retries] times (default 500) before dying; conflicts where wait-die
+    says "die" raise {!Txn_rt.Abort_requested} immediately. *)

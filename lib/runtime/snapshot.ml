@@ -1,0 +1,37 @@
+type source = {
+  source_name : string;
+  pin : Model.Txn.t -> Model.Timestamp.t -> unit;
+  unpin : Model.Txn.t -> unit;
+}
+
+exception Unavailable
+
+(* Reader pin ids live in a namespace disjoint from update-transaction
+   ids (which are non-negative Txn_rt ids). *)
+let pin_counter = Atomic.make 1
+let fresh_reader () = Model.Txn.make (-Atomic.fetch_and_add pin_counter 1)
+
+let read ?(retries = 10) mgr ~sources body =
+  let attempt () =
+    let reader = fresh_reader () in
+    let snapshot = Manager.current_time mgr in
+    List.iter (fun s -> s.pin reader snapshot) sources;
+    Fun.protect
+      ~finally:(fun () -> List.iter (fun s -> s.unpin reader) sources)
+      (fun () ->
+        (* Wait out commits that drew timestamps <= snapshot but have
+           not finished distributing their commit events. *)
+        while Manager.stable_time mgr < snapshot do
+          Unix.sleepf 1e-5
+        done;
+        body ~at:snapshot)
+  in
+  let rec go n =
+    match attempt () with
+    | v -> v
+    | exception Unavailable ->
+      if n >= retries then
+        failwith "Snapshot.read: snapshot unavailable after retries"
+      else go (n + 1)
+  in
+  go 0

@@ -1,0 +1,50 @@
+(** Read-only transactions with start-time timestamps.
+
+    The paper (Section 7.1, crediting [22, 23]) notes that hybrid
+    atomicity has a more general form — the source of its name — in
+    which {e read-only} transactions choose their timestamp when they
+    {e start} (the static-atomic ingredient, as in multiversion
+    protocols) while update transactions keep choosing at commit (the
+    dynamic ingredient).  A reader then serializes at its start
+    timestamp, takes {e no locks}, and never delays or aborts an update
+    transaction.
+
+    Implementation: the reader picks a {e stable} snapshot timestamp
+    [s] — one such that every commit with a timestamp at or below [s]
+    has been fully distributed ({!Manager.stable_time}) — and pins the
+    compaction horizon of each object it will read so the committed
+    state as of [s] remains reconstructable.  Serializability at [s] is
+    then immediate: the reader sees exactly the committed transactions
+    with timestamps [<= s]; every later committer draws a timestamp
+    [> s] because the logical clock is monotone.
+
+    Limitation (inherent to start-time timestamps): the read set must be
+    declared up front so every object can be pinned before the snapshot
+    is taken. *)
+
+type source = {
+  source_name : string;
+  pin : Model.Txn.t -> Model.Timestamp.t -> unit;
+  unpin : Model.Txn.t -> unit;
+}
+(** An object's snapshot hooks; obtain one from
+    {!Atomic_obj.Make.snapshot_source}. *)
+
+exception Unavailable
+(** Raised by per-object reads when the object folded its version past
+    the requested snapshot — only possible in the window between
+    choosing a snapshot and pinning, so {!read} retries with a fresh
+    snapshot. *)
+
+val read :
+  ?retries:int ->
+  Manager.t ->
+  sources:source list ->
+  (at:Model.Timestamp.t -> 'a) ->
+  'a
+(** [read mgr ~sources body] pins every source, waits for the commit
+    watermark to reach the chosen snapshot timestamp, runs [body ~at]
+    (whose object reads should use {!Atomic_obj.Make.read_at} with
+    [~at]), unpins, and returns the result.  Retries with a fresh
+    snapshot if [body] raises {!Unavailable} (at most [retries] times,
+    default 10). *)

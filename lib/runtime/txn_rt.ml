@@ -1,0 +1,72 @@
+type participant = {
+  name : string;
+  on_commit : Model.Timestamp.t -> unit;
+  on_abort : unit -> unit;
+}
+
+type status = Active | Committed of Model.Timestamp.t | Aborted
+
+type t = {
+  id : int;
+  priority : int;
+  mutable status : status;
+  mutable participants : (int * participant) list; (* newest first *)
+}
+
+exception Abort_requested of string
+
+let counter = Atomic.make 0
+let object_key_counter = Atomic.make 0
+let fresh_object_key () = Atomic.fetch_and_add object_key_counter 1
+
+(* Registry of live transactions' priorities, readable by any domain
+   (objects resolve lock holders by id). *)
+let registry_mutex = Mutex.create ()
+let registry : (int, int) Hashtbl.t = Hashtbl.create 64
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+let fresh ?priority () =
+  let id = Atomic.fetch_and_add counter 1 in
+  let priority = Option.value ~default:id priority in
+  with_registry (fun () -> Hashtbl.replace registry id priority);
+  { id; priority; status = Active; participants = [] }
+
+let id t = t.id
+let priority t = t.priority
+let priority_of_id id = with_registry (fun () -> Hashtbl.find_opt registry id)
+let model_txn t = Model.Txn.make t.id
+
+let status t =
+  match t.status with
+  | Active -> `Active
+  | Committed ts -> `Committed ts
+  | Aborted -> `Aborted
+
+let add_participant t ~key p =
+  if not (List.mem_assoc key t.participants) then
+    t.participants <- (key, p) :: t.participants
+
+let participant_count t = List.length t.participants
+
+let deregister t = with_registry (fun () -> Hashtbl.remove registry t.id)
+
+let commit t ts =
+  match t.status with
+  | Active ->
+    t.status <- Committed ts;
+    deregister t;
+    (* Oldest participant first, matching touch order. *)
+    List.iter (fun (_, p) -> p.on_commit ts) (List.rev t.participants)
+  | Committed _ | Aborted -> invalid_arg "Txn_rt.commit: transaction not active"
+
+let abort t =
+  match t.status with
+  | Active ->
+    t.status <- Aborted;
+    deregister t;
+    List.iter (fun (_, p) -> p.on_abort ()) (List.rev t.participants)
+  | Aborted -> ()
+  | Committed _ -> invalid_arg "Txn_rt.abort: transaction already committed"

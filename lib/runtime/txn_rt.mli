@@ -1,0 +1,66 @@
+(** Runtime transaction handles.
+
+    A transaction is executed by exactly one thread of control (the model
+    disallows intra-transaction concurrency), so the handle itself needs
+    no internal locking beyond the status cell, which other threads read
+    through the objects.
+
+    A handle accumulates a {e participant} per touched object; committing
+    distributes the commit timestamp to every participant and aborting
+    notifies them to discard intentions and release locks — the paper's
+    commit/abort events.  Atomic commitment (a transaction never commits
+    at some objects and aborts at others) holds by construction: the
+    decision is taken once, on the handle, before any participant is
+    notified. *)
+
+type t
+
+type participant = {
+  name : string;
+  on_commit : Model.Timestamp.t -> unit;
+  on_abort : unit -> unit;
+}
+
+exception Abort_requested of string
+(** Raised inside a transaction body (e.g. by an object wrapper that
+    exhausted its conflict retries) to abort the transaction; the manager
+    catches it, sends aborts, and may retry the body. *)
+
+val fresh : ?priority:int -> unit -> t
+(** A handle with a process-unique id, in state [`Active].  [priority]
+    is the wait-die seniority (smaller = older = wins conflicts); it
+    defaults to the fresh id and is preserved by the manager across
+    abort-and-retry so a restarted transaction eventually becomes the
+    oldest in the system and cannot starve. *)
+
+val id : t -> int
+val priority : t -> int
+
+val priority_of_id : int -> int option
+(** Look up the priority of a live (active) transaction by id; [None]
+    once it completes.  Used by objects to apply wait-die against a lock
+    holder they only know by id. *)
+
+val model_txn : t -> Model.Txn.t
+(** The handle as a formal-model transaction (for history recording). *)
+
+val status : t -> [ `Active | `Committed of Model.Timestamp.t | `Aborted ]
+
+val fresh_object_key : unit -> int
+(** Process-unique keys for participant registration.  Objects must use
+    this (never a per-module counter): registration is idempotent per
+    key, so two objects sharing a key would silently drop one
+    registration and leak locks. *)
+
+val add_participant : t -> key:int -> participant -> unit
+(** Register the object identified by [key]; idempotent per key. *)
+
+val participant_count : t -> int
+
+val commit : t -> Model.Timestamp.t -> unit
+(** Mark committed and notify every participant.  Raises
+    [Invalid_argument] if not active. *)
+
+val abort : t -> unit
+(** Mark aborted and notify every participant.  No-op when already
+    aborted; raises [Invalid_argument] when committed. *)

@@ -1,0 +1,22 @@
+module Make (A : Spec.Adt_sig.BOUNDED) = struct
+  type op = A.inv * A.res
+
+  let op_conflict_probability ~weights rel =
+    let total = List.fold_left (fun acc op -> acc +. weights op) 0. A.universe in
+    if total <= 0. then invalid_arg "Conflict_profile: weights sum to zero";
+    let mass =
+      List.fold_left
+        (fun acc p ->
+          List.fold_left
+            (fun acc q -> if rel p q then acc +. (weights p *. weights q) else acc)
+            acc A.universe)
+        0. A.universe
+    in
+    mass /. (total *. total)
+
+  let txn_conflict_probability ~weights ~len rel =
+    let p = op_conflict_probability ~weights rel in
+    1. -. ((1. -. p) ** float_of_int (len * len))
+
+  let uniform _ = 1.
+end

@@ -1,0 +1,25 @@
+(** Deterministic concurrency profile of a conflict relation.
+
+    Timing-based measurements depend on the machine; this module gives
+    the machine-independent quantity the paper's claims are really about:
+    how likely two concurrent operations (or transactions) are to be
+    forced to serialize.  For an operation mix given by weights, the
+    {e op conflict probability} is the probability that two operations
+    drawn independently from the mix conflict; the {e transaction
+    conflict probability} for length-[len] transactions treats each of
+    the [len × len] op pairs independently (an upper-bound approximation,
+    exact when conflicts are rare). *)
+
+module Make (A : Spec.Adt_sig.BOUNDED) : sig
+  type op = A.inv * A.res
+
+  val op_conflict_probability : weights:(op -> float) -> (op -> op -> bool) -> float
+  (** [Σ w(p)·w(q)·conflict(p,q) / (Σ w)²] over the universe. *)
+
+  val txn_conflict_probability :
+    weights:(op -> float) -> len:int -> (op -> op -> bool) -> float
+  (** [1 - (1 - p_op)^(len²)]. *)
+
+  val uniform : op -> float
+  (** Weight 1 for every operation. *)
+end

@@ -1,0 +1,160 @@
+type row = {
+  label : string;
+  committed : int;
+  restarts : int;
+  conflicts : int;
+  blocked : int;
+  makespan : int;
+  concurrency : float;
+}
+
+type table = { id : string; title : string; params : string; rows : row list }
+
+let workers = 4
+let txns_per_worker = 25
+
+let pp_table ppf t =
+  Format.fprintf ppf "== %s (deterministic): %s ==@.   (%s)@." t.id t.title t.params;
+  Format.fprintf ppf "%-28s %9s %9s %10s %8s %10s %12s@." "relation" "committed"
+    "restarts" "conflicts" "blocked" "makespan" "concurrency";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-28s %9d %9d %10d %8d %10d %12.2f@." r.label r.committed
+        r.restarts r.conflicts r.blocked r.makespan r.concurrency)
+    t.rows
+
+let pseudo a b c = ((a * 7919) + (b * 104729) + (c * 1299709)) land 0x3fffffff
+
+module DQ = Det_sim.Make (Adt.Fifo_queue)
+module DS = Det_sim.Make (Adt.Semiqueue)
+module DA = Det_sim.Make (Adt.Account)
+
+let params = Printf.sprintf "%d workers x %d txns, virtual think 100" workers txns_per_worker
+
+let row_q label (r : DQ.result) =
+  {
+    label;
+    committed = r.DQ.committed;
+    restarts = r.DQ.restarts;
+    conflicts = r.DQ.conflicts;
+    blocked = r.DQ.blocked;
+    makespan = r.DQ.makespan;
+    concurrency = DQ.concurrency r;
+  }
+
+let row_s label (r : DS.result) =
+  {
+    label;
+    committed = r.DS.committed;
+    restarts = r.DS.restarts;
+    conflicts = r.DS.conflicts;
+    blocked = r.DS.blocked;
+    makespan = r.DS.makespan;
+    concurrency = DS.concurrency r;
+  }
+
+let row_a label (r : DA.result) =
+  {
+    label;
+    committed = r.DA.committed;
+    restarts = r.DA.restarts;
+    conflicts = r.DA.conflicts;
+    blocked = r.DA.blocked;
+    makespan = r.DA.makespan;
+    concurrency = DA.concurrency r;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let queue_relations =
+  [
+    ("hybrid (fig 4-2)", Adt.Fifo_queue.conflict_hybrid);
+    ("fig 4-3 / commutativity", Adt.Fifo_queue.conflict_commutativity);
+    ("2PL read/write", Adt.Fifo_queue.conflict_rw);
+  ]
+
+let det_queue_enq () =
+  let script w =
+    List.init txns_per_worker (fun k ->
+        List.init 4 (fun j -> Adt.Fifo_queue.Enq (1 + (pseudo w k j mod 2))))
+  in
+  let scripts = Array.init workers script in
+  let rows =
+    List.map
+      (fun (label, conflict) ->
+        row_q label (DQ.run ~conflict scripts))
+      queue_relations
+  in
+  { id = "EXP-QUEUE-ENQ"; title = "concurrent enqueuers"; params; rows }
+
+let queue_prefill = List.init 300 (fun k -> Adt.Fifo_queue.Enq (1 + (k mod 2)))
+
+let det_queue_mixed () =
+  let consumers = workers / 2 in
+  let script w =
+    List.init txns_per_worker (fun k ->
+        if w < consumers then List.init 3 (fun _ -> Adt.Fifo_queue.Deq)
+        else List.init 3 (fun j -> Adt.Fifo_queue.Enq (1 + (pseudo w k j mod 2))))
+  in
+  let scripts = Array.init workers script in
+  let rows =
+    List.map
+      (fun (label, conflict) -> row_q label (DQ.run ~prefill:queue_prefill ~conflict scripts))
+      queue_relations
+  in
+  { id = "EXP-QUEUE-MIXED"; title = "producers vs consumers"; params; rows }
+
+let det_account () =
+  (* Posts appear a few times per worker (the totals stay far from
+     native-int overflow: 24 doublings of the opening million) and run
+     as 2-operation transactions so their serialization footprint under
+     commutativity-based locking is visible. *)
+  let script w =
+    List.init txns_per_worker (fun k ->
+        if k mod 12 = 3 * w then [ Adt.Account.Post 1; Adt.Account.Credit 1 ]
+        else if (w + k) mod 2 = 0 then
+          List.init 3 (fun j -> Adt.Account.Credit (1 + (pseudo w k j mod 9)))
+        else List.init 3 (fun j -> Adt.Account.Debit (1 + (pseudo w k j mod 9))))
+  in
+  let scripts = Array.init workers script in
+  let rows =
+    List.map
+      (fun (label, conflict) ->
+        row_a label (DA.run ~prefill:[ Adt.Account.Credit 1_000_000 ] ~conflict scripts))
+      [
+        ("hybrid (fig 4-5)", Adt.Account.conflict_hybrid);
+        ("commutativity (fig 7-1)", Adt.Account.conflict_commutativity);
+        ("2PL read/write", Adt.Account.conflict_rw);
+      ]
+  in
+  { id = "EXP-ACCOUNT"; title = "credit/post/debit mix"; params; rows }
+
+let det_semiqueue () =
+  let consumers = workers / 2 in
+  let semi_prefill = List.init 300 (fun k -> Adt.Semiqueue.Ins (1 + (k mod 2))) in
+  let semi_script w =
+    List.init txns_per_worker (fun k ->
+        if w < consumers then List.init 3 (fun _ -> Adt.Semiqueue.Rem)
+        else List.init 3 (fun j -> Adt.Semiqueue.Ins (1 + (pseudo w k j mod 2))))
+  in
+  let queue_script w =
+    List.init txns_per_worker (fun k ->
+        if w < consumers then List.init 3 (fun _ -> Adt.Fifo_queue.Deq)
+        else List.init 3 (fun j -> Adt.Fifo_queue.Enq (1 + (pseudo w k j mod 2))))
+  in
+  let rows =
+    [
+      row_s "SemiQueue hybrid (fig 4-4)"
+        (DS.run ~prefill:semi_prefill ~conflict:Adt.Semiqueue.conflict_hybrid
+           (Array.init workers semi_script));
+      row_q "Queue hybrid (fig 4-2)"
+        (DQ.run ~prefill:queue_prefill ~conflict:Adt.Fifo_queue.conflict_hybrid
+           (Array.init workers queue_script));
+      row_q "Queue fig 4-3"
+        (DQ.run ~prefill:queue_prefill ~conflict:Adt.Fifo_queue.conflict_fig_4_3
+           (Array.init workers queue_script));
+    ]
+  in
+  { id = "EXP-SEMIQ"; title = "SemiQueue vs FIFO Queue"; params; rows }
+
+let all () = [ det_queue_enq (); det_queue_mixed (); det_account (); det_semiqueue () ]

@@ -1,0 +1,42 @@
+type config = { domains : int; txns_per_domain : int; think_us : float }
+
+type result = {
+  committed : int;
+  attempts : int;
+  wall_seconds : float;
+  throughput : float;
+}
+
+let now () = Unix.gettimeofday ()
+
+let think config =
+  (* Sleep rather than busy-wait: think time models work (e.g. I/O) a
+     transaction does while holding locks.  Sleeping releases the core,
+     so admitted concurrency shows up as overlapping think times even on
+     machines with few cores — with a busy-wait, N domains on one core
+     serialize regardless of the locking protocol and all relations
+     measure alike. *)
+  if config.think_us > 0. then Unix.sleepf (config.think_us *. 1e-6)
+
+let run config ~mgr body =
+  let t0 = now () in
+  let worker d =
+    Domain.spawn (fun () ->
+        for seq = 0 to config.txns_per_domain - 1 do
+          Runtime.Manager.run mgr (fun txn -> body ~domain:d ~seq txn)
+        done)
+  in
+  let domains = List.init config.domains worker in
+  List.iter Domain.join domains;
+  let wall = now () -. t0 in
+  let stats = Runtime.Manager.stats mgr in
+  {
+    committed = stats.Runtime.Manager.committed;
+    attempts = stats.Runtime.Manager.started;
+    wall_seconds = wall;
+    throughput = float_of_int stats.Runtime.Manager.committed /. wall;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf "committed=%d attempts=%d wall=%.3fs throughput=%.0f txn/s"
+    r.committed r.attempts r.wall_seconds r.throughput

@@ -1,0 +1,36 @@
+(** Closed-loop concurrent workload driver.
+
+    Spawns [domains] OCaml domains; each runs [txns_per_domain]
+    transactions back to back through a shared {!Runtime.Manager}.  A
+    workload supplies the body of transaction [seq] on domain [d].
+    [think_us] sleeps between a transaction's operations (inside the
+    body, via {!think}), modelling per-operation work done while holding
+    locks — without it, transactions commit too fast for conflicts to
+    materialize and all protocols look alike.  Sleeping (not spinning)
+    lets admitted concurrency show up as overlapping waits even on
+    single-core hosts. *)
+
+type config = {
+  domains : int;
+  txns_per_domain : int;
+  think_us : float;  (** passed to the body via {!think} *)
+}
+
+type result = {
+  committed : int;
+  attempts : int;  (** includes aborted-and-retried attempts *)
+  wall_seconds : float;
+  throughput : float;  (** committed transactions per second *)
+}
+
+val think : config -> unit
+(** Sleep for [think_us] microseconds. *)
+
+val run :
+  config ->
+  mgr:Runtime.Manager.t ->
+  (domain:int -> seq:int -> Runtime.Txn_rt.t -> unit) ->
+  result
+(** Run the workload to completion and measure. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,318 @@
+type row = {
+  label : string;
+  committed : int;
+  attempts : int;
+  op_conflicts : int;
+  op_blocked : int;
+  throughput : float;
+  conflict_prob : float;
+}
+
+type table = { id : string; title : string; params : string; rows : row list }
+
+type scale = { domains : int; txns : int; think_us : float }
+
+let default_scale = { domains = 4; txns = 100; think_us = 100. }
+let quick_scale = { domains = 2; txns = 20; think_us = 10. }
+
+let pp_table ppf t =
+  Format.fprintf ppf "== %s: %s ==@.   (%s)@." t.id t.title t.params;
+  Format.fprintf ppf "%-28s %9s %9s %10s %9s %12s %13s@." "relation" "committed"
+    "attempts" "conflicts" "blocked" "txn/s" "P(conflict)";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-28s %9d %9d %10d %9d %12.0f %13.3f@." r.label r.committed
+        r.attempts r.op_conflicts r.op_blocked r.throughput r.conflict_prob)
+    t.rows
+
+(* Deterministic value sequence, decorrelated across (domain, seq, k). *)
+let pseudo d seq k = ((d * 7919) + (seq * 104729) + (k * 1299709)) land 0x3fffffff
+
+let params_of scale ops =
+  Printf.sprintf "%d domains x %d txns x %d ops/txn, think %.0fus" scale.domains
+    scale.txns ops scale.think_us
+
+module Qobj = Runtime.Atomic_obj.Make (Adt.Fifo_queue)
+module Sobj = Runtime.Atomic_obj.Make (Adt.Semiqueue)
+module Aobj = Runtime.Atomic_obj.Make (Adt.Account)
+module Qprof = Conflict_profile.Make (Adt.Fifo_queue)
+module Sprof = Conflict_profile.Make (Adt.Semiqueue)
+module Aprof = Conflict_profile.Make (Adt.Account)
+
+(* Run one relation variant of a workload and collect its row.  [stats]
+   extracts the object counters after the run (objects differ per
+   experiment, so they are created by [setup]). *)
+let measure ~label ~conflict_prob ~scale ~setup =
+  let mgr = Runtime.Manager.create () in
+  let body, stats = setup mgr in
+  let config =
+    {
+      Driver.domains = scale.domains;
+      txns_per_domain = scale.txns;
+      think_us = scale.think_us;
+    }
+  in
+  let result = Driver.run config ~mgr (fun ~domain ~seq txn -> body config ~domain ~seq txn) in
+  let conflicts, blocked = stats () in
+  {
+    label;
+    committed = result.Driver.committed;
+    attempts = result.Driver.attempts;
+    op_conflicts = conflicts;
+    op_blocked = blocked;
+    throughput = result.Driver.throughput;
+    conflict_prob;
+  }
+
+(* Seed an object with [n] committed operations, [per_txn] at a time so
+   the horizon can fold each batch into the version as we go. *)
+let seed_with mgr ~n ~per_txn f =
+  let remaining = ref n in
+  while !remaining > 0 do
+    let batch = min per_txn !remaining in
+    Runtime.Manager.run mgr (fun txn ->
+        for k = 0 to batch - 1 do
+          f txn (n - !remaining + k)
+        done);
+    remaining := !remaining - batch
+  done
+
+(* ------------------------------------------------------------------ *)
+(* EXP-QUEUE(a): enqueue-only                                          *)
+
+let queue_relations =
+  [
+    ("hybrid (fig 4-2)", Adt.Fifo_queue.conflict_hybrid);
+    ("fig 4-3 / commutativity", Adt.Fifo_queue.conflict_commutativity);
+    ("2PL read/write", Adt.Fifo_queue.conflict_rw);
+  ]
+
+let enq_only_weights (i, _) =
+  match i with Adt.Fifo_queue.Enq _ -> 1. | Adt.Fifo_queue.Deq -> 0.
+
+let exp_queue_enq ?(scale = default_scale) () =
+  let ops = 4 in
+  let rows =
+    List.map
+      (fun (label, conflict) ->
+        measure ~label
+          ~conflict_prob:(Qprof.op_conflict_probability ~weights:enq_only_weights conflict)
+          ~scale
+          ~setup:(fun _mgr ->
+            let q = Qobj.create ~conflict () in
+            let body config ~domain ~seq txn =
+              for k = 0 to ops - 1 do
+                let v = 1 + (pseudo domain seq k mod 2) in
+                ignore (Qobj.invoke q txn (Adt.Fifo_queue.Enq v));
+                Driver.think config
+              done
+            in
+            let stats () =
+              let s = Qobj.stats q in
+              (s.Qobj.conflicts, s.Qobj.blocked)
+            in
+            (body, stats)))
+      queue_relations
+  in
+  {
+    id = "EXP-QUEUE-ENQ";
+    title = "concurrent enqueuers on one FIFO queue";
+    params = params_of scale ops;
+    rows;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* EXP-QUEUE(b): mixed producers/consumers                             *)
+
+let mixed_weights _ = 1.
+
+let exp_queue_mixed ?(scale = default_scale) () =
+  let ops = 3 in
+  let rows =
+    List.map
+      (fun (label, conflict) ->
+        measure ~label
+          ~conflict_prob:(Qprof.op_conflict_probability ~weights:mixed_weights conflict)
+          ~scale
+          ~setup:(fun mgr ->
+            let q = Qobj.create ~conflict () in
+            (* Seed enough for every consumer dequeue to succeed. *)
+            let consumer_domains = scale.domains / 2 in
+            let total_deqs = consumer_domains * scale.txns * ops in
+            seed_with mgr ~n:total_deqs ~per_txn:50 (fun txn k ->
+                ignore (Qobj.invoke q txn (Adt.Fifo_queue.Enq (1 + (k mod 2)))));
+            let body config ~domain ~seq txn =
+              let producing = domain >= consumer_domains in
+              for k = 0 to ops - 1 do
+                if producing then
+                  ignore
+                    (Qobj.invoke q txn
+                       (Adt.Fifo_queue.Enq (1 + (pseudo domain seq k mod 2))))
+                else ignore (Qobj.invoke q txn Adt.Fifo_queue.Deq);
+                Driver.think config
+              done
+            in
+            let stats () =
+              let s = Qobj.stats q in
+              (s.Qobj.conflicts, s.Qobj.blocked)
+            in
+            (body, stats)))
+      queue_relations
+  in
+  {
+    id = "EXP-QUEUE-MIXED";
+    title = "producers vs consumers on one FIFO queue (incomparable minimal relations)";
+    params = params_of scale ops;
+    rows;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* EXP-ACCOUNT                                                         *)
+
+let account_relations =
+  [
+    ("hybrid (fig 4-5)", Adt.Account.conflict_hybrid);
+    ("commutativity (fig 7-1)", Adt.Account.conflict_commutativity);
+    ("2PL read/write", Adt.Account.conflict_rw);
+  ]
+
+let account_weights (i, r) =
+  (* Roughly the workload mix: credits and debits dominate, posts are
+     occasional, overdrafts rare. *)
+  match (i, r) with
+  | Adt.Account.Credit _, _ -> 4.
+  | Adt.Account.Post _, _ -> 1.
+  | Adt.Account.Debit _, Adt.Account.Ok -> 4.
+  | Adt.Account.Debit _, Adt.Account.Overdraft -> 0.1
+
+let exp_account ?(scale = default_scale) () =
+  let ops = 3 in
+  let rows =
+    List.map
+      (fun (label, conflict) ->
+        measure ~label
+          ~conflict_prob:(Aprof.op_conflict_probability ~weights:account_weights conflict)
+          ~scale
+          ~setup:(fun mgr ->
+            let acc = Aobj.create ~conflict () in
+            (* Large seed balance so overdrafts stay rare. *)
+            Runtime.Manager.run mgr (fun txn ->
+                ignore (Aobj.invoke acc txn (Adt.Account.Credit 1_000_000)));
+            (* Posts are kept rare (a handful per domain): in the exact
+               integer model each Post 1 doubles the balance, so a
+               post-heavy mix would overflow native ints and wrap the
+               balance negative — breaking the monotonicity that
+               Figure 4-5's conflicts rely on (see DESIGN.md). *)
+            let body config ~domain ~seq txn =
+              if seq mod 25 = 2 * domain then begin
+                ignore (Aobj.invoke acc txn (Adt.Account.Post 1));
+                Driver.think config
+              end
+              else if (domain + seq) mod 2 = 0 then
+                for k = 0 to ops - 1 do
+                  ignore
+                    (Aobj.invoke acc txn (Adt.Account.Credit (1 + (pseudo domain seq k mod 9))));
+                  Driver.think config
+                done
+              else
+                for k = 0 to ops - 1 do
+                  ignore
+                    (Aobj.invoke acc txn (Adt.Account.Debit (1 + (pseudo domain seq k mod 9))));
+                  Driver.think config
+                done
+            in
+            let stats () =
+              let s = Aobj.stats acc in
+              (s.Aobj.conflicts, s.Aobj.blocked)
+            in
+            (body, stats)))
+      account_relations
+  in
+  {
+    id = "EXP-ACCOUNT";
+    title = "credit/post/debit mix on one account (result-dependent locking)";
+    params = params_of scale ops;
+    rows;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* EXP-SEMIQ: SemiQueue vs FIFO Queue on the same workload             *)
+
+let rem_weights (i, _) =
+  match i with Adt.Semiqueue.Ins _ -> 1. | Adt.Semiqueue.Rem -> 1.
+
+let exp_semiqueue ?(scale = default_scale) () =
+  let ops = 3 in
+  let semiqueue_row label conflict =
+    measure ~label
+      ~conflict_prob:(Sprof.op_conflict_probability ~weights:rem_weights conflict)
+      ~scale
+      ~setup:(fun mgr ->
+        let sq = Sobj.create ~conflict () in
+        let consumer_domains = scale.domains / 2 in
+        let total_rems = consumer_domains * scale.txns * ops in
+        seed_with mgr ~n:total_rems ~per_txn:50 (fun txn k ->
+            ignore (Sobj.invoke sq txn (Adt.Semiqueue.Ins (1 + (k mod 2)))));
+        let body config ~domain ~seq txn =
+          let producing = domain >= consumer_domains in
+          for k = 0 to ops - 1 do
+            if producing then
+              ignore
+                (Sobj.invoke sq txn (Adt.Semiqueue.Ins (1 + (pseudo domain seq k mod 2))))
+            else ignore (Sobj.invoke sq txn Adt.Semiqueue.Rem);
+            Driver.think config
+          done
+        in
+        let stats () =
+          let s = Sobj.stats sq in
+          (s.Sobj.conflicts, s.Sobj.blocked)
+        in
+        (body, stats))
+  in
+  let queue_row label conflict =
+    measure ~label
+      ~conflict_prob:(Qprof.op_conflict_probability ~weights:mixed_weights conflict)
+      ~scale
+      ~setup:(fun mgr ->
+        let q = Qobj.create ~conflict () in
+        let consumer_domains = scale.domains / 2 in
+        let total_deqs = consumer_domains * scale.txns * ops in
+        seed_with mgr ~n:total_deqs ~per_txn:50 (fun txn k ->
+            ignore (Qobj.invoke q txn (Adt.Fifo_queue.Enq (1 + (k mod 2)))));
+        let body config ~domain ~seq txn =
+          let producing = domain >= consumer_domains in
+          for k = 0 to ops - 1 do
+            if producing then
+              ignore
+                (Qobj.invoke q txn (Adt.Fifo_queue.Enq (1 + (pseudo domain seq k mod 2))))
+            else ignore (Qobj.invoke q txn Adt.Fifo_queue.Deq);
+            Driver.think config
+          done
+        in
+        let stats () =
+          let s = Qobj.stats q in
+          (s.Qobj.conflicts, s.Qobj.blocked)
+        in
+        (body, stats))
+  in
+  let rows =
+    [
+      semiqueue_row "SemiQueue hybrid (fig 4-4)" Adt.Semiqueue.conflict_hybrid;
+      queue_row "Queue hybrid (fig 4-2)" Adt.Fifo_queue.conflict_hybrid;
+      queue_row "Queue fig 4-3" Adt.Fifo_queue.conflict_fig_4_3;
+    ]
+  in
+  {
+    id = "EXP-SEMIQ";
+    title = "nondeterminism buys concurrency: SemiQueue vs FIFO Queue";
+    params = params_of scale ops;
+    rows;
+  }
+
+let all ?(scale = default_scale) () =
+  [
+    exp_queue_enq ~scale ();
+    exp_queue_mixed ~scale ();
+    exp_account ~scale ();
+    exp_semiqueue ~scale ();
+  ]

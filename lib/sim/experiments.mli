@@ -1,0 +1,62 @@
+(** The measured experiments (EXP-* in DESIGN.md / EXPERIMENTS.md).
+
+    The paper proves which interleavings each conflict relation admits
+    but reports no measurements; these experiments quantify the claims on
+    real multicore execution.  Every experiment runs the {e same}
+    workload through the {e same} engine under different conflict
+    relations — the paper's hybrid relation against the
+    commutativity-based and classical read/write-locking baselines — and
+    reports committed throughput, transaction-level retries, and
+    object-level lock refusals, together with the machine-independent
+    conflict probability of the relation under the workload's operation
+    mix ({!Conflict_profile}).
+
+    Expected shapes (asserted loosely by the test suite, printed exactly
+    by [bin/main.exe experiments]):
+    - enqueue-only: hybrid (Fig 4-2) refuses nothing; Fig 4-3 /
+      commutativity and 2PL-RW serialize concurrent enqueuers.
+    - mixed producer/consumer queue: Fig 4-3 beats Fig 4-2 (incomparable
+      relations — the paper's point that minimal dependency relations are
+      not unique).
+    - account: hybrid admits Credit/Post/Debit concurrency; commutativity
+      serializes Post against everything; RW serializes everything.
+    - SemiQueue vs Queue: nondeterministic [Rem] spreads consumers across
+      items while FIFO [Deq] fights over the unique front. *)
+
+type row = {
+  label : string;
+  committed : int;
+  attempts : int;  (** transaction attempts, including aborted ones *)
+  op_conflicts : int;  (** lock refusals at the object *)
+  op_blocked : int;  (** attempts with no legal response *)
+  throughput : float;  (** committed transactions per second *)
+  conflict_prob : float;  (** deterministic op-pair conflict probability *)
+}
+
+type table = { id : string; title : string; params : string; rows : row list }
+
+val pp_table : Format.formatter -> table -> unit
+
+type scale = { domains : int; txns : int; think_us : float }
+(** [txns] is per domain. *)
+
+val default_scale : scale
+val quick_scale : scale
+(** Small sizes for tests. *)
+
+val exp_queue_enq : ?scale:scale -> unit -> table
+(** EXP-QUEUE(a): enqueue-only transactions (4 enqueues each). *)
+
+val exp_queue_mixed : ?scale:scale -> unit -> table
+(** EXP-QUEUE(b): half the domains enqueue, half dequeue, over a seeded
+    queue. *)
+
+val exp_account : ?scale:scale -> unit -> table
+(** EXP-ACCOUNT: credit / post / debit transaction mix on one account,
+    seeded with a large balance. *)
+
+val exp_semiqueue : ?scale:scale -> unit -> table
+(** EXP-SEMIQ: the producer/consumer workload on a SemiQueue vs. a FIFO
+    queue. *)
+
+val all : ?scale:scale -> unit -> table list

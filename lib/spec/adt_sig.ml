@@ -1,0 +1,71 @@
+(** Signatures for serial specifications of abstract data types.
+
+    The paper (Section 3.1) models an object's serial specification as a
+    set of legal operation sequences, where an {e operation} is an
+    invocation paired with a matching response.  We represent
+    specifications operationally: a canonical state type and a [step]
+    function returning every legal (response, successor-state) pair for an
+    invocation.
+
+    - {e Partial} operations (e.g. [Deq] on an empty queue) are modelled
+      by [step] returning the empty list: there is no legal response, so
+      the operation blocks.
+    - {e Nondeterministic} operations (e.g. SemiQueue's [Rem]) are
+      modelled by [step] returning several pairs.
+
+    The derived notion: an operation sequence [ops] is {e legal} iff there
+    is a path from [initial] through states consistent with every
+    (invocation, response) pair in order — see {!Sequences}. *)
+
+(** A serial specification. *)
+module type S = sig
+  val name : string
+  (** Human-readable type name, e.g. ["FIFO-Queue"]. *)
+
+  type inv
+  (** Invocations: operation name plus argument values. *)
+
+  type res
+  (** Responses: termination condition plus result values. *)
+
+  type state
+  (** Canonical abstract states.  Canonical means structural equality on
+      [state] coincides with observational equivalence of the sequences
+      leading to it; every ADT in [lib/adt] satisfies this and tests
+      assert it. *)
+
+  val initial : state
+
+  val step : state -> inv -> (res * state) list
+  (** [step s i] lists every legal (response, successor) for invoking [i]
+      in state [s].  Empty means the invocation has no legal response in
+      [s] (partial specification). *)
+
+  val equal_inv : inv -> inv -> bool
+  val equal_res : res -> res -> bool
+  val equal_state : state -> state -> bool
+
+  val pp_inv : Format.formatter -> inv -> unit
+  val pp_res : Format.formatter -> res -> unit
+  val pp_state : Format.formatter -> state -> unit
+end
+
+(** A specification packaged with a finite operation universe, enabling
+    the bounded derivation of dependency and commutativity relations.
+    The universe must be closed under legality: every operation that can
+    occur in a legal sequence over the chosen value domain is present. *)
+module type BOUNDED = sig
+  include S
+
+  val universe : (inv * res) list
+  (** All operations over the chosen small value domain. *)
+
+  val op_label : inv * res -> string
+  (** Constructor-level label ignoring argument/result values, e.g.
+      ["Enq/Ok"], ["Debit/Overdraft"].  Table rows and columns of the
+      paper's figures are indexed by these labels. *)
+
+  val op_values : inv * res -> int list
+  (** The argument/result values embedded in the operation, used to
+      classify symbolic table entries such as [v = v']. *)
+end

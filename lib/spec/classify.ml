@@ -1,0 +1,123 @@
+type cell =
+  | Never
+  | Always
+  | Eq_values
+  | Neq_values
+  | Pos_value
+  | Conditional of (int list * int list) list
+
+let equal_cell a b =
+  match (a, b) with
+  | Never, Never
+  | Always, Always
+  | Eq_values, Eq_values
+  | Neq_values, Neq_values
+  | Pos_value, Pos_value ->
+    true
+  | Conditional xs, Conditional ys -> xs = ys
+  | (Never | Always | Eq_values | Neq_values | Pos_value | Conditional _), _ -> false
+
+let cell_to_string = function
+  | Never -> ""
+  | Always -> "true"
+  | Eq_values -> "v = v'"
+  | Neq_values -> "v /= v'"
+  | Pos_value -> "v > 0"
+  | Conditional pairs ->
+    let pp_values vs = "(" ^ String.concat "," (List.map string_of_int vs) ^ ")" in
+    let shown = List.filteri (fun i _ -> i < 4) pairs in
+    let suffix = if List.length pairs > 4 then Printf.sprintf " (+%d)" (List.length pairs - 4) else "" in
+    String.concat "|" (List.map (fun (a, b) -> pp_values a ^ pp_values b) shown) ^ suffix
+
+let pp_cell ppf c = Format.pp_print_string ppf (cell_to_string c)
+
+type table = { title : string; labels : string list; cells : cell array array }
+
+let cell_at t ~row ~col =
+  let idx l =
+    match List.find_index (String.equal l) t.labels with
+    | Some i -> i
+    | None -> raise Not_found
+  in
+  t.cells.(idx row).(idx col)
+
+let equal_table a b =
+  a.labels = b.labels
+  && List.length a.labels = Array.length a.cells
+  && Array.for_all2 (fun ra rb -> Array.for_all2 equal_cell ra rb) a.cells b.cells
+
+let pp_table ppf t =
+  let labels = Array.of_list t.labels in
+  let n = Array.length labels in
+  let strings =
+    Array.init n (fun i -> Array.init n (fun j -> cell_to_string t.cells.(i).(j)))
+  in
+  let width = ref 1 in
+  Array.iter (fun l -> width := max !width (String.length l)) labels;
+  Array.iter (Array.iter (fun s -> width := max !width (String.length s))) strings;
+  let pad s = s ^ String.make (!width - String.length s) ' ' in
+  Format.fprintf ppf "%s@." t.title;
+  Format.fprintf ppf "%s |" (pad "");
+  Array.iter (fun l -> Format.fprintf ppf " %s |" (pad l)) labels;
+  Format.fprintf ppf "@.";
+  for i = 0 to n - 1 do
+    Format.fprintf ppf "%s |" (pad labels.(i));
+    for j = 0 to n - 1 do
+      Format.fprintf ppf " %s |" (pad strings.(i).(j))
+    done;
+    Format.fprintf ppf "@."
+  done
+
+module Make (A : Adt_sig.BOUNDED) = struct
+  let labels_in_order () =
+    List.fold_left
+      (fun acc op ->
+        let l = A.op_label op in
+        if List.mem l acc then acc else acc @ [ l ])
+      [] A.universe
+
+  let classify ~title rel =
+    let labels = labels_in_order () in
+    let ops_with l = List.filter (fun op -> String.equal (A.op_label op) l) A.universe in
+    let classify_cell row_label col_label =
+      let samples =
+        List.concat_map
+          (fun p -> List.map (fun q -> (p, q, rel p q)) (ops_with col_label))
+          (ops_with row_label)
+      in
+      let holds = List.filter (fun (_, _, h) -> h) samples in
+      let all_hold = List.length holds = List.length samples in
+      let leading op =
+        match A.op_values op with [] -> None | v :: _ -> Some v
+      in
+      let matches_condition cond =
+        List.for_all
+          (fun (p, q, h) ->
+            match (leading p, leading q) with
+            | Some vp, Some vq -> h = cond vp vq
+            | (None | Some _), _ -> false)
+          samples
+      in
+      let matches_row_condition cond =
+        List.for_all
+          (fun (p, _, h) ->
+            match leading p with Some vp -> h = cond vp | None -> false)
+          samples
+      in
+      if holds = [] then Never
+      else if all_hold then Always
+      else if matches_condition (fun a b -> a = b) then Eq_values
+      else if matches_condition (fun a b -> a <> b) then Neq_values
+      else if matches_row_condition (fun a -> a > 0) then Pos_value
+      else
+        Conditional
+          (List.map (fun (p, q, _) -> (A.op_values p, A.op_values q)) holds)
+    in
+    let labels_arr = Array.of_list labels in
+    let n = Array.length labels_arr in
+    let cells =
+      Array.init n (fun i ->
+          Array.init n (fun j -> classify_cell labels_arr.(i) labels_arr.(j)))
+    in
+    { title; labels; cells }
+end

@@ -1,0 +1,39 @@
+(** Symbolic classification of relation tables.
+
+    The paper's figures present relations symbolically: a cell for the
+    (row, column) operation classes holds a condition on argument/result
+    values such as [v = v'] or [v ≠ v'].  Given a relation materialized
+    over a finite universe, this module groups operations by
+    {!Adt_sig.BOUNDED.op_label} and classifies each cell against the
+    standard conditions, recovering the paper's tables exactly. *)
+
+type cell =
+  | Never  (** no value combination is related (blank cell) *)
+  | Always  (** every value combination is related ([true]) *)
+  | Eq_values  (** related iff the leading values are equal ([v = v']) *)
+  | Neq_values  (** related iff the leading values differ ([v ≠ v']) *)
+  | Pos_value  (** related iff the row operation's leading value is positive
+                   ([v > 0]) — e.g. observations of a non-empty container *)
+  | Conditional of (int list * int list) list
+      (** anything else: the exact value combinations that are related *)
+
+val equal_cell : cell -> cell -> bool
+val pp_cell : Format.formatter -> cell -> unit
+val cell_to_string : cell -> string
+
+type table = {
+  title : string;
+  labels : string list;  (** row and column operation classes, in order *)
+  cells : cell array array;  (** [cells.(row).(col)] *)
+}
+
+val cell_at : table -> row:string -> col:string -> cell
+(** Raises [Not_found] if a label is absent. *)
+
+val equal_table : table -> table -> bool
+val pp_table : Format.formatter -> table -> unit
+
+module Make (A : Adt_sig.BOUNDED) : sig
+  val classify : title:string -> ((A.inv * A.res) -> (A.inv * A.res) -> bool) -> table
+  (** Classify a relation (row depends on column) over [A.universe]. *)
+end

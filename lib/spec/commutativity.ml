@@ -1,0 +1,40 @@
+module Make (A : Adt_sig.BOUNDED) = struct
+  module Seq = Sequences.Make (A)
+
+  type op = A.inv * A.res
+
+  let state_sets_equal a b =
+    let subset x y = List.for_all (fun s -> List.exists (A.equal_state s) y) x in
+    subset a b && subset b a
+
+  let commute_from ss p q =
+    (* Check the Definition-26 condition at the state set [ss] reached by
+       some legal h. *)
+    match (Seq.states_after' ss [ p ], Seq.states_after' ss [ q ]) with
+    | [], _ | _, [] -> true (* premise fails: nothing to check *)
+    | after_p, after_q ->
+      let pq = Seq.states_after' after_p [ q ] in
+      let qp = Seq.states_after' after_q [ p ] in
+      pq <> [] && qp <> [] && state_sets_equal pq qp
+
+  let commute ~depth p q =
+    let exception Violation in
+    let rec walk d ss =
+      if not (commute_from ss p q) then raise Violation;
+      if d < depth then
+        List.iter
+          (fun r ->
+            match Seq.states_after' ss [ r ] with
+            | [] -> ()
+            | ss' -> walk (d + 1) ss')
+          A.universe
+    in
+    try
+      walk 0 [ A.initial ];
+      true
+    with Violation -> false
+
+  let failure_to_commute ~depth =
+    Relation.of_pred ~eq:Seq.equal_op ~ops:A.universe (fun p q ->
+        not (commute ~depth p q))
+end

@@ -1,0 +1,28 @@
+(** Commutativity of operations (Section 7.1, Definitions 25–26).
+
+    Two operations [p] and [q] {e commute} iff for every operation
+    sequence [h] such that [h * p] and [h * q] are both legal, the
+    sequences [h * p * q] and [h * q * p] are legal and equivalent.
+    Equivalence (Definition 25) is decided exactly via reachable-state-set
+    equality, which for canonical state representations coincides with
+    indistinguishability by any future computation.
+
+    Theorem 28: "failure to commute" is a dependency relation (so
+    commutativity-based protocols are a special — and generally more
+    restrictive — case of the hybrid protocol); this is asserted by the
+    test suite using {!Dependency.Make.is_dependency_relation}. *)
+
+module Make (A : Adt_sig.BOUNDED) : sig
+  module Seq : module type of Sequences.Make (A)
+
+  type op = A.inv * A.res
+
+  val commute : depth:int -> op -> op -> bool
+  (** Definition 26 with [h] bounded by [depth].  Symmetric by
+      construction. *)
+
+  val failure_to_commute : depth:int -> op Relation.t
+  (** The relation containing every pair that does {e not} commute within
+      the bound.  This is the conflict relation imposed by
+      commutativity-based locking (Figure 7-1 for Account). *)
+end

@@ -1,0 +1,169 @@
+module Make (A : Adt_sig.BOUNDED) = struct
+  module Seq = Sequences.Make (A)
+
+  type op = A.inv * A.res
+
+  let universe = A.universe
+
+  (* Walk all legal sequences over [universe] up to [depth], carrying the
+     reachable state set, and call [visit] on every node (including the
+     empty sequence).  [visit] receives the state set only; the sequence
+     itself is rebuilt on demand by callers that need witnesses. *)
+  let walk_states ~depth visit =
+    let rec go d ss =
+      visit ss;
+      if d < depth then
+        List.iter
+          (fun p ->
+            match Seq.states_after' ss [ p ] with
+            | [] -> ()
+            | ss' -> go (d + 1) ss')
+          universe
+    in
+    go 0 [ A.initial ]
+
+  let invalidates ~depth p q =
+    (* h1 ranges over legal sequences (state set [s1]); h2 is walked with
+       two state sets: [a] after h1 * h2 and [b] after h1 * p * h2.  A
+       node witnesses invalidation when q is legal from [a] but not from
+       [b].  Branches where either set dies are pruned: extensions cannot
+       revive an empty state set. *)
+    let exception Found in
+    let rec walk_h2 d a b =
+      if Seq.legal_from a [ q ] && not (Seq.legal_from b [ q ]) then raise Found;
+      if d < depth then
+        List.iter
+          (fun r ->
+            match (Seq.states_after' a [ r ], Seq.states_after' b [ r ]) with
+            | [], _ | _, [] -> ()
+            | a', b' -> walk_h2 (d + 1) a' b')
+          universe
+    in
+    let visit s1 =
+      match Seq.states_after' s1 [ p ] with
+      | [] -> () (* h1 * p illegal: no invalidation from this context *)
+      | b0 -> walk_h2 0 s1 b0
+    in
+    try
+      walk_states ~depth visit;
+      false
+    with Found -> true
+
+  let invalidated_by ~depth =
+    (* Single pass over contexts, filling the whole matrix: for each legal
+       h1 and each p legal after h1, walk h2 once and test every q. *)
+    let ops = Array.of_list universe in
+    let n = Array.length ops in
+    let matrix = Array.make_matrix n n false in
+    let index p =
+      let rec go i =
+        if i >= n then invalid_arg "invalidated_by: op not in universe"
+        else if Seq.equal_op ops.(i) p then i
+        else go (i + 1)
+      in
+      go 0
+    in
+    let rec walk_h2 d ip a b =
+      Array.iteri
+        (fun iq q ->
+          if
+            (not matrix.(iq).(ip))
+            && Seq.legal_from a [ q ]
+            && not (Seq.legal_from b [ q ])
+          then matrix.(iq).(ip) <- true)
+        ops;
+      if d < depth then
+        Array.iter
+          (fun r ->
+            match (Seq.states_after' a [ r ], Seq.states_after' b [ r ]) with
+            | [], _ | _, [] -> ()
+            | a', b' -> walk_h2 (d + 1) ip a' b')
+          ops
+    in
+    let visit s1 =
+      Array.iteri
+        (fun ip p ->
+          match Seq.states_after' s1 [ p ] with
+          | [] -> ()
+          | b0 -> walk_h2 0 ip s1 b0)
+        ops
+    in
+    walk_states ~depth visit;
+    Relation.of_pred ~eq:Seq.equal_op ~ops:universe (fun q p ->
+        matrix.(index q).(index p))
+
+  type counterexample = { h : op list; p : op; k : op list }
+
+  let find_counterexample ~depth rel =
+    let exception Found of counterexample in
+    (* For a fixed legal h (state set [sh]) and op p legal after h (state
+       set [sb] after h * p), walk k over operations unrelated to p,
+       carrying [a] (after h * k) and [b] (after h * p * k).  [a] is
+       non-empty by construction; if [b] dies, Definition 3 is violated. *)
+    let rec walk_k d rev_h p rev_k a b =
+      if b = [] then
+        raise (Found { h = List.rev rev_h; p; k = List.rev rev_k });
+      if d < depth then
+        List.iter
+          (fun q ->
+            if not (rel q p) then
+              match Seq.states_after' a [ q ] with
+              | [] -> ()
+              | a' ->
+                let b' = Seq.states_after' b [ q ] in
+                walk_k (d + 1) rev_h p (q :: rev_k) a' b')
+          universe
+    in
+    (* walk_states does not expose the sequence, so re-walk here keeping
+       the reversed prefix for witness reconstruction. *)
+    let rec walk_h d rev_h sh =
+      List.iter
+        (fun p ->
+          match Seq.states_after' sh [ p ] with
+          | [] -> ()
+          | sb -> walk_k 0 rev_h p [] sh sb)
+        universe;
+      if d < depth then
+        List.iter
+          (fun r ->
+            match Seq.states_after' sh [ r ] with
+            | [] -> ()
+            | sh' -> walk_h (d + 1) (r :: rev_h) sh')
+          universe
+    in
+    try
+      walk_h 0 [] [ A.initial ];
+      None
+    with Found ce -> Some ce
+
+  let is_dependency_relation ~depth rel = find_counterexample ~depth rel = None
+
+  let is_minimal ~depth r =
+    List.for_all
+      (fun (q, p) ->
+        not (is_dependency_relation ~depth (Relation.pred (Relation.remove r q p))))
+      (Relation.pairs r)
+
+  let minimize ~depth r =
+    List.fold_left
+      (fun r (q, p) ->
+        let candidate = Relation.remove r q p in
+        if is_dependency_relation ~depth (Relation.pred candidate) then candidate
+        else r)
+      r (Relation.pairs r)
+
+  let necessary_pairs ~depth =
+    (* (q, p) is in every dependency relation iff the total relation
+       minus (q, p) is not one: the only missing premise-exclusions are
+       exactly the occurrences of q after p. *)
+    Relation.of_pred ~eq:Seq.equal_op ~ops:universe (fun q p ->
+        let all_but q' p' = not (Seq.equal_op q' q && Seq.equal_op p' p) in
+        not (is_dependency_relation ~depth all_but))
+
+  let has_unique_minimal ~depth =
+    is_dependency_relation ~depth (Relation.pred (necessary_pairs ~depth))
+
+  let pp_counterexample ppf { h; p; k } =
+    Format.fprintf ppf "@[<v>h = %a@,p = %a@,k = %a@,h*k and h*p legal, h*p*k illegal@]"
+      Seq.pp_seq h Seq.pp_op p Seq.pp_seq k
+end

@@ -1,0 +1,73 @@
+(** Dependency relations (Section 4.2 of the paper), derived from a
+    bounded serial specification.
+
+    Definition 3: a binary relation [R] on operations is a {e dependency
+    relation} iff for all operation sequences [h], [k] and operations [p]
+    such that [h * k] and [h * p] are legal and no operation [q] in [k]
+    satisfies [(q, p) ∈ R], the sequence [h * p * k] is legal.
+
+    Definition 8/9: [p] {e invalidates} [q] iff there exist [h1], [h2]
+    with [h1 * p * h2] and [h1 * h2 * q] legal but [h1 * p * h2 * q]
+    illegal; {e invalidated-by} relates [(q, p)] for every such pair and
+    is always a dependency relation (Theorem 10).
+
+    The paper quantifies over all sequences; we enumerate legal contexts
+    up to a configurable [depth] over the specification's finite operation
+    universe.  The checks are therefore exact refuters and bounded
+    verifiers: [is_dependency_relation] returning [false] is definitive
+    (a concrete counterexample exists and can be retrieved), returning
+    [true] means no counterexample exists within the bound.  Tests assert
+    that results are stable between [depth] and [depth + 1] for every ADT
+    shipped here. *)
+
+module Make (A : Adt_sig.BOUNDED) : sig
+  module Seq : module type of Sequences.Make (A)
+
+  type op = A.inv * A.res
+
+  val invalidates : depth:int -> op -> op -> bool
+  (** [invalidates ~depth p q] — Definition 8, with [h1] and [h2] ranging
+      over sequences of length at most [depth]. *)
+
+  val invalidated_by : depth:int -> op Relation.t
+  (** Definition 9 over the whole universe: [(q, p)] is related iff
+      [invalidates p q].  Rows depend on columns, matching the orientation
+      of the paper's figures. *)
+
+  type counterexample = { h : op list; p : op; k : op list }
+  (** A witness that a relation is not a dependency relation: [h * k] and
+      [h * p] are legal, no operation of [k] is related to [p], yet
+      [h * p * k] is illegal. *)
+
+  val find_counterexample : depth:int -> (op -> op -> bool) -> counterexample option
+  (** Search for a Definition-3 violation with [h] and [k] bounded by
+      [depth]. *)
+
+  val is_dependency_relation : depth:int -> (op -> op -> bool) -> bool
+  (** [find_counterexample] is [None]. *)
+
+  val is_minimal : depth:int -> op Relation.t -> bool
+  (** No single pair can be removed while remaining a dependency relation
+      (within the bound). *)
+
+  val minimize : depth:int -> op Relation.t -> op Relation.t
+  (** Greedily drop pairs while the result remains a dependency relation.
+      The result depends on pair order; it is {e a} minimal relation below
+      the input, not a canonical one (the paper notes minimal dependency
+      relations need not be unique). *)
+
+  val necessary_pairs : depth:int -> op Relation.t
+  (** The pairs contained in {e every} dependency relation: [(q, p)] is
+      necessary iff the total relation minus that single pair violates
+      Definition 3 (within the bound).  A specification has a {e unique}
+      minimal dependency relation iff the necessary pairs themselves form
+      a dependency relation — and then that is it.  The paper asserts
+      uniqueness for File, SemiQueue and Account, and exhibits two
+      incomparable minimal relations for the Queue; the tests check all
+      four via this function. *)
+
+  val has_unique_minimal : depth:int -> bool
+  (** [necessary_pairs] is itself a dependency relation. *)
+
+  val pp_counterexample : Format.formatter -> counterexample -> unit
+end

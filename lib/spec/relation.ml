@@ -1,0 +1,94 @@
+type 'op t = {
+  ops : 'op array;
+  eq : 'op -> 'op -> bool;
+  matrix : bool array array; (* matrix.(i).(j): op i related to op j *)
+}
+
+let of_pred ~eq ~ops pred =
+  let ops = Array.of_list ops in
+  let n = Array.length ops in
+  let matrix = Array.init n (fun i -> Array.init n (fun j -> pred ops.(i) ops.(j))) in
+  { ops; eq; matrix }
+
+let ops r = Array.to_list r.ops
+
+let index r p =
+  let n = Array.length r.ops in
+  let rec go i =
+    if i >= n then invalid_arg "Relation: operation not in universe"
+    else if r.eq r.ops.(i) p then i
+    else go (i + 1)
+  in
+  go 0
+
+let holds r p q = r.matrix.(index r p).(index r q)
+let pred r = fun p q -> holds r p q
+
+let pairs r =
+  let acc = ref [] in
+  let n = Array.length r.ops in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto 0 do
+      if r.matrix.(i).(j) then acc := (r.ops.(i), r.ops.(j)) :: !acc
+    done
+  done;
+  !acc
+
+let size r =
+  Array.fold_left
+    (fun acc row -> Array.fold_left (fun a b -> if b then a + 1 else a) acc row)
+    0 r.matrix
+
+let map_matrix f r =
+  let n = Array.length r.ops in
+  { r with matrix = Array.init n (fun i -> Array.init n (fun j -> f i j)) }
+
+let symmetric_closure r = map_matrix (fun i j -> r.matrix.(i).(j) || r.matrix.(j).(i)) r
+
+let union a b =
+  if Array.length a.ops <> Array.length b.ops then
+    invalid_arg "Relation.union: different universes";
+  map_matrix (fun i j -> a.matrix.(i).(j) || b.matrix.(i).(j)) a
+
+let remove r p q =
+  let ip = index r p and iq = index r q in
+  map_matrix (fun i j -> r.matrix.(i).(j) && not (i = ip && j = iq)) r
+
+let subset a b =
+  if Array.length a.ops <> Array.length b.ops then
+    invalid_arg "Relation.subset: different universes";
+  let ok = ref true in
+  Array.iteri
+    (fun i row -> Array.iteri (fun j v -> if v && not b.matrix.(i).(j) then ok := false) row)
+    a.matrix;
+  !ok
+
+let equal a b = subset a b && subset b a
+let proper_subset a b = subset a b && not (subset b a)
+
+let is_symmetric r =
+  let n = Array.length r.ops in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if r.matrix.(i).(j) <> r.matrix.(j).(i) then ok := false
+    done
+  done;
+  !ok
+
+let pp ~pp_op ppf r =
+  let n = Array.length r.ops in
+  let label i = Format.asprintf "%a" pp_op r.ops.(i) in
+  let labels = Array.init n label in
+  let width = Array.fold_left (fun w s -> max w (String.length s)) 1 labels in
+  let pad s = s ^ String.make (max 0 (width - String.length s)) ' ' in
+  Format.fprintf ppf "%s |" (pad "");
+  Array.iter (fun l -> Format.fprintf ppf " %s |" (pad l)) labels;
+  Format.fprintf ppf "@.";
+  for i = 0 to n - 1 do
+    Format.fprintf ppf "%s |" (pad labels.(i));
+    for j = 0 to n - 1 do
+      Format.fprintf ppf " %s |" (pad (if r.matrix.(i).(j) then "x" else ""))
+    done;
+    Format.fprintf ppf "@."
+  done

@@ -1,0 +1,39 @@
+(** Materialized binary relations over a finite operation universe.
+
+    The dependency machinery manipulates relations both as predicates and
+    as finite tables (for minimality checking, comparison, and rendering
+    the paper's figures).  A [t] fixes a universe [ops] and stores the
+    relation as a boolean matrix indexed by positions in [ops]. *)
+
+type 'op t
+
+val of_pred : eq:('op -> 'op -> bool) -> ops:'op list -> ('op -> 'op -> bool) -> 'op t
+(** Materialize a predicate over the given universe.  [eq] decides
+    operation equality and is used by {!holds} to locate arguments. *)
+
+val ops : 'op t -> 'op list
+val holds : 'op t -> 'op -> 'op -> bool
+(** [holds r p q] — true iff [(p, q)] is in the relation.  Raises
+    [Invalid_argument] if [p] or [q] is outside the universe. *)
+
+val pred : 'op t -> 'op -> 'op -> bool
+(** The relation as a predicate (partial application of {!holds}). *)
+
+val pairs : 'op t -> ('op * 'op) list
+(** All pairs in the relation, row-major. *)
+
+val size : 'op t -> int
+(** Number of related pairs. *)
+
+val symmetric_closure : 'op t -> 'op t
+val union : 'op t -> 'op t -> 'op t
+val remove : 'op t -> 'op -> 'op -> 'op t
+(** [remove r p q] deletes the single pair [(p, q)] (not its mirror). *)
+
+val subset : 'op t -> 'op t -> bool
+val equal : 'op t -> 'op t -> bool
+val proper_subset : 'op t -> 'op t -> bool
+val is_symmetric : 'op t -> bool
+
+val pp : pp_op:(Format.formatter -> 'op -> unit) -> Format.formatter -> 'op t -> unit
+(** Render as a matrix with [x] marks; rows depend on columns. *)

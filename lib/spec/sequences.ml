@@ -1,0 +1,59 @@
+module Make (A : Adt_sig.S) = struct
+  type op = A.inv * A.res
+
+  let equal_op (i1, r1) (i2, r2) = A.equal_inv i1 i2 && A.equal_res r1 r2
+
+  let pp_op ppf (i, r) = Format.fprintf ppf "[%a, %a]" A.pp_inv i A.pp_res r
+
+  let dedup_states ss =
+    List.fold_left
+      (fun acc s -> if List.exists (A.equal_state s) acc then acc else s :: acc)
+      [] ss
+    |> List.rev
+
+  let succ_states s (i, r) =
+    A.step s i
+    |> List.filter_map (fun (r', s') -> if A.equal_res r r' then Some s' else None)
+    |> dedup_states
+
+  let states_after' ss h =
+    List.fold_left
+      (fun ss p -> dedup_states (List.concat_map (fun s -> succ_states s p) ss))
+      ss h
+
+  let states_after h = states_after' [ A.initial ] h
+  let legal_from ss h = states_after' ss h <> []
+  let legal h = legal_from [ A.initial ] h
+
+  let state_sets_equal a b =
+    let subset x y = List.for_all (fun s -> List.exists (A.equal_state s) y) x in
+    subset a b && subset b a
+
+  let equivalent h h' = state_sets_equal (states_after h) (states_after h')
+
+  let legal_sequences ~ops ~depth =
+    (* Breadth-first with pruning: keep (reversed sequence, state set). *)
+    let rec go k frontier acc =
+      if k > depth then List.rev acc
+      else
+        let extended =
+          List.concat_map
+            (fun (rev_seq, ss) ->
+              List.filter_map
+                (fun p ->
+                  match states_after' ss [ p ] with
+                  | [] -> None
+                  | ss' -> Some (p :: rev_seq, ss'))
+                ops)
+            frontier
+        in
+        let acc = List.fold_left (fun a (rs, _) -> List.rev rs :: a) acc extended in
+        go (k + 1) extended acc
+    in
+    go 1 [ ([], [ A.initial ]) ] [ [] ]
+
+  let pp_seq ppf h =
+    Format.fprintf ppf "@[<h>%a@]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " * ") pp_op)
+      h
+end

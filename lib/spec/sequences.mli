@@ -1,0 +1,47 @@
+(** Legality of operation sequences, derived from a serial specification.
+
+    A sequence [h = p1 ... pn] of operations is {e legal} (belongs to the
+    serial specification, Section 3.1 of the paper) iff there is a path
+    [initial --p1--> s1 --p2--> ... --pn--> sn] where each transition is
+    justified by [A.step].  Nondeterminism makes the set of states
+    reachable after [h] a set rather than a single state; two sequences
+    are {e equivalent} (Definition 25) iff they reach the same state set,
+    because future legality depends only on the current state. *)
+
+module Make (A : Adt_sig.S) : sig
+  type op = A.inv * A.res
+
+  val equal_op : op -> op -> bool
+  val pp_op : Format.formatter -> op -> unit
+
+  val succ_states : A.state -> op -> A.state list
+  (** [succ_states s p] is every state reachable by executing operation
+      [p] (i.e. invoking its invocation and observing exactly its recorded
+      response) from [s].  Empty iff [p] is illegal in [s]. *)
+
+  val states_after' : A.state list -> op list -> A.state list
+  (** [states_after' ss h] folds {!succ_states} over [h] starting from the
+      state set [ss], deduplicating with [A.equal_state]. *)
+
+  val states_after : op list -> A.state list
+  (** [states_after h = states_after' [A.initial] h]. *)
+
+  val legal : op list -> bool
+  (** [legal h] iff [states_after h] is non-empty.  [legal []] holds. *)
+
+  val legal_from : A.state list -> op list -> bool
+  (** Legality starting from a given state set. *)
+
+  val equivalent : op list -> op list -> bool
+  (** Definition 25, decided exactly via state-set equality: [h] and [h']
+      are equivalent iff for all [g], [h * g] is legal iff [h' * g] is.
+      Requires both sequences to be legal; two illegal sequences are
+      trivially equivalent (no legal extensions of either). *)
+
+  val legal_sequences : ops:op list -> depth:int -> op list list
+  (** All legal sequences over the alphabet [ops] of length [0..depth],
+      enumerated with pruning (an illegal prefix is never extended).
+      Shortest first. *)
+
+  val pp_seq : Format.formatter -> op list -> unit
+end

@@ -1,0 +1,50 @@
+module Make (A : Adt_sig.S) = struct
+  module Seq = Sequences.Make (A)
+
+  type op = A.inv * A.res
+
+  let subsequence h idxs =
+    let arr = Array.of_list h in
+    List.map
+      (fun i ->
+        if i < 0 || i >= Array.length arr then invalid_arg "Views.subsequence" else arr.(i))
+      idxs
+
+  let is_closed r h idxs =
+    let arr = Array.of_list h in
+    (* for every kept index j and every earlier index i with
+       (h[j], h[i]) in r, i must also be kept *)
+    List.for_all
+      (fun j ->
+        List.for_all
+          (fun i ->
+            if i < j && r arr.(j) arr.(i) then List.mem i idxs else true)
+          (List.init (Array.length arr) Fun.id))
+      idxs
+
+  let is_view_for r h idxs q =
+    let arr = Array.of_list h in
+    is_closed r h idxs
+    && List.for_all
+         (fun i -> if r q arr.(i) then List.mem i idxs else true)
+         (List.init (Array.length arr) Fun.id)
+
+  let view_indices_for r h q =
+    let arr = Array.of_list h in
+    let n = Array.length arr in
+    let keep = Array.make n false in
+    (* seed with the operations q depends on *)
+    for i = 0 to n - 1 do
+      if r q arr.(i) then keep.(i) <- true
+    done;
+    (* Close under r.  Dependencies point strictly earlier, so a single
+       descending scan settles everything: marking i < j happens before
+       the scan reaches j' = i. *)
+    for j = n - 1 downto 0 do
+      if keep.(j) then
+        for i = 0 to j - 1 do
+          if r arr.(j) arr.(i) then keep.(i) <- true
+        done
+    done;
+    List.filter (fun i -> keep.(i)) (List.init n Fun.id)
+end

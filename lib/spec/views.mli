@@ -1,0 +1,40 @@
+(** R-closed subsequences and R-views (paper Definitions 5 and 6).
+
+    A subsequence [g] of [h] is {e R-closed} if whenever [g] contains an
+    operation [q] of [h] it also contains every earlier operation [p] of
+    [h] with [(q, p) ∈ R].  [g] is an {e R-view of h for q} if it is
+    R-closed and contains every [p] in [h] with [(q, p) ∈ R].
+
+    Lemma 7 — the key step in the protocol's correctness proof — says
+    that when R is a dependency relation, testing an operation's legality
+    against a view suffices: if [g] is an R-view of [h] for [q] and
+    [g * q] is legal, then [h * q] is legal.  The test suite checks
+    Lemma 7 (and Lemma 4) as executable properties over random data,
+    using these definitions.
+
+    Subsequences are represented by the sorted list of indices of [h]
+    they keep, so "the same operation at two positions" stays
+    unambiguous. *)
+
+module Make (A : Adt_sig.S) : sig
+  module Seq : module type of Sequences.Make (A)
+
+  type op = A.inv * A.res
+
+  val subsequence : op list -> int list -> op list
+  (** [subsequence h idxs] extracts the operations of [h] at the given
+      (sorted, distinct) indices.  Raises [Invalid_argument] on an
+      out-of-range index. *)
+
+  val is_closed : (op -> op -> bool) -> op list -> int list -> bool
+  (** Definition 5: [is_closed r h idxs] — the subsequence of [h] at
+      [idxs] is r-closed. *)
+
+  val is_view_for : (op -> op -> bool) -> op list -> int list -> op -> bool
+  (** Definition 6: the subsequence is an r-view of [h] for [q]. *)
+
+  val view_indices_for : (op -> op -> bool) -> op list -> op -> int list
+  (** The {e minimal} r-view of [h] for [q]: every operation [q] depends
+      on, closed under r.  (Views are not unique; this is the smallest
+      one, the useful witness for Lemma 7.) *)
+end

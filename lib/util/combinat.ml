@@ -1,0 +1,71 @@
+let rec insert_everywhere x = function
+  | [] -> [ [ x ] ]
+  | y :: ys as l -> (x :: l) :: List.map (fun t -> y :: t) (insert_everywhere x ys)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | x :: xs -> List.concat_map (insert_everywhere x) (permutations xs)
+
+let rec subsets = function
+  | [] -> [ [] ]
+  | x :: xs ->
+    let rest = subsets xs in
+    rest @ List.map (fun s -> x :: s) rest
+
+let rec sequences alphabet n =
+  if n <= 0 then [ [] ]
+  else
+    let shorter = sequences alphabet (n - 1) in
+    List.concat_map (fun x -> List.map (fun s -> x :: s) shorter) alphabet
+
+let sequences_upto alphabet n =
+  let rec go k acc =
+    if k > n then List.rev acc else go (k + 1) (sequences alphabet k :: acc)
+  in
+  List.concat (go 0 [])
+
+let cartesian xs ys = List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs
+
+let rec interleavings xs ys =
+  match (xs, ys) with
+  | [], l | l, [] -> [ l ]
+  | x :: xs', y :: ys' ->
+    List.map (fun t -> x :: t) (interleavings xs' ys)
+    @ List.map (fun t -> y :: t) (interleavings xs ys')
+
+let topological_orders xs lt =
+  (* Generate orders incrementally: at each step pick any remaining element
+     that has no remaining predecessor.  This enumerates exactly the
+     linearizations of the partial order.  Elements are tracked by their
+     position in [xs] so duplicates and immediate values are handled. *)
+  let indexed = List.mapi (fun i x -> (i, x)) xs in
+  let rec go remaining =
+    match remaining with
+    | [] -> [ [] ]
+    | _ ->
+      let minimal (i, x) =
+        not (List.exists (fun (j, y) -> j <> i && lt y x) remaining)
+      in
+      let candidates = List.filter minimal remaining in
+      List.concat_map
+        (fun (i, x) ->
+          let rest = List.filter (fun (j, _) -> j <> i) remaining in
+          List.map (fun t -> x :: t) (go rest))
+        candidates
+  in
+  go indexed
+
+let pairs xs = cartesian xs xs
+
+let rec is_prefix ~eq xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | x :: xs', y :: ys' -> eq x y && is_prefix ~eq xs' ys'
+
+let rec is_subsequence ~eq xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | x :: xs', y :: ys' ->
+    if eq x y then is_subsequence ~eq xs' ys' else is_subsequence ~eq xs ys'

@@ -1,0 +1,47 @@
+(** Small combinatorics toolkit used by the bounded model checkers.
+
+    Everything here is exact and deterministic; complexity is exponential
+    by nature (permutations, subsets), so callers are expected to keep the
+    inputs test-sized.  The formal checkers in {!Model.Atomicity} quantify
+    over permutations of transactions and subsets of active transactions,
+    which is exactly what this module provides. *)
+
+val permutations : 'a list -> 'a list list
+(** [permutations xs] is the list of all permutations of [xs].
+    [permutations []] is [[[]]]. Length is [n!]. *)
+
+val subsets : 'a list -> 'a list list
+(** [subsets xs] is the list of all [2^n] subsets of [xs], each preserving
+    the relative order of elements in [xs]. *)
+
+val sequences : 'a list -> int -> 'a list list
+(** [sequences alphabet n] is the list of all sequences over [alphabet] of
+    length exactly [n] ([|alphabet|^n] of them). *)
+
+val sequences_upto : 'a list -> int -> 'a list list
+(** [sequences_upto alphabet n] is all sequences of length [0..n],
+    shortest first. *)
+
+val cartesian : 'a list -> 'b list -> ('a * 'b) list
+(** [cartesian xs ys] is all pairs [(x, y)]. *)
+
+val interleavings : 'a list -> 'a list -> 'a list list
+(** [interleavings xs ys] is all order-preserving merges of [xs] and
+    [ys]. *)
+
+val topological_orders : 'a list -> ('a -> 'a -> bool) -> 'a list list
+(** [topological_orders xs lt] is every permutation of [xs] that is
+    consistent with the (assumed acyclic) strict order [lt]: whenever
+    [lt a b] holds, [a] appears before [b].  Used to enumerate the total
+    orders consistent with a [Known] relation. *)
+
+val pairs : 'a list -> ('a * 'a) list
+(** [pairs xs] is all ordered pairs [(x, y)] with [x] and [y] drawn from
+    [xs], including diagonal pairs. *)
+
+val is_prefix : eq:('a -> 'a -> bool) -> 'a list -> 'a list -> bool
+(** [is_prefix ~eq xs ys] is true when [xs] is a prefix of [ys]. *)
+
+val is_subsequence : eq:('a -> 'a -> bool) -> 'a list -> 'a list -> bool
+(** [is_subsequence ~eq xs ys] is true when [xs] can be obtained from [ys]
+    by deleting elements (order preserved). *)

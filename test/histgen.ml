@@ -1,0 +1,73 @@
+(* Random well-formed histories generated *through* the LOCK machine.
+
+   The generator plays a random scheduler: a pool of transactions issues
+   random invocations; the machine chooses responses (so the history is
+   always in L(LOCK) for the given conflict relation); refused
+   invocations are dropped or the transaction aborts; transactions commit
+   with timestamps from a monotone counter, which satisfies the
+   precedes-respecting timestamp constraint by construction.
+
+   Shared by the lock-machine, compaction and runtime test suites. *)
+
+module Make (A : Spec.Adt_sig.BOUNDED) = struct
+  module L = Hybrid.Lock_machine.Make (A)
+  module H = L.H
+
+  type config = {
+    txns : int;  (** transaction pool size *)
+    steps : int;  (** scheduler steps *)
+    abort_bias : int;  (** 1 in [abort_bias] completions aborts *)
+  }
+
+  let default = { txns = 3; steps = 18; abort_bias = 4 }
+
+  (* Returns the generated history (the machine accepted every event). *)
+  let generate ?(config = default) (rand : Random.State.t) ~conflict : H.t =
+    let invocations = List.map fst A.universe in
+    let inv_array = Array.of_list invocations in
+    let pick_inv () = inv_array.(Random.State.int rand (Array.length inv_array)) in
+    let machine = ref (L.create ~conflict) in
+    let history = ref [] in
+    let clock = ref 0 in
+    let completed = Array.make config.txns false in
+    let apply e =
+      match L.step !machine e with
+      | Ok m ->
+        machine := m;
+        history := e :: !history;
+        true
+      | Error _ -> false
+    in
+    for _ = 1 to config.steps do
+      let i = Random.State.int rand config.txns in
+      let t = Model.Txn.make i in
+      if not completed.(i) then
+        match L.pending !machine t with
+        | Some _ -> (
+          (* Try to respond; on refusal, sometimes abort. *)
+          match L.available_responses !machine t with
+          | r :: rest ->
+            let choices = Array.of_list (r :: rest) in
+            let r = choices.(Random.State.int rand (Array.length choices)) in
+            ignore (apply (H.Respond (t, r)))
+          | [] ->
+            if Random.State.int rand 2 = 0 then begin
+              ignore (apply (H.Abort t));
+              completed.(i) <- true
+            end)
+        | None ->
+          (* Invoke something, or complete. *)
+          let die = Random.State.int rand 10 in
+          if die < 6 then ignore (apply (H.Invoke (t, pick_inv ())))
+          else if die < 9 then begin
+            if Random.State.int rand config.abort_bias = 0 then
+              ignore (apply (H.Abort t))
+            else begin
+              incr clock;
+              ignore (apply (H.Commit (t, !clock)))
+            end;
+            completed.(i) <- true
+          end
+    done;
+    List.rev !history
+end

@@ -1,0 +1,243 @@
+(* Tests for Model.Atomicity: serializability, atomicity, hybrid
+   atomicity and online hybrid atomicity (paper Section 3), on
+   hand-built histories with known classifications. *)
+
+module Q = Adt.Fifo_queue
+module F = Adt.File_adt
+module H = Model.History.Make (Q)
+module At = Model.Atomicity.Make (Q)
+module HF = Model.History.Make (F)
+module AtF = Model.Atomicity.Make (F)
+
+let p = Model.Txn.make ~label:"P" 1
+let q = Model.Txn.make ~label:"Q" 2
+let r = Model.Txn.make ~label:"R" 3
+
+let check_bool = Alcotest.(check bool)
+
+let paper_history : H.t =
+  [
+    H.Invoke (p, Q.Enq 1);
+    H.Respond (p, Q.Ok);
+    H.Invoke (q, Q.Enq 2);
+    H.Respond (q, Q.Ok);
+    H.Commit (p, 2);
+    H.Commit (q, 1);
+    H.Invoke (r, Q.Deq);
+    H.Respond (r, Q.Val 2);
+    H.Invoke (r, Q.Deq);
+    H.Respond (r, Q.Val 1);
+    H.Commit (r, 5);
+  ]
+
+(* ---------------- acceptability / serializability ---------------- *)
+
+let test_acceptable_serial () =
+  let serial =
+    [
+      H.Invoke (q, Q.Enq 2);
+      H.Respond (q, Q.Ok);
+      H.Commit (q, 1);
+      H.Invoke (p, Q.Enq 1);
+      H.Respond (p, Q.Ok);
+      H.Commit (p, 2);
+    ]
+  in
+  check_bool "serial legal history" true (At.acceptable serial)
+
+let test_serializable_in_order () =
+  check_bool "paper history in Q,P,R order" true
+    (At.serializable_in paper_history [ q; p; r ]);
+  check_bool "paper history NOT in P,Q,R order" false
+    (At.serializable_in paper_history [ p; q; r ])
+
+let test_serializable_exists () =
+  check_bool "paper history serializable" true (At.serializable paper_history)
+
+let test_not_serializable () =
+  (* P and Q each enqueue then dequeue the other's item: no serial order
+     explains both dequeues. *)
+  let h =
+    [
+      H.Invoke (p, Q.Enq 1);
+      H.Respond (p, Q.Ok);
+      H.Invoke (q, Q.Enq 2);
+      H.Respond (q, Q.Ok);
+      H.Invoke (p, Q.Deq);
+      H.Respond (p, Q.Val 2);
+      H.Invoke (q, Q.Deq);
+      H.Respond (q, Q.Val 1);
+      H.Commit (p, 1);
+      H.Commit (q, 2);
+    ]
+  in
+  check_bool "cross-dequeue not serializable" false (At.serializable h);
+  check_bool "hence not atomic" false (At.atomic h);
+  check_bool "hence not hybrid atomic" false (At.hybrid_atomic h)
+
+(* ---------------- atomicity vs hybrid atomicity ---------------- *)
+
+let test_atomic_ignores_aborted () =
+  (* An aborted transaction's impossible operations don't matter. *)
+  let h =
+    [
+      H.Invoke (p, Q.Enq 1);
+      H.Respond (p, Q.Ok);
+      H.Invoke (q, Q.Deq);
+      H.Respond (q, Q.Val 1);
+      H.Abort q;
+      H.Commit (p, 1);
+    ]
+  in
+  check_bool "atomic after discarding Q" true (At.atomic h)
+
+let test_hybrid_needs_ts_order () =
+  (* Serializable in some order, but not in timestamp order. *)
+  let h =
+    [
+      H.Invoke (p, Q.Enq 1);
+      H.Respond (p, Q.Ok);
+      H.Invoke (q, Q.Enq 2);
+      H.Respond (q, Q.Ok);
+      (* FIFO: dequeue sees 1 first, so P must serialize before Q;
+         but P's timestamp is larger. *)
+      H.Commit (p, 2);
+      H.Commit (q, 1);
+      H.Invoke (r, Q.Deq);
+      H.Respond (r, Q.Val 1);
+      H.Commit (r, 5);
+    ]
+  in
+  check_bool "atomic (order P,Q,R works)" true (At.atomic h);
+  check_bool "not hybrid atomic (TS order is Q,P,R)" false (At.hybrid_atomic h)
+
+let test_paper_history_hybrid () =
+  check_bool "hybrid atomic" true (At.hybrid_atomic paper_history);
+  check_bool "online hybrid atomic" true (At.online_hybrid_atomic paper_history)
+
+(* ---------------- online hybrid atomicity ---------------- *)
+
+let test_online_all_prefixes () =
+  let n = List.length paper_history in
+  List.iter
+    (fun k ->
+      let prefix = List.filteri (fun i _ -> i < k) paper_history in
+      check_bool
+        (Printf.sprintf "prefix %d" k)
+        true
+        (At.online_hybrid_atomic prefix))
+    (List.init (n + 1) Fun.id)
+
+let test_online_stronger_than_hybrid () =
+  (* A history that is hybrid atomic but NOT online hybrid atomic: the
+     active transaction R has dequeued 1, which forces P before Q, but
+     neither has committed, so a commit set where P and Q commit in the
+     other timestamp order must also be serializable — and is not. *)
+  let h =
+    [
+      H.Invoke (p, Q.Enq 1);
+      H.Respond (p, Q.Ok);
+      H.Invoke (q, Q.Enq 2);
+      H.Respond (q, Q.Ok);
+      H.Invoke (r, Q.Deq);
+      H.Respond (r, Q.Val 2);
+    ]
+  in
+  (* no commits: permanent(h) is empty, trivially hybrid atomic *)
+  check_bool "hybrid atomic (vacuously)" true (At.hybrid_atomic h);
+  check_bool "but not online hybrid atomic" false (At.online_hybrid_atomic h)
+
+let test_online_empty_and_single () =
+  check_bool "empty" true (At.online_hybrid_atomic []);
+  check_bool "single op no commit" true
+    (At.online_hybrid_atomic [ H.Invoke (p, Q.Enq 1); H.Respond (p, Q.Ok) ])
+
+(* ---------------- Thomas write rule on File ---------------- *)
+
+let test_file_concurrent_writes () =
+  (* Two concurrent writers: later reads see the later-timestamped
+     write.  This is the generalized Thomas Write Rule scenario. *)
+  let h =
+    [
+      HF.Invoke (p, F.Write 1);
+      HF.Respond (p, F.Ok);
+      HF.Invoke (q, F.Write 2);
+      HF.Respond (q, F.Ok);
+      HF.Commit (p, 2);
+      HF.Commit (q, 1);
+      HF.Invoke (r, F.Read);
+      HF.Respond (r, F.Val 1);
+      (* P's write has the later timestamp *)
+      HF.Commit (r, 3);
+    ]
+  in
+  check_bool "hybrid atomic" true (AtF.hybrid_atomic h);
+  (* Reading the smaller-timestamp value instead is atomic in SOME order
+     but not hybrid atomic. *)
+  let h' =
+    List.map
+      (function
+        | HF.Respond (t, F.Val 1) when Model.Txn.equal t r -> HF.Respond (r, F.Val 2)
+        | e -> e)
+      h
+  in
+  check_bool "stale read: atomic" true (AtF.atomic h');
+  check_bool "stale read: not hybrid atomic" false (AtF.hybrid_atomic h')
+
+(* ---------------- properties ---------------- *)
+
+(* Serial histories built from legal operation sequences are acceptable
+   and online hybrid atomic when committed in execution order. *)
+let prop_serial_committed_histories_hybrid_atomic =
+  let module S = Spec.Sequences.Make (Q) in
+  QCheck2.Test.make ~name:"serial committed runs are online hybrid atomic" ~count:100
+    QCheck2.Gen.(list_size (1 -- 4) (list_size (1 -- 3) (oneofl Q.universe)))
+    (fun txn_ops ->
+      (* Build a serial history: txn i performs its ops then commits
+         with timestamp i. *)
+      let history =
+        List.concat
+          (List.mapi
+             (fun i ops ->
+               let t = Model.Txn.make i in
+               List.concat_map
+                 (fun (inv, res) -> [ H.Invoke (t, inv); H.Respond (t, res) ])
+                 ops
+               @ [ H.Commit (t, i) ])
+             txn_ops)
+      in
+      let flat = List.concat txn_ops in
+      (* Only check histories whose flattened ops are legal. *)
+      QCheck2.assume (S.legal flat);
+      At.online_hybrid_atomic history)
+
+let () =
+  Alcotest.run "atomicity"
+    [
+      ( "serializability",
+        [
+          Alcotest.test_case "acceptable serial" `Quick test_acceptable_serial;
+          Alcotest.test_case "serializable in order" `Quick test_serializable_in_order;
+          Alcotest.test_case "serializable exists" `Quick test_serializable_exists;
+          Alcotest.test_case "not serializable" `Quick test_not_serializable;
+        ] );
+      ( "atomic-vs-hybrid",
+        [
+          Alcotest.test_case "aborted discarded" `Quick test_atomic_ignores_aborted;
+          Alcotest.test_case "hybrid needs ts order" `Quick test_hybrid_needs_ts_order;
+          Alcotest.test_case "paper history" `Quick test_paper_history_hybrid;
+        ] );
+      ( "online",
+        [
+          Alcotest.test_case "all prefixes of paper history" `Quick
+            test_online_all_prefixes;
+          Alcotest.test_case "strictly stronger than hybrid" `Quick
+            test_online_stronger_than_hybrid;
+          Alcotest.test_case "degenerate cases" `Quick test_online_empty_and_single;
+        ] );
+      ( "file",
+        [ Alcotest.test_case "Thomas write rule" `Quick test_file_concurrent_writes ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_serial_committed_histories_hybrid_atomic ] );
+    ]

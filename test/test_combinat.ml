@@ -1,0 +1,154 @@
+(* Unit and property tests for Util.Combinat, the combinatorial engine
+   underneath the brute-force atomicity checkers. *)
+
+module C = Util.Combinat
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let rec factorial n = if n <= 1 then 1 else n * factorial (n - 1)
+
+let test_permutations_counts () =
+  List.iter
+    (fun n ->
+      let xs = List.init n Fun.id in
+      check_int (Printf.sprintf "n=%d" n) (factorial n) (List.length (C.permutations xs)))
+    [ 0; 1; 2; 3; 4; 5 ]
+
+let test_permutations_distinct () =
+  let perms = C.permutations [ 1; 2; 3; 4 ] in
+  check_int "all distinct" (List.length perms) (List.length (List.sort_uniq compare perms))
+
+let test_permutations_are_permutations () =
+  List.iter
+    (fun p -> check_bool "sorted equals original" true (List.sort compare p = [ 1; 2; 3 ]))
+    (C.permutations [ 3; 1; 2 ])
+
+let test_subsets () =
+  check_int "2^4" 16 (List.length (C.subsets [ 1; 2; 3; 4 ]));
+  check_int "2^0" 1 (List.length (C.subsets []));
+  check_bool "order preserved" true
+    (List.for_all (fun s -> s = List.sort compare s) (C.subsets [ 1; 2; 3; 4 ]))
+
+let test_sequences () =
+  check_int "3^2" 9 (List.length (C.sequences [ 1; 2; 3 ] 2));
+  check_int "len 0" 1 (List.length (C.sequences [ 1; 2 ] 0));
+  check_int "upto 3 over 2" (1 + 2 + 4 + 8) (List.length (C.sequences_upto [ 1; 2 ] 3))
+
+let test_sequences_upto_shortest_first () =
+  let seqs = C.sequences_upto [ 1; 2 ] 3 in
+  let lengths = List.map List.length seqs in
+  check_bool "non-decreasing lengths" true (List.sort compare lengths = lengths)
+
+let test_cartesian () =
+  check_int "3x2" 6 (List.length (C.cartesian [ 1; 2; 3 ] [ 'a'; 'b' ]));
+  check_int "pairs incl diagonal" 9 (List.length (C.pairs [ 1; 2; 3 ]))
+
+let test_interleavings () =
+  (* C(m+n, m) interleavings *)
+  check_int "C(4,2)" 6 (List.length (C.interleavings [ 1; 2 ] [ 3; 4 ]));
+  check_int "empty right" 1 (List.length (C.interleavings [ 1; 2 ] []));
+  List.iter
+    (fun m ->
+      check_bool "subsequences preserved" true
+        (C.is_subsequence ~eq:Int.equal [ 1; 2 ] m
+        && C.is_subsequence ~eq:Int.equal [ 3; 4 ] m))
+    (C.interleavings [ 1; 2 ] [ 3; 4 ])
+
+let test_topological_orders_total () =
+  (* A chain 1 < 2 < 3 has exactly one linearization. *)
+  let orders = C.topological_orders [ 3; 1; 2 ] (fun a b -> a < b) in
+  Alcotest.(check (list (list int))) "chain" [ [ 1; 2; 3 ] ] orders
+
+let test_topological_orders_empty_relation () =
+  let orders = C.topological_orders [ 1; 2; 3 ] (fun _ _ -> false) in
+  check_int "all 3! orders" 6 (List.length orders)
+
+let test_topological_orders_partial () =
+  (* 1 < 2, 1 < 3, 2 and 3 unrelated: two orders. *)
+  let lt a b = a = 1 && (b = 2 || b = 3) in
+  let orders = C.topological_orders [ 2; 3; 1 ] lt in
+  check_int "two linearizations" 2 (List.length orders);
+  check_bool "all start with 1" true (List.for_all (fun o -> List.hd o = 1) orders)
+
+let test_topological_orders_cyclic () =
+  (* A cycle admits no linearization. *)
+  let lt a b = (a = 1 && b = 2) || (a = 2 && b = 1) in
+  check_int "no orders" 0 (List.length (C.topological_orders [ 1; 2 ] lt))
+
+let test_topological_orders_duplicates () =
+  (* Physical duplicates must be handled (positions, not values). *)
+  check_int "two equal elements" 2
+    (List.length (C.topological_orders [ 7; 7 ] (fun _ _ -> false)))
+
+let test_prefix_subsequence () =
+  let eq = Int.equal in
+  check_bool "prefix yes" true (C.is_prefix ~eq [ 1; 2 ] [ 1; 2; 3 ]);
+  check_bool "prefix empty" true (C.is_prefix ~eq [] [ 1 ]);
+  check_bool "prefix no" false (C.is_prefix ~eq [ 2 ] [ 1; 2 ]);
+  check_bool "prefix longer" false (C.is_prefix ~eq [ 1; 2 ] [ 1 ]);
+  check_bool "subseq yes" true (C.is_subsequence ~eq [ 1; 3 ] [ 1; 2; 3 ]);
+  check_bool "subseq no" false (C.is_subsequence ~eq [ 3; 1 ] [ 1; 2; 3 ])
+
+(* Property tests *)
+
+let small_list = QCheck2.Gen.(list_size (0 -- 5) (0 -- 3))
+
+let prop_permutations_contain_original =
+  QCheck2.Test.make ~name:"permutations contain the original list" ~count:100 small_list
+    (fun xs -> List.mem xs (C.permutations xs))
+
+let prop_subsets_contain_empty_and_full =
+  QCheck2.Test.make ~name:"subsets contain [] and the full list" ~count:100 small_list
+    (fun xs ->
+      let ss = C.subsets xs in
+      List.mem [] ss && List.mem xs ss)
+
+let prop_topo_orders_respect_lt =
+  QCheck2.Test.make ~name:"topological orders respect the order" ~count:100
+    QCheck2.Gen.(list_size (0 -- 5) (0 -- 20))
+    (fun xs ->
+      let xs = List.sort_uniq compare xs in
+      let lt a b = a + 1 = b in
+      let index o x =
+        match List.find_index (Int.equal x) o with Some i -> i | None -> -1
+      in
+      List.for_all
+        (fun o ->
+          List.for_all
+            (fun a -> List.for_all (fun b -> (not (lt a b)) || index o a < index o b) xs)
+            xs)
+        (C.topological_orders xs lt))
+
+let () =
+  Alcotest.run "combinat"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "permutation counts" `Quick test_permutations_counts;
+          Alcotest.test_case "permutations distinct" `Quick test_permutations_distinct;
+          Alcotest.test_case "permutations valid" `Quick test_permutations_are_permutations;
+          Alcotest.test_case "subsets" `Quick test_subsets;
+          Alcotest.test_case "sequences" `Quick test_sequences;
+          Alcotest.test_case "sequences_upto shortest first" `Quick
+            test_sequences_upto_shortest_first;
+          Alcotest.test_case "cartesian and pairs" `Quick test_cartesian;
+          Alcotest.test_case "interleavings" `Quick test_interleavings;
+          Alcotest.test_case "topological: chain" `Quick test_topological_orders_total;
+          Alcotest.test_case "topological: empty relation" `Quick
+            test_topological_orders_empty_relation;
+          Alcotest.test_case "topological: partial order" `Quick
+            test_topological_orders_partial;
+          Alcotest.test_case "topological: cycle" `Quick test_topological_orders_cyclic;
+          Alcotest.test_case "topological: duplicates" `Quick
+            test_topological_orders_duplicates;
+          Alcotest.test_case "prefix and subsequence" `Quick test_prefix_subsequence;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_permutations_contain_original;
+            prop_subsets_contain_empty_and_full;
+            prop_topo_orders_respect_lt;
+          ] );
+    ]

@@ -1,0 +1,175 @@
+(* Tests for Spec.Commutativity (Definitions 25/26, Theorem 28) and the
+   paper's Section 7.1 comparison between dependency-based and
+   commutativity-based conflict relations. *)
+
+module Q = Adt.Fifo_queue
+module SQ = Adt.Semiqueue
+module F = Adt.File_adt
+module A = Adt.Account
+module CQ = Spec.Commutativity.Make (Q)
+module CS = Spec.Commutativity.Make (SQ)
+module CF = Spec.Commutativity.Make (F)
+module CA = Spec.Commutativity.Make (A)
+module DQ = Spec.Dependency.Make (Q)
+module DA = Spec.Dependency.Make (A)
+
+let check_bool = Alcotest.(check bool)
+let depth = 3
+
+(* ---------------- hand-verified commutation facts ---------------- *)
+
+let test_queue_commutes () =
+  check_bool "enq1/enq1 commute" true (CQ.commute ~depth (Q.enq 1) (Q.enq 1));
+  check_bool "enq1/enq2 do not commute" false (CQ.commute ~depth (Q.enq 1) (Q.enq 2));
+  check_bool "enq/deq commute" true (CQ.commute ~depth (Q.enq 1) (Q.deq 2));
+  check_bool "enq/deq same value commute" true (CQ.commute ~depth (Q.enq 1) (Q.deq 1));
+  check_bool "deq1/deq1 do not commute" false (CQ.commute ~depth (Q.deq 1) (Q.deq 1));
+  check_bool "deq1/deq2 commute vacuously" true (CQ.commute ~depth (Q.deq 1) (Q.deq 2))
+
+let test_file_commutes () =
+  check_bool "write v/write v commute" true (CF.commute ~depth (F.write 1) (F.write 1));
+  check_bool "write 1/write 2 do not" false (CF.commute ~depth (F.write 1) (F.write 2));
+  check_bool "read v/read v commute" true (CF.commute ~depth (F.read 1) (F.read 1));
+  check_bool "read 1/write 1 commute" true (CF.commute ~depth (F.read 1) (F.write 1));
+  check_bool "read 1/write 2 do not" false (CF.commute ~depth (F.read 1) (F.write 2))
+
+let test_account_commutes () =
+  check_bool "credit/credit" true (CA.commute ~depth (A.credit 2) (A.credit 3));
+  check_bool "post/post" true (CA.commute ~depth (A.post 1) (A.post 2));
+  check_bool "credit/post do not" false (CA.commute ~depth (A.credit 2) (A.post 1));
+  check_bool "credit/debit-ok" true (CA.commute ~depth (A.credit 2) (A.debit_ok 3));
+  check_bool "credit/overdraft do not" false
+    (CA.commute ~depth (A.credit 2) (A.debit_overdraft 3));
+  check_bool "post/debit-ok do not" false (CA.commute ~depth (A.post 1) (A.debit_ok 2));
+  check_bool "post/overdraft do not" false
+    (CA.commute ~depth (A.post 1) (A.debit_overdraft 2));
+  check_bool "debit-ok/debit-ok do not" false
+    (CA.commute ~depth (A.debit_ok 2) (A.debit_ok 3));
+  check_bool "debit-ok/overdraft commute" true
+    (CA.commute ~depth (A.debit_ok 2) (A.debit_overdraft 3));
+  check_bool "overdraft/overdraft commute" true
+    (CA.commute ~depth (A.debit_overdraft 2) (A.debit_overdraft 3))
+
+let test_semiqueue_commutes () =
+  check_bool "ins/ins" true (CS.commute ~depth (SQ.ins 1) (SQ.ins 2));
+  check_bool "ins/rem" true (CS.commute ~depth (SQ.ins 1) (SQ.rem 2));
+  check_bool "rem v/rem v do not" false (CS.commute ~depth (SQ.rem 1) (SQ.rem 1));
+  check_bool "rem 1/rem 2 commute" true (CS.commute ~depth (SQ.rem 1) (SQ.rem 2))
+
+let test_commute_symmetric () =
+  List.iter
+    (fun p ->
+      List.iter
+        (fun q ->
+          check_bool "symmetric" (CA.commute ~depth p q) (CA.commute ~depth q p))
+        A.universe)
+    A.universe
+
+(* ---------------- Theorem 28 ---------------- *)
+
+let test_theorem_28_queue () =
+  check_bool "queue failure-to-commute is a dependency relation" true
+    (DQ.is_dependency_relation ~depth (Spec.Relation.pred (CQ.failure_to_commute ~depth)))
+
+let test_theorem_28_account () =
+  check_bool "account failure-to-commute is a dependency relation" true
+    (DA.is_dependency_relation ~depth (Spec.Relation.pred (CA.failure_to_commute ~depth)))
+
+(* ---------------- Section 7.1 comparisons ---------------- *)
+
+let sym r = Spec.Relation.symmetric_closure r
+
+let test_account_hybrid_strictly_fewer_conflicts () =
+  (* The dependency-based conflicts are a strict subset of the
+     commutativity-based ones for Account: the paper's headline. *)
+  let hybrid = sym (DA.invalidated_by ~depth) in
+  let commut = CA.failure_to_commute ~depth in
+  check_bool "hybrid < commutativity" true (Spec.Relation.proper_subset hybrid commut)
+
+let test_queue_commut_equals_fig_4_3 () =
+  (* For queues, the commutativity conflicts coincide with the symmetric
+     closure of Figure 4-3 (paper Section 7.1). *)
+  let commut = CQ.failure_to_commute ~depth in
+  let fig43 =
+    Spec.Relation.of_pred
+      ~eq:(fun (i1, r1) (i2, r2) -> Q.equal_inv i1 i2 && Q.equal_res r1 r2)
+      ~ops:Q.universe Q.conflict_fig_4_3
+  in
+  check_bool "equal" true (Spec.Relation.equal commut fig43)
+
+let test_queue_commut_incomparable_with_fig_4_2 () =
+  let commut = CQ.failure_to_commute ~depth in
+  let fig42 = sym (DQ.invalidated_by ~depth) in
+  check_bool "not <=" false (Spec.Relation.subset fig42 commut);
+  check_bool "not >=" false (Spec.Relation.subset commut fig42)
+
+let test_handwritten_conflicts_match_derived () =
+  (* The conflict relations shipped with each ADT agree with the derived
+     ones over the bounded universe. *)
+  let mat_a = Spec.Relation.of_pred ~eq:( = ) ~ops:A.universe in
+  let mat_f = Spec.Relation.of_pred ~eq:( = ) ~ops:F.universe in
+  let mat_q = Spec.Relation.of_pred ~eq:( = ) ~ops:Q.universe in
+  let mat_s = Spec.Relation.of_pred ~eq:( = ) ~ops:SQ.universe in
+  let eq = Spec.Relation.equal in
+  check_bool "account commutativity" true
+    (eq (CA.failure_to_commute ~depth) (mat_a A.conflict_commutativity));
+  check_bool "file commutativity" true
+    (eq (CF.failure_to_commute ~depth) (mat_f F.conflict_commutativity));
+  check_bool "queue commutativity" true
+    (eq (CQ.failure_to_commute ~depth) (mat_q Q.conflict_commutativity));
+  check_bool "semiqueue commutativity" true
+    (eq (CS.failure_to_commute ~depth) (mat_s SQ.conflict_commutativity));
+  check_bool "account hybrid" true
+    (eq (sym (DA.invalidated_by ~depth)) (mat_a A.conflict_hybrid));
+  check_bool "queue hybrid" true
+    (eq (sym (DQ.invalidated_by ~depth)) (mat_q Q.conflict_hybrid))
+
+(* ---------------- Properties ---------------- *)
+
+let prop_commuting_ops_reorder =
+  (* If p and q commute, swapping adjacent occurrences preserves
+     legality of any continuation. *)
+  QCheck2.Test.make ~name:"commuting adjacent swap preserves legality (account)"
+    ~count:200
+    QCheck2.Gen.(
+      triple
+        (list_size (0 -- 3) (oneofl A.universe))
+        (pair (oneofl A.universe) (oneofl A.universe))
+        (list_size (0 -- 2) (oneofl A.universe)))
+    (fun (h, (p, q), k) ->
+      let module S = CA.Seq in
+      (* Definition 26's guarantee only applies where its premise holds:
+         both single extensions must be legal. *)
+      (not (CA.commute ~depth p q && S.legal (h @ [ p ]) && S.legal (h @ [ q ])))
+      || S.legal ((h @ [ p; q ]) @ k) = S.legal ((h @ [ q; p ]) @ k))
+
+let () =
+  Alcotest.run "commutativity"
+    [
+      ( "facts",
+        [
+          Alcotest.test_case "queue" `Quick test_queue_commutes;
+          Alcotest.test_case "file" `Quick test_file_commutes;
+          Alcotest.test_case "account" `Quick test_account_commutes;
+          Alcotest.test_case "semiqueue" `Quick test_semiqueue_commutes;
+          Alcotest.test_case "symmetry" `Quick test_commute_symmetric;
+        ] );
+      ( "theorem-28",
+        [
+          Alcotest.test_case "queue" `Quick test_theorem_28_queue;
+          Alcotest.test_case "account" `Slow test_theorem_28_account;
+        ] );
+      ( "section-7-1",
+        [
+          Alcotest.test_case "account: hybrid strictly finer" `Quick
+            test_account_hybrid_strictly_fewer_conflicts;
+          Alcotest.test_case "queue: commutativity = fig 4-3" `Quick
+            test_queue_commut_equals_fig_4_3;
+          Alcotest.test_case "queue: commutativity vs fig 4-2 incomparable" `Quick
+            test_queue_commut_incomparable_with_fig_4_2;
+          Alcotest.test_case "handwritten relations match derived" `Quick
+            test_handwritten_conflicts_match_derived;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_commuting_ops_reorder ] );
+    ]

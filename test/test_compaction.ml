@@ -1,0 +1,268 @@
+(* Tests for Section 6: the bookkeeping components (clock, bounds,
+   horizon), Theorem 24 (the common prefix grows monotonically), and the
+   observational equivalence of the compacted machine with the formal
+   LOCK machine on randomly generated histories. *)
+
+module Q = Adt.Fifo_queue
+module A = Adt.Account
+module L = Hybrid.Lock_machine.Make (Q)
+module C = Hybrid.Compacted.Make (Q)
+module H = L.H
+module GQ = Histgen.Make (Q)
+
+let p = Model.Txn.make ~label:"P" 1
+let q = Model.Txn.make ~label:"Q" 2
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let feed m e = Result.get_ok (L.step m e)
+
+(* ---------------- clock / bound / horizon ---------------- *)
+
+let test_clock_tracks_max_commit () =
+  let m = L.create ~conflict:Q.conflict_hybrid in
+  check_bool "initial -inf" true (L.clock m = Hybrid.Xts.Neg_inf);
+  let m = feed m (H.Invoke (p, Q.Enq 1)) in
+  let m = feed m (H.Respond (p, Q.Ok)) in
+  let m = feed m (H.Commit (p, 7)) in
+  check_bool "clock = 7" true (L.clock m = Hybrid.Xts.Fin 7);
+  let m = feed m (H.Invoke (q, Q.Enq 2)) in
+  let m = feed m (H.Respond (q, Q.Ok)) in
+  let m = feed m (H.Commit (q, 3)) in
+  check_bool "clock stays 7" true (L.clock m = Hybrid.Xts.Fin 7)
+
+let test_bound_tracking () =
+  let m = L.create ~conflict:Q.conflict_hybrid in
+  check_bool "no bound initially" true (L.bound m p = None);
+  let m = feed m (H.Invoke (p, Q.Enq 1)) in
+  check_bool "bound -inf before any commit" true (L.bound m p = Some Hybrid.Xts.Neg_inf);
+  let m = feed m (H.Respond (p, Q.Ok)) in
+  let m = feed m (H.Commit (p, 5)) in
+  check_bool "bound discarded at commit" true (L.bound m p = None);
+  (* Q invokes after P committed: its bound is P's timestamp. *)
+  let m = feed m (H.Invoke (q, Q.Enq 2)) in
+  check_bool "bound = clock" true (L.bound m q = Some (Hybrid.Xts.Fin 5))
+
+let test_horizon () =
+  let m = L.create ~conflict:Q.conflict_hybrid in
+  check_bool "-inf with nothing" true (L.horizon m = Hybrid.Xts.Neg_inf);
+  let m = feed m (H.Invoke (p, Q.Enq 1)) in
+  let m = feed m (H.Respond (p, Q.Ok)) in
+  (* active txn with bound -inf pins the horizon *)
+  check_bool "-inf with active" true (L.horizon m = Hybrid.Xts.Neg_inf);
+  let m = feed m (H.Commit (p, 5)) in
+  (* no active txns: horizon = max committed *)
+  check_bool "= max committed" true (L.horizon m = Hybrid.Xts.Fin 5);
+  let m = feed m (H.Invoke (q, Q.Enq 2)) in
+  (* Q's bound is 5: horizon = min(5, 5) *)
+  check_bool "active bound keeps it at 5" true (L.horizon m = Hybrid.Xts.Fin 5)
+
+let test_common_seq () =
+  let m = L.create ~conflict:Q.conflict_hybrid in
+  let m = feed m (H.Invoke (p, Q.Enq 1)) in
+  let m = feed m (H.Respond (p, Q.Ok)) in
+  check_int "nothing common yet" 0 (List.length (L.common_seq m));
+  let m = feed m (H.Commit (p, 5)) in
+  check_int "P's op common after commit" 1 (List.length (L.common_seq m))
+
+(* ---------------- Theorem 24, randomized ---------------- *)
+
+let prop_theorem_24_common_grows =
+  QCheck2.Test.make ~name:"Thm 24: common prefix grows monotonically" ~count:150
+    QCheck2.Gen.(0 -- 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let h = GQ.generate rand ~conflict:Q.conflict_hybrid in
+      let rec go m prev_common = function
+        | [] -> true
+        | e :: rest -> (
+          match L.step m e with
+          | Error _ -> false
+          | Ok m' ->
+            let common = L.common_seq m' in
+            Util.Combinat.is_prefix ~eq:L.H.Seq.equal_op prev_common common
+            && go m' common rest)
+      in
+      go (L.create ~conflict:Q.conflict_hybrid) [] h)
+
+(* ---------------- equivalence with the formal machine ---------------- *)
+
+(* Replaying any accepted history must give identical acceptance,
+   identical available responses at every point, and a version state
+   consistent with the reference machine's common prefix. *)
+let prop_compacted_equivalent =
+  QCheck2.Test.make ~name:"compacted machine == formal machine" ~count:200
+    QCheck2.Gen.(0 -- 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let h = GQ.generate rand ~conflict:Q.conflict_hybrid in
+      let rec go lm cm = function
+        | [] -> true
+        | e :: rest -> (
+          let lr = L.step lm e in
+          let cr = C.step cm e in
+          match (lr, cr) with
+          | Error _, Ok _ | Ok _, Error _ -> false
+          | Error a, Error b -> a = b
+          | Ok lm', Ok cm' ->
+            let same_responses =
+              List.for_all
+                (fun t ->
+                  let la = L.available_responses lm' t in
+                  let ca = C.available_responses cm' t in
+                  List.length la = List.length ca
+                  && List.for_all2 Q.equal_res la ca)
+                (List.init 3 (fun i -> Model.Txn.make i))
+            in
+            let version_consistent =
+              (* the version must equal the state reached by the formal
+                 machine's common prefix *)
+              match
+                (C.version_states cm', L.H.Seq.states_after (L.common_seq lm'))
+              with
+              | [ a ], [ b ] -> Q.equal_state a b
+              | a, b -> List.length a = List.length b
+            in
+            same_responses && version_consistent && go lm' cm' rest)
+      in
+      go (L.create ~conflict:Q.conflict_hybrid) (C.create ~conflict:Q.conflict_hybrid) h)
+
+(* The same equivalence under a relation that refuses a lot (2PL-RW),
+   exercising refusal paths. *)
+let prop_compacted_equivalent_rw =
+  QCheck2.Test.make ~name:"compacted == formal under 2PL-RW" ~count:150
+    QCheck2.Gen.(0 -- 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let h = GQ.generate rand ~conflict:Q.conflict_rw in
+      match (L.run ~conflict:Q.conflict_rw h, C.run ~conflict:Q.conflict_rw h) with
+      | Ok _, Ok _ -> true
+      | Error (e1, r1), Error (e2, r2) -> e1 = e2 && r1 = r2
+      | _ -> false)
+
+(* Committed-state agreement: at every point of a random history, the
+   compacted machine's committed state equals the state reached by the
+   formal machine's permanent sequence, and a snapshot at the largest
+   committed timestamp equals the committed state. *)
+let prop_committed_state_agreement =
+  QCheck2.Test.make ~name:"committed states agree with the formal machine" ~count:150
+    QCheck2.Gen.(0 -- 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let h = GQ.generate rand ~conflict:Q.conflict_hybrid in
+      let rec go lm cm = function
+        | [] -> true
+        | e :: rest -> (
+          match (L.step lm e, C.step cm e) with
+          | Ok lm', Ok cm' ->
+            let reference = L.H.Seq.states_after (L.permanent_seq lm') in
+            let states_equal a b =
+              List.length a = List.length b && List.for_all2 Q.equal_state a b
+            in
+            let committed_ok = states_equal (C.committed_states cm') reference in
+            let snapshot_ok =
+              (* the newest possible snapshot sees exactly the committed
+                 state *)
+              match L.clock lm' with
+              | Hybrid.Xts.Neg_inf -> true
+              | Hybrid.Xts.Fin ts -> (
+                match C.states_at cm' ~at:ts with
+                | Some ss -> states_equal ss reference
+                | None -> false)
+            in
+            committed_ok && snapshot_ok && go lm' cm' rest
+          | Error a, Error b -> a = b
+          | _ -> false)
+      in
+      go (L.create ~conflict:Q.conflict_hybrid) (C.create ~conflict:Q.conflict_hybrid) h)
+
+(* ---------------- compaction actually compacts ---------------- *)
+
+let test_forgets_sequential_txns () =
+  let m = ref (C.create ~conflict:Q.conflict_hybrid) in
+  let apply e = m := Result.get_ok (C.step !m e) in
+  for i = 1 to 50 do
+    let t = Model.Txn.make i in
+    apply (H.Invoke (t, Q.Enq i));
+    (match C.choose_response !m t with
+    | Ok (_, m') -> m := m'
+    | Error _ -> Alcotest.fail "response refused");
+    apply (H.Commit (t, i))
+  done;
+  check_int "all 50 forgotten" 50 (C.forgotten !m);
+  check_int "no remembered intentions" 0 (C.remembered !m);
+  check_int "no live ops" 0 (C.live_ops !m);
+  match C.version_states !m with
+  | [ s ] -> check_int "version holds the queue" 50 (List.length s)
+  | _ -> Alcotest.fail "expected one version state"
+
+let test_active_txn_blocks_forgetting () =
+  let m = ref (C.create ~conflict:Q.conflict_hybrid) in
+  let apply e = m := Result.get_ok (C.step !m e) in
+  (* P starts but does not finish... *)
+  apply (H.Invoke (p, Q.Enq 99));
+  (match C.choose_response !m p with
+  | Ok (_, m') -> m := m'
+  | Error _ -> Alcotest.fail "refused");
+  (* ...while other transactions come and go. *)
+  for i = 10 to 20 do
+    let t = Model.Txn.make i in
+    apply (H.Invoke (t, Q.Enq i));
+    (match C.choose_response !m t with
+    | Ok (_, m') -> m := m'
+    | Error _ -> Alcotest.fail "refused");
+    apply (H.Commit (t, i))
+  done;
+  (* P's bound is -inf, so nothing can be forgotten. *)
+  check_int "nothing forgotten" 0 (C.forgotten !m);
+  check_int "all remembered" 11 (C.remembered !m);
+  (* Once P commits, everything folds. *)
+  apply (H.Commit (p, 21));
+  check_int "everything forgotten" 12 (C.forgotten !m)
+
+let test_abort_releases_horizon () =
+  let m = ref (C.create ~conflict:Q.conflict_hybrid) in
+  let apply e = m := Result.get_ok (C.step !m e) in
+  apply (H.Invoke (p, Q.Enq 1));
+  (match C.choose_response !m p with
+  | Ok (_, m') -> m := m'
+  | Error _ -> Alcotest.fail "refused");
+  apply (H.Invoke (q, Q.Enq 2));
+  (match C.choose_response !m q with
+  | Ok (_, m') -> m := m'
+  | Error _ -> Alcotest.fail "refused");
+  apply (H.Commit (q, 1));
+  check_int "pinned by P" 0 (C.forgotten !m);
+  apply (H.Abort p);
+  check_int "released by P's abort" 1 (C.forgotten !m)
+
+let () =
+  Alcotest.run "compaction"
+    [
+      ( "bookkeeping",
+        [
+          Alcotest.test_case "clock" `Quick test_clock_tracks_max_commit;
+          Alcotest.test_case "bounds" `Quick test_bound_tracking;
+          Alcotest.test_case "horizon" `Quick test_horizon;
+          Alcotest.test_case "common prefix" `Quick test_common_seq;
+        ] );
+      ( "theorem-24",
+        List.map QCheck_alcotest.to_alcotest [ prop_theorem_24_common_grows ] );
+      ( "equivalence",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_compacted_equivalent;
+            prop_compacted_equivalent_rw;
+            prop_committed_state_agreement;
+          ] );
+      ( "forgetting",
+        [
+          Alcotest.test_case "sequential transactions fold" `Quick
+            test_forgets_sequential_txns;
+          Alcotest.test_case "active transaction pins the horizon" `Quick
+            test_active_txn_blocks_forgetting;
+          Alcotest.test_case "abort releases the horizon" `Quick
+            test_abort_releases_horizon;
+        ] );
+    ]

@@ -1,0 +1,301 @@
+(* Tests for Spec.Dependency — the heart of the reproduction.
+
+   Covers: the derived invalidated-by relations for all four paper ADTs
+   (diffed cell-by-cell against the figures in test_figures.ml; here we
+   test the relation-level properties), Theorem 10 (invalidated-by is a
+   dependency relation), Definition 3 counterexamples, minimality
+   (including that both queue relations are minimal and incomparable),
+   and stability of the bounded derivation across depths. *)
+
+module Q = Adt.Fifo_queue
+module SQ = Adt.Semiqueue
+module F = Adt.File_adt
+module A = Adt.Account
+module DQ = Spec.Dependency.Make (Q)
+module DS = Spec.Dependency.Make (SQ)
+module DF = Spec.Dependency.Make (F)
+module DA = Spec.Dependency.Make (A)
+
+let check_bool = Alcotest.(check bool)
+let depth = 3
+
+(* ---------------- invalidates: hand-verified cases ---------------- *)
+
+let test_invalidates_queue () =
+  (* Enq 2 invalidates Deq 1 (insert Enq 2 before Enq 1: front changes). *)
+  check_bool "enq2 invalidates deq1" true (DQ.invalidates ~depth (Q.enq 2) (Q.deq 1));
+  (* Enq v never invalidates Deq v. *)
+  check_bool "enq1 does not invalidate deq1" false
+    (DQ.invalidates ~depth (Q.enq 1) (Q.deq 1));
+  (* Deq v invalidates Deq v (consumes the item). *)
+  check_bool "deq1 invalidates deq1" true (DQ.invalidates ~depth (Q.deq 1) (Q.deq 1));
+  (* Deq of a different item cannot invalidate. *)
+  check_bool "deq2 does not invalidate deq1" false
+    (DQ.invalidates ~depth (Q.deq 2) (Q.deq 1));
+  (* Nothing invalidates Enq (total, always legal). *)
+  List.iter
+    (fun p ->
+      check_bool "nothing invalidates enq" false (DQ.invalidates ~depth p (Q.enq 1)))
+    Q.universe
+
+let test_invalidates_file () =
+  check_bool "write2 invalidates read1" true (DF.invalidates ~depth (F.write 2) (F.read 1));
+  check_bool "write1 does not invalidate read1" false
+    (DF.invalidates ~depth (F.write 1) (F.read 1));
+  check_bool "read does not invalidate write" false
+    (DF.invalidates ~depth (F.read 1) (F.write 2));
+  check_bool "write does not invalidate write" false
+    (DF.invalidates ~depth (F.write 1) (F.write 2))
+
+let test_invalidates_account () =
+  check_bool "debit invalidates debit" true
+    (DA.invalidates ~depth (A.debit_ok 2) (A.debit_ok 2));
+  check_bool "credit invalidates overdraft" true
+    (DA.invalidates ~depth (A.credit 2) (A.debit_overdraft 2));
+  check_bool "post invalidates overdraft" true
+    (DA.invalidates ~depth (A.post 1) (A.debit_overdraft 2));
+  check_bool "credit does not invalidate successful debit" false
+    (DA.invalidates ~depth (A.credit 2) (A.debit_ok 2));
+  check_bool "overdraft invalidates nothing (no state change)" false
+    (DA.invalidates ~depth (A.debit_overdraft 2) (A.debit_ok 2))
+
+(* ---------------- Theorem 10 ---------------- *)
+
+let test_theorem_10_queue () =
+  check_bool "queue invalidated-by is a dependency relation" true
+    (DQ.is_dependency_relation ~depth (Spec.Relation.pred (DQ.invalidated_by ~depth)))
+
+let test_theorem_10_semiqueue () =
+  check_bool "semiqueue" true
+    (DS.is_dependency_relation ~depth (Spec.Relation.pred (DS.invalidated_by ~depth)))
+
+let test_theorem_10_file () =
+  check_bool "file" true
+    (DF.is_dependency_relation ~depth (Spec.Relation.pred (DF.invalidated_by ~depth)))
+
+let test_theorem_10_account () =
+  check_bool "account" true
+    (DA.is_dependency_relation ~depth (Spec.Relation.pred (DA.invalidated_by ~depth)))
+
+(* ---------------- Definition 3 violations ---------------- *)
+
+let test_empty_relation_not_dependency () =
+  (* The empty relation is not a dependency relation for the queue: with
+     h = [], p = Enq 2, k = [Enq 1; Deq 1], h*p*k is illegal. *)
+  check_bool "empty relation fails" false
+    (DQ.is_dependency_relation ~depth (fun _ _ -> false));
+  match DQ.find_counterexample ~depth (fun _ _ -> false) with
+  | None -> Alcotest.fail "expected a counterexample"
+  | Some ce ->
+    (* the witness must actually be a violation *)
+    let module S = DQ.Seq in
+    check_bool "h*k legal" true (S.legal (ce.DQ.h @ ce.DQ.k));
+    check_bool "h*p legal" true (S.legal (ce.DQ.h @ [ ce.DQ.p ]));
+    check_bool "h*p*k illegal" false (S.legal (ce.DQ.h @ (ce.DQ.p :: ce.DQ.k)))
+
+let test_fig_4_2_without_deq_enq_fails () =
+  (* Dropping the Deq-depends-on-Enq pairs from Figure 4-2 breaks it. *)
+  let weakened q p =
+    Q.dependency_fig_4_2 q p
+    && match (q, p) with (Q.Deq, _), (Q.Enq _, _) -> false | _, _ -> true
+  in
+  check_bool "weakened 4-2 is not a dependency relation" false
+    (DQ.is_dependency_relation ~depth weakened)
+
+let test_total_relation_is_dependency () =
+  (* Everything-conflicts is trivially a dependency relation. *)
+  check_bool "total relation" true (DQ.is_dependency_relation ~depth (fun _ _ -> true))
+
+(* ---------------- Declared relations from the paper ---------------- *)
+
+let test_fig_4_3_is_dependency () =
+  check_bool "fig 4-3" true (DQ.is_dependency_relation ~depth Q.dependency_fig_4_3)
+
+let test_paper_relations_are_dependency () =
+  check_bool "fig 4-1" true (DF.is_dependency_relation ~depth F.dependency_fig_4_1);
+  check_bool "fig 4-2" true (DQ.is_dependency_relation ~depth Q.dependency_fig_4_2);
+  check_bool "fig 4-4" true (DS.is_dependency_relation ~depth SQ.dependency_fig_4_4);
+  check_bool "fig 4-5" true (DA.is_dependency_relation ~depth A.dependency_fig_4_5)
+
+(* ---------------- Minimality ---------------- *)
+
+let mat_q rel =
+  Spec.Relation.of_pred
+    ~eq:(fun (i1, r1) (i2, r2) -> Q.equal_inv i1 i2 && Q.equal_res r1 r2)
+    ~ops:Q.universe rel
+
+let mat_s rel =
+  Spec.Relation.of_pred
+    ~eq:(fun (i1, r1) (i2, r2) -> SQ.equal_inv i1 i2 && SQ.equal_res r1 r2)
+    ~ops:SQ.universe rel
+
+let mat_f rel =
+  Spec.Relation.of_pred
+    ~eq:(fun (i1, r1) (i2, r2) -> F.equal_inv i1 i2 && F.equal_res r1 r2)
+    ~ops:F.universe rel
+
+let mat_a rel =
+  Spec.Relation.of_pred
+    ~eq:(fun (i1, r1) (i2, r2) -> A.equal_inv i1 i2 && A.equal_res r1 r2)
+    ~ops:A.universe rel
+
+let test_fig_4_2_minimal () =
+  check_bool "fig 4-2 minimal" true
+    (DQ.is_minimal ~depth (mat_q Q.dependency_fig_4_2))
+
+let test_fig_4_3_minimal () =
+  check_bool "fig 4-3 minimal" true
+    (DQ.is_minimal ~depth (mat_q Q.dependency_fig_4_3))
+
+let test_fig_4_4_minimal () =
+  check_bool "fig 4-4 minimal" true
+    (DS.is_minimal ~depth (mat_s SQ.dependency_fig_4_4))
+
+let test_fig_4_5_minimal () =
+  check_bool "fig 4-5 minimal" true
+    (DA.is_minimal ~depth (mat_a A.dependency_fig_4_5))
+
+let test_fig_4_1_minimal () =
+  check_bool "fig 4-1 minimal" true
+    (DF.is_minimal ~depth (mat_f F.dependency_fig_4_1))
+
+let test_queue_relations_incomparable () =
+  (* The paper's central observation about queues: two distinct minimal
+     dependency relations, neither containing the other. *)
+  let r42 = mat_q Q.dependency_fig_4_2 in
+  let r43 = mat_q Q.dependency_fig_4_3 in
+  check_bool "4-2 not <= 4-3" false (Spec.Relation.subset r42 r43);
+  check_bool "4-3 not <= 4-2" false (Spec.Relation.subset r43 r42);
+  check_bool "distinct" false (Spec.Relation.equal r42 r43)
+
+let test_total_relation_not_minimal () =
+  check_bool "total relation is not minimal" false
+    (DQ.is_minimal ~depth (mat_q (fun _ _ -> true)))
+
+let test_minimize_reaches_minimal () =
+  (* Greedy minimization of the total queue relation yields a minimal
+     dependency relation below it. *)
+  let total = mat_q (fun _ _ -> true) in
+  let m = DQ.minimize ~depth total in
+  check_bool "result is a dependency relation" true
+    (DQ.is_dependency_relation ~depth (Spec.Relation.pred m));
+  check_bool "result is minimal" true (DQ.is_minimal ~depth m);
+  check_bool "result below total" true (Spec.Relation.subset m total)
+
+(* ---------------- Uniqueness of minimal relations ---------------- *)
+
+(* The paper asserts File, SemiQueue and Account have THE unique minimal
+   dependency relation, and exhibits two incomparable minimal relations
+   for the Queue.  A unique minimal relation exists iff the necessary
+   pairs (those in every dependency relation) themselves form one. *)
+
+let test_unique_minimal_file () =
+  check_bool "file unique" true (DF.has_unique_minimal ~depth:2);
+  check_bool "and it is fig 4-1" true
+    (Spec.Relation.equal (DF.necessary_pairs ~depth:2) (mat_f F.dependency_fig_4_1))
+
+let test_unique_minimal_semiqueue () =
+  check_bool "semiqueue unique" true (DS.has_unique_minimal ~depth:2);
+  check_bool "and it is fig 4-4" true
+    (Spec.Relation.equal (DS.necessary_pairs ~depth:2) (mat_s SQ.dependency_fig_4_4))
+
+let test_unique_minimal_account () =
+  check_bool "account unique" true (DA.has_unique_minimal ~depth:2);
+  check_bool "and it is fig 4-5" true
+    (Spec.Relation.equal (DA.necessary_pairs ~depth:2) (mat_a A.dependency_fig_4_5))
+
+let test_queue_minimal_not_unique () =
+  check_bool "queue NOT unique" false (DQ.has_unique_minimal ~depth:3);
+  (* the necessary pairs sit strictly inside both exhibited minimals *)
+  let necessary = DQ.necessary_pairs ~depth:3 in
+  check_bool "inside fig 4-2" true
+    (Spec.Relation.proper_subset necessary (mat_q Q.dependency_fig_4_2));
+  check_bool "inside fig 4-3" true
+    (Spec.Relation.proper_subset necessary (mat_q Q.dependency_fig_4_3))
+
+(* ---------------- Depth stability ---------------- *)
+
+let test_depth_stability_queue () =
+  check_bool "queue: depth 3 = depth 4" true
+    (Spec.Relation.equal (DQ.invalidated_by ~depth:3) (DQ.invalidated_by ~depth:4))
+
+let test_depth_stability_file () =
+  check_bool "file: depth 3 = depth 4" true
+    (Spec.Relation.equal (DF.invalidated_by ~depth:3) (DF.invalidated_by ~depth:4))
+
+let test_depth_stability_semiqueue () =
+  check_bool "semiqueue: depth 3 = depth 4" true
+    (Spec.Relation.equal (DS.invalidated_by ~depth:3) (DS.invalidated_by ~depth:4))
+
+(* ---------------- Properties ---------------- *)
+
+let prop_invalidated_by_subset_of_total =
+  QCheck2.Test.make ~name:"union with invalidated-by is still a dependency relation"
+    ~count:20
+    QCheck2.Gen.(
+      list_size (0 -- 6) (pair (oneofl Q.universe) (oneofl Q.universe)))
+    (fun extra ->
+      (* Adding arbitrary extra pairs on top of invalidated-by keeps
+         Definition 3 satisfied (dependency relations are upward
+         closed). *)
+      let base = DQ.invalidated_by ~depth:2 in
+      let rel q p = Spec.Relation.holds base q p || List.mem (q, p) extra in
+      DQ.is_dependency_relation ~depth:2 rel)
+
+let () =
+  Alcotest.run "dependency"
+    [
+      ( "invalidates",
+        [
+          Alcotest.test_case "queue cases" `Quick test_invalidates_queue;
+          Alcotest.test_case "file cases" `Quick test_invalidates_file;
+          Alcotest.test_case "account cases" `Quick test_invalidates_account;
+        ] );
+      ( "theorem-10",
+        [
+          Alcotest.test_case "queue" `Quick test_theorem_10_queue;
+          Alcotest.test_case "semiqueue" `Quick test_theorem_10_semiqueue;
+          Alcotest.test_case "file" `Quick test_theorem_10_file;
+          Alcotest.test_case "account" `Slow test_theorem_10_account;
+        ] );
+      ( "definition-3",
+        [
+          Alcotest.test_case "empty relation refuted with witness" `Quick
+            test_empty_relation_not_dependency;
+          Alcotest.test_case "weakened fig 4-2 refuted" `Quick
+            test_fig_4_2_without_deq_enq_fails;
+          Alcotest.test_case "total relation accepted" `Quick
+            test_total_relation_is_dependency;
+          Alcotest.test_case "fig 4-3 accepted" `Quick test_fig_4_3_is_dependency;
+          Alcotest.test_case "all paper relations accepted" `Slow
+            test_paper_relations_are_dependency;
+        ] );
+      ( "minimality",
+        [
+          Alcotest.test_case "fig 4-1 minimal" `Quick test_fig_4_1_minimal;
+          Alcotest.test_case "fig 4-2 minimal" `Quick test_fig_4_2_minimal;
+          Alcotest.test_case "fig 4-3 minimal" `Quick test_fig_4_3_minimal;
+          Alcotest.test_case "fig 4-4 minimal" `Quick test_fig_4_4_minimal;
+          Alcotest.test_case "fig 4-5 minimal" `Slow test_fig_4_5_minimal;
+          Alcotest.test_case "queue relations incomparable" `Quick
+            test_queue_relations_incomparable;
+          Alcotest.test_case "total not minimal" `Quick test_total_relation_not_minimal;
+          Alcotest.test_case "minimize reaches a minimal relation" `Slow
+            test_minimize_reaches_minimal;
+        ] );
+      ( "uniqueness",
+        [
+          Alcotest.test_case "file" `Slow test_unique_minimal_file;
+          Alcotest.test_case "semiqueue" `Slow test_unique_minimal_semiqueue;
+          Alcotest.test_case "account" `Slow test_unique_minimal_account;
+          Alcotest.test_case "queue not unique" `Slow test_queue_minimal_not_unique;
+        ] );
+      ( "depth-stability",
+        [
+          Alcotest.test_case "queue" `Slow test_depth_stability_queue;
+          Alcotest.test_case "file" `Slow test_depth_stability_file;
+          Alcotest.test_case "semiqueue" `Slow test_depth_stability_semiqueue;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_invalidated_by_subset_of_total ] );
+    ]

@@ -1,0 +1,276 @@
+(* Tests for the extension ADTs (Counter, Directory, Log): the declared
+   relations match the machine-derived ones, the paper's theorems hold
+   for them, and the protocol runs them correctly under concurrency. *)
+
+module Cn = Adt.Counter
+module Dir = Adt.Directory
+module Lg = Adt.Log_adt
+module Bb = Adt.Bounded_buffer
+module DBb = Spec.Dependency.Make (Bb)
+module CBb = Spec.Commutativity.Make (Bb)
+module DCn = Spec.Dependency.Make (Cn)
+module DDir = Spec.Dependency.Make (Dir)
+module DLg = Spec.Dependency.Make (Lg)
+module CCn = Spec.Commutativity.Make (Cn)
+module CDir = Spec.Commutativity.Make (Dir)
+module CLg = Spec.Commutativity.Make (Lg)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let sym = Spec.Relation.symmetric_closure
+
+(* ---------------- derivations match declarations ---------------- *)
+
+let test_counter_derived () =
+  let derived = DCn.invalidated_by ~depth:2 in
+  let declared = Spec.Relation.of_pred ~eq:( = ) ~ops:Cn.universe Cn.dependency_hybrid in
+  check_bool "counter invalidated-by = declared" true
+    (Spec.Relation.equal derived declared);
+  check_bool "is dependency relation" true
+    (DCn.is_dependency_relation ~depth:2 Cn.dependency_hybrid);
+  check_bool "minimal" true (DCn.is_minimal ~depth:2 declared)
+
+let test_counter_commutativity_coincides () =
+  let ftc = CCn.failure_to_commute ~depth:2 in
+  let hybrid = Spec.Relation.of_pred ~eq:( = ) ~ops:Cn.universe Cn.conflict_hybrid in
+  check_bool "hybrid = commutativity for Counter" true (Spec.Relation.equal ftc hybrid)
+
+let test_directory_derived () =
+  let derived = DDir.invalidated_by ~depth:2 in
+  let declared =
+    Spec.Relation.of_pred ~eq:( = ) ~ops:Dir.universe Dir.dependency_hybrid
+  in
+  check_bool "directory invalidated-by = declared" true
+    (Spec.Relation.equal derived declared);
+  check_bool "is dependency relation" true
+    (DDir.is_dependency_relation ~depth:2 Dir.dependency_hybrid)
+
+let test_directory_commutativity_coincides () =
+  let ftc = CDir.failure_to_commute ~depth:2 in
+  let hybrid = Spec.Relation.of_pred ~eq:( = ) ~ops:Dir.universe Dir.conflict_hybrid in
+  check_bool "hybrid = commutativity for Directory" true (Spec.Relation.equal ftc hybrid)
+
+let test_directory_depth_stability () =
+  check_bool "depth 2 = depth 3" true
+    (Spec.Relation.equal (DDir.invalidated_by ~depth:2) (DDir.invalidated_by ~depth:3))
+
+let test_log_derived () =
+  let derived = DLg.invalidated_by ~depth:3 in
+  let declared = Spec.Relation.of_pred ~eq:( = ) ~ops:Lg.universe Lg.dependency_hybrid in
+  check_bool "log invalidated-by = declared" true (Spec.Relation.equal derived declared);
+  check_bool "is dependency relation" true
+    (DLg.is_dependency_relation ~depth:3 Lg.dependency_hybrid)
+
+let test_log_commutativity_strictly_coarser () =
+  let ftc = CLg.failure_to_commute ~depth:3 in
+  let declared_ftc =
+    Spec.Relation.of_pred ~eq:( = ) ~ops:Lg.universe Lg.conflict_commutativity
+  in
+  check_bool "declared commutativity matches derived" true
+    (Spec.Relation.equal ftc declared_ftc);
+  let hybrid = sym (DLg.invalidated_by ~depth:3) in
+  check_bool "hybrid strictly finer (appends!)" true
+    (Spec.Relation.proper_subset hybrid ftc)
+
+let test_bounded_buffer_derived () =
+  (* Bounding the buffer makes Put invalidate Put: the headline
+     concurrent-enqueue property of the unbounded queue is lost. *)
+  let derived = DBb.invalidated_by ~depth:3 in
+  let declared = Spec.Relation.of_pred ~eq:( = ) ~ops:Bb.universe Bb.dependency_hybrid in
+  check_bool "bounded buffer invalidated-by = declared" true
+    (Spec.Relation.equal derived declared);
+  check_bool "is dependency relation" true
+    (DBb.is_dependency_relation ~depth:3 Bb.dependency_hybrid);
+  check_bool "put depends on put (any values)" true
+    (Bb.dependency_hybrid (Bb.put 1) (Bb.put 1));
+  (* A concrete instance of the paper's remark that invalidated-by
+     "need not be a minimal dependency relation": the failure-to-commute
+     relation is itself a dependency relation (Theorem 28) and sits
+     STRICTLY below the invalidated-by closure here, so invalidated-by
+     is not minimal for this type. *)
+  let ftc = CBb.failure_to_commute ~depth:3 in
+  let declared_ftc =
+    Spec.Relation.of_pred ~eq:( = ) ~ops:Bb.universe Bb.conflict_commutativity
+  in
+  check_bool "declared commutativity matches derived" true
+    (Spec.Relation.equal ftc declared_ftc);
+  let hybrid = sym derived in
+  check_bool "commutativity strictly finer than invalidated-by closure" true
+    (Spec.Relation.proper_subset ftc hybrid);
+  check_bool "invalidated-by is NOT minimal here" false (DBb.is_minimal ~depth:3 derived)
+
+(* ---------------- result-dependence in the Directory ---------------- *)
+
+let test_directory_result_dependence () =
+  (* Same invocation, different responses, different conflicts: a
+     successful Insert conflicts with Member/False but not Member/True. *)
+  check_bool "insert-ok vs member-false" true
+    (Dir.conflict_hybrid (Dir.insert_ok 1) (Dir.member_false 1));
+  check_bool "insert-ok vs member-true" false
+    (Dir.conflict_hybrid (Dir.insert_ok 1) (Dir.member_true 1));
+  check_bool "remove-ok vs member-true" true
+    (Dir.conflict_hybrid (Dir.remove_ok 1) (Dir.member_true 1));
+  check_bool "different keys never" false
+    (Dir.conflict_hybrid (Dir.insert_ok 1) (Dir.member_false 2));
+  check_bool "duplicate insert vs successful remove" true
+    (Dir.conflict_hybrid (Dir.insert_dup 1) (Dir.remove_ok 1));
+  check_bool "duplicate insert vs insert" false
+    (Dir.conflict_hybrid (Dir.insert_dup 1) (Dir.insert_ok 1))
+
+(* ---------------- protocol runs (Theorem 16 on extensions) ----------- *)
+
+module GDir = Histgen.Make (Dir)
+module GLg = Histgen.Make (Lg)
+module GCn = Histgen.Make (Cn)
+module AtDir = Model.Atomicity.Make (Dir)
+module AtLg = Model.Atomicity.Make (Lg)
+module AtCn = Model.Atomicity.Make (Cn)
+
+let thm16 ~name generate checker conflict =
+  QCheck2.Test.make ~name ~count:100
+    QCheck2.Gen.(0 -- 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      checker (generate rand ~conflict))
+
+let prop_thm16_directory =
+  thm16 ~name:"Thm 16: directory"
+    (fun rand ~conflict -> GDir.generate rand ~conflict)
+    AtDir.online_hybrid_atomic Dir.conflict_hybrid
+
+let prop_thm16_log =
+  thm16 ~name:"Thm 16: log"
+    (fun rand ~conflict -> GLg.generate rand ~conflict)
+    AtLg.online_hybrid_atomic Lg.conflict_hybrid
+
+let prop_thm16_counter =
+  thm16 ~name:"Thm 16: counter"
+    (fun rand ~conflict -> GCn.generate rand ~conflict)
+    AtCn.online_hybrid_atomic Cn.conflict_hybrid
+
+(* ---------------- multicore runs ---------------- *)
+
+module CnObj = Runtime.Atomic_obj.Make (Cn)
+module DirObj = Runtime.Atomic_obj.Make (Dir)
+module LgObj = Runtime.Atomic_obj.Make (Lg)
+
+let test_counter_concurrent_updates () =
+  let mgr = Runtime.Manager.create () in
+  let c = CnObj.create ~conflict:Cn.conflict_hybrid () in
+  let workers =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 50 do
+              Runtime.Manager.run mgr (fun txn ->
+                  ignore (CnObj.invoke c txn (Cn.Inc 2));
+                  ignore (CnObj.invoke c txn (Cn.Dec 1)))
+            done;
+            ignore d))
+  in
+  List.iter Domain.join workers;
+  (match CnObj.committed_states c with
+  | [ v ] -> check_int "counter value" (4 * 50 * 1) v
+  | _ -> Alcotest.fail "one state");
+  let s = CnObj.stats c in
+  check_int "updates never conflict" 0 s.CnObj.conflicts
+
+let test_log_concurrent_appends () =
+  let mgr = Runtime.Manager.create () in
+  let l = LgObj.create ~conflict:Lg.conflict_hybrid () in
+  let workers =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for k = 1 to 50 do
+              Runtime.Manager.run mgr (fun txn ->
+                  ignore (LgObj.invoke l txn (Lg.Append ((100 * d) + k))))
+            done))
+  in
+  List.iter Domain.join workers;
+  (match LgObj.committed_states l with
+  | [ records ] -> check_int "all records" 200 (List.length records)
+  | _ -> Alcotest.fail "one state");
+  let s = LgObj.stats l in
+  check_int "appends never conflict" 0 s.LgObj.conflicts
+
+let test_directory_concurrent_distinct_keys () =
+  let mgr = Runtime.Manager.create () in
+  let d = DirObj.create ~conflict:Dir.conflict_hybrid () in
+  let workers =
+    List.init 4 (fun w ->
+        Domain.spawn (fun () ->
+            for k = 0 to 24 do
+              let key = (100 * w) + k in
+              Runtime.Manager.run mgr (fun txn ->
+                  match DirObj.invoke d txn (Dir.Insert key) with
+                  | Dir.Ok -> ()
+                  | _ -> Alcotest.fail "fresh key must insert")
+            done))
+  in
+  List.iter Domain.join workers;
+  (match DirObj.committed_states d with
+  | [ keys ] -> check_int "all keys present" 100 (List.length keys)
+  | _ -> Alcotest.fail "one state");
+  let s = DirObj.stats d in
+  check_int "distinct keys never conflict" 0 s.DirObj.conflicts
+
+let test_directory_same_key_serializes () =
+  let mgr = Runtime.Manager.create () in
+  let d = DirObj.create ~conflict:Dir.conflict_hybrid () in
+  (* every transaction toggles the same key: inserts and removes race *)
+  let successes = Atomic.make 0 in
+  let workers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 25 do
+              Runtime.Manager.run mgr (fun txn ->
+                  match DirObj.invoke d txn (Dir.Insert 7) with
+                  | Dir.Ok ->
+                    Atomic.incr successes;
+                    (match DirObj.invoke d txn (Dir.Remove 7) with
+                    | Dir.Ok -> ()
+                    | _ -> Alcotest.fail "own insert must be removable")
+                  | Dir.Duplicate -> ()
+                  | _ -> Alcotest.fail "unexpected response")
+            done))
+  in
+  List.iter Domain.join workers;
+  match DirObj.committed_states d with
+  | [ [] ] -> check_bool "some inserts succeeded" true (Atomic.get successes > 0)
+  | _ -> Alcotest.fail "directory must end empty"
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "derivations",
+        [
+          Alcotest.test_case "counter" `Quick test_counter_derived;
+          Alcotest.test_case "counter commutativity" `Quick
+            test_counter_commutativity_coincides;
+          Alcotest.test_case "directory" `Quick test_directory_derived;
+          Alcotest.test_case "directory commutativity" `Quick
+            test_directory_commutativity_coincides;
+          Alcotest.test_case "directory depth stability" `Slow
+            test_directory_depth_stability;
+          Alcotest.test_case "log" `Quick test_log_derived;
+          Alcotest.test_case "log commutativity strictly coarser" `Quick
+            test_log_commutativity_strictly_coarser;
+          Alcotest.test_case "bounded buffer: puts conflict" `Quick
+            test_bounded_buffer_derived;
+        ] );
+      ( "result-dependence",
+        [ Alcotest.test_case "directory modes" `Quick test_directory_result_dependence ]
+      );
+      ( "theorem-16",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_thm16_directory; prop_thm16_log; prop_thm16_counter ] );
+      ( "multicore",
+        [
+          Alcotest.test_case "counter updates" `Quick test_counter_concurrent_updates;
+          Alcotest.test_case "log appends" `Quick test_log_concurrent_appends;
+          Alcotest.test_case "directory distinct keys" `Quick
+            test_directory_concurrent_distinct_keys;
+          Alcotest.test_case "directory same key" `Quick
+            test_directory_same_key_serializes;
+        ] );
+    ]

@@ -1,0 +1,117 @@
+(* The headline reproduction test: every figure in the paper is
+   regenerated from the serial specifications and must equal the paper's
+   table cell-for-cell. *)
+
+let cell = Alcotest.testable Spec.Classify.pp_cell Spec.Classify.equal_cell
+
+let test_figure f () =
+  let derived = f.Figures.derived () in
+  let expected = f.Figures.expected in
+  Alcotest.(check (list string))
+    "labels" expected.Spec.Classify.labels derived.Spec.Classify.labels;
+  List.iteri
+    (fun i row_label ->
+      List.iteri
+        (fun j col_label ->
+          Alcotest.check cell
+            (Printf.sprintf "(%s, %s)" row_label col_label)
+            expected.Spec.Classify.cells.(i).(j)
+            derived.Spec.Classify.cells.(i).(j))
+        expected.Spec.Classify.labels;
+      ignore row_label)
+    expected.Spec.Classify.labels
+
+let test_all_ids_unique () =
+  let ids = List.map (fun f -> f.Figures.id) Figures.all in
+  Alcotest.(check int) "six figures" 6 (List.length ids);
+  Alcotest.(check int) "unique" 6 (List.length (List.sort_uniq compare ids))
+
+let test_by_id () =
+  Alcotest.(check bool) "4-2 found" true (Figures.by_id "4-2" <> None);
+  Alcotest.(check bool) "bogus not found" true (Figures.by_id "9-9" = None)
+
+let test_check_all () =
+  List.iter
+    (fun f -> Alcotest.(check bool) ("figure " ^ f.Figures.id) true (Figures.check f))
+    Figures.all
+
+let test_rendering_roundtrip () =
+  (* Tables render without raising and include every label. *)
+  List.iter
+    (fun f ->
+      let s = Format.asprintf "%a" Spec.Classify.pp_table (f.Figures.derived ()) in
+      List.iter
+        (fun l ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s mentions %s" f.Figures.id l)
+            true
+            (Astring_contains.contains s l))
+        (f.Figures.derived ()).Spec.Classify.labels)
+    Figures.all
+
+(* ---------------- domain-size robustness ---------------- *)
+
+(* The bounded derivation uses 2-value domains; the symbolic
+   classification must be invariant when the domain widens. *)
+
+module Queue3 = struct
+  include Adt.Fifo_queue
+
+  let universe = List.map enq [ 1; 2; 3 ] @ List.map deq [ 1; 2; 3 ]
+end
+
+module File4 = struct
+  include Adt.File_adt
+
+  let universe = List.map read [ 0; 1; 2; 3 ] @ List.map write [ 0; 1; 2; 3 ]
+end
+
+let test_queue_wider_domain () =
+  let module D = Spec.Dependency.Make (Queue3) in
+  let module K = Spec.Classify.Make (Queue3) in
+  let derived =
+    K.classify ~title:"queue-3" (Spec.Relation.pred (D.invalidated_by ~depth:3))
+  in
+  let reference = (Option.get (Figures.by_id "4-2")).Figures.expected in
+  Alcotest.(check (list string))
+    "labels" reference.Spec.Classify.labels derived.Spec.Classify.labels;
+  Alcotest.(check bool)
+    "cells identical over {1,2,3}" true
+    (Array.for_all2
+       (fun ra rb -> Array.for_all2 Spec.Classify.equal_cell ra rb)
+       reference.Spec.Classify.cells derived.Spec.Classify.cells)
+
+let test_file_wider_domain () =
+  let module D = Spec.Dependency.Make (File4) in
+  let module K = Spec.Classify.Make (File4) in
+  let derived =
+    K.classify ~title:"file-4" (Spec.Relation.pred (D.invalidated_by ~depth:3))
+  in
+  let reference = (Option.get (Figures.by_id "4-1")).Figures.expected in
+  Alcotest.(check bool)
+    "cells identical over {0..3}" true
+    (Array.for_all2
+       (fun ra rb -> Array.for_all2 Spec.Classify.equal_cell ra rb)
+       reference.Spec.Classify.cells derived.Spec.Classify.cells)
+
+let () =
+  Alcotest.run "figures"
+    [
+      ( "paper-match",
+        List.map
+          (fun f ->
+            Alcotest.test_case ("figure " ^ f.Figures.id) `Quick (test_figure f))
+          Figures.all );
+      ( "registry",
+        [
+          Alcotest.test_case "ids unique" `Quick test_all_ids_unique;
+          Alcotest.test_case "by_id" `Quick test_by_id;
+          Alcotest.test_case "check all" `Quick test_check_all;
+        ] );
+      ("rendering", [ Alcotest.test_case "roundtrip" `Quick test_rendering_roundtrip ]);
+      ( "domain-robustness",
+        [
+          Alcotest.test_case "queue over three values" `Slow test_queue_wider_domain;
+          Alcotest.test_case "file over four values" `Slow test_file_wider_domain;
+        ] );
+    ]

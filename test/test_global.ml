@@ -1,0 +1,161 @@
+(* Theorem 1 (local atomicity): hybrid atomicity is a local property —
+   if every object in a system is hybrid atomic, every system history is
+   atomic.  The mechanism: commit timestamps come from one shared
+   totally-ordered set, so each object's local serialization order is a
+   restriction of the SAME global order.
+
+   This test runs multi-object transactions (a queue, an account and a
+   directory touched in one transaction) on real domains, records every
+   object's local history, and then checks:
+   1. each local history is well-formed and respects the timestamp
+      constraint (the protocol's per-object obligations);
+   2. each local history is hybrid atomic (the local property);
+   3. the single global commit-timestamp order serializes EVERY object
+      simultaneously — global atomicity witnessed by one order, which is
+      exactly Theorem 1's conclusion. *)
+
+module Q = Adt.Fifo_queue
+module A = Adt.Account
+module D = Adt.Directory
+module QObj = Runtime.Atomic_obj.Make (Q)
+module AObj = Runtime.Atomic_obj.Make (A)
+module DObj = Runtime.Atomic_obj.Make (D)
+module HQ = Model.History.Make (Q)
+module HA = Model.History.Make (A)
+module HD = Model.History.Make (D)
+module AtQ = Model.Atomicity.Make (Q)
+module AtA = Model.Atomicity.Make (A)
+module AtD = Model.Atomicity.Make (D)
+
+let check_bool = Alcotest.(check bool)
+
+(* Collect the global timestamp order over committed transactions from
+   the per-object histories (timestamps are globally unique). *)
+let global_ts_order histories_ts =
+  (* histories_ts: (txn, ts) pairs possibly repeated across objects *)
+  histories_ts
+  |> List.sort_uniq (fun (t1, _) (t2, _) -> Model.Txn.compare t1 t2)
+  |> List.sort (fun (_, ts1) (_, ts2) -> Model.Timestamp.compare ts1 ts2)
+  |> List.map fst
+
+let committed_q h =
+  List.filter_map
+    (fun t -> Option.map (fun ts -> (t, ts)) (HQ.timestamp_of h t))
+    (HQ.committed h)
+
+let committed_a h =
+  List.filter_map
+    (fun t -> Option.map (fun ts -> (t, ts)) (HA.timestamp_of h t))
+    (HA.committed h)
+
+let committed_d h =
+  List.filter_map
+    (fun t -> Option.map (fun ts -> (t, ts)) (HD.timestamp_of h t))
+    (HD.committed h)
+
+let run_workload () =
+  let mgr = Runtime.Manager.create () in
+  let q = QObj.create ~record:true ~conflict:Q.conflict_hybrid () in
+  let acc = AObj.create ~record:true ~conflict:A.conflict_hybrid () in
+  let dir = DObj.create ~record:true ~conflict:D.conflict_hybrid () in
+  (* seed the account *)
+  Runtime.Manager.run mgr (fun txn -> ignore (AObj.invoke acc txn (A.Credit 100)));
+  let worker d =
+    Domain.spawn (fun () ->
+        for k = 0 to 11 do
+          Runtime.Manager.run mgr (fun txn ->
+              (* an order-processing transaction touching all three *)
+              ignore (QObj.invoke q txn (Q.Enq ((10 * d) + k)));
+              ignore (AObj.invoke acc txn (A.Credit (1 + (k mod 3))));
+              if k mod 4 = 0 then ignore (AObj.invoke acc txn (A.Debit 1));
+              ignore (DObj.invoke dir txn (D.Insert ((10 * d) + k))))
+        done)
+  in
+  List.iter Domain.join (List.init 3 worker);
+  (q, acc, dir)
+
+let test_theorem_1 () =
+  let q, acc, dir = run_workload () in
+  let hq = QObj.history q in
+  let ha = AObj.history acc in
+  let hd = DObj.history dir in
+  (* 1. local well-formedness + timestamp constraint *)
+  check_bool "queue wf" true (match HQ.well_formed hq with Ok () -> true | _ -> false);
+  check_bool "account wf" true (match HA.well_formed ha with Ok () -> true | _ -> false);
+  check_bool "dir wf" true (match HD.well_formed hd with Ok () -> true | _ -> false);
+  check_bool "queue ts constraint" true (HQ.timestamps_respect_precedes hq);
+  check_bool "account ts constraint" true (HA.timestamps_respect_precedes ha);
+  check_bool "dir ts constraint" true (HD.timestamps_respect_precedes hd);
+  (* 2. local hybrid atomicity *)
+  check_bool "queue hybrid atomic" true (AtQ.hybrid_atomic hq);
+  check_bool "account hybrid atomic" true (AtA.hybrid_atomic ha);
+  check_bool "dir hybrid atomic" true (AtD.hybrid_atomic hd);
+  (* 3. global atomicity: ONE order — the global timestamp order —
+     serializes every object. *)
+  let pairs = committed_q hq @ committed_a ha @ committed_d hd in
+  let order = global_ts_order pairs in
+  let restrict_order committed =
+    List.filter (fun t -> List.exists (Model.Txn.equal t) committed) order
+  in
+  check_bool "queue serializable in the global order" true
+    (AtQ.serializable_in (HQ.permanent hq) (restrict_order (HQ.committed hq)));
+  check_bool "account serializable in the global order" true
+    (AtA.serializable_in (HA.permanent ha) (restrict_order (HA.committed ha)));
+  check_bool "dir serializable in the global order" true
+    (AtD.serializable_in (HD.permanent hd) (restrict_order (HD.committed hd)))
+
+let test_timestamps_agree_across_objects () =
+  let q, acc, dir = run_workload () in
+  let hq = QObj.history q in
+  let ha = AObj.history acc in
+  let hd = DObj.history dir in
+  (* A transaction committed at several objects carries the same
+     timestamp everywhere (atomic commitment, Section 2). *)
+  let tables = [ committed_q hq; committed_a ha; committed_d hd ] in
+  let consistent =
+    List.for_all
+      (fun t1 ->
+        List.for_all
+          (fun t2 ->
+            List.for_all
+              (fun (txn1, ts1) ->
+                List.for_all
+                  (fun (txn2, ts2) -> (not (Model.Txn.equal txn1 txn2)) || ts1 = ts2)
+                  t2)
+              t1)
+          tables)
+      tables
+  in
+  check_bool "same timestamp at every object" true consistent
+
+let test_no_partial_commits () =
+  (* A transaction that aborts after touching two objects must be absent
+     from both committed sets. *)
+  let mgr = Runtime.Manager.create () in
+  let q = QObj.create ~record:true ~conflict:Q.conflict_hybrid () in
+  let acc = AObj.create ~record:true ~conflict:A.conflict_hybrid () in
+  (match
+     Runtime.Manager.run_once mgr (fun txn ->
+         ignore (QObj.invoke q txn (Q.Enq 1));
+         ignore (AObj.invoke acc txn (A.Credit 5));
+         Runtime.Manager.abort_in ())
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected abort");
+  check_bool "queue has no committed txns" true (HQ.committed (QObj.history q) = []);
+  check_bool "account has no committed txns" true (HA.committed (AObj.history acc) = []);
+  check_bool "both saw the abort" true
+    (HQ.aborted (QObj.history q) <> [] && HA.aborted (AObj.history acc) <> [])
+
+let () =
+  Alcotest.run "global_atomicity"
+    [
+      ( "theorem-1",
+        [
+          Alcotest.test_case "one global order serializes all objects" `Quick
+            test_theorem_1;
+          Alcotest.test_case "timestamps agree across objects" `Quick
+            test_timestamps_agree_across_objects;
+          Alcotest.test_case "atomic commitment" `Quick test_no_partial_commits;
+        ] );
+    ]

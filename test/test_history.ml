@@ -1,0 +1,217 @@
+(* Tests for Model.History: well-formedness (Section 2), restriction,
+   OpSeq, serialization, and the precedes/TS/Known orders (Section 3). *)
+
+module Q = Adt.Fifo_queue
+module H = Model.History.Make (Q)
+
+let p = Model.Txn.make ~label:"P" 1
+let q = Model.Txn.make ~label:"Q" 2
+let r = Model.Txn.make ~label:"R" 3
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let well_formed h = match H.well_formed h with Ok () -> true | Error _ -> false
+
+(* The paper's Section 3.2 history. *)
+let paper_history : H.t =
+  [
+    H.Invoke (p, Q.Enq 1);
+    H.Respond (p, Q.Ok);
+    H.Invoke (q, Q.Enq 2);
+    H.Respond (q, Q.Ok);
+    H.Commit (p, 2);
+    H.Commit (q, 1);
+    H.Invoke (r, Q.Deq);
+    H.Respond (r, Q.Val 2);
+    H.Invoke (r, Q.Deq);
+    H.Respond (r, Q.Val 1);
+    H.Commit (r, 5);
+  ]
+
+(* ---------------- well-formedness ---------------- *)
+
+let test_wf_paper_history () = check_bool "paper history" true (well_formed paper_history)
+let test_wf_empty () = check_bool "empty" true (well_formed [])
+
+let test_wf_double_invoke () =
+  check_bool "invoke while pending" false
+    (well_formed [ H.Invoke (p, Q.Enq 1); H.Invoke (p, Q.Enq 2) ])
+
+let test_wf_orphan_response () =
+  check_bool "response without invocation" false (well_formed [ H.Respond (p, Q.Ok) ])
+
+let test_wf_commit_and_abort () =
+  check_bool "commit then abort" false
+    (well_formed
+       [ H.Invoke (p, Q.Enq 1); H.Respond (p, Q.Ok); H.Commit (p, 1); H.Abort p ]);
+  check_bool "abort then commit" false
+    (well_formed
+       [ H.Invoke (p, Q.Enq 1); H.Respond (p, Q.Ok); H.Abort p; H.Commit (p, 1) ])
+
+let test_wf_commit_with_pending () =
+  check_bool "commit while invocation pending" false
+    (well_formed [ H.Invoke (p, Q.Enq 1); H.Commit (p, 1) ])
+
+let test_wf_ops_after_commit () =
+  check_bool "invoke after commit" false
+    (well_formed
+       [ H.Invoke (p, Q.Enq 1); H.Respond (p, Q.Ok); H.Commit (p, 1); H.Invoke (p, Q.Deq) ])
+
+let test_wf_aborted_keeps_invoking () =
+  (* The model places few restrictions on aborted transactions. *)
+  check_bool "invoke after abort ok" true
+    (well_formed
+       [ H.Invoke (p, Q.Enq 1); H.Respond (p, Q.Ok); H.Abort p; H.Invoke (p, Q.Deq) ])
+
+let test_wf_duplicate_timestamps () =
+  check_bool "two txns, same timestamp" false
+    (well_formed
+       [
+         H.Invoke (p, Q.Enq 1);
+         H.Respond (p, Q.Ok);
+         H.Commit (p, 1);
+         H.Invoke (q, Q.Enq 2);
+         H.Respond (q, Q.Ok);
+         H.Commit (q, 1);
+       ])
+
+let test_wf_inconsistent_timestamps () =
+  check_bool "one txn, two timestamps" false
+    (well_formed
+       [ H.Invoke (p, Q.Enq 1); H.Respond (p, Q.Ok); H.Commit (p, 1); H.Commit (p, 2) ]);
+  check_bool "one txn, repeated same timestamp ok" true
+    (well_formed
+       [ H.Invoke (p, Q.Enq 1); H.Respond (p, Q.Ok); H.Commit (p, 1); H.Commit (p, 1) ])
+
+(* ---------------- projections ---------------- *)
+
+let test_transactions_order () =
+  Alcotest.(check (list string))
+    "first-appearance order" [ "P"; "Q"; "R" ]
+    (List.map Model.Txn.label (H.transactions paper_history))
+
+let test_restrict () =
+  check_int "P's events" 3 (List.length (H.restrict paper_history p));
+  check_int "R's events" 5 (List.length (H.restrict paper_history r));
+  check_int "restrict_set P,Q" 6 (List.length (H.restrict_set paper_history [ p; q ]))
+
+let test_committed_aborted () =
+  Alcotest.(check (list string))
+    "committed" [ "P"; "Q"; "R" ]
+    (List.map Model.Txn.label (H.committed paper_history));
+  check_int "aborted none" 0 (List.length (H.aborted paper_history));
+  let h = [ H.Invoke (p, Q.Enq 1); H.Abort p ] in
+  Alcotest.(check (list string)) "aborted" [ "P" ] (List.map Model.Txn.label (H.aborted h));
+  check_int "active after abort" 0 (List.length (H.active h))
+
+let test_active () =
+  let h = [ H.Invoke (p, Q.Enq 1); H.Respond (p, Q.Ok); H.Invoke (q, Q.Enq 2) ] in
+  Alcotest.(check (list string))
+    "both active" [ "P"; "Q" ]
+    (List.map Model.Txn.label (H.active h))
+
+let test_permanent () =
+  let h =
+    [
+      H.Invoke (p, Q.Enq 1);
+      H.Respond (p, Q.Ok);
+      H.Invoke (q, Q.Enq 2);
+      H.Respond (q, Q.Ok);
+      H.Commit (p, 1);
+      H.Abort q;
+    ]
+  in
+  check_int "only P's events survive" 3 (List.length (H.permanent h))
+
+let test_op_seq () =
+  check_int "R's ops" 2 (List.length (H.op_seq_txn paper_history r));
+  (* pending invocations are dropped *)
+  let h = [ H.Invoke (p, Q.Enq 1); H.Respond (p, Q.Ok); H.Invoke (p, Q.Deq) ] in
+  check_int "pending dropped" 1 (List.length (H.op_seq_txn h p))
+
+let test_serial () =
+  let s = H.serial paper_history [ q; p; r ] in
+  check_int "same length" (List.length paper_history) (List.length s);
+  Alcotest.(check (list string))
+    "grouped" [ "Q"; "P"; "R" ]
+    (List.map Model.Txn.label (H.transactions s))
+
+let test_timestamp_of () =
+  Alcotest.(check (option int)) "P ts" (Some 2) (H.timestamp_of paper_history p);
+  Alcotest.(check (option int)) "Q ts" (Some 1) (H.timestamp_of paper_history q);
+  Alcotest.(check (option int))
+    "missing" None
+    (H.timestamp_of paper_history (Model.Txn.make 99))
+
+(* ---------------- orders ---------------- *)
+
+let test_precedes () =
+  (* R's dequeues respond after P and Q commit. *)
+  check_bool "P precedes R" true (H.precedes paper_history p r);
+  check_bool "Q precedes R" true (H.precedes paper_history q r);
+  check_bool "P does not precede Q" false (H.precedes paper_history p q);
+  check_bool "R does not precede P" false (H.precedes paper_history r p);
+  check_bool "irreflexive" false (H.precedes paper_history p p)
+
+let test_ts_lt () =
+  check_bool "Q before P by timestamp" true (H.ts_lt paper_history q p);
+  check_bool "P not before Q" false (H.ts_lt paper_history p q);
+  check_bool "active txn unordered" false (H.ts_lt [ H.Invoke (p, Q.Enq 1) ] p q)
+
+let test_known () =
+  check_bool "known includes ts" true (H.known paper_history q p);
+  check_bool "known includes precedes" true (H.known paper_history p r)
+
+let test_timestamps_respect_precedes () =
+  check_bool "paper history satisfies the constraint" true
+    (H.timestamps_respect_precedes paper_history);
+  (* violate it: R dequeues after P's commit but commits with smaller ts *)
+  let bad =
+    [
+      H.Invoke (p, Q.Enq 1);
+      H.Respond (p, Q.Ok);
+      H.Commit (p, 10);
+      H.Invoke (r, Q.Deq);
+      H.Respond (r, Q.Val 1);
+      H.Commit (r, 5);
+    ]
+  in
+  check_bool "violation detected" false (H.timestamps_respect_precedes bad)
+
+let () =
+  Alcotest.run "history"
+    [
+      ( "well-formedness",
+        [
+          Alcotest.test_case "paper history" `Quick test_wf_paper_history;
+          Alcotest.test_case "empty" `Quick test_wf_empty;
+          Alcotest.test_case "double invoke" `Quick test_wf_double_invoke;
+          Alcotest.test_case "orphan response" `Quick test_wf_orphan_response;
+          Alcotest.test_case "commit and abort" `Quick test_wf_commit_and_abort;
+          Alcotest.test_case "commit with pending" `Quick test_wf_commit_with_pending;
+          Alcotest.test_case "ops after commit" `Quick test_wf_ops_after_commit;
+          Alcotest.test_case "aborted keeps invoking" `Quick test_wf_aborted_keeps_invoking;
+          Alcotest.test_case "duplicate timestamps" `Quick test_wf_duplicate_timestamps;
+          Alcotest.test_case "inconsistent timestamps" `Quick
+            test_wf_inconsistent_timestamps;
+        ] );
+      ( "projections",
+        [
+          Alcotest.test_case "transaction order" `Quick test_transactions_order;
+          Alcotest.test_case "restrict" `Quick test_restrict;
+          Alcotest.test_case "committed/aborted" `Quick test_committed_aborted;
+          Alcotest.test_case "active" `Quick test_active;
+          Alcotest.test_case "permanent" `Quick test_permanent;
+          Alcotest.test_case "op_seq" `Quick test_op_seq;
+          Alcotest.test_case "serial" `Quick test_serial;
+          Alcotest.test_case "timestamp_of" `Quick test_timestamp_of;
+        ] );
+      ( "orders",
+        [
+          Alcotest.test_case "precedes" `Quick test_precedes;
+          Alcotest.test_case "TS" `Quick test_ts_lt;
+          Alcotest.test_case "Known" `Quick test_known;
+          Alcotest.test_case "timestamp constraint" `Quick test_timestamps_respect_precedes;
+        ] );
+    ]

@@ -1,0 +1,276 @@
+(* Tests for the LOCK protocol machine (paper Section 5).
+
+   The centerpiece is the randomized Theorem 16 check: every history the
+   machine accepts under a dependency-relation conflict is online hybrid
+   atomic (verified by the independent brute-force checker in
+   Model.Atomicity), across all four ADTs and all shipped conflict
+   relations.  The Theorem 17 converse is reproduced concretely: a
+   non-dependency conflict relation admits a non-hybrid-atomic history. *)
+
+module Q = Adt.Fifo_queue
+module A = Adt.Account
+module SQ = Adt.Semiqueue
+module L = Hybrid.Lock_machine.Make (Q)
+module LA = Hybrid.Lock_machine.Make (A)
+module H = L.H
+module At = Model.Atomicity.Make (Q)
+
+let p = Model.Txn.make ~label:"P" 1
+let q = Model.Txn.make ~label:"Q" 2
+let r = Model.Txn.make ~label:"R" 3
+
+let check_bool = Alcotest.(check bool)
+
+let paper_history : H.t =
+  [
+    H.Invoke (p, Q.Enq 1);
+    H.Respond (p, Q.Ok);
+    H.Invoke (q, Q.Enq 2);
+    H.Respond (q, Q.Ok);
+    H.Commit (p, 2);
+    H.Commit (q, 1);
+    H.Invoke (r, Q.Deq);
+    H.Respond (r, Q.Val 2);
+    H.Invoke (r, Q.Deq);
+    H.Respond (r, Q.Val 1);
+    H.Commit (r, 5);
+  ]
+
+(* ---------------- acceptance ---------------- *)
+
+let test_paper_history_accepted () =
+  check_bool "hybrid accepts" true (L.accepts ~conflict:Q.conflict_hybrid paper_history)
+
+let test_paper_history_rejected_by_commutativity () =
+  (* Under commutativity-based conflicts, Q's Enq 2 conflicts with P's
+     held Enq 1 lock. *)
+  match L.run ~conflict:Q.conflict_commutativity paper_history with
+  | Ok _ -> Alcotest.fail "expected refusal"
+  | Error (event, refusal) -> (
+    match (event, refusal) with
+    | H.Respond (t, Q.Ok), L.Lock_conflict (holder, _) ->
+      check_bool "Q refused" true (Model.Txn.equal t q);
+      check_bool "P holds the lock" true (Model.Txn.equal holder p)
+    | _ -> Alcotest.fail "wrong refusal")
+
+let test_rw_rejects_even_earlier () =
+  check_bool "2PL-RW rejects" false (L.accepts ~conflict:Q.conflict_rw paper_history)
+
+(* ---------------- refusal reasons ---------------- *)
+
+let test_refusal_no_pending () =
+  let m = L.create ~conflict:Q.conflict_hybrid in
+  match L.step m (H.Respond (p, Q.Ok)) with
+  | Error L.No_pending -> ()
+  | _ -> Alcotest.fail "expected No_pending"
+
+let test_refusal_illegal_in_view () =
+  let m = L.create ~conflict:Q.conflict_hybrid in
+  let m = Result.get_ok (L.step m (H.Invoke (p, Q.Deq))) in
+  (* Deq on an empty queue has no legal response at all; a made-up value
+     is illegal in the view. *)
+  match L.step m (H.Respond (p, Q.Val 1)) with
+  | Error L.Illegal_in_view -> ()
+  | _ -> Alcotest.fail "expected Illegal_in_view"
+
+let test_refusal_already_completed () =
+  let m = L.create ~conflict:Q.conflict_hybrid in
+  let m = Result.get_ok (L.step m (H.Invoke (p, Q.Enq 1))) in
+  let m = Result.get_ok (L.step m (H.Abort p)) in
+  let m = Result.get_ok (L.step m (H.Invoke (p, Q.Enq 1))) in
+  match L.step m (H.Respond (p, Q.Ok)) with
+  | Error L.Already_completed -> ()
+  | _ -> Alcotest.fail "expected Already_completed"
+
+let test_refusal_lock_conflict () =
+  let m = L.create ~conflict:Q.conflict_rw in
+  let m = Result.get_ok (L.step m (H.Invoke (p, Q.Enq 1))) in
+  let m = Result.get_ok (L.step m (H.Respond (p, Q.Ok))) in
+  let m = Result.get_ok (L.step m (H.Invoke (q, Q.Enq 2))) in
+  match L.step m (H.Respond (q, Q.Ok)) with
+  | Error (L.Lock_conflict (holder, op)) ->
+    check_bool "holder is P" true (Model.Txn.equal holder p);
+    check_bool "op is P's enq" true (H.Seq.equal_op op (Q.enq 1))
+  | _ -> Alcotest.fail "expected Lock_conflict"
+
+(* ---------------- views and state observers ---------------- *)
+
+let test_view_includes_committed_in_ts_order () =
+  let m = L.create ~conflict:Q.conflict_hybrid in
+  let feed m e = Result.get_ok (L.step m e) in
+  let m = feed m (H.Invoke (p, Q.Enq 1)) in
+  let m = feed m (H.Respond (p, Q.Ok)) in
+  let m = feed m (H.Invoke (q, Q.Enq 2)) in
+  let m = feed m (H.Respond (q, Q.Ok)) in
+  let m = feed m (H.Commit (p, 2)) in
+  let m = feed m (H.Commit (q, 1)) in
+  (* Committed state: Q (ts 1) then P (ts 2). *)
+  Alcotest.(check bool)
+    "permanent in ts order" true
+    (List.for_all2 H.Seq.equal_op (L.permanent_seq m) [ Q.enq 2; Q.enq 1 ]);
+  (* R's view is the committed state (it has no intentions). *)
+  let m = feed m (H.Invoke (r, Q.Deq)) in
+  Alcotest.(check (list string))
+    "available responses follow ts order" [ "2" ]
+    (List.map (Format.asprintf "%a" Q.pp_res) (L.available_responses m r))
+
+let test_view_appends_own_intentions () =
+  let m = L.create ~conflict:Q.conflict_hybrid in
+  let feed m e = Result.get_ok (L.step m e) in
+  let m = feed m (H.Invoke (p, Q.Enq 1)) in
+  let m = feed m (H.Respond (p, Q.Ok)) in
+  let m = feed m (H.Invoke (p, Q.Deq)) in
+  (* P sees its own uncommitted enqueue. *)
+  Alcotest.(check int) "one response" 1 (List.length (L.available_responses m p));
+  check_bool "own view" true
+    (List.for_all2 H.Seq.equal_op (L.view m p) [ Q.enq 1 ])
+
+let test_active_txns () =
+  let m = L.create ~conflict:Q.conflict_hybrid in
+  let feed m e = Result.get_ok (L.step m e) in
+  let m = feed m (H.Invoke (p, Q.Enq 1)) in
+  let m = feed m (H.Respond (p, Q.Ok)) in
+  let m = feed m (H.Invoke (q, Q.Enq 2)) in
+  Alcotest.(check int) "two active" 2 (List.length (L.active_txns m));
+  let m = feed m (H.Commit (p, 1)) in
+  Alcotest.(check int) "one active" 1 (List.length (L.active_txns m))
+
+(* ---------------- Theorem 17 ---------------- *)
+
+let test_theorem_17_scenario () =
+  (* With the empty conflict relation (not a dependency relation), LOCK
+     accepts a history that is not hybrid atomic: R dequeues its own
+     enqueue while Q's earlier-timestamped Enq 2 is in flight. *)
+  let none _ _ = false in
+  let h =
+    [
+      H.Invoke (q, Q.Enq 2);
+      H.Respond (q, Q.Ok);
+      H.Invoke (r, Q.Enq 1);
+      H.Respond (r, Q.Ok);
+      H.Invoke (r, Q.Deq);
+      H.Respond (r, Q.Val 1);
+      H.Commit (q, 1);
+      H.Commit (r, 2);
+    ]
+  in
+  check_bool "accepted by LOCK(no-conflicts)" true (L.accepts ~conflict:none h);
+  check_bool "but not hybrid atomic" false (At.hybrid_atomic h);
+  check_bool "and rejected by the real hybrid relation" false
+    (L.accepts ~conflict:Q.conflict_hybrid h)
+
+(* ---------------- Theorem 16, randomized ---------------- *)
+
+module GQ = Histgen.Make (Q)
+module GA = Histgen.Make (A)
+module GS = Histgen.Make (SQ)
+module AtA = Model.Atomicity.Make (A)
+module AtS = Model.Atomicity.Make (SQ)
+
+let theorem_16_property ~name generate online_hybrid_atomic conflict =
+  QCheck2.Test.make ~name ~count:150
+    QCheck2.Gen.(0 -- 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let h = generate rand ~conflict in
+      online_hybrid_atomic h)
+
+let prop_theorem_16_queue_hybrid =
+  theorem_16_property ~name:"Thm 16: queue + fig 4-2"
+    (fun rand ~conflict -> GQ.generate rand ~conflict)
+    At.online_hybrid_atomic Q.conflict_hybrid
+
+let prop_theorem_16_queue_fig_4_3 =
+  theorem_16_property ~name:"Thm 16: queue + fig 4-3"
+    (fun rand ~conflict -> GQ.generate rand ~conflict)
+    At.online_hybrid_atomic Q.conflict_fig_4_3
+
+let prop_theorem_16_queue_rw =
+  theorem_16_property ~name:"Thm 16: queue + 2PL-RW"
+    (fun rand ~conflict -> GQ.generate rand ~conflict)
+    At.online_hybrid_atomic Q.conflict_rw
+
+let prop_theorem_16_account_hybrid =
+  theorem_16_property ~name:"Thm 16: account + fig 4-5"
+    (fun rand ~conflict -> GA.generate rand ~conflict)
+    AtA.online_hybrid_atomic A.conflict_hybrid
+
+let prop_theorem_16_account_commut =
+  theorem_16_property ~name:"Thm 16: account + fig 7-1"
+    (fun rand ~conflict -> GA.generate rand ~conflict)
+    AtA.online_hybrid_atomic A.conflict_commutativity
+
+let prop_theorem_16_semiqueue =
+  theorem_16_property ~name:"Thm 16: semiqueue + fig 4-4"
+    (fun rand ~conflict -> GS.generate rand ~conflict)
+    AtS.online_hybrid_atomic SQ.conflict_hybrid
+
+(* Sanity for the generator itself: histories are well-formed and
+   respect the timestamp-generation constraint. *)
+let prop_generator_well_formed =
+  QCheck2.Test.make ~name:"generator produces well-formed histories" ~count:200
+    QCheck2.Gen.(0 -- 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let h = GQ.generate rand ~conflict:Q.conflict_hybrid in
+      (match H.well_formed h with Ok () -> true | Error _ -> false)
+      && H.timestamps_respect_precedes h)
+
+(* With the empty conflict relation the generator eventually produces a
+   NON-hybrid-atomic history — Theorem 17 witnessed by random search. *)
+let test_theorem_17_random_search () =
+  let found = ref false in
+  let i = ref 0 in
+  while (not !found) && !i < 3000 do
+    incr i;
+    let rand = Random.State.make [| !i |] in
+    let h =
+      GQ.generate ~config:{ GQ.default with steps = 14 } rand ~conflict:(fun _ _ -> false)
+    in
+    if not (At.online_hybrid_atomic h) then found := true
+  done;
+  check_bool "random search finds a violation" true !found
+
+let () =
+  Alcotest.run "lock_machine"
+    [
+      ( "acceptance",
+        [
+          Alcotest.test_case "paper history accepted (hybrid)" `Quick
+            test_paper_history_accepted;
+          Alcotest.test_case "rejected by commutativity" `Quick
+            test_paper_history_rejected_by_commutativity;
+          Alcotest.test_case "rejected by 2PL-RW" `Quick test_rw_rejects_even_earlier;
+        ] );
+      ( "refusals",
+        [
+          Alcotest.test_case "no pending" `Quick test_refusal_no_pending;
+          Alcotest.test_case "illegal in view" `Quick test_refusal_illegal_in_view;
+          Alcotest.test_case "already completed" `Quick test_refusal_already_completed;
+          Alcotest.test_case "lock conflict" `Quick test_refusal_lock_conflict;
+        ] );
+      ( "views",
+        [
+          Alcotest.test_case "committed state in ts order" `Quick
+            test_view_includes_committed_in_ts_order;
+          Alcotest.test_case "own intentions visible" `Quick
+            test_view_appends_own_intentions;
+          Alcotest.test_case "active transactions" `Quick test_active_txns;
+        ] );
+      ( "theorem-17",
+        [
+          Alcotest.test_case "constructed scenario" `Quick test_theorem_17_scenario;
+          Alcotest.test_case "random search" `Slow test_theorem_17_random_search;
+        ] );
+      ( "theorem-16",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_theorem_16_queue_hybrid;
+            prop_theorem_16_queue_fig_4_3;
+            prop_theorem_16_queue_rw;
+            prop_theorem_16_account_hybrid;
+            prop_theorem_16_account_commut;
+            prop_theorem_16_semiqueue;
+            prop_generator_well_formed;
+          ] );
+    ]

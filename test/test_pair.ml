@@ -1,0 +1,218 @@
+(* Multi-object formal tests: the paper's Section 3.3 motivation for
+   local atomicity properties, and Theorem 1 checked by the global
+   serializability decision procedure. *)
+
+module F = Adt.File_adt
+module Q = Adt.Fifo_queue
+module P2 = Model.Pair.Make (F) (F)
+module PQ = Model.Pair.Make (Q) (Q)
+module LQ = Hybrid.Lock_machine.Make (Q)
+
+let p = Model.Txn.make ~label:"P" 1
+let q = Model.Txn.make ~label:"Q" 2
+
+let check_bool = Alcotest.(check bool)
+
+let wf h = match P2.well_formed h with Ok () -> true | Error _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* The incompatible-schemes failure (paper §3.3): each object is       *)
+(* locally atomic — its projection is serializable — but object X      *)
+(* serializes P before Q while object Y serializes Q before P, so no   *)
+(* global order exists.                                                *)
+(* ------------------------------------------------------------------ *)
+
+let incompatible_history : P2.t =
+  [
+    (* At X: P writes 1, Q reads 1  =>  X forces P < Q *)
+    P2.At_x (P2.HX.Invoke (p, F.Write 1));
+    P2.At_x (P2.HX.Respond (p, F.Ok));
+    P2.At_x (P2.HX.Invoke (q, F.Read));
+    P2.At_x (P2.HX.Respond (q, F.Val 1));
+    (* At Y: Q writes 2, P reads 2  =>  Y forces Q < P *)
+    P2.At_y (P2.HY.Invoke (q, F.Write 2));
+    P2.At_y (P2.HY.Respond (q, F.Ok));
+    P2.At_y (P2.HY.Invoke (p, F.Read));
+    P2.At_y (P2.HY.Respond (p, F.Val 2));
+    P2.At_x (P2.HX.Commit (p, 1));
+    P2.At_y (P2.HY.Commit (p, 1));
+    P2.At_x (P2.HX.Commit (q, 2));
+    P2.At_y (P2.HY.Commit (q, 2));
+  ]
+
+let test_incompatible_schemes () =
+  check_bool "well-formed" true (wf incompatible_history);
+  (* each object alone is fine *)
+  let module AtF = Model.Atomicity.Make (F) in
+  check_bool "X locally atomic" true (AtF.atomic (P2.project_x incompatible_history));
+  check_bool "Y locally atomic" true (AtF.atomic (P2.project_y incompatible_history));
+  (* but the system is not *)
+  check_bool "globally NOT atomic" false (P2.atomic incompatible_history);
+  (* and indeed Y is not hybrid atomic: with P's timestamp below Q's, Y
+     serializes against the timestamp order — the local property one of
+     the two objects must violate *)
+  check_bool "Y violates hybrid atomicity" false
+    (AtF.hybrid_atomic (P2.project_y incompatible_history))
+
+(* A compatible version of the same pattern: both objects see P < Q. *)
+let test_compatible_schemes () =
+  let h : P2.t =
+    [
+      P2.At_x (P2.HX.Invoke (p, F.Write 1));
+      P2.At_x (P2.HX.Respond (p, F.Ok));
+      P2.At_y (P2.HY.Invoke (p, F.Write 2));
+      P2.At_y (P2.HY.Respond (p, F.Ok));
+      P2.At_x (P2.HX.Invoke (q, F.Read));
+      P2.At_x (P2.HX.Respond (q, F.Val 1));
+      P2.At_y (P2.HY.Invoke (q, F.Read));
+      P2.At_y (P2.HY.Respond (q, F.Val 2));
+      P2.At_x (P2.HX.Commit (p, 1));
+      P2.At_y (P2.HY.Commit (p, 1));
+      P2.At_x (P2.HX.Commit (q, 2));
+      P2.At_y (P2.HY.Commit (q, 2));
+    ]
+  in
+  check_bool "well-formed" true (wf h);
+  check_bool "globally atomic" true (P2.atomic h);
+  check_bool "globally hybrid atomic" true (P2.hybrid_atomic h)
+
+(* ------------------------------------------------------------------ *)
+(* Global well-formedness specifics                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_global_pending_invocation () =
+  (* invoking at Y while an invocation is pending at X is ill-formed *)
+  let h : P2.t =
+    [ P2.At_x (P2.HX.Invoke (p, F.Write 1)); P2.At_y (P2.HY.Invoke (p, F.Write 2)) ]
+  in
+  check_bool "rejected" false (wf h)
+
+let test_response_at_wrong_object () =
+  let h : P2.t =
+    [ P2.At_x (P2.HX.Invoke (p, F.Write 1)); P2.At_y (P2.HY.Respond (p, F.Ok)) ]
+  in
+  check_bool "rejected" false (wf h)
+
+let test_cross_object_timestamp_mismatch () =
+  let h : P2.t =
+    [
+      P2.At_x (P2.HX.Invoke (p, F.Write 1));
+      P2.At_x (P2.HX.Respond (p, F.Ok));
+      P2.At_x (P2.HX.Commit (p, 1));
+      P2.At_y (P2.HY.Commit (p, 2));
+    ]
+  in
+  check_bool "rejected" false (wf h)
+
+let test_cross_object_timestamp_clash () =
+  let h : P2.t =
+    [
+      P2.At_x (P2.HX.Invoke (p, F.Write 1));
+      P2.At_x (P2.HX.Respond (p, F.Ok));
+      P2.At_x (P2.HX.Commit (p, 1));
+      P2.At_y (P2.HY.Invoke (q, F.Write 2));
+      P2.At_y (P2.HY.Respond (q, F.Ok));
+      P2.At_y (P2.HY.Commit (q, 1));
+    ]
+  in
+  check_bool "rejected" false (wf h)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 1, formally: drive TWO LOCK machines with a shared pool of  *)
+(* transactions and a shared timestamp counter; both projections are   *)
+(* in L(LOCK) with a dependency conflict relation, hence hybrid        *)
+(* atomic (Thm 16); the global history must then be atomic — and       *)
+(* serializable specifically in the shared timestamp order.            *)
+(* ------------------------------------------------------------------ *)
+
+let prop_theorem_1 =
+  QCheck2.Test.make ~name:"Theorem 1: two hybrid-atomic objects compose" ~count:150
+    QCheck2.Gen.(0 -- 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let conflict = Q.conflict_hybrid in
+      let mx = ref (LQ.create ~conflict) in
+      let my = ref (LQ.create ~conflict) in
+      let history = ref [] in
+      let clock = ref 0 in
+      let txns = 3 in
+      let completed = Array.make txns false in
+      let pending_at = Array.make txns None in
+      (* which object holds the pending invocation *)
+      for _ = 1 to 22 do
+        let i = Random.State.int rand txns in
+        let t = Model.Txn.make i in
+        if not completed.(i) then begin
+          match pending_at.(i) with
+          | Some `X -> (
+            match LQ.available_responses !mx t with
+            | r :: _ -> (
+              match LQ.step !mx (PQ.HX.Respond (t, r)) with
+              | Ok m ->
+                mx := m;
+                history := PQ.At_x (PQ.HX.Respond (t, r)) :: !history;
+                pending_at.(i) <- None
+              | Error _ -> ())
+            | [] -> ())
+          | Some `Y -> (
+            match LQ.available_responses !my t with
+            | r :: _ -> (
+              match LQ.step !my (PQ.HY.Respond (t, r)) with
+              | Ok m ->
+                my := m;
+                history := PQ.At_y (PQ.HY.Respond (t, r)) :: !history;
+                pending_at.(i) <- None
+              | Error _ -> ())
+            | [] -> ())
+          | None -> (
+            match Random.State.int rand 4 with
+            | 0 ->
+              let inv = if Random.State.bool rand then Q.Enq 1 else Q.Enq 2 in
+              mx := Result.get_ok (LQ.step !mx (PQ.HX.Invoke (t, inv)));
+              history := PQ.At_x (PQ.HX.Invoke (t, inv)) :: !history;
+              pending_at.(i) <- Some `X
+            | 1 ->
+              let inv = if Random.State.bool rand then Q.Enq 1 else Q.Deq in
+              my := Result.get_ok (LQ.step !my (PQ.HY.Invoke (t, inv)));
+              history := PQ.At_y (PQ.HY.Invoke (t, inv)) :: !history;
+              pending_at.(i) <- Some `Y
+            | 2 ->
+              incr clock;
+              let ts = !clock in
+              mx := Result.get_ok (LQ.step !mx (PQ.HX.Commit (t, ts)));
+              my := Result.get_ok (LQ.step !my (PQ.HY.Commit (t, ts)));
+              history :=
+                PQ.At_y (PQ.HY.Commit (t, ts)) :: PQ.At_x (PQ.HX.Commit (t, ts)) :: !history;
+              completed.(i) <- true
+            | _ ->
+              mx := Result.get_ok (LQ.step !mx (PQ.HX.Abort t));
+              my := Result.get_ok (LQ.step !my (PQ.HY.Abort t));
+              history := PQ.At_y (PQ.HY.Abort t) :: PQ.At_x (PQ.HX.Abort t) :: !history;
+              completed.(i) <- true)
+        end
+      done;
+      let h = List.rev !history in
+      (match PQ.well_formed h with Ok () -> true | Error _ -> false)
+      && PQ.hybrid_atomic h && PQ.atomic h)
+
+let () =
+  Alcotest.run "pair"
+    [
+      ( "section-3-3",
+        [
+          Alcotest.test_case "incompatible local schemes break globally" `Quick
+            test_incompatible_schemes;
+          Alcotest.test_case "compatible schemes compose" `Quick test_compatible_schemes;
+        ] );
+      ( "global-well-formedness",
+        [
+          Alcotest.test_case "one pending invocation system-wide" `Quick
+            test_global_pending_invocation;
+          Alcotest.test_case "response at the invoked object" `Quick
+            test_response_at_wrong_object;
+          Alcotest.test_case "consistent timestamps" `Quick
+            test_cross_object_timestamp_mismatch;
+          Alcotest.test_case "unique timestamps" `Quick test_cross_object_timestamp_clash;
+        ] );
+      ("theorem-1", List.map QCheck_alcotest.to_alcotest [ prop_theorem_1 ]);
+    ]

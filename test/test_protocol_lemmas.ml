@@ -1,0 +1,122 @@
+(* The remaining lemmas of the paper with observable content, as
+   randomized properties over histories generated through the LOCK
+   machine (Lemmas 4 and 7 live in test_views.ml):
+
+   - Lemma 2: online hybrid atomicity implies hybrid atomicity.
+   - Lemma 13: active transactions never hold conflicting operations.
+   - Lemma 19: a transaction's recorded lower bound really is a lower
+     bound — if bound(R) >= committed(P)'s timestamp, then (P, R) is in
+     Known(H). *)
+
+module Q = Adt.Fifo_queue
+module L = Hybrid.Lock_machine.Make (Q)
+module H = L.H
+module At = Model.Atomicity.Make (Q)
+module G = Histgen.Make (Q)
+
+let gen_seed = QCheck2.Gen.(0 -- 1_000_000)
+
+let history_of seed conflict =
+  let rand = Random.State.make [| seed |] in
+  G.generate rand ~conflict
+
+let prop_lemma_2 =
+  QCheck2.Test.make ~name:"Lemma 2: online hybrid atomic => hybrid atomic" ~count:200
+    gen_seed (fun seed ->
+      let h = history_of seed Q.conflict_hybrid in
+      (not (At.online_hybrid_atomic h)) || At.hybrid_atomic h)
+
+let prop_lemma_13 =
+  QCheck2.Test.make
+    ~name:"Lemma 13: active transactions hold no conflicting operations" ~count:200
+    gen_seed
+    (fun seed ->
+      let h = history_of seed Q.conflict_hybrid in
+      match L.run ~conflict:Q.conflict_hybrid h with
+      | Error _ -> false
+      | Ok m ->
+        let active = L.active_txns m in
+        List.for_all
+          (fun p ->
+            List.for_all
+              (fun q ->
+                Model.Txn.equal p q
+                || List.for_all
+                     (fun op_p ->
+                       List.for_all
+                         (fun op_q -> not (Q.conflict_hybrid op_p op_q))
+                         (L.intentions m q))
+                     (L.intentions m p))
+              active)
+          active)
+
+(* Lemma 19's operational content (its literal Known-based statement
+   counts an invocation as establishing precedes, which the Section 3.3
+   definition does not): a lower bound recorded for an active
+   transaction is sound — if the transaction later commits, its
+   timestamp exceeds every bound it ever carried.  This is exactly what
+   compaction safety needs. *)
+let prop_lemma_19 =
+  QCheck2.Test.make ~name:"Lemma 19: recorded bounds under-approximate commit timestamps"
+    ~count:200 gen_seed (fun seed ->
+      let h = history_of seed Q.conflict_hybrid in
+      (* replay, recording the largest bound each transaction carries *)
+      let max_bound : (int, Model.Timestamp.t) Hashtbl.t = Hashtbl.create 8 in
+      let rec go m = function
+        | [] -> true
+        | e :: rest -> (
+          match L.step m e with
+          | Error _ -> false
+          | Ok m' ->
+            List.iter
+              (fun t ->
+                match L.bound m' t with
+                | Some (Hybrid.Xts.Fin b) -> (
+                  let id = Model.Txn.id t in
+                  match Hashtbl.find_opt max_bound id with
+                  | Some b' when b' >= b -> ()
+                  | _ -> Hashtbl.replace max_bound id b)
+                | Some Hybrid.Xts.Neg_inf | None -> ())
+              (H.transactions h);
+            go m' rest)
+      in
+      go (L.create ~conflict:Q.conflict_hybrid) h
+      && List.for_all
+           (fun t ->
+             match (H.timestamp_of h t, Hashtbl.find_opt max_bound (Model.Txn.id t)) with
+             | Some ts, Some b -> ts > b
+             | (Some _ | None), _ -> true)
+           (H.transactions h))
+
+(* And the flip side of Lemma 13 used by Theorem 16's proof (Lemma 14):
+   transactions unrelated by precedes have no conflicts across their
+   full operation sequences. *)
+let prop_lemma_14 =
+  QCheck2.Test.make ~name:"Lemma 14: precedes-unrelated transactions never conflict"
+    ~count:200 gen_seed (fun seed ->
+      let h = history_of seed Q.conflict_hybrid in
+      let txns = H.transactions h in
+      let not_aborted p = not (List.exists (Model.Txn.equal p) (H.aborted h)) in
+      List.for_all
+        (fun p ->
+          List.for_all
+            (fun q ->
+              Model.Txn.equal p q
+              || (not (not_aborted p && not_aborted q))
+              || H.precedes h p q || H.precedes h q p
+              || List.for_all
+                   (fun op_p ->
+                     List.for_all
+                       (fun op_q -> not (Q.conflict_hybrid op_p op_q))
+                       (H.op_seq_txn h q))
+                   (H.op_seq_txn h p))
+            txns)
+        txns)
+
+let () =
+  Alcotest.run "protocol_lemmas"
+    [
+      ( "lemmas",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_lemma_2; prop_lemma_13; prop_lemma_14; prop_lemma_19 ] );
+    ]

@@ -1,0 +1,110 @@
+(* Tests for Spec.Relation: materialized binary relations over a finite
+   operation universe. *)
+
+let ops = [ 0; 1; 2; 3 ]
+let eq = Int.equal
+let of_pred = Spec.Relation.of_pred ~eq ~ops
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_holds () =
+  let r = of_pred (fun a b -> a < b) in
+  check_bool "0<1" true (Spec.Relation.holds r 0 1);
+  check_bool "1<0" false (Spec.Relation.holds r 1 0);
+  check_bool "diag" false (Spec.Relation.holds r 2 2);
+  Alcotest.check_raises "outside universe"
+    (Invalid_argument "Relation: operation not in universe") (fun () ->
+      ignore (Spec.Relation.holds r 9 0))
+
+let test_pairs_and_size () =
+  let r = of_pred (fun a b -> a + 1 = b) in
+  check_int "successor pairs" 3 (Spec.Relation.size r);
+  Alcotest.(check (list (pair int int)))
+    "pairs row-major"
+    [ (0, 1); (1, 2); (2, 3) ]
+    (Spec.Relation.pairs r)
+
+let test_symmetric_closure () =
+  let r = of_pred (fun a b -> a + 1 = b) in
+  let s = Spec.Relation.symmetric_closure r in
+  check_bool "asymmetric before" false (Spec.Relation.is_symmetric r);
+  check_bool "symmetric after" true (Spec.Relation.is_symmetric s);
+  check_int "doubled size" 6 (Spec.Relation.size s);
+  check_bool "subset of closure" true (Spec.Relation.subset r s)
+
+let test_union () =
+  let a = of_pred (fun a b -> a = 0 && b = 1) in
+  let b = of_pred (fun a b -> a = 2 && b = 3) in
+  let u = Spec.Relation.union a b in
+  check_int "union size" 2 (Spec.Relation.size u);
+  check_bool "a <= u" true (Spec.Relation.subset a u);
+  check_bool "b <= u" true (Spec.Relation.subset b u)
+
+let test_remove () =
+  let r = of_pred (fun a b -> a < b) in
+  let r' = Spec.Relation.remove r 0 1 in
+  check_bool "removed" false (Spec.Relation.holds r' 0 1);
+  check_int "one less" (Spec.Relation.size r - 1) (Spec.Relation.size r');
+  check_bool "proper subset" true (Spec.Relation.proper_subset r' r)
+
+let test_equal () =
+  let a = of_pred (fun a b -> a < b) in
+  let b = of_pred (fun a b -> b > a) in
+  check_bool "equal predicates" true (Spec.Relation.equal a b);
+  check_bool "not equal" false (Spec.Relation.equal a (Spec.Relation.remove a 0 1))
+
+let test_pred_roundtrip () =
+  let r = of_pred (fun a b -> a * b = 2 ) in
+  let r2 = of_pred (Spec.Relation.pred r) in
+  check_bool "materialize(pred(r)) = r" true (Spec.Relation.equal r r2)
+
+(* Properties *)
+
+let rel_gen =
+  (* a random relation as a list of pairs over the 4-element universe *)
+  QCheck2.Gen.(list_size (0 -- 10) (pair (0 -- 3) (0 -- 3)))
+
+let mk pairs = of_pred (fun a b -> List.mem (a, b) pairs)
+
+let prop_symmetric_closure_idempotent =
+  QCheck2.Test.make ~name:"symmetric closure is idempotent" ~count:200 rel_gen
+    (fun pairs ->
+      let r = Spec.Relation.symmetric_closure (mk pairs) in
+      Spec.Relation.equal r (Spec.Relation.symmetric_closure r))
+
+let prop_union_commutative =
+  QCheck2.Test.make ~name:"union is commutative" ~count:200
+    (QCheck2.Gen.pair rel_gen rel_gen) (fun (p1, p2) ->
+      Spec.Relation.equal
+        (Spec.Relation.union (mk p1) (mk p2))
+        (Spec.Relation.union (mk p2) (mk p1)))
+
+let prop_subset_antisymmetric =
+  QCheck2.Test.make ~name:"mutual subset implies equal" ~count:200
+    (QCheck2.Gen.pair rel_gen rel_gen) (fun (p1, p2) ->
+      let a = mk p1 and b = mk p2 in
+      (not (Spec.Relation.subset a b && Spec.Relation.subset b a))
+      || Spec.Relation.equal a b)
+
+let () =
+  Alcotest.run "relation"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "holds" `Quick test_holds;
+          Alcotest.test_case "pairs and size" `Quick test_pairs_and_size;
+          Alcotest.test_case "symmetric closure" `Quick test_symmetric_closure;
+          Alcotest.test_case "union" `Quick test_union;
+          Alcotest.test_case "remove" `Quick test_remove;
+          Alcotest.test_case "equal" `Quick test_equal;
+          Alcotest.test_case "pred roundtrip" `Quick test_pred_roundtrip;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_symmetric_closure_idempotent;
+            prop_union_commutative;
+            prop_subset_antisymmetric;
+          ] );
+    ]

@@ -1,0 +1,380 @@
+(* Tests for the concurrent runtime: transaction handles, the manager,
+   the generic atomic object on real domains, and end-to-end hybrid
+   atomicity of recorded histories. *)
+
+module Q = Adt.Fifo_queue
+module A = Adt.Account
+module QObj = Runtime.Atomic_obj.Make (Q)
+module AObj = Runtime.Atomic_obj.Make (A)
+module HQ = Model.History.Make (Q)
+module AtQ = Model.Atomicity.Make (Q)
+module HA = Model.History.Make (A)
+module AtA = Model.Atomicity.Make (A)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------------- Txn_rt ---------------- *)
+
+let test_txn_lifecycle () =
+  let t = Runtime.Txn_rt.fresh () in
+  check_bool "active" true (Runtime.Txn_rt.status t = `Active);
+  check_bool "registered" true
+    (Runtime.Txn_rt.priority_of_id (Runtime.Txn_rt.id t) <> None);
+  let committed = ref [] in
+  Runtime.Txn_rt.add_participant t ~key:1
+    {
+      Runtime.Txn_rt.name = "x";
+      on_commit = (fun ts -> committed := ts :: !committed);
+      on_abort = (fun () -> ());
+    };
+  (* registration is idempotent per key *)
+  Runtime.Txn_rt.add_participant t ~key:1
+    {
+      Runtime.Txn_rt.name = "x";
+      on_commit = (fun ts -> committed := ts :: !committed);
+      on_abort = (fun () -> ());
+    };
+  check_int "one participant" 1 (Runtime.Txn_rt.participant_count t);
+  Runtime.Txn_rt.commit t 42;
+  check_bool "committed" true (Runtime.Txn_rt.status t = `Committed 42);
+  Alcotest.(check (list int)) "notified once" [ 42 ] !committed;
+  check_bool "deregistered" true
+    (Runtime.Txn_rt.priority_of_id (Runtime.Txn_rt.id t) = None);
+  Alcotest.check_raises "commit twice" (Invalid_argument "Txn_rt.commit: transaction not active")
+    (fun () -> Runtime.Txn_rt.commit t 43)
+
+let test_txn_abort () =
+  let t = Runtime.Txn_rt.fresh () in
+  let aborted = ref 0 in
+  Runtime.Txn_rt.add_participant t ~key:1
+    {
+      Runtime.Txn_rt.name = "x";
+      on_commit = (fun _ -> ());
+      on_abort = (fun () -> incr aborted);
+    };
+  Runtime.Txn_rt.abort t;
+  check_int "notified" 1 !aborted;
+  Runtime.Txn_rt.abort t;
+  check_int "abort idempotent" 1 !aborted
+
+let test_txn_priority_inheritance () =
+  let t1 = Runtime.Txn_rt.fresh () in
+  let t2 = Runtime.Txn_rt.fresh ~priority:(Runtime.Txn_rt.priority t1) () in
+  check_bool "same priority" true
+    (Runtime.Txn_rt.priority t1 = Runtime.Txn_rt.priority t2);
+  check_bool "different ids" true (Runtime.Txn_rt.id t1 <> Runtime.Txn_rt.id t2);
+  Runtime.Txn_rt.abort t1;
+  Runtime.Txn_rt.abort t2
+
+(* ---------------- Manager ---------------- *)
+
+let test_manager_commit_timestamps_unique_and_increasing () =
+  let mgr = Runtime.Manager.create () in
+  let tss = ref [] in
+  for _ = 1 to 5 do
+    Runtime.Manager.run mgr (fun txn ->
+        Runtime.Txn_rt.add_participant txn ~key:0
+          {
+            Runtime.Txn_rt.name = "probe";
+            on_commit = (fun ts -> tss := ts :: !tss);
+            on_abort = (fun () -> ());
+          })
+  done;
+  let tss = List.rev !tss in
+  check_bool "strictly increasing" true (List.sort_uniq compare tss = tss);
+  check_int "current_time" 5 (Runtime.Manager.current_time mgr)
+
+let test_manager_retry_on_abort () =
+  let mgr = Runtime.Manager.create () in
+  let attempts = ref 0 in
+  let v =
+    Runtime.Manager.run mgr (fun _ ->
+        incr attempts;
+        if !attempts < 3 then Runtime.Manager.abort_in ~reason:"retry me" ();
+        "done")
+  in
+  Alcotest.(check string) "eventually succeeds" "done" v;
+  check_int "three attempts" 3 !attempts;
+  let s = Runtime.Manager.stats mgr in
+  check_int "stats committed" 1 s.Runtime.Manager.committed;
+  check_int "stats aborted" 2 s.Runtime.Manager.aborted
+
+let test_manager_too_many_attempts () =
+  let mgr = Runtime.Manager.create () in
+  Alcotest.(check bool)
+    "raises" true
+    (try
+       let (_ : unit) =
+         Runtime.Manager.run ~max_attempts:3 mgr (fun _ ->
+             if true then Runtime.Manager.abort_in ~reason:"always" ())
+       in
+       false
+     with Runtime.Manager.Too_many_attempts _ -> true)
+
+let test_manager_other_exceptions_propagate () =
+  let mgr = Runtime.Manager.create () in
+  Alcotest.check_raises "propagates" Exit (fun () ->
+      Runtime.Manager.run mgr (fun _ -> raise Exit))
+
+(* ---------------- Atomic_obj, single-threaded semantics ------------- *)
+
+let test_obj_basic_roundtrip () =
+  let mgr = Runtime.Manager.create () in
+  let q = QObj.create ~conflict:Q.conflict_hybrid () in
+  Runtime.Manager.run mgr (fun txn ->
+      (match QObj.invoke q txn (Q.Enq 7) with Q.Ok -> () | _ -> Alcotest.fail "enq");
+      match QObj.invoke q txn Q.Deq with
+      | Q.Val 7 -> ()
+      | _ -> Alcotest.fail "deq should see own enqueue");
+  match QObj.committed_states q with
+  | [ [] ] -> ()
+  | _ -> Alcotest.fail "queue should be empty after commit"
+
+let test_obj_abort_discards () =
+  let mgr = Runtime.Manager.create () in
+  let q = QObj.create ~conflict:Q.conflict_hybrid () in
+  (match
+     Runtime.Manager.run_once mgr (fun txn ->
+         ignore (QObj.invoke q txn (Q.Enq 7));
+         Runtime.Manager.abort_in ())
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected abort");
+  match QObj.committed_states q with
+  | [ [] ] -> ()
+  | _ -> Alcotest.fail "aborted enqueue must not survive"
+
+let test_obj_blocked_on_partial () =
+  let mgr = Runtime.Manager.create () in
+  let q = QObj.create ~conflict:Q.conflict_hybrid () in
+  Runtime.Manager.run mgr (fun txn ->
+      match QObj.try_invoke q txn Q.Deq with
+      | Error `Blocked -> ()
+      | _ -> Alcotest.fail "Deq on empty should block")
+
+let test_obj_conflict_reported_with_holder () =
+  let mgr = Runtime.Manager.create () in
+  let q = QObj.create ~conflict:Q.conflict_rw () in
+  let holder = Runtime.Txn_rt.fresh () in
+  (match QObj.try_invoke q holder (Q.Enq 1) with
+  | Ok Q.Ok -> ()
+  | _ -> Alcotest.fail "first enq should succeed");
+  Runtime.Manager.run mgr (fun txn ->
+      match QObj.try_invoke q txn (Q.Enq 2) with
+      | Error (`Conflict (Some id)) ->
+        check_int "holder id" (Runtime.Txn_rt.id holder) id
+      | _ -> Alcotest.fail "expected conflict with holder");
+  Runtime.Txn_rt.abort holder
+
+let test_obj_stats () =
+  let mgr = Runtime.Manager.create () in
+  let q = QObj.create ~conflict:Q.conflict_hybrid () in
+  Runtime.Manager.run mgr (fun txn -> ignore (QObj.invoke q txn (Q.Enq 1)));
+  Runtime.Manager.run mgr (fun txn -> ignore (QObj.invoke q txn Q.Deq));
+  let s = QObj.stats q in
+  check_int "invocations" 2 s.QObj.invocations;
+  check_int "commits" 2 s.QObj.commits;
+  check_int "forgotten" 2 s.QObj.forgotten
+
+(* ---------------- recorded histories are hybrid atomic -------------- *)
+
+let test_recorded_history_hybrid_atomic () =
+  let mgr = Runtime.Manager.create () in
+  let q = QObj.create ~record:true ~conflict:Q.conflict_hybrid () in
+  let worker d =
+    Domain.spawn (fun () ->
+        for k = 0 to 9 do
+          Runtime.Manager.run mgr (fun txn ->
+              ignore (QObj.invoke q txn (Q.Enq ((10 * d) + k)));
+              if k mod 3 = 0 then ignore (QObj.invoke q txn Q.Deq))
+        done)
+  in
+  List.iter Domain.join (List.init 2 worker);
+  let h = QObj.history q in
+  check_bool "well-formed" true
+    (match HQ.well_formed h with Ok () -> true | Error _ -> false);
+  check_bool "timestamps respect precedes" true (HQ.timestamps_respect_precedes h);
+  check_bool "hybrid atomic" true (AtQ.hybrid_atomic h)
+
+let test_recorded_history_in_lock_language () =
+  (* End-to-end tie to the formal spec: everything the concurrent engine
+     records must be a history the Section 5 LOCK machine accepts under
+     the same conflict relation. *)
+  let module L = Hybrid.Lock_machine.Make (Q) in
+  let mgr = Runtime.Manager.create () in
+  let q = QObj.create ~record:true ~conflict:Q.conflict_hybrid () in
+  let worker d =
+    Domain.spawn (fun () ->
+        for k = 0 to 14 do
+          Runtime.Manager.run mgr (fun txn ->
+              ignore (QObj.invoke q txn (Q.Enq ((10 * d) + k)));
+              if k mod 4 = 1 then ignore (QObj.invoke q txn Q.Deq))
+        done)
+  in
+  List.iter Domain.join (List.init 3 worker);
+  check_bool "recorded history is in L(LOCK)" true
+    (L.accepts ~conflict:Q.conflict_hybrid (QObj.history q))
+
+let test_recorded_account_history_hybrid_atomic () =
+  let mgr = Runtime.Manager.create () in
+  let acc = AObj.create ~record:true ~conflict:A.conflict_hybrid () in
+  Runtime.Manager.run mgr (fun txn -> ignore (AObj.invoke acc txn (A.Credit 50)));
+  let worker _ =
+    Domain.spawn (fun () ->
+        for k = 1 to 8 do
+          Runtime.Manager.run mgr (fun txn ->
+              ignore (AObj.invoke acc txn (A.Credit k));
+              ignore (AObj.invoke acc txn (A.Debit 1)))
+        done)
+  in
+  List.iter Domain.join (List.init 2 worker);
+  let h = AObj.history acc in
+  check_bool "well-formed" true
+    (match HA.well_formed h with Ok () -> true | Error _ -> false);
+  check_bool "hybrid atomic" true (AtA.hybrid_atomic h)
+
+(* ---------------- multicore invariants ---------------- *)
+
+let test_concurrent_credits_conserve_money () =
+  let mgr = Runtime.Manager.create () in
+  let acc = AObj.create ~conflict:A.conflict_hybrid () in
+  let per_domain = 100 in
+  let workers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Runtime.Manager.run mgr (fun txn ->
+                  ignore (AObj.invoke acc txn (A.Credit 3)))
+            done))
+  in
+  List.iter Domain.join workers;
+  match AObj.committed_states acc with
+  | [ balance ] -> check_int "balance" (4 * per_domain * 3) balance
+  | _ -> Alcotest.fail "one state expected"
+
+let test_concurrent_enqueues_never_conflict () =
+  let mgr = Runtime.Manager.create () in
+  let q = QObj.create ~conflict:Q.conflict_hybrid () in
+  let workers =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for k = 0 to 49 do
+              Runtime.Manager.run mgr (fun txn ->
+                  ignore (QObj.invoke q txn (Q.Enq ((100 * d) + k))))
+            done))
+  in
+  List.iter Domain.join workers;
+  let s = QObj.stats q in
+  check_int "zero conflicts" 0 s.QObj.conflicts;
+  check_int "all committed" 200 s.QObj.commits
+
+let test_dequeue_order_is_timestamp_order () =
+  (* Drain a concurrently-filled queue; each drained item must have been
+     enqueued by an earlier-committed transaction (we check FIFO per
+     producer, the observable consequence). *)
+  let mgr = Runtime.Manager.create () in
+  let q = QObj.create ~conflict:Q.conflict_hybrid () in
+  let workers =
+    List.init 3 (fun d ->
+        Domain.spawn (fun () ->
+            for k = 0 to 19 do
+              Runtime.Manager.run mgr (fun txn ->
+                  ignore (QObj.invoke q txn (Q.Enq ((100 * d) + k))))
+            done))
+  in
+  List.iter Domain.join workers;
+  let drained = ref [] in
+  for _ = 1 to 60 do
+    Runtime.Manager.run mgr (fun txn ->
+        match QObj.invoke q txn Q.Deq with
+        | Q.Val v -> drained := v :: !drained
+        | Q.Ok -> Alcotest.fail "deq returned ok")
+  done;
+  let drained = List.rev !drained in
+  check_int "all items" 60 (List.length drained);
+  List.iter
+    (fun d ->
+      let mine = List.filter (fun v -> v / 100 = d) drained in
+      check_bool
+        (Printf.sprintf "producer %d FIFO" d)
+        true
+        (mine = List.sort compare mine))
+    [ 0; 1; 2 ]
+
+let test_wait_die_resolves_deadlock () =
+  (* Two transactions that each grab one enq lock under 2PL-RW and then
+     want the other's: classic deadlock, resolved by wait-die aborts. *)
+  let mgr = Runtime.Manager.create () in
+  let q1 = QObj.create ~name:"q1" ~conflict:Q.conflict_rw () in
+  let q2 = QObj.create ~name:"q2" ~conflict:Q.conflict_rw () in
+  let barrier = Atomic.make 0 in
+  let worker (first, second) =
+    Domain.spawn (fun () ->
+        Runtime.Manager.run mgr (fun txn ->
+            ignore (QObj.invoke first txn (Q.Enq 1));
+            Atomic.incr barrier;
+            (* wait until both hold their first lock at least once *)
+            let spin = ref 0 in
+            while Atomic.get barrier < 2 && !spin < 10_000 do
+              incr spin;
+              Domain.cpu_relax ()
+            done;
+            ignore (QObj.invoke second txn (Q.Enq 2))))
+  in
+  let d1 = worker (q1, q2) in
+  let d2 = worker (q2, q1) in
+  Domain.join d1;
+  Domain.join d2;
+  (* both eventually committed *)
+  let s = Runtime.Manager.stats mgr in
+  check_int "both committed" 2 s.Runtime.Manager.committed
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "txn",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_txn_lifecycle;
+          Alcotest.test_case "abort" `Quick test_txn_abort;
+          Alcotest.test_case "priority inheritance" `Quick test_txn_priority_inheritance;
+        ] );
+      ( "manager",
+        [
+          Alcotest.test_case "timestamps unique and increasing" `Quick
+            test_manager_commit_timestamps_unique_and_increasing;
+          Alcotest.test_case "retry on abort" `Quick test_manager_retry_on_abort;
+          Alcotest.test_case "too many attempts" `Quick test_manager_too_many_attempts;
+          Alcotest.test_case "exceptions propagate" `Quick
+            test_manager_other_exceptions_propagate;
+        ] );
+      ( "object",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_obj_basic_roundtrip;
+          Alcotest.test_case "abort discards" `Quick test_obj_abort_discards;
+          Alcotest.test_case "blocked on partial op" `Quick test_obj_blocked_on_partial;
+          Alcotest.test_case "conflict carries holder" `Quick
+            test_obj_conflict_reported_with_holder;
+          Alcotest.test_case "stats" `Quick test_obj_stats;
+        ] );
+      ( "histories",
+        [
+          Alcotest.test_case "queue history hybrid atomic" `Quick
+            test_recorded_history_hybrid_atomic;
+          Alcotest.test_case "recorded history in L(LOCK)" `Quick
+            test_recorded_history_in_lock_language;
+          Alcotest.test_case "account history hybrid atomic" `Quick
+            test_recorded_account_history_hybrid_atomic;
+        ] );
+      ( "multicore",
+        [
+          Alcotest.test_case "credits conserve money" `Quick
+            test_concurrent_credits_conserve_money;
+          Alcotest.test_case "enqueues never conflict" `Quick
+            test_concurrent_enqueues_never_conflict;
+          Alcotest.test_case "per-producer FIFO" `Quick
+            test_dequeue_order_is_timestamp_order;
+          Alcotest.test_case "wait-die resolves deadlock" `Quick
+            test_wait_die_resolves_deadlock;
+        ] );
+    ]

@@ -1,0 +1,167 @@
+(* Tests for Spec.Sequences: legality of operation sequences against each
+   ADT's serial specification, including partial and nondeterministic
+   operations, plus qcheck properties tying legality to enumeration. *)
+
+module Q = Adt.Fifo_queue
+module SQ = Adt.Semiqueue
+module F = Adt.File_adt
+module A = Adt.Account
+module QS = Spec.Sequences.Make (Q)
+module SS = Spec.Sequences.Make (SQ)
+module FS = Spec.Sequences.Make (F)
+module AS = Spec.Sequences.Make (A)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------------- FIFO queue ---------------- *)
+
+let test_queue_legal () =
+  check_bool "empty" true (QS.legal []);
+  check_bool "enq" true (QS.legal [ Q.enq 1 ]);
+  check_bool "enq enq deq fifo" true (QS.legal [ Q.enq 1; Q.enq 2; Q.deq 1 ]);
+  check_bool "fifo order respected" true
+    (QS.legal [ Q.enq 1; Q.enq 2; Q.deq 1; Q.deq 2 ]);
+  check_bool "wrong deq value" false (QS.legal [ Q.enq 1; Q.enq 2; Q.deq 2 ]);
+  check_bool "deq on empty is partial" false (QS.legal [ Q.deq 1 ]);
+  check_bool "deq more than enq" false (QS.legal [ Q.enq 1; Q.deq 1; Q.deq 1 ])
+
+let test_queue_states () =
+  (match QS.states_after [ Q.enq 1; Q.enq 2 ] with
+  | [ s ] -> Alcotest.(check (list int)) "queue contents" [ 1; 2 ] s
+  | _ -> Alcotest.fail "expected a single state");
+  check_int "illegal sequence has no states" 0
+    (List.length (QS.states_after [ Q.deq 1 ]))
+
+let test_queue_equivalence () =
+  check_bool "enq deq = empty" true (QS.equivalent [] [ Q.enq 1; Q.deq 1 ]);
+  check_bool "different contents differ" false (QS.equivalent [ Q.enq 1 ] [ Q.enq 2 ])
+
+(* ---------------- SemiQueue (nondeterminism) ---------------- *)
+
+let test_semiqueue_nondeterminism () =
+  check_bool "remove first inserted" true (SS.legal [ SQ.ins 1; SQ.ins 2; SQ.rem 1 ]);
+  check_bool "remove second inserted" true (SS.legal [ SQ.ins 1; SQ.ins 2; SQ.rem 2 ]);
+  check_bool "remove absent item" false (SS.legal [ SQ.ins 1; SQ.rem 2 ]);
+  check_bool "rem on empty is partial" false (SS.legal [ SQ.rem 1 ]);
+  check_bool "multiset: two copies" true
+    (SS.legal [ SQ.ins 1; SQ.ins 1; SQ.rem 1; SQ.rem 1 ]);
+  check_bool "multiset: not three copies" false
+    (SS.legal [ SQ.ins 1; SQ.ins 1; SQ.rem 1; SQ.rem 1; SQ.rem 1 ])
+
+let test_semiqueue_state_canonical () =
+  (* Insertion order does not matter: the state is a sorted multiset. *)
+  check_bool "ins 1;2 = ins 2;1" true
+    (SS.equivalent [ SQ.ins 1; SQ.ins 2 ] [ SQ.ins 2; SQ.ins 1 ])
+
+let test_semiqueue_rem_branches () =
+  (* After ins 1; ins 2, Rem can legally return either item: two branches. *)
+  match SS.states_after [ SQ.ins 1; SQ.ins 2 ] with
+  | [ s ] -> check_int "two possible rem results" 2 (List.length (SQ.step s SQ.Rem))
+  | _ -> Alcotest.fail "expected single state"
+
+(* ---------------- File ---------------- *)
+
+let test_file_legal () =
+  check_bool "read initial 0" true (FS.legal [ F.read 0 ]);
+  check_bool "read initial nonzero" false (FS.legal [ F.read 1 ]);
+  check_bool "read most recent write" true (FS.legal [ F.write 1; F.write 2; F.read 2 ]);
+  check_bool "read stale write" false (FS.legal [ F.write 1; F.write 2; F.read 1 ])
+
+(* ---------------- Account ---------------- *)
+
+let test_account_legal () =
+  check_bool "credit then debit" true (AS.legal [ A.credit 3; A.debit_ok 2 ]);
+  check_bool "debit exceeding balance fails as Ok" false (AS.legal [ A.debit_ok 2 ]);
+  check_bool "overdraft on empty account" true (AS.legal [ A.debit_overdraft 2 ]);
+  check_bool "overdraft leaves balance" true
+    (AS.legal [ A.credit 2; A.debit_overdraft 3; A.debit_ok 2 ]);
+  check_bool "post multiplies" true
+    (* 2 * (1+1) = 4, so Debit 3 succeeds *)
+    (AS.legal [ A.credit 2; A.post 1; A.debit_ok 3 ]);
+  check_bool "overdraft is accurate" false
+    (AS.legal [ A.credit 2; A.post 1; A.debit_overdraft 3 ])
+
+(* ---------------- Enumeration ---------------- *)
+
+let test_legal_sequences_enumeration () =
+  let seqs = QS.legal_sequences ~ops:Q.universe ~depth:2 in
+  (* Length 0: 1.  Length 1: enq1, enq2.  Length 2: enq;enq (4 combos)
+     plus enq v; deq v (2). *)
+  check_int "queue depth 2" (1 + 2 + 6) (List.length seqs);
+  check_bool "all legal" true (List.for_all QS.legal seqs)
+
+let test_legal_sequences_prefix_closed () =
+  let seqs = SS.legal_sequences ~ops:SQ.universe ~depth:3 in
+  let drop_last l = List.filteri (fun i _ -> i < List.length l - 1) l in
+  check_bool "prefix of each enumerated sequence is enumerated" true
+    (List.for_all (fun s -> s = [] || List.exists (fun s' -> s' = drop_last s) seqs) seqs)
+
+(* ---------------- Properties ---------------- *)
+
+let queue_op_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun v -> Q.enq (1 + (v mod 2))) (0 -- 1);
+        map (fun v -> Q.deq (1 + (v mod 2))) (0 -- 1);
+      ])
+
+let prop_legality_prefix_closed =
+  QCheck2.Test.make ~name:"legality is prefix-closed (queue)" ~count:300
+    QCheck2.Gen.(list_size (0 -- 6) queue_op_gen)
+    (fun ops ->
+      (not (QS.legal ops))
+      || List.for_all
+           (fun k -> QS.legal (List.filteri (fun i _ -> i < k) ops))
+           (List.init (List.length ops) Fun.id))
+
+let prop_equivalence_same_futures =
+  (* Equivalent sequences admit exactly the same one-op extensions. *)
+  QCheck2.Test.make ~name:"equivalent sequences have equal futures (semiqueue)"
+    ~count:200
+    QCheck2.Gen.(
+      pair
+        (list_size (0 -- 4) (oneofl SQ.universe))
+        (list_size (0 -- 4) (oneofl SQ.universe)))
+    (fun (h1, h2) ->
+      (not (SS.equivalent h1 h2))
+      || List.for_all (fun p -> SS.legal (h1 @ [ p ]) = SS.legal (h2 @ [ p ])) SQ.universe)
+
+let prop_states_after_append =
+  QCheck2.Test.make ~name:"states_after distributes over append (account)" ~count:200
+    QCheck2.Gen.(
+      pair (list_size (0 -- 3) (oneofl A.universe)) (list_size (0 -- 3) (oneofl A.universe)))
+    (fun (h, k) -> AS.states_after (h @ k) = AS.states_after' (AS.states_after h) k)
+
+let () =
+  Alcotest.run "sequences"
+    [
+      ( "queue",
+        [
+          Alcotest.test_case "legality" `Quick test_queue_legal;
+          Alcotest.test_case "states" `Quick test_queue_states;
+          Alcotest.test_case "equivalence" `Quick test_queue_equivalence;
+        ] );
+      ( "semiqueue",
+        [
+          Alcotest.test_case "nondeterministic removal" `Quick
+            test_semiqueue_nondeterminism;
+          Alcotest.test_case "canonical state" `Quick test_semiqueue_state_canonical;
+          Alcotest.test_case "rem branches" `Quick test_semiqueue_rem_branches;
+        ] );
+      ("file", [ Alcotest.test_case "legality" `Quick test_file_legal ]);
+      ("account", [ Alcotest.test_case "legality" `Quick test_account_legal ]);
+      ( "enumeration",
+        [
+          Alcotest.test_case "counts and legality" `Quick test_legal_sequences_enumeration;
+          Alcotest.test_case "prefix closure" `Quick test_legal_sequences_prefix_closed;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_legality_prefix_closed;
+            prop_equivalence_same_futures;
+            prop_states_after_append;
+          ] );
+    ]

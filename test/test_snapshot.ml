@@ -1,0 +1,219 @@
+(* Tests for read-only transactions with start-time timestamps (the
+   general form of hybrid atomicity, paper §7.1): snapshot reads are
+   consistent (serializable at the snapshot timestamp), lock-free, and
+   never disturb writers. *)
+
+module A = Adt.Account
+module Q = Adt.Fifo_queue
+module AObj = Runtime.Atomic_obj.Make (A)
+module QObj = Runtime.Atomic_obj.Make (Q)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------------- unit semantics ---------------- *)
+
+let test_read_at_sees_prefix () =
+  let mgr = Runtime.Manager.create () in
+  let acc = AObj.create ~conflict:A.conflict_hybrid () in
+  Runtime.Manager.run mgr (fun txn -> ignore (AObj.invoke acc txn (A.Credit 10)));
+  (* Pin the snapshot before more commits arrive — an unpinned snapshot
+     ages out as the horizon folds (tested separately below). *)
+  let src = AObj.snapshot_source acc in
+  let reader = Model.Txn.make (-4141) in
+  let s1 = Runtime.Manager.stable_time mgr in
+  src.Runtime.Snapshot.pin reader s1;
+  Runtime.Manager.run mgr (fun txn -> ignore (AObj.invoke acc txn (A.Credit 5)));
+  (* The snapshot at s1 must not see the second credit.  Balance is only
+     observable through operations; a Debit 11 overdrafts at balance 10
+     but succeeds at 15. *)
+  (match AObj.read_at acc ~at:s1 (A.Debit 11) with
+  | Some A.Overdraft -> ()
+  | _ -> Alcotest.fail "snapshot should see balance 10");
+  let s2 = Runtime.Manager.stable_time mgr in
+  (match AObj.read_at acc ~at:s2 (A.Debit 11) with
+  | Some A.Ok -> ()
+  | _ -> Alcotest.fail "current snapshot should see balance 15");
+  src.Runtime.Snapshot.unpin reader
+
+let test_read_at_has_no_side_effects () =
+  let mgr = Runtime.Manager.create () in
+  let acc = AObj.create ~conflict:A.conflict_hybrid () in
+  Runtime.Manager.run mgr (fun txn -> ignore (AObj.invoke acc txn (A.Credit 10)));
+  let s = Runtime.Manager.stable_time mgr in
+  (match AObj.read_at acc ~at:s (A.Debit 4) with
+  | Some A.Ok -> ()
+  | _ -> Alcotest.fail "debit observable");
+  (* the read was not an update: balance unchanged *)
+  match AObj.committed_states acc with
+  | [ 10 ] -> ()
+  | _ -> Alcotest.fail "snapshot read must not modify the object"
+
+let test_read_at_partial_op () =
+  let mgr = Runtime.Manager.create () in
+  let q = QObj.create ~conflict:Q.conflict_hybrid () in
+  let s = Runtime.Manager.stable_time mgr in
+  check_bool "deq on empty snapshot" true (QObj.read_at q ~at:s Q.Deq = None)
+
+let test_unavailable_after_folding () =
+  let mgr = Runtime.Manager.create () in
+  let acc = AObj.create ~conflict:A.conflict_hybrid () in
+  Runtime.Manager.run mgr (fun txn -> ignore (AObj.invoke acc txn (A.Credit 1)));
+  let old = Runtime.Manager.stable_time mgr in
+  (* more committed transactions fold past [old] (no pins held) *)
+  for _ = 1 to 5 do
+    Runtime.Manager.run mgr (fun txn -> ignore (AObj.invoke acc txn (A.Credit 1)))
+  done;
+  Alcotest.check_raises "folded past the snapshot" Runtime.Snapshot.Unavailable
+    (fun () -> ignore (AObj.read_at acc ~at:old (A.Credit 1)))
+
+let test_pin_blocks_folding () =
+  let mgr = Runtime.Manager.create () in
+  let acc = AObj.create ~conflict:A.conflict_hybrid () in
+  Runtime.Manager.run mgr (fun txn -> ignore (AObj.invoke acc txn (A.Credit 1)));
+  let src = AObj.snapshot_source acc in
+  let reader = Model.Txn.make (-4242) in
+  let at = Runtime.Manager.stable_time mgr in
+  src.Runtime.Snapshot.pin reader at;
+  for _ = 1 to 5 do
+    Runtime.Manager.run mgr (fun txn -> ignore (AObj.invoke acc txn (A.Credit 1)))
+  done;
+  (* still readable at [at] thanks to the pin *)
+  (match AObj.read_at acc ~at (A.Debit 2) with
+  | Some A.Overdraft -> () (* balance as of [at] is 1 *)
+  | _ -> Alcotest.fail "pinned snapshot must still see balance 1");
+  src.Runtime.Snapshot.unpin reader;
+  (* after unpinning, the horizon advances and the old snapshot ages out *)
+  Runtime.Manager.run mgr (fun txn -> ignore (AObj.invoke acc txn (A.Credit 1)));
+  Alcotest.check_raises "aged out" Runtime.Snapshot.Unavailable (fun () ->
+      ignore (AObj.read_at acc ~at (A.Debit 2)))
+
+let test_stable_time () =
+  let mgr = Runtime.Manager.create () in
+  check_int "initially 0" 0 (Runtime.Manager.stable_time mgr);
+  Runtime.Manager.run mgr (fun _ -> ());
+  check_int "after one commit" 1 (Runtime.Manager.stable_time mgr);
+  check_int "equals current when idle" (Runtime.Manager.current_time mgr)
+    (Runtime.Manager.stable_time mgr)
+
+(* ---------------- Snapshot.read orchestration ---------------- *)
+
+let test_snapshot_read_consistent_sum () =
+  (* The classic test: transfers preserve the total; a consistent
+     snapshot must always observe the exact invariant even while
+     transfers race on other domains. *)
+  let mgr = Runtime.Manager.create () in
+  let n = 4 in
+  let opening = 100 in
+  let accounts =
+    Array.init n (fun i ->
+        AObj.create ~name:(Printf.sprintf "a%d" i) ~conflict:A.conflict_hybrid ())
+  in
+  Array.iter
+    (fun a -> Runtime.Manager.run mgr (fun txn -> ignore (AObj.invoke a txn (A.Credit opening))))
+    accounts;
+  let stop = Atomic.make false in
+  let transferrers =
+    List.init 2 (fun d ->
+        Domain.spawn (fun () ->
+            let k = ref 0 in
+            while not (Atomic.get stop) do
+              incr k;
+              let src = (d + !k) mod n and amt = 1 + (!k mod 7) in
+              let dst = (src + 1) mod n in
+              Runtime.Manager.run mgr (fun txn ->
+                  match AObj.invoke accounts.(src) txn (A.Debit amt) with
+                  | A.Ok -> ignore (AObj.invoke accounts.(dst) txn (A.Credit amt))
+                  | A.Overdraft -> ())
+            done))
+  in
+  let sources = Array.to_list (Array.map AObj.snapshot_source accounts) in
+  (* Audit concurrently many times; each audit must see an exact total.
+     Balances are observed via binary search with overdraft probes. *)
+  let observed_balance acc ~at =
+    (* find b such that Debit b is Ok and Debit (b+1) overdrafts *)
+    let rec search lo hi =
+      (* invariant: Debit lo is Ok (or lo = 0), Debit hi overdrafts *)
+      if lo + 1 >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        match AObj.read_at acc ~at (A.Debit mid) with
+        | Some A.Ok -> search mid hi
+        | Some A.Overdraft -> search lo mid
+        | None -> Alcotest.fail "debit is total"
+    in
+    match AObj.read_at acc ~at (A.Debit 1) with
+    | Some A.Overdraft -> 0
+    | Some A.Ok -> search 1 (n * opening * 2)
+    | None -> Alcotest.fail "debit is total"
+  in
+  for _ = 1 to 25 do
+    let total =
+      Runtime.Snapshot.read mgr ~sources (fun ~at ->
+          Array.fold_left (fun acc a -> acc + observed_balance a ~at) 0 accounts)
+    in
+    check_int "conserved total" (n * opening) total
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join transferrers
+
+let test_readers_do_not_block_writers () =
+  let mgr = Runtime.Manager.create () in
+  let acc = AObj.create ~conflict:A.conflict_hybrid () in
+  Runtime.Manager.run mgr (fun txn -> ignore (AObj.invoke acc txn (A.Credit 100)));
+  let sources = [ AObj.snapshot_source acc ] in
+  Runtime.Snapshot.read mgr ~sources (fun ~at ->
+      (* while the snapshot is pinned, writers proceed without conflicts *)
+      for _ = 1 to 10 do
+        Runtime.Manager.run mgr (fun txn -> ignore (AObj.invoke acc txn (A.Credit 1)))
+      done;
+      (* and the pinned snapshot still reads its own time *)
+      match AObj.read_at acc ~at (A.Debit 101) with
+      | Some A.Overdraft -> ()
+      | _ -> Alcotest.fail "snapshot isolation");
+  let s = AObj.stats acc in
+  check_int "writers never conflicted" 0 s.AObj.conflicts;
+  match AObj.committed_states acc with
+  | [ 110 ] -> ()
+  | _ -> Alcotest.fail "writes all applied"
+
+let test_snapshot_read_queue () =
+  let mgr = Runtime.Manager.create () in
+  let q = QObj.create ~conflict:Q.conflict_hybrid () in
+  Runtime.Manager.run mgr (fun txn ->
+      ignore (QObj.invoke q txn (Q.Enq 7));
+      ignore (QObj.invoke q txn (Q.Enq 8)));
+  let front =
+    Runtime.Snapshot.read mgr ~sources:[ QObj.snapshot_source q ] (fun ~at ->
+        QObj.read_at q ~at Q.Deq)
+  in
+  (match front with
+  | Some (Q.Val 7) -> ()
+  | _ -> Alcotest.fail "snapshot front");
+  (* the read dequeued nothing *)
+  match QObj.committed_states q with
+  | [ [ 7; 8 ] ] -> ()
+  | _ -> Alcotest.fail "queue untouched by snapshot read"
+
+let () =
+  Alcotest.run "snapshot"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "reads the prefix at ts" `Quick test_read_at_sees_prefix;
+          Alcotest.test_case "no side effects" `Quick test_read_at_has_no_side_effects;
+          Alcotest.test_case "partial op yields None" `Quick test_read_at_partial_op;
+          Alcotest.test_case "unavailable after folding" `Quick
+            test_unavailable_after_folding;
+          Alcotest.test_case "pin blocks folding" `Quick test_pin_blocks_folding;
+          Alcotest.test_case "stable_time" `Quick test_stable_time;
+        ] );
+      ( "read-only-transactions",
+        [
+          Alcotest.test_case "consistent sum under racing transfers" `Quick
+            test_snapshot_read_consistent_sum;
+          Alcotest.test_case "readers do not block writers" `Quick
+            test_readers_do_not_block_writers;
+          Alcotest.test_case "queue snapshot" `Quick test_snapshot_read_queue;
+        ] );
+    ]

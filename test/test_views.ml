@@ -1,0 +1,166 @@
+(* Executable checks of the paper's view machinery: Definitions 5/6 and
+   the proof-carrying Lemmas 4 and 7, as unit cases and random
+   properties over the FIFO queue and Account specifications. *)
+
+module Q = Adt.Fifo_queue
+module A = Adt.Account
+module VQ = Spec.Views.Make (Q)
+module VA = Spec.Views.Make (A)
+module SQm = Spec.Sequences.Make (Q)
+module SAm = Spec.Sequences.Make (A)
+module DQ = Spec.Dependency.Make (Q)
+module DA = Spec.Dependency.Make (A)
+
+let check_bool = Alcotest.(check bool)
+
+let r_q = Q.dependency_fig_4_2
+let h0 = [ Q.enq 1; Q.enq 2; Q.deq 1 ]
+
+(* ---------------- Definitions 5 and 6 ---------------- *)
+
+let test_subsequence () =
+  Alcotest.(check int) "extract" 2 (List.length (VQ.subsequence h0 [ 0; 2 ]));
+  Alcotest.check_raises "out of range" (Invalid_argument "Views.subsequence") (fun () ->
+      ignore (VQ.subsequence h0 [ 7 ]))
+
+let test_is_closed () =
+  (* Deq 1 depends on Enq 2 (different value) under fig 4-2; keeping the
+     Deq without the Enq 2 is not closed. *)
+  check_bool "not closed" false (VQ.is_closed r_q h0 [ 2 ]);
+  check_bool "closed with enq2" true (VQ.is_closed r_q h0 [ 1; 2 ]);
+  check_bool "empty closed" true (VQ.is_closed r_q h0 []);
+  check_bool "full closed" true (VQ.is_closed r_q h0 [ 0; 1; 2 ])
+
+let test_is_view_for () =
+  (* A view for a second Deq (returning 2) must contain Enq 1 (different
+     item) and Deq 1 (no: deq 1 is same item for deq 2? fig 4-2: Deq v
+     depends on Deq v' iff v = v'; so Deq 2 depends on Enq 1 only). *)
+  let q = Q.deq 2 in
+  check_bool "enq1 required" false (VQ.is_view_for r_q h0 [ 1; 2 ] q);
+  check_bool "view" true (VQ.is_view_for r_q h0 [ 0; 1; 2 ] q);
+  (* minimal view: Enq 1 (dep of q), and for closedness Deq 1 needs its
+     deps... Deq 1 isn't included, Enq 1 has no deps. *)
+  Alcotest.(check (list int)) "minimal view" [ 0 ] (VQ.view_indices_for r_q h0 q)
+
+let test_view_closure_chases_dependencies () =
+  (* In [Enq 2; Enq 1; Deq 2], q = Deq 1 depends only on the Enq of the
+     different item (idx 0); Enq 2 itself depends on nothing, so the
+     minimal view is exactly [0]. *)
+  let h = [ Q.enq 2; Q.enq 1; Q.deq 2 ] in
+  Alcotest.(check (list int)) "direct only" [ 0 ] (VQ.view_indices_for r_q h (Q.deq 1));
+  (* Transitive closure: q = Deq 1 over [Enq 1; Enq 2; Enq 1; Deq 1]
+     depends on the earlier Deq 1 (same item, idx 3) and Enq 2 (idx 1);
+     the kept Deq 1 in turn requires Enq 2, already present. *)
+  let h = [ Q.enq 1; Q.enq 2; Q.enq 1; Q.deq 1 ] in
+  Alcotest.(check (list int)) "closed" [ 1; 3 ] (VQ.view_indices_for r_q h (Q.deq 1))
+
+(* ---------------- Lemma 4 ---------------- *)
+
+(* If h*k1 and h*k2 are legal and no op of k1 depends on an op of k2,
+   then h*k2*k1 is legal. *)
+let prop_lemma_4 =
+  QCheck2.Test.make ~name:"Lemma 4 (queue, fig 4-2)" ~count:500
+    QCheck2.Gen.(
+      triple
+        (list_size (0 -- 3) (oneofl Q.universe))
+        (list_size (0 -- 3) (oneofl Q.universe))
+        (list_size (0 -- 3) (oneofl Q.universe)))
+    (fun (h, k1, k2) ->
+      let no_deps =
+        List.for_all (fun q1 -> List.for_all (fun q2 -> not (r_q q1 q2)) k2) k1
+      in
+      (not (SQm.legal (h @ k1) && SQm.legal (h @ k2) && no_deps))
+      || SQm.legal (h @ k2 @ k1))
+
+let prop_lemma_4_account =
+  QCheck2.Test.make ~name:"Lemma 4 (account, fig 4-5)" ~count:500
+    QCheck2.Gen.(
+      triple
+        (list_size (0 -- 3) (oneofl A.universe))
+        (list_size (0 -- 3) (oneofl A.universe))
+        (list_size (0 -- 3) (oneofl A.universe)))
+    (fun (h, k1, k2) ->
+      let r = A.dependency_fig_4_5 in
+      let no_deps =
+        List.for_all (fun q1 -> List.for_all (fun q2 -> not (r q1 q2)) k2) k1
+      in
+      (not (SAm.legal (h @ k1) && SAm.legal (h @ k2) && no_deps))
+      || SAm.legal (h @ k2 @ k1))
+
+(* ---------------- Lemma 7 ---------------- *)
+
+(* If g is an R-view of h for q and g*q is legal, then h*q is legal. *)
+let prop_lemma_7 =
+  QCheck2.Test.make ~name:"Lemma 7 (queue, fig 4-2)" ~count:500
+    QCheck2.Gen.(
+      pair (list_size (0 -- 5) (oneofl Q.universe)) (oneofl Q.universe))
+    (fun (h, q) ->
+      QCheck2.assume (SQm.legal h);
+      let idxs = VQ.view_indices_for r_q h q in
+      let g = VQ.subsequence h idxs in
+      (* the computed minimal view satisfies Definition 6 *)
+      VQ.is_view_for r_q h idxs q
+      && ((not (SQm.legal (g @ [ q ]))) || SQm.legal (h @ [ q ])))
+
+let prop_lemma_7_account =
+  QCheck2.Test.make ~name:"Lemma 7 (account, fig 4-5)" ~count:500
+    QCheck2.Gen.(
+      pair (list_size (0 -- 5) (oneofl A.universe)) (oneofl A.universe))
+    (fun (h, q) ->
+      let r = A.dependency_fig_4_5 in
+      QCheck2.assume (SAm.legal h);
+      let idxs = VA.view_indices_for r h q in
+      let g = VA.subsequence h idxs in
+      VA.is_view_for r h idxs q
+      && ((not (SAm.legal (g @ [ q ]))) || SAm.legal (h @ [ q ])))
+
+(* Every R-view (not just the minimal one) works: sample arbitrary
+   supersets of the minimal view that are closed. *)
+let prop_lemma_7_any_view =
+  QCheck2.Test.make ~name:"Lemma 7 holds for arbitrary closed views" ~count:500
+    QCheck2.Gen.(
+      triple
+        (list_size (0 -- 5) (oneofl Q.universe))
+        (oneofl Q.universe)
+        (list_size (0 -- 5) (0 -- 4)))
+    (fun (h, q, extra) ->
+      QCheck2.assume (SQm.legal h);
+      let n = List.length h in
+      let base = VQ.view_indices_for r_q h q in
+      let candidate =
+        List.sort_uniq compare (base @ List.filter (fun i -> i < n) extra)
+      in
+      QCheck2.assume (VQ.is_view_for r_q h candidate q);
+      let g = VQ.subsequence h candidate in
+      (not (SQm.legal (g @ [ q ]))) || SQm.legal (h @ [ q ]))
+
+(* computed minimal views satisfy both definitional clauses *)
+let prop_view_definitional =
+  QCheck2.Test.make ~name:"view_indices_for satisfies Definitions 5 and 6" ~count:500
+    QCheck2.Gen.(
+      pair (list_size (0 -- 6) (oneofl Q.universe)) (oneofl Q.universe))
+    (fun (h, q) ->
+      let idxs = VQ.view_indices_for r_q h q in
+      VQ.is_closed r_q h idxs && VQ.is_view_for r_q h idxs q)
+
+let () =
+  Alcotest.run "views"
+    [
+      ( "definitions",
+        [
+          Alcotest.test_case "subsequence" `Quick test_subsequence;
+          Alcotest.test_case "closedness" `Quick test_is_closed;
+          Alcotest.test_case "views" `Quick test_is_view_for;
+          Alcotest.test_case "closure" `Quick test_view_closure_chases_dependencies;
+        ] );
+      ( "lemmas",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_lemma_4;
+            prop_lemma_4_account;
+            prop_lemma_7;
+            prop_lemma_7_account;
+            prop_lemma_7_any_view;
+            prop_view_definitional;
+          ] );
+    ]
