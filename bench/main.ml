@@ -33,7 +33,15 @@ open Toolkit
 module Make_driver (A : Spec.Adt_sig.S) = struct
   module C = Hybrid.Compacted.Make (A)
 
-  let make ~conflict ~txns () =
+  (* [label] names the per-figure metrics counters
+     ([bench.<label>.txns] / [.ops]) that count the work each figure's
+     closure pushed through the machine.  The counter calls stay on the
+     fast path unconditionally; {!Obs.Control} decides whether they
+     count — the on/off delta is what the obs-overhead group below
+     measures. *)
+  let make ?(label = A.name) ~conflict ~txns () =
+    let m_txns = Obs.Metrics.counter (Printf.sprintf "bench.%s.txns" label) in
+    let m_ops = Obs.Metrics.counter (Printf.sprintf "bench.%s.ops" label) in
     let machine = ref (C.create ~conflict) in
     let clock = ref 0 in
     let txn_ids = ref 0 in
@@ -50,9 +58,11 @@ module Make_driver (A : Spec.Adt_sig.S) = struct
           | Error _ -> assert false)
         invs;
       incr clock;
-      match C.step !machine (C.H.Commit (q, !clock)) with
+      (match C.step !machine (C.H.Commit (q, !clock)) with
       | Ok m -> machine := m
-      | Error _ -> assert false
+      | Error _ -> assert false);
+      Obs.Metrics.incr m_txns;
+      Obs.Metrics.add m_ops (List.length invs)
     in
     fun () -> List.iter one txns
 end
@@ -64,7 +74,7 @@ module Acct_driver = Make_driver (Adt.Account)
 
 let test_fig_4_1 =
   let txn conflict =
-    File_driver.make ~conflict ~txns:[ [ Adt.File_adt.Write 1; Adt.File_adt.Read ] ] ()
+    File_driver.make ~label:"fig-4-1" ~conflict ~txns:[ [ Adt.File_adt.Write 1; Adt.File_adt.Read ] ] ()
   in
   Test.make_grouped ~name:"fig-4-1-file"
     [
@@ -82,24 +92,26 @@ let queue_txns =
 let test_fig_4_2 =
   Test.make ~name:"fig-4-2-queue/hybrid"
     (Staged.stage
-       (Queue_driver.make ~conflict:Adt.Fifo_queue.conflict_hybrid ~txns:queue_txns ()))
+       (Queue_driver.make ~label:"fig-4-2" ~conflict:Adt.Fifo_queue.conflict_hybrid
+          ~txns:queue_txns ()))
 
 let test_fig_4_3 =
   Test.make_grouped ~name:"fig-4-3-queue"
     [
       Test.make ~name:"fig-4-3"
         (Staged.stage
-           (Queue_driver.make ~conflict:Adt.Fifo_queue.conflict_fig_4_3 ~txns:queue_txns
-              ()));
+           (Queue_driver.make ~label:"fig-4-3" ~conflict:Adt.Fifo_queue.conflict_fig_4_3
+              ~txns:queue_txns ()));
       Test.make ~name:"rw-locking"
         (Staged.stage
-           (Queue_driver.make ~conflict:Adt.Fifo_queue.conflict_rw ~txns:queue_txns ()));
+           (Queue_driver.make ~label:"fig-4-3" ~conflict:Adt.Fifo_queue.conflict_rw
+              ~txns:queue_txns ()));
     ]
 
 let test_fig_4_4 =
   Test.make ~name:"fig-4-4-semiqueue/hybrid"
     (Staged.stage
-       (Semi_driver.make ~conflict:Adt.Semiqueue.conflict_hybrid
+       (Semi_driver.make ~label:"fig-4-4" ~conflict:Adt.Semiqueue.conflict_hybrid
           ~txns:
             [ [ Adt.Semiqueue.Ins 1; Adt.Semiqueue.Ins 2 ]; [ Adt.Semiqueue.Rem; Adt.Semiqueue.Rem ] ]
           ()))
@@ -107,7 +119,7 @@ let test_fig_4_4 =
 let account_invs = [ Adt.Account.Credit 10; Adt.Account.Debit 5; Adt.Account.Post 1 ]
 
 let test_fig_4_5 =
-  let generic conflict = Acct_driver.make ~conflict ~txns:[ account_invs ] () in
+  let generic conflict = Acct_driver.make ~label:"fig-4-5" ~conflict ~txns:[ account_invs ] () in
   let avalon () =
     let acc = Runtime.Avalon_account.create () in
     let mgr = Runtime.Manager.create () in
@@ -128,7 +140,7 @@ let test_fig_4_5 =
 let test_fig_7_1 =
   Test.make ~name:"fig-7-1-account/commutativity"
     (Staged.stage
-       (Acct_driver.make ~conflict:Adt.Account.conflict_commutativity
+       (Acct_driver.make ~label:"fig-7-1" ~conflict:Adt.Account.conflict_commutativity
           ~txns:[ account_invs ] ()))
 
 (* Deriving each figure's table from the serial specification (depth 2
@@ -178,7 +190,7 @@ let test_compaction =
   in
   let run_compacted =
     (* A fresh compacted driver per iteration for a fair comparison. *)
-    fun () -> (Acct_driver.make ~conflict:Adt.Account.conflict_hybrid
+    fun () -> (Acct_driver.make ~label:"compaction" ~conflict:Adt.Account.conflict_hybrid
                  ~txns:(List.init 60 (fun _ -> account_invs)) ()) ()
   in
   Test.make_grouped ~name:"compaction-60txn"
@@ -218,6 +230,33 @@ let test_snapshot =
   Test.make_grouped ~name:"snapshot"
     [ Test.make ~name:"read-only-roundtrip" (Staged.stage read_roundtrip) ]
 
+(* Observability cost: the fig-4-2 workload through an instrumented
+   driver with the metrics/trace switch on vs off (off = every registry
+   call is a no-op behind one atomic read — the baseline the tentpole's
+   <5% overhead budget is measured against).  Each closure sets the
+   switch itself because Bechamel interleaves its own calibration runs;
+   the groups above run before this one, under the default (on). *)
+let test_obs_overhead =
+  let on_driver =
+    Queue_driver.make ~label:"obs-overhead" ~conflict:Adt.Fifo_queue.conflict_hybrid
+      ~txns:queue_txns ()
+  in
+  let off_driver =
+    Queue_driver.make ~label:"obs-overhead" ~conflict:Adt.Fifo_queue.conflict_hybrid
+      ~txns:queue_txns ()
+  in
+  Test.make_grouped ~name:"obs-overhead-fig-4-2"
+    [
+      Test.make ~name:"metrics-on"
+        (Staged.stage (fun () ->
+             Obs.Control.set_enabled true;
+             on_driver ()));
+      Test.make ~name:"metrics-off"
+        (Staged.stage (fun () ->
+             Obs.Control.set_enabled false;
+             off_driver ()));
+    ]
+
 let all_tests =
   Test.make_grouped ~name:"hybrid-cc"
     [
@@ -231,6 +270,7 @@ let all_tests =
       test_compaction;
       test_det_sim;
       test_snapshot;
+      test_obs_overhead;
     ]
 
 let () =
@@ -258,6 +298,14 @@ let () =
       in
       Printf.printf "%-55s %15s %8.3f\n" name time r2)
     rows;
+  Obs.Control.set_enabled true;
+  print_endline "";
+  print_endline "per-figure work counters (Obs.Metrics, while the switch was on):";
+  List.iter
+    (fun (name, v) ->
+      if String.length name >= 6 && String.sub name 0 6 = "bench." then
+        Printf.printf "  %-53s %d\n" name v)
+    (Obs.Metrics.counters ());
   print_endline "";
   print_endline
     "note: multicore contention experiments (throughput per conflict relation)";

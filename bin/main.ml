@@ -36,7 +36,7 @@ let figures_cmd id verbose =
 let scale_of domains txns think_us =
   { Sim.Experiments.domains; txns; think_us }
 
-let experiments_cmd id deterministic domains txns think_us =
+let experiments_cmd id deterministic quick metrics domains txns think_us =
   if deterministic then begin
     let tables =
       match id with
@@ -53,8 +53,10 @@ let experiments_cmd id deterministic domains txns think_us =
     in
     List.iter (fun t -> Format.printf "%a@." Sim.Det_experiments.pp_table t) tables
   end
-  else
-    let scale = scale_of domains txns think_us in
+  else begin
+    let scale =
+      if quick then Sim.Experiments.quick_scale else scale_of domains txns think_us
+    in
     let tables =
       match id with
       | None -> Sim.Experiments.all ~scale ()
@@ -68,7 +70,24 @@ let experiments_cmd id deterministic domains txns think_us =
           other;
         exit 2
     in
-    List.iter (fun t -> Format.printf "%a@." Sim.Experiments.pp_table t) tables
+    List.iter (fun t -> Format.printf "%a@." Sim.Experiments.pp_table t) tables;
+    if metrics then begin
+      Format.printf "== metrics ==@.";
+      Obs.Metrics.dump Format.std_formatter ();
+      let tr = Obs.Trace.global in
+      Format.printf "trace.entries                %d@.trace.dropped                %d@."
+        (List.length (Obs.Trace.entries tr))
+        (Obs.Trace.dropped tr)
+    end;
+    match Sim.Experiments.violations tables with
+    | [] -> ()
+    | vs ->
+      List.iter
+        (fun (tid, label, e) ->
+          Format.eprintf "ATOMICITY VIOLATION in %s / %s: %s@." tid label e)
+        vs;
+      exit 1
+  end
 
 (* Registry for `derive`: every shipped ADT's tables, computed on demand
    from the serial specification alone. *)
@@ -187,6 +206,18 @@ let deterministic_arg =
     & info [ "deterministic" ]
         ~doc:"Run under the virtual-time simulator: exactly reproducible results.")
 
+let quick_arg =
+  Arg.(
+    value & flag
+    & info [ "quick" ]
+        ~doc:"Use the small test scale (2 domains x 20 txns); overrides the size options.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Dump the observability metrics registry and trace counters after the run.")
+
 let figures_t =
   Cmd.v
     (Cmd.info "figures" ~doc:"Regenerate the paper's figures from the specifications")
@@ -196,8 +227,8 @@ let experiments_t =
   Cmd.v
     (Cmd.info "experiments" ~doc:"Run the measured concurrency experiments")
     Term.(
-      const experiments_cmd $ id_arg $ deterministic_arg $ domains_arg $ txns_arg
-      $ think_arg)
+      const experiments_cmd $ id_arg $ deterministic_arg $ quick_arg $ metrics_arg
+      $ domains_arg $ txns_arg $ think_arg)
 
 let history_t =
   Cmd.v

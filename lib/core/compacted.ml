@@ -236,4 +236,19 @@ module Make (A : Spec.Adt_sig.S) = struct
   let live_ops t =
     List.fold_left (fun acc (_, _, ops) -> acc + List.length ops) 0 t.remembered
     + Tmap.fold (fun _ ops acc -> acc + List.length ops) t.intentions 0
+
+  type summary = {
+    s_folded_upto : Xts.t;
+    s_forgotten : int;
+    s_remembered : int;
+    s_live_ops : int;
+  }
+
+  let summary t =
+    {
+      s_folded_upto = t.folded_upto;
+      s_forgotten = t.forgotten;
+      s_remembered = remembered t;
+      s_live_ops = live_ops t;
+    }
 end

@@ -70,6 +70,20 @@ module Make (A : Spec.Adt_sig.S) : sig
       active intentions) — the measure of the memory the compaction
       saves. *)
 
+  type summary = {
+    s_folded_upto : Xts.t;
+    s_forgotten : int;
+    s_remembered : int;
+    s_live_ops : int;
+  }
+  (** One consistent snapshot of the compaction bookkeeping, for
+      observability hooks: callers diff two summaries around a state
+      transition to detect a fold (Theorem 24 guarantees [s_folded_upto]
+      and [s_forgotten] only ever grow — emitted trace events assert
+      exactly that). *)
+
+  val summary : t -> summary
+
   (** {1 Snapshots (read-only transactions)}
 
       The general form of hybrid atomicity (paper Section 7.1, after

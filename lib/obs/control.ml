@@ -1,0 +1,3 @@
+let flag = Atomic.make true
+let enabled () = Atomic.get flag
+let set_enabled b = Atomic.set flag b

@@ -1,0 +1,15 @@
+(** Global on/off switch for the observability layer.
+
+    Instrumentation is compiled in unconditionally; this flag turns the
+    fast-path work (metric increments, trace emission to the default
+    sink) into a single atomic load plus a branch.  It defaults to {e on}
+    — the layer is cheap enough to leave on (the [obs-overhead] bechamel
+    group measures the difference) — and benchmarks flip it off to
+    measure the no-op-registry baseline.
+
+    Explicitly attached trace sinks (see {!Trace} and
+    [Runtime.Atomic_obj.create ~trace]) bypass the flag: a caller that
+    wired a sink asked for the events. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit

@@ -1,0 +1,124 @@
+(* Shard count must be a power of two; 64 comfortably exceeds the domain
+   counts the runtime uses, so distinct domains almost always hit
+   distinct cells. *)
+let shards = 64
+
+let shard () = (Domain.self () :> int) land (shards - 1)
+
+type counter = { cname : string; cells : int Atomic.t array }
+
+type histogram = {
+  hname : string;
+  bounds : float array; (* ascending upper bounds, seconds *)
+  counts : int Atomic.t array array; (* shard -> bucket (bounds + inf) *)
+  sums : int Atomic.t array; (* shard -> nanoseconds *)
+}
+
+type instrument = Counter of counter | Histogram of histogram
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 32
+let registry_mutex = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+let atomic_cells n = Array.init n (fun _ -> Atomic.make 0)
+
+let counter name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Counter c) -> c
+      | Some (Histogram _) ->
+        invalid_arg (Printf.sprintf "Obs.Metrics.counter: %S is a histogram" name)
+      | None ->
+        let c = { cname = name; cells = atomic_cells shards } in
+        Hashtbl.add registry name (Counter c);
+        c)
+
+let add c n = if Control.enabled () then ignore (Atomic.fetch_and_add c.cells.(shard ()) n)
+let incr c = add c 1
+let value c = Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c.cells
+
+let default_bounds =
+  [| 1e-6; 2e-6; 5e-6; 1e-5; 2e-5; 5e-5; 1e-4; 2e-4; 5e-4; 1e-3; 2e-3; 5e-3; 1e-2; 1e-1 |]
+
+let histogram ?(bounds = default_bounds) name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Histogram h) -> h
+      | Some (Counter _) ->
+        invalid_arg (Printf.sprintf "Obs.Metrics.histogram: %S is a counter" name)
+      | None ->
+        let h =
+          {
+            hname = name;
+            bounds;
+            counts = Array.init shards (fun _ -> atomic_cells (Array.length bounds + 1));
+            sums = atomic_cells shards;
+          }
+        in
+        Hashtbl.add registry name (Histogram h);
+        h)
+
+let bucket_of h v =
+  let n = Array.length h.bounds in
+  let rec go i = if i >= n || v <= h.bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe h v =
+  if Control.enabled () then begin
+    let s = shard () in
+    Atomic.incr h.counts.(s).(bucket_of h v);
+    ignore (Atomic.fetch_and_add h.sums.(s) (int_of_float (v *. 1e9)))
+  end
+
+let merged_counts h =
+  let n = Array.length h.bounds + 1 in
+  let out = Array.make n 0 in
+  Array.iter (fun row -> Array.iteri (fun i c -> out.(i) <- out.(i) + Atomic.get c) row) h.counts;
+  out
+
+let count h = Array.fold_left ( + ) 0 (merged_counts h)
+let sum h = float_of_int (Array.fold_left (fun acc s -> acc + Atomic.get s) 0 h.sums) *. 1e-9
+
+let buckets h =
+  let counts = merged_counts h in
+  List.init (Array.length counts) (fun i ->
+      ((if i < Array.length h.bounds then Some h.bounds.(i) else None), counts.(i)))
+
+let instruments () =
+  with_registry (fun () -> Hashtbl.fold (fun _ i acc -> i :: acc) registry [])
+  |> List.sort (fun a b ->
+         let name = function Counter c -> c.cname | Histogram h -> h.hname in
+         String.compare (name a) (name b))
+
+let counters () =
+  List.filter_map (function Counter c -> Some (c.cname, value c) | Histogram _ -> None)
+    (instruments ())
+
+let dump ppf () =
+  List.iter
+    (function
+      | Counter c -> Format.fprintf ppf "%-28s %d@." c.cname (value c)
+      | Histogram h ->
+        let n = count h in
+        Format.fprintf ppf "%-28s count=%d sum=%.6fs@." h.hname n (sum h);
+        if n > 0 then
+          List.iter
+            (fun (bound, c) ->
+              if c > 0 then
+                match bound with
+                | Some b -> Format.fprintf ppf "  le %.0e s%18d@." b c
+                | None -> Format.fprintf ppf "  le +inf%19d@." c)
+            (buckets h))
+    (instruments ())
+
+let reset () =
+  List.iter
+    (function
+      | Counter c -> Array.iter (fun cell -> Atomic.set cell 0) c.cells
+      | Histogram h ->
+        Array.iter (Array.iter (fun cell -> Atomic.set cell 0)) h.counts;
+        Array.iter (fun s -> Atomic.set s 0) h.sums)
+    (instruments ())

@@ -1,0 +1,57 @@
+(** Process-wide metrics registry: named counters and fixed-bucket
+    latency histograms.
+
+    Built for the multicore runtime: every instrument is sharded into a
+    fixed number of per-domain cells (the shard is picked by domain id),
+    so concurrent increments from different domains touch different
+    atomics and never contend on a lock.  Reads ({!value}, {!dump})
+    merge the shards; they are monotonic snapshots, not linearizable
+    cuts — fine for operational metrics.
+
+    Increments and observations are gated on {!Control.enabled}: with
+    the switch off they cost one atomic load and a branch (the
+    "no-op registry" baseline measured by the [obs-overhead] bechamel
+    group).
+
+    Registration ({!counter}, {!histogram}) takes a mutex and should be
+    done once per instrument (module initialisation, object creation) —
+    the returned handle is the fast path.  Registering the same name
+    twice returns the same instrument. *)
+
+type counter
+type histogram
+
+val counter : string -> counter
+(** Find or create the counter with this name.  Raises
+    [Invalid_argument] if the name is already registered as a
+    histogram. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val histogram : ?bounds:float array -> string -> histogram
+(** Find or create a histogram.  [bounds] are ascending bucket upper
+    bounds in seconds (defaults span 1us .. 100ms); an implicit +inf
+    bucket catches the rest.  [bounds] is ignored when the name already
+    exists. *)
+
+val observe : histogram -> float -> unit
+(** Record one observation, in seconds. *)
+
+val count : histogram -> int
+val sum : histogram -> float
+(** Total observed seconds. *)
+
+val buckets : histogram -> (float option * int) list
+(** Per-bucket counts, ascending; [None] is the +inf bucket. *)
+
+val counters : unit -> (string * int) list
+(** Every registered counter with its merged value, sorted by name. *)
+
+val dump : Format.formatter -> unit -> unit
+(** Text dump of every counter and histogram, sorted by name. *)
+
+val reset : unit -> unit
+(** Zero every instrument (registrations are kept).  Not atomic with
+    respect to concurrent writers; call when quiescent (tests). *)

@@ -1,0 +1,37 @@
+(** Trace-replay atomicity checking.
+
+    Reconstructs an object-local {!Model.History} from captured
+    {!Trace} entries and feeds it to {!Model.Atomicity} — turning any
+    traced run (stress test, simulation, benchmark, experiment) into a
+    hybrid-atomicity check without the [record:true] hook on the object.
+    The two paths are independent: [record:true] snapshots typed events
+    inside the engine, while this rebuilds them from the generic ring
+    through the interned payload codes, so each validates the other
+    (and a test asserts they coincide exactly). *)
+
+module Make (A : Spec.Adt_sig.S) : sig
+  module H : module type of Model.History.Make (A)
+
+  val reconstruct :
+    obj:int ->
+    decode_inv:(int -> A.inv option) ->
+    decode_res:(int -> A.res option) ->
+    Trace.entry list ->
+    H.t
+  (** The object-local history: entries tagged [obj], with
+      [Invoke]/[Respond] payloads decoded through the object's intern
+      tables and [Commit]/[Abort] completion events; all other event
+      kinds (lock grants and refusals, retries, compaction) are
+      protocol-progress annotations and are skipped.  Entries whose code
+      fails to decode (possible only after ring wrap-around) are
+      dropped — the resulting truncated history will then fail
+      {!check}'s well-formedness pass rather than silently verifying. *)
+
+  val check : ?online:bool -> H.t -> (unit, string) result
+  (** Theorem 16 end-to-end: the history must be well-formed, respect
+      the timestamp-generation constraint [precedes(H) ⊆ TS(H)] (this
+      quadratic-in-transactions pass is skipped above 100 committed
+      transactions), and be hybrid atomic.  [online] additionally runs
+      the exponential online-hybrid-atomicity decision procedure — only
+      for small histories. *)
+end

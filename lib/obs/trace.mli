@@ -1,0 +1,59 @@
+(** Structured trace ring buffer of protocol events.
+
+    Every entry tags a protocol event with the emitting object's key and
+    the acting transaction's id, both plain ints so the ring is generic
+    over data types.  Invocation and response payloads are carried as
+    small {e interned codes}: the emitting object assigns codes in order
+    of first appearance and keeps the decode table ([Runtime.Atomic_obj]
+    does this per object), so the ring never stores ADT values and the
+    fast path allocates only the entry record.
+
+    Writers claim a slot with one [fetch_and_add] and store the entry —
+    lock-free, multi-domain safe.  When the ring wraps, the oldest
+    entries are overwritten ({!dropped} counts them); {!entries} returns
+    the surviving window, oldest first.  For one object all emissions
+    happen under that object's mutex, so the window restricted to an
+    object is a faithful suffix of its event order — which is what
+    {!Replay} reconstructs histories from. *)
+
+type event =
+  | Invoke of int  (** invocation, by interned code *)
+  | Respond of int  (** chosen response, by interned code *)
+  | Lock_granted  (** the response's lock was granted and recorded *)
+  | Lock_refused of int option  (** lock conflict; holder transaction id if known *)
+  | Blocked  (** no legal response in the view (partial operation) *)
+  | Retry  (** the retry loop is about to re-attempt a refused invocation *)
+  | Commit of int  (** commit event with its timestamp *)
+  | Abort
+  | Horizon_advanced of int  (** compaction folded up to this timestamp *)
+  | Forgotten of int
+      (** cumulative count of committed transactions folded into the
+          version after this fold — never decreases (Theorem 24) *)
+
+type entry = { seq : int; obj : int; txn : int; event : event }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A fresh ring.  [capacity] (default 65536) is rounded up to a power
+    of two, minimum 8. *)
+
+val global : t
+(** The default sink used by instrumentation when no explicit sink is
+    attached (gated on {!Control.enabled}). *)
+
+val emit : t -> obj:int -> txn:int -> event -> unit
+
+val entries : t -> entry list
+(** The current window, oldest first.  Entries being overwritten
+    concurrently with the read are skipped. *)
+
+val dropped : t -> int
+(** How many entries have been overwritten since creation/{!clear}. *)
+
+val clear : t -> unit
+(** Reset to empty.  Not safe against concurrent writers; call when
+    quiescent. *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,6 +1,7 @@
 module Make (A : Spec.Adt_sig.S) = struct
   module C = Hybrid.Compacted.Make (A)
   module H = Model.History.Make (A)
+  module R = Obs.Replay.Make (A)
 
   type op = A.inv * A.res
 
@@ -12,6 +13,15 @@ module Make (A : Spec.Adt_sig.S) = struct
     aborts : int;
     forgotten : int;
   }
+
+  (* Process-wide protocol counters; the registry deduplicates by name,
+     so every instantiation of this functor shares them. *)
+  let m_invocations = Obs.Metrics.counter "obj.invocations"
+  let m_conflicts = Obs.Metrics.counter "obj.conflicts"
+  let m_blocked = Obs.Metrics.counter "obj.blocked"
+  let m_commits = Obs.Metrics.counter "obj.commits"
+  let m_aborts = Obs.Metrics.counter "obj.aborts"
+  let m_forgotten = Obs.Metrics.counter "obj.forgotten"
 
   type t = {
     name : string;
@@ -25,9 +35,18 @@ module Make (A : Spec.Adt_sig.S) = struct
     mutable aborts : int;
     record : bool;
     mutable events : H.event list; (* newest first *)
+    trace : Obs.Trace.t option; (* explicit sink; overrides the global one *)
+    (* Payload intern tables: trace entries carry invocations and
+       responses as small codes assigned in order of first appearance.
+       Mutated only under the mutex; the fast path allocates only on a
+       payload's first occurrence. *)
+    mutable inv_codes : (A.inv * int) list;
+    mutable inv_next : int;
+    mutable res_codes : (A.res * int) list;
+    mutable res_next : int;
   }
 
-  let create ?name ?(record = false) ~conflict () =
+  let create ?name ?(record = false) ?trace ~conflict () =
     let key = Txn_rt.fresh_object_key () in
     let name = match name with Some n -> n | None -> Printf.sprintf "%s#%d" A.name key in
     {
@@ -42,15 +61,61 @@ module Make (A : Spec.Adt_sig.S) = struct
       aborts = 0;
       record;
       events = [];
+      trace;
+      inv_codes = [];
+      inv_next = 0;
+      res_codes = [];
+      res_next = 0;
     }
 
   let name t = t.name
+  let key t = t.key
 
   let with_lock t f =
     Mutex.lock t.mutex;
     Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
   let push_event t e = if t.record then t.events <- e :: t.events
+
+  (* ---- trace emission (all sites run under the object's mutex, so the
+     ring window restricted to this object is a faithful suffix of the
+     machine's event order) ---- *)
+
+  let tracing t = Option.is_some t.trace || Obs.Control.enabled ()
+
+  let emit t ~txn ev =
+    match t.trace with
+    | Some tr -> Obs.Trace.emit tr ~obj:t.key ~txn ev
+    | None ->
+      if Obs.Control.enabled () then Obs.Trace.emit Obs.Trace.global ~obj:t.key ~txn ev
+
+  let encode_inv t i =
+    let rec find = function
+      | [] ->
+        let c = t.inv_next in
+        t.inv_next <- c + 1;
+        t.inv_codes <- (i, c) :: t.inv_codes;
+        c
+      | (i', c) :: rest -> if A.equal_inv i i' then c else find rest
+    in
+    find t.inv_codes
+
+  let encode_res t r =
+    let rec find = function
+      | [] ->
+        let c = t.res_next in
+        t.res_next <- c + 1;
+        t.res_codes <- (r, c) :: t.res_codes;
+        c
+      | (r', c) :: rest -> if A.equal_res r r' then c else find rest
+    in
+    find t.res_codes
+
+  let decode_inv t c =
+    List.find_map (fun (i, c') -> if c = c' then Some i else None) t.inv_codes
+
+  let decode_res t c =
+    List.find_map (fun (r, c') -> if c = c' then Some r else None) t.res_codes
 
   (* Transition helpers; all must run under the mutex.  The pure machine
      never refuses invoke/commit/abort events. *)
@@ -61,20 +126,45 @@ module Make (A : Spec.Adt_sig.S) = struct
       push_event t event
     | Error _ -> assert false
 
+  (* Any accepted event (and an unpin) may advance the horizon and fold
+     committed transactions into the version; diff the compaction
+     summary around the transition and report the fold as trace events.
+     [Forgotten] carries the cumulative fold count, so Theorem 24's
+     monotonicity is directly visible in the event stream. *)
+  let with_fold_events t ~txn f =
+    if not (tracing t) then f ()
+    else begin
+      let before = C.summary t.machine in
+      f ();
+      let after = C.summary t.machine in
+      if after.C.s_forgotten > before.C.s_forgotten then begin
+        (match after.C.s_folded_upto with
+        | Hybrid.Xts.Fin ts -> emit t ~txn (Obs.Trace.Horizon_advanced ts)
+        | Hybrid.Xts.Neg_inf -> ());
+        emit t ~txn (Obs.Trace.Forgotten after.C.s_forgotten);
+        Obs.Metrics.add m_forgotten (after.C.s_forgotten - before.C.s_forgotten)
+      end
+    end
+
   let participant t txn : Txn_rt.participant =
     let q = Txn_rt.model_txn txn in
+    let qid = Txn_rt.id txn in
     {
       Txn_rt.name = t.name;
       on_commit =
         (fun ts ->
           with_lock t (fun () ->
-              apply_input t (H.Commit (q, ts));
-              t.commits <- t.commits + 1));
+              emit t ~txn:qid (Obs.Trace.Commit ts);
+              with_fold_events t ~txn:qid (fun () -> apply_input t (H.Commit (q, ts)));
+              t.commits <- t.commits + 1;
+              Obs.Metrics.incr m_commits));
       on_abort =
         (fun () ->
           with_lock t (fun () ->
-              apply_input t (H.Abort q);
-              t.aborts <- t.aborts + 1));
+              emit t ~txn:qid Obs.Trace.Abort;
+              with_fold_events t ~txn:qid (fun () -> apply_input t (H.Abort q));
+              t.aborts <- t.aborts + 1;
+              Obs.Metrics.incr m_aborts));
     }
 
   let try_invoke t txn i =
@@ -89,6 +179,7 @@ module Make (A : Spec.Adt_sig.S) = struct
       raise (Txn_rt.Abort_requested (t.name ^ ": orphan (transaction already aborted)"))
     | `Committed _ -> invalid_arg "Atomic_obj.try_invoke: transaction already committed");
     let q = Txn_rt.model_txn txn in
+    let qid = Txn_rt.id txn in
     let result =
       with_lock t (fun () ->
           (* A refused attempt leaves the invocation pending (the paper
@@ -96,19 +187,29 @@ module Make (A : Spec.Adt_sig.S) = struct
              fresh invoke event when none is pending. *)
           (match C.pending t.machine q with
           | Some i' when A.equal_inv i i' -> ()
-          | Some _ | None -> apply_input t (H.Invoke (q, i)));
+          | Some _ | None ->
+            emit t ~txn:qid (Obs.Trace.Invoke (encode_inv t i));
+            with_fold_events t ~txn:qid (fun () -> apply_input t (H.Invoke (q, i))));
           match C.choose_response t.machine q with
           | Ok (r, m) ->
             t.machine <- m;
             t.invocations <- t.invocations + 1;
+            Obs.Metrics.incr m_invocations;
             push_event t (H.Respond (q, r));
+            emit t ~txn:qid (Obs.Trace.Respond (encode_res t r));
+            emit t ~txn:qid Obs.Trace.Lock_granted;
             Ok r
           | Error `Blocked ->
             t.blocked <- t.blocked + 1;
+            Obs.Metrics.incr m_blocked;
+            emit t ~txn:qid Obs.Trace.Blocked;
             Error `Blocked
           | Error (`Conflict holder) ->
+            let holder_id = Option.map Model.Txn.id holder in
             t.conflicts <- t.conflicts + 1;
-            Error (`Conflict (Option.map Model.Txn.id holder)))
+            Obs.Metrics.incr m_conflicts;
+            emit t ~txn:qid (Obs.Trace.Lock_refused holder_id);
+            Error (`Conflict holder_id))
     in
     (* Register even after a refusal: the machine now tracks a pending
        invocation and a timestamp lower bound for this transaction, and
@@ -118,7 +219,8 @@ module Make (A : Spec.Adt_sig.S) = struct
     result
 
   let invoke ?retries t txn i =
-    Retry.run ?retries ~name:t.name ~self:txn (fun () -> try_invoke t txn i)
+    let on_retry () = emit t ~txn:(Txn_rt.id txn) Obs.Trace.Retry in
+    Retry.run ?retries ~on_retry ~name:t.name ~self:txn (fun () -> try_invoke t txn i)
 
   let committed_states t =
     with_lock t (fun () ->
@@ -141,6 +243,18 @@ module Make (A : Spec.Adt_sig.S) = struct
   let live_ops t = with_lock t (fun () -> C.live_ops t.machine)
   let history t = with_lock t (fun () -> List.rev t.events)
 
+  (* ---- trace replay ---- *)
+
+  let sink t = match t.trace with Some tr -> tr | None -> Obs.Trace.global
+
+  let replayed_history t =
+    let entries = Obs.Trace.entries (sink t) in
+    with_lock t (fun () ->
+        R.reconstruct ~obj:t.key ~decode_inv:(decode_inv t) ~decode_res:(decode_res t)
+          entries)
+
+  let replay_check ?online t = R.check ?online (replayed_history t)
+
   (* ---- snapshot reads (see Snapshot) ---- *)
 
   let snapshot_source t =
@@ -150,7 +264,10 @@ module Make (A : Spec.Adt_sig.S) = struct
         (fun reader at ->
           with_lock t (fun () -> t.machine <- C.pin t.machine reader at));
       unpin =
-        (fun reader -> with_lock t (fun () -> t.machine <- C.unpin t.machine reader));
+        (fun reader ->
+          with_lock t (fun () ->
+              with_fold_events t ~txn:(Model.Txn.id reader) (fun () ->
+                  t.machine <- C.unpin t.machine reader)));
     }
 
   let read_at t ~at i =

@@ -28,11 +28,24 @@ module Make (A : Spec.Adt_sig.S) : sig
     forgotten : int;  (** committed transactions folded into the version *)
   }
 
-  val create : ?name:string -> ?record:bool -> conflict:(op -> op -> bool) -> unit -> t
+  val create :
+    ?name:string ->
+    ?record:bool ->
+    ?trace:Obs.Trace.t ->
+    conflict:(op -> op -> bool) ->
+    unit ->
+    t
   (** [record] keeps the object-local event history for offline
-      atomicity checking (tests); off by default. *)
+      atomicity checking (tests); off by default.  [trace] attaches an
+      explicit trace ring as this object's event sink, bypassing the
+      {!Obs.Control} switch; without it events go to {!Obs.Trace.global}
+      whenever observability is enabled. *)
 
   val name : t -> string
+
+  val key : t -> int
+  (** The process-unique object key tagging this object's trace
+      entries. *)
 
   val try_invoke : t -> Txn_rt.t -> A.inv -> (A.res, Retry.failure) result
   (** One protocol attempt.  [`Conflict h]: every legal response needs a
@@ -58,6 +71,19 @@ module Make (A : Spec.Adt_sig.S) : sig
   val history : t -> Model.History.Make(A).t
   (** The recorded object-local history (empty unless [record] was set).
       Feed it to {!Model.Atomicity} to check hybrid atomicity. *)
+
+  val replayed_history : t -> Model.History.Make(A).t
+  (** The object-local history reconstructed from the trace ring (the
+      explicit [trace] sink if one was attached, {!Obs.Trace.global}
+      otherwise) through this object's payload intern tables — the
+      observability path's independent account of what {!history}
+      records.  When the same window of execution was both traced and
+      recorded, the two are equal. *)
+
+  val replay_check : ?online:bool -> t -> (unit, string) result
+  (** {!Obs.Replay.Make.check} on {!replayed_history}: well-formedness,
+      the timestamp-generation constraint, and hybrid atomicity of the
+      traced run. *)
 
   (** {1 Snapshot reads} *)
 

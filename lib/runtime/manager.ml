@@ -11,6 +11,11 @@ type t = {
 
 exception Too_many_attempts of string
 
+let m_attempts = Obs.Metrics.counter "txn.attempts"
+let m_commits = Obs.Metrics.counter "txn.commits"
+let m_aborts = Obs.Metrics.counter "txn.aborts"
+let h_attempt = Obs.Metrics.histogram "txn.attempt_latency"
+
 let create () =
   {
     clock = Atomic.make 0;
@@ -46,6 +51,12 @@ let stable_time t =
 
 let attempt_once ?priority t body =
   Atomic.incr t.attempts;
+  Obs.Metrics.incr m_attempts;
+  let t0 = if Obs.Control.enabled () then Unix.gettimeofday () else 0. in
+  let observe () =
+    if Obs.Control.enabled () then
+      Obs.Metrics.observe h_attempt (Unix.gettimeofday () -. t0)
+  in
   let txn = Txn_rt.fresh ?priority () in
   match body txn with
   | v ->
@@ -56,14 +67,19 @@ let attempt_once ?priority t body =
     let ts = begin_commit t in
     Fun.protect ~finally:(fun () -> end_commit t ts) (fun () -> Txn_rt.commit txn ts);
     Atomic.incr t.commits;
+    Obs.Metrics.incr m_commits;
+    observe ();
     Ok (v, Txn_rt.priority txn)
   | exception Txn_rt.Abort_requested reason ->
     Txn_rt.abort txn;
     Atomic.incr t.failures;
+    Obs.Metrics.incr m_aborts;
+    observe ();
     Error (reason, Txn_rt.priority txn)
   | exception e ->
     Txn_rt.abort txn;
     Atomic.incr t.failures;
+    Obs.Metrics.incr m_aborts;
     raise e
 
 let run_once t body =

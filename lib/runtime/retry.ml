@@ -1,9 +1,13 @@
 type failure = [ `Blocked | `Conflict of int option ]
 
+let m_retries = Obs.Metrics.counter "retry.retries"
+let m_wait_die = Obs.Metrics.counter "retry.wait_die_deaths"
+let m_give_ups = Obs.Metrics.counter "retry.give_ups"
+
 let die ~name reason =
   raise (Txn_rt.Abort_requested (Printf.sprintf "%s: %s" name reason))
 
-let run ?(retries = 500) ~name ~self attempt =
+let run ?(retries = 500) ?(on_retry = ignore) ~name ~self attempt =
   let my_priority = Txn_rt.priority self in
   let rec go n =
     match attempt () with
@@ -14,16 +18,22 @@ let run ?(retries = 500) ~name ~self attempt =
         match Txn_rt.priority_of_id holder_id with
         | Some holder_priority when my_priority > holder_priority ->
           (* Wait-die: the younger transaction dies immediately. *)
+          Obs.Metrics.incr m_wait_die;
           die ~name (Printf.sprintf "wait-die vs txn %d" holder_id)
         | Some _ | None ->
           (* Older than the holder (wait), or the holder just completed
              (retry will likely succeed). *)
           ())
       | `Conflict None | `Blocked -> ());
-      if n >= retries then die ~name (Printf.sprintf "giving up after %d attempts" n);
+      if n >= retries then begin
+        Obs.Metrics.incr m_give_ups;
+        die ~name (Printf.sprintf "giving up after %d attempts" n)
+      end;
       (* Spin briefly, then poll on a short flat quantum: the expected
          wait is the holder's remaining transaction time. *)
       if n < 10 then Domain.cpu_relax () else Unix.sleepf 2e-5;
+      Obs.Metrics.incr m_retries;
+      on_retry ();
       go (n + 1)
   in
   go 0

@@ -20,6 +20,7 @@ type failure = [ `Blocked | `Conflict of int option ]
 
 val run :
   ?retries:int ->
+  ?on_retry:(unit -> unit) ->
   name:string ->
   self:Txn_rt.t ->
   (unit -> ('a, [< failure ]) result) ->
@@ -27,4 +28,9 @@ val run :
 (** Attempt until [Ok].  Conflicts against a younger holder (or unknown
     holder, or [`Blocked]) are retried on a short flat quantum at most
     [retries] times (default 500) before dying; conflicts where wait-die
-    says "die" raise {!Txn_rt.Abort_requested} immediately. *)
+    says "die" raise {!Txn_rt.Abort_requested} immediately.
+
+    [on_retry] is called just before each re-attempt — the object layer
+    uses it to stamp a [Retry] trace event.  Retry volume, wait-die
+    deaths and give-ups are also counted in the {!Obs.Metrics} registry
+    ([retry.retries], [retry.wait_die_deaths], [retry.give_ups]). *)

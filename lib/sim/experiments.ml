@@ -6,6 +6,7 @@ type row = {
   op_blocked : int;
   throughput : float;
   conflict_prob : float;
+  atomic : (unit, string) result option;
 }
 
 type table = { id : string; title : string; params : string; rows : row list }
@@ -15,15 +16,32 @@ type scale = { domains : int; txns : int; think_us : float }
 let default_scale = { domains = 4; txns = 100; think_us = 100. }
 let quick_scale = { domains = 2; txns = 20; think_us = 10. }
 
+let pp_atomic ppf = function
+  | None -> Format.pp_print_string ppf "-"
+  | Some (Ok ()) -> Format.pp_print_string ppf "ok"
+  | Some (Error e) -> Format.fprintf ppf "VIOLATION: %s" e
+
 let pp_table ppf t =
   Format.fprintf ppf "== %s: %s ==@.   (%s)@." t.id t.title t.params;
-  Format.fprintf ppf "%-28s %9s %9s %10s %9s %12s %13s@." "relation" "committed"
-    "attempts" "conflicts" "blocked" "txn/s" "P(conflict)";
+  Format.fprintf ppf "%-28s %9s %9s %10s %9s %12s %13s  %s@." "relation" "committed"
+    "attempts" "conflicts" "blocked" "txn/s" "P(conflict)" "atomic";
   List.iter
     (fun r ->
-      Format.fprintf ppf "%-28s %9d %9d %10d %9d %12.0f %13.3f@." r.label r.committed
-        r.attempts r.op_conflicts r.op_blocked r.throughput r.conflict_prob)
+      Format.fprintf ppf "%-28s %9d %9d %10d %9d %12.0f %13.3f  %a@." r.label r.committed
+        r.attempts r.op_conflicts r.op_blocked r.throughput r.conflict_prob pp_atomic
+        r.atomic)
     t.rows
+
+let violations tables =
+  List.concat_map
+    (fun t ->
+      List.filter_map
+        (fun r ->
+          match r.atomic with
+          | Some (Error e) -> Some (t.id, r.label, e)
+          | Some (Ok ()) | None -> None)
+        t.rows)
+    tables
 
 (* Deterministic value sequence, decorrelated across (domain, seq, k). *)
 let pseudo d seq k = ((d * 7919) + (seq * 104729) + (k * 1299709)) land 0x3fffffff
@@ -40,11 +58,16 @@ module Sprof = Conflict_profile.Make (Adt.Semiqueue)
 module Aprof = Conflict_profile.Make (Adt.Account)
 
 (* Run one relation variant of a workload and collect its row.  [stats]
-   extracts the object counters after the run (objects differ per
-   experiment, so they are created by [setup]). *)
+   extracts the object counters after the run and [replay] replay-checks
+   the traced run (objects differ per experiment, so they are created by
+   [setup]).  The global trace ring is cleared {e before} [setup] so the
+   replayed history includes the seeding transactions — without them the
+   reconstructed dequeue/debit responses would be illegal. *)
 let measure ~label ~conflict_prob ~scale ~setup =
+  let tracing = Obs.Control.enabled () in
+  if tracing then Obs.Trace.clear Obs.Trace.global;
   let mgr = Runtime.Manager.create () in
-  let body, stats = setup mgr in
+  let body, stats, replay = setup mgr in
   let config =
     {
       Driver.domains = scale.domains;
@@ -62,6 +85,7 @@ let measure ~label ~conflict_prob ~scale ~setup =
     op_blocked = blocked;
     throughput = result.Driver.throughput;
     conflict_prob;
+    atomic = (if tracing then Some (replay ()) else None);
   }
 
 (* Seed an object with [n] committed operations, [per_txn] at a time so
@@ -111,7 +135,7 @@ let exp_queue_enq ?(scale = default_scale) () =
               let s = Qobj.stats q in
               (s.Qobj.conflicts, s.Qobj.blocked)
             in
-            (body, stats)))
+            (body, stats, fun () -> Qobj.replay_check q)))
       queue_relations
   in
   {
@@ -156,7 +180,7 @@ let exp_queue_mixed ?(scale = default_scale) () =
               let s = Qobj.stats q in
               (s.Qobj.conflicts, s.Qobj.blocked)
             in
-            (body, stats)))
+            (body, stats, fun () -> Qobj.replay_check q)))
       queue_relations
   in
   {
@@ -225,7 +249,7 @@ let exp_account ?(scale = default_scale) () =
               let s = Aobj.stats acc in
               (s.Aobj.conflicts, s.Aobj.blocked)
             in
-            (body, stats)))
+            (body, stats, fun () -> Aobj.replay_check acc)))
       account_relations
   in
   {
@@ -267,7 +291,7 @@ let exp_semiqueue ?(scale = default_scale) () =
           let s = Sobj.stats sq in
           (s.Sobj.conflicts, s.Sobj.blocked)
         in
-        (body, stats))
+        (body, stats, fun () -> Sobj.replay_check sq))
   in
   let queue_row label conflict =
     measure ~label
@@ -293,7 +317,7 @@ let exp_semiqueue ?(scale = default_scale) () =
           let s = Qobj.stats q in
           (s.Qobj.conflicts, s.Qobj.blocked)
         in
-        (body, stats))
+        (body, stats, fun () -> Qobj.replay_check q))
   in
   let rows =
     [

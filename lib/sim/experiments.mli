@@ -31,11 +31,19 @@ type row = {
   op_blocked : int;  (** attempts with no legal response *)
   throughput : float;  (** committed transactions per second *)
   conflict_prob : float;  (** deterministic op-pair conflict probability *)
+  atomic : (unit, string) result option;
+      (** trace-replay hybrid-atomicity verdict for the run
+          ({!Obs.Replay}); [None] when observability was disabled. *)
 }
 
 type table = { id : string; title : string; params : string; rows : row list }
 
 val pp_table : Format.formatter -> table -> unit
+
+val violations : table list -> (string * string * string) list
+(** All [(table id, row label, error)] triples whose replay check
+    failed — what the CLI and the CI smoke job key their exit status
+    on. *)
 
 type scale = { domains : int; txns : int; think_us : float }
 (** [txns] is per domain. *)

@@ -86,6 +86,75 @@ let prop_theorem_24_common_grows =
       in
       go (L.create ~conflict:Q.conflict_hybrid) [] h)
 
+(* Theorem 24 at the trace level: each time the runtime's compacted
+   machine folds, it emits a Horizon_advanced / Forgotten event pair
+   (the Forgotten payload is the cumulative fold count).  Over random
+   concurrent runs the event stream must show the horizon timestamps
+   and the forgotten prefix growing monotonically, and the final fold
+   event must agree with the object's own counter. *)
+
+module QObj = Runtime.Atomic_obj.Make (Q)
+
+let prop_theorem_24_fold_events =
+  QCheck2.Test.make ~name:"Thm 24: fold trace events are monotone" ~count:60
+    QCheck2.Gen.(0 -- 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let tr = Obs.Trace.create ~capacity:(1 lsl 14) () in
+      let mgr = Runtime.Manager.create () in
+      let obj = QObj.create ~trace:tr ~conflict:Q.conflict_hybrid () in
+      (* enqueue-only scripts: never block, always commit, always fold *)
+      let scripts =
+        List.init 2 (fun d ->
+            List.init
+              (3 + Random.State.int rand 6)
+              (fun k ->
+                List.init
+                  (1 + Random.State.int rand 3)
+                  (fun j -> Q.Enq ((100 * d) + (10 * k) + j))))
+      in
+      let workers =
+        List.map
+          (fun script ->
+            Domain.spawn (fun () ->
+                List.iter
+                  (fun ops ->
+                    Runtime.Manager.run mgr (fun txn ->
+                        List.iter (fun i -> ignore (QObj.invoke obj txn i)) ops))
+                  script))
+          scripts
+      in
+      List.iter Domain.join workers;
+      let folds =
+        List.filter_map
+          (fun e ->
+            match e.Obs.Trace.event with
+            | Obs.Trace.Horizon_advanced ts -> Some (`Horizon ts)
+            | Obs.Trace.Forgotten n -> Some (`Forgotten n)
+            | _ -> None)
+          (Obs.Trace.entries tr)
+      in
+      let horizons =
+        List.filter_map (function `Horizon ts -> Some ts | _ -> None) folds
+      in
+      let forgotten =
+        List.filter_map (function `Forgotten n -> Some n | _ -> None) folds
+      in
+      let rec strictly_increasing = function
+        | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+        | _ -> true
+      in
+      let s = QObj.stats obj in
+      strictly_increasing horizons
+      && strictly_increasing forgotten
+      && List.length horizons = List.length forgotten
+      && (match List.rev forgotten with
+         | last :: _ -> last = s.QObj.forgotten
+         | [] -> s.QObj.forgotten = 0)
+      (* with every transaction committed, nothing pins the horizon:
+         the whole history must have folded *)
+      && s.QObj.forgotten = s.QObj.commits)
+
 (* ---------------- equivalence with the formal machine ---------------- *)
 
 (* Replaying any accepted history must give identical acceptance,
@@ -248,7 +317,8 @@ let () =
           Alcotest.test_case "common prefix" `Quick test_common_seq;
         ] );
       ( "theorem-24",
-        List.map QCheck_alcotest.to_alcotest [ prop_theorem_24_common_grows ] );
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_theorem_24_common_grows; prop_theorem_24_fold_events ] );
       ( "equivalence",
         List.map QCheck_alcotest.to_alcotest
           [

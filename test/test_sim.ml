@@ -26,16 +26,36 @@ let test_profile_enq_only () =
     (Qprof.op_conflict_probability ~weights:enq_only Adt.Fifo_queue.conflict_rw)
 
 let test_profile_ordering_account () =
-  let w = Qprof.uniform in
-  ignore w;
-  let weights _ = 1. in
   let p_hybrid =
-    Aprof.op_conflict_probability ~weights Adt.Account.conflict_hybrid
+    Aprof.op_conflict_probability ~weights:Aprof.uniform Adt.Account.conflict_hybrid
   in
   let p_commut =
-    Aprof.op_conflict_probability ~weights Adt.Account.conflict_commutativity
+    Aprof.op_conflict_probability ~weights:Aprof.uniform
+      Adt.Account.conflict_commutativity
   in
-  let p_rw = Aprof.op_conflict_probability ~weights Adt.Account.conflict_rw in
+  let p_rw =
+    Aprof.op_conflict_probability ~weights:Aprof.uniform Adt.Account.conflict_rw
+  in
+  check_bool "hybrid < commutativity" true (p_hybrid < p_commut);
+  check_bool "commutativity < rw" true (p_commut < p_rw);
+  check_float "rw = 1" 1. p_rw
+
+let test_profile_ordering_queue () =
+  (* Under uniform weights the fig 4-2 and commutativity relations for the
+     queue are incomparable (concurrent Deqs conflict under fig 4-2 but not
+     under commutativity, and vice versa for Enq-before-Deq), so the strict
+     ordering only emerges for an enqueue-heavy mix.  3:1 Enq:Deq gives
+     hybrid 0.219 < commutativity 0.3125 < rw 1. *)
+  let weights (i, _) =
+    match i with Adt.Fifo_queue.Enq _ -> 3. | Adt.Fifo_queue.Deq -> 1.
+  in
+  let p_hybrid =
+    Qprof.op_conflict_probability ~weights Adt.Fifo_queue.conflict_hybrid
+  in
+  let p_commut =
+    Qprof.op_conflict_probability ~weights Adt.Fifo_queue.conflict_commutativity
+  in
+  let p_rw = Qprof.op_conflict_probability ~weights Adt.Fifo_queue.conflict_rw in
   check_bool "hybrid < commutativity" true (p_hybrid < p_commut);
   check_bool "commutativity < rw" true (p_commut < p_rw);
   check_float "rw = 1" 1. p_rw
@@ -125,6 +145,8 @@ let () =
         [
           Alcotest.test_case "enq-only" `Quick test_profile_enq_only;
           Alcotest.test_case "account ordering" `Quick test_profile_ordering_account;
+          Alcotest.test_case "queue ordering (enq-heavy)" `Quick
+            test_profile_ordering_queue;
           Alcotest.test_case "txn length monotone" `Quick test_profile_txn_monotone_in_len;
           Alcotest.test_case "zero weights" `Quick test_profile_zero_weights_rejected;
         ] );
