@@ -257,6 +257,34 @@ let test_obs_overhead =
              off_driver ()));
     ]
 
+(* Offline trace-analysis cost: folding a captured window into the
+   conflict matrix / waits-for report and serializing it.  The window is
+   synthetic (a contended retry/grant pattern) so the fold cost is
+   measured on a stable input, independent of scheduler noise. *)
+let test_trace_analysis =
+  let tr = Obs.Trace.create ~capacity:(1 lsl 12) () in
+  let refusal holder = Obs.Trace.Lock_refused { holder; requested = 0; held = 1 } in
+  for q = 1 to 256 do
+    let emit ev = Obs.Trace.emit tr ~obj:(q mod 8) ~txn:q ev in
+    emit (Obs.Trace.Invoke 0);
+    emit (refusal (Some (q - 1)));
+    emit Obs.Trace.Retry;
+    emit Obs.Trace.Lock_granted;
+    emit (Obs.Trace.Respond 0);
+    emit (Obs.Trace.Commit q)
+  done;
+  let window = Obs.Trace.entries tr in
+  let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
+  Test.make_grouped ~name:"trace-analysis"
+    [
+      Test.make ~name:"attrib-fold"
+        (Staged.stage (fun () -> ignore (Obs.Attrib.of_entries window)));
+      Test.make ~name:"waitfor-analyze"
+        (Staged.stage (fun () -> ignore (Obs.Waitfor.analyze window)));
+      Test.make ~name:"chrome-export"
+        (Staged.stage (fun () -> Obs.Export.chrome_trace null_ppf window));
+    ]
+
 let all_tests =
   Test.make_grouped ~name:"hybrid-cc"
     [
@@ -271,6 +299,7 @@ let all_tests =
       test_det_sim;
       test_snapshot;
       test_obs_overhead;
+      test_trace_analysis;
     ]
 
 let () =

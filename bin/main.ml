@@ -36,6 +36,42 @@ let figures_cmd id verbose =
 let scale_of domains txns think_us =
   { Sim.Experiments.domains; txns; think_us }
 
+let select_tables ~scale id =
+  match id with
+  | None -> Sim.Experiments.all ~scale ()
+  | Some "queue" -> [ Sim.Experiments.exp_queue_enq ~scale () ]
+  | Some "queue-mixed" -> [ Sim.Experiments.exp_queue_mixed ~scale () ]
+  | Some "account" -> [ Sim.Experiments.exp_account ~scale () ]
+  | Some "semiqueue" -> [ Sim.Experiments.exp_semiqueue ~scale () ]
+  | Some other ->
+    Format.eprintf "unknown experiment id %S (use queue, queue-mixed, account, semiqueue)@."
+      other;
+    exit 2
+
+(* The audits share one exit contract: trace replay proving the run was
+   not hybrid atomic, or a cycle in the waits-for graph (impossible
+   under wait-die), are protocol bugs — report and fail. *)
+let audit_exit tables =
+  let atomic = Sim.Experiments.violations tables in
+  let cycles = Sim.Experiments.waitfor_failures tables in
+  List.iter
+    (fun (tid, label, e) ->
+      Format.eprintf "ATOMICITY VIOLATION in %s / %s: %s@." tid label e)
+    atomic;
+  List.iter
+    (fun (tid, label, c) -> Format.eprintf "WAIT-FOR CYCLE in %s / %s: %s@." tid label c)
+    cycles;
+  if atomic <> [] || cycles <> [] then exit 1
+
+let with_out_file file f =
+  let oc = open_out file in
+  let ppf = Format.formatter_of_out_channel oc in
+  Fun.protect
+    ~finally:(fun () ->
+      Format.pp_print_flush ppf ();
+      close_out oc)
+    (fun () -> f ppf)
+
 let experiments_cmd id deterministic quick metrics domains txns think_us =
   if deterministic then begin
     let tables =
@@ -57,19 +93,7 @@ let experiments_cmd id deterministic quick metrics domains txns think_us =
     let scale =
       if quick then Sim.Experiments.quick_scale else scale_of domains txns think_us
     in
-    let tables =
-      match id with
-      | None -> Sim.Experiments.all ~scale ()
-      | Some "queue" -> [ Sim.Experiments.exp_queue_enq ~scale () ]
-      | Some "queue-mixed" -> [ Sim.Experiments.exp_queue_mixed ~scale () ]
-      | Some "account" -> [ Sim.Experiments.exp_account ~scale () ]
-      | Some "semiqueue" -> [ Sim.Experiments.exp_semiqueue ~scale () ]
-      | Some other ->
-        Format.eprintf
-          "unknown experiment id %S (use queue, queue-mixed, account, semiqueue)@."
-          other;
-        exit 2
-    in
+    let tables = select_tables ~scale id in
     List.iter (fun t -> Format.printf "%a@." Sim.Experiments.pp_table t) tables;
     if metrics then begin
       Format.printf "== metrics ==@.";
@@ -79,15 +103,33 @@ let experiments_cmd id deterministic quick metrics domains txns think_us =
         (List.length (Obs.Trace.entries tr))
         (Obs.Trace.dropped tr)
     end;
-    match Sim.Experiments.violations tables with
-    | [] -> ()
-    | vs ->
-      List.iter
-        (fun (tid, label, e) ->
-          Format.eprintf "ATOMICITY VIOLATION in %s / %s: %s@." tid label e)
-        vs;
-      exit 1
+    audit_exit tables
   end
+
+let trace_cmd id quick conflicts waitfor chrome metrics_json domains txns think_us =
+  Obs.Control.set_enabled true;
+  let scale =
+    if quick then Sim.Experiments.quick_scale else scale_of domains txns think_us
+  in
+  let tables = select_tables ~scale id in
+  List.iter (fun t -> Format.printf "%a@." Sim.Experiments.pp_table t) tables;
+  if conflicts then
+    List.iter (fun t -> Format.printf "%a@." Sim.Experiments.pp_conflicts t) tables;
+  if waitfor then
+    List.iter (fun t -> Format.printf "%a@." Sim.Experiments.pp_waitfor t) tables;
+  (match chrome with
+  | Some file ->
+    with_out_file file (fun ppf ->
+        Obs.Export.chrome_trace ppf (Sim.Experiments.windows tables));
+    Format.printf "wrote Chrome trace to %s (open in chrome://tracing or ui.perfetto.dev)@."
+      file
+  | None -> ());
+  (match metrics_json with
+  | Some file ->
+    with_out_file file (fun ppf -> Obs.Export.metrics_json ppf ());
+    Format.printf "wrote metrics JSON to %s@." file
+  | None -> ());
+  audit_exit tables
 
 (* Registry for `derive`: every shipped ADT's tables, computed on demand
    from the serial specification alone. *)
@@ -230,6 +272,51 @@ let experiments_t =
       const experiments_cmd $ id_arg $ deterministic_arg $ quick_arg $ metrics_arg
       $ domains_arg $ txns_arg $ think_arg)
 
+let conflicts_arg =
+  Arg.(
+    value & flag
+    & info [ "conflicts" ]
+        ~doc:
+          "Print per-object conflict matrices: which (requested, held) operation pairs \
+           fired refusals, how often, and the blocked time each cost, plus the \
+           hybrid-vs-commutativity fired-conflict-mass comparison.")
+
+let waitfor_arg =
+  Arg.(
+    value & flag
+    & info [ "waitfor" ]
+        ~doc:
+          "Print the waits-for graph audit: wait-die must keep the graph acyclic, so any \
+           cycle fails the run; also reports per-transaction blocked time and abort \
+           cascades.")
+
+let chrome_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chrome" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's trace window as Chrome trace_event JSON to $(docv) (load in \
+           chrome://tracing or ui.perfetto.dev).")
+
+let metrics_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE"
+        ~doc:"Write the metrics registry as line-oriented JSON to $(docv).")
+
+let trace_t =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run the experiments with observability forced on and analyze/export the trace: \
+          conflict attribution, wait-for audit, Chrome timeline, metrics JSON.  Exits \
+          non-zero on an atomicity violation or a waits-for cycle.")
+    Term.(
+      const trace_cmd $ id_arg $ quick_arg $ conflicts_arg $ waitfor_arg $ chrome_arg
+      $ metrics_json_arg $ domains_arg $ txns_arg $ think_arg)
+
 let history_t =
   Cmd.v
     (Cmd.info "history" ~doc:"Replay the paper's Section 3.2 worked history")
@@ -248,6 +335,6 @@ let main =
        ~doc:
          "Reproduction of Herlihy & Weihl, \"Hybrid Concurrency Control for Abstract \
           Data Types\" (1988)")
-    [ figures_t; experiments_t; history_t; derive_t ]
+    [ figures_t; experiments_t; trace_t; history_t; derive_t ]
 
 let () = exit (Cmd.eval main)

@@ -92,6 +92,8 @@ module Make (A : Spec.Adt_sig.S) = struct
             |> Option.map (fun op -> (p, op)))
       t.intentions None
 
+  type conflict_info = { c_holder : Txn.t; c_requested : op; c_held : op }
+
   let insert_by_ts entry l =
     let ts_of (ts, _, _) = ts in
     let rec go = function
@@ -201,13 +203,14 @@ module Make (A : Spec.Adt_sig.S) = struct
       in
       if candidates = [] then Error `Blocked
       else
-        let rec try_all holder = function
-          | [] -> Error (`Conflict holder)
+        let rec try_all conflict = function
+          | [] -> Error (`Conflict conflict)
           | r :: rest -> (
             match step t (H.Respond (q, r)) with
             | Ok t' -> Ok (r, t')
-            | Error (L.Lock_conflict (p, _)) -> try_all (Some p) rest
-            | Error _ -> try_all holder rest)
+            | Error (L.Lock_conflict (p, held)) ->
+              try_all (Some { c_holder = p; c_requested = (i, r); c_held = held }) rest
+            | Error _ -> try_all conflict rest)
         in
         try_all None candidates
 

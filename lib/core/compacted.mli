@@ -32,18 +32,28 @@ module Make (A : Spec.Adt_sig.S) : sig
   val run : conflict:(op -> op -> bool) -> H.t -> (t, H.event * L.refusal) result
   val available_responses : t -> Model.Txn.t -> A.res list
 
+  type conflict_info = {
+    c_holder : Model.Txn.t;  (** one holder of a conflicting lock *)
+    c_requested : op;  (** the operation whose lock was refused *)
+    c_held : op;  (** the holder's operation it conflicts with *)
+  }
+  (** Attribution of a refused lock request: exactly which entry of the
+      installed Conflict relation fired, and against whom — the raw
+      material for the observability layer's conflict matrices
+      ([Obs.Attrib]) and for deadlock-resolution policies. *)
+
   val choose_response :
     t ->
     Model.Txn.t ->
-    (A.res * t, [ `Blocked | `Conflict of Model.Txn.t option ]) result
+    (A.res * t, [ `Blocked | `Conflict of conflict_info option ]) result
   (** Execute the pending invocation of the given transaction: pick the
       first response legal in its view whose lock can be granted, record
       the operation and return the successor machine.  [`Blocked] — no
       response is legal in the view (partial operation, e.g. [Deq] on an
-      empty queue); [`Conflict h] — legal responses exist but every one
-      conflicts with a lock held by another active transaction ([h] is
-      one such holder, for deadlock-resolution policies).  This is the
-      entry point used by the concurrent runtime. *)
+      empty queue); [`Conflict c] — legal responses exist but every one
+      conflicts with a lock held by another active transaction ([c]
+      attributes the last such conflict).  This is the entry point used
+      by the concurrent runtime. *)
 
   (** {1 Observers} *)
 

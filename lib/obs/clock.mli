@@ -1,0 +1,14 @@
+(** Monotonic time source for trace timestamps and latency probes.
+
+    Wraps the CLOCK_MONOTONIC stub shipped with bechamel (already a
+    build dependency of the benchmark harness) so the observability
+    layer can stamp events without touching the wall clock: monotonic
+    readings never jump backwards under NTP adjustment, which the
+    blocked-time accounting in {!Attrib} and {!Waitfor} relies on. *)
+
+val now_ns : unit -> int
+(** Nanoseconds from an arbitrary fixed origin, monotonic within the
+    process.  Fits an OCaml native int (63 bits spans ~292 years). *)
+
+val ns_to_s : int -> float
+(** Convert a nanosecond interval to seconds. *)

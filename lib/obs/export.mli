@@ -1,0 +1,28 @@
+(** Exportable trace timelines and metric snapshots.
+
+    {!chrome_trace} serializes a trace window as Chrome [trace_event]
+    JSON (the JSON-array format understood by [chrome://tracing] and
+    Perfetto's legacy loader):
+
+    - one {e thread} per object under the ["objects"] process, carrying
+      a complete-span per operation from its [Invoke] to its [Respond]
+      (named by the invocation's registered label), with refusals as
+      instant events;
+    - one {e thread} per transaction under the ["transactions"]
+      process, carrying a span per stalled attempt from the first
+      [Lock_refused]/[Retry] to the eventual [Lock_granted] (named by
+      the fired conflict cell), and instants for [Commit]/[Abort].
+
+    Timestamps are the entries' monotonic-clock readings rebased to the
+    window's first event, in microseconds as the format requires.
+    Labels come from the {!Attrib} registry, so export works on any
+    window whose emitting objects registered their codes
+    ([Runtime.Atomic_obj] always does).
+
+    {!metrics_json} re-exports {!Metrics.dump_json}: one JSON object
+    per line, for CI snapshot diffing alongside the timeline. *)
+
+val chrome_trace : Format.formatter -> Trace.entry list -> unit
+(** Write the window (oldest first) as a self-contained JSON array. *)
+
+val metrics_json : Format.formatter -> unit -> unit

@@ -87,6 +87,35 @@ let buckets h =
   List.init (Array.length counts) (fun i ->
       ((if i < Array.length h.bounds then Some h.bounds.(i) else None), counts.(i)))
 
+(* Linear interpolation inside the bucket that crosses the target rank,
+   assuming observations are uniformly spread over the bucket's span.
+   The +inf bucket has no upper bound to interpolate towards, so the
+   largest finite bound is returned — a lower bound on the true
+   quantile, which is the honest direction for a latency report. *)
+let quantile h q =
+  let q = Float.max 0. (Float.min 1. q) in
+  let counts = merged_counts h in
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 0.
+  else begin
+    let rank = q *. float_of_int total in
+    let n = Array.length h.bounds in
+    let rec go i cum =
+      if i >= Array.length counts then if n = 0 then 0. else h.bounds.(n - 1)
+      else
+        let c = counts.(i) in
+        let cum' = cum +. float_of_int c in
+        if c > 0 && cum' >= rank then
+          if i >= n then h.bounds.(n - 1)
+          else
+            let lo = if i = 0 then 0. else h.bounds.(i - 1) in
+            let hi = h.bounds.(i) in
+            lo +. ((hi -. lo) *. (rank -. cum) /. float_of_int c)
+        else go (i + 1) cum'
+    in
+    go 0 0.
+  end
+
 let instruments () =
   with_registry (fun () -> Hashtbl.fold (fun _ i acc -> i :: acc) registry [])
   |> List.sort (fun a b ->
@@ -104,14 +133,40 @@ let dump ppf () =
       | Histogram h ->
         let n = count h in
         Format.fprintf ppf "%-28s count=%d sum=%.6fs@." h.hname n (sum h);
-        if n > 0 then
+        if n > 0 then begin
+          Format.fprintf ppf "  p50 %.3es  p95 %.3es  p99 %.3es@." (quantile h 0.50)
+            (quantile h 0.95) (quantile h 0.99);
           List.iter
             (fun (bound, c) ->
               if c > 0 then
                 match bound with
                 | Some b -> Format.fprintf ppf "  le %.0e s%18d@." b c
                 | None -> Format.fprintf ppf "  le +inf%19d@." c)
-            (buckets h))
+            (buckets h)
+        end)
+    (instruments ())
+
+(* One JSON object per line so CI can diff snapshots with line tools;
+   keys are emitted in a fixed order and instruments are sorted by name,
+   making the output deterministic up to the measured values. *)
+let dump_json ppf () =
+  List.iter
+    (function
+      | Counter c ->
+        Format.fprintf ppf {|{"type":"counter","name":%S,"value":%d}@.|} c.cname
+          (value c)
+      | Histogram h ->
+        let pp_bucket ppf (bound, c) =
+          match bound with
+          | Some b -> Format.fprintf ppf {|{"le":%g,"count":%d}|} b c
+          | None -> Format.fprintf ppf {|{"le":"inf","count":%d}|} c
+        in
+        Format.fprintf ppf
+          {|{"type":"histogram","name":%S,"count":%d,"sum":%g,"p50":%g,"p95":%g,"p99":%g,"buckets":[%a]}@.|}
+          h.hname (count h) (sum h) (quantile h 0.50) (quantile h 0.95)
+          (quantile h 0.99)
+          (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',') pp_bucket)
+          (buckets h))
     (instruments ())
 
 let reset () =

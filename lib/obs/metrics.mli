@@ -46,11 +46,25 @@ val sum : histogram -> float
 val buckets : histogram -> (float option * int) list
 (** Per-bucket counts, ascending; [None] is the +inf bucket. *)
 
+val quantile : histogram -> float -> float
+(** [quantile h q] estimates the [q]-quantile (clamped to [0..1]) of the
+    observed values in seconds, linearly interpolated within the bucket
+    that crosses the target rank.  Observations in the +inf bucket
+    resolve to the largest finite bound (a lower bound on the true
+    value).  [0.] when the histogram is empty. *)
+
 val counters : unit -> (string * int) list
 (** Every registered counter with its merged value, sorted by name. *)
 
 val dump : Format.formatter -> unit -> unit
-(** Text dump of every counter and histogram, sorted by name. *)
+(** Text dump of every counter and histogram, sorted by name.
+    Histograms with observations include interpolated p50/p95/p99. *)
+
+val dump_json : Format.formatter -> unit -> unit
+(** Line-oriented JSON dump: one object per line, instruments sorted by
+    name ([{"type":"counter",...}] / [{"type":"histogram",...}] with
+    buckets and p50/p95/p99) — a machine-diffable snapshot of the same
+    registry {!dump} prints. *)
 
 val reset : unit -> unit
 (** Zero every instrument (registrations are kept).  Not atomic with

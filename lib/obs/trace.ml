@@ -1,8 +1,10 @@
+type refusal = { holder : int option; requested : int; held : int }
+
 type event =
   | Invoke of int
   | Respond of int
   | Lock_granted
-  | Lock_refused of int option
+  | Lock_refused of refusal
   | Blocked
   | Retry
   | Commit of int
@@ -10,11 +12,13 @@ type event =
   | Horizon_advanced of int
   | Forgotten of int
 
-type entry = { seq : int; obj : int; txn : int; event : event }
+type entry = { seq : int; time : int; obj : int; txn : int; event : event }
 
 type t = { mask : int; slots : entry array; cursor : int Atomic.t }
 
-let dummy = { seq = -1; obj = -1; txn = -1; event = Abort }
+let no_op = -1
+
+let dummy = { seq = -1; time = 0; obj = -1; txn = -1; event = Abort }
 
 let round_up_pow2 n =
   let rec go p = if p >= n then p else go (p * 2) in
@@ -31,7 +35,8 @@ let emit t ~obj ~txn event =
   (* A record store is a single word write: a concurrent reader sees
      either the old or the new entry, never a torn one; [seq] tells it
      which. *)
-  Array.unsafe_set t.slots (s land t.mask) { seq = s; obj; txn; event }
+  Array.unsafe_set t.slots (s land t.mask)
+    { seq = s; time = Clock.now_ns (); obj; txn; event }
 
 let dropped t = max 0 (Atomic.get t.cursor - Array.length t.slots)
 
@@ -53,8 +58,10 @@ let pp_event ppf = function
   | Invoke c -> Format.fprintf ppf "invoke#%d" c
   | Respond c -> Format.fprintf ppf "respond#%d" c
   | Lock_granted -> Format.pp_print_string ppf "lock-granted"
-  | Lock_refused (Some h) -> Format.fprintf ppf "lock-refused(holder T%d)" h
-  | Lock_refused None -> Format.pp_print_string ppf "lock-refused"
+  | Lock_refused { holder = Some h; requested; held } ->
+    Format.fprintf ppf "lock-refused(op#%d vs op#%d held by T%d)" requested held h
+  | Lock_refused { holder = None; requested; held } ->
+    Format.fprintf ppf "lock-refused(op#%d vs op#%d)" requested held
   | Blocked -> Format.pp_print_string ppf "blocked"
   | Retry -> Format.pp_print_string ppf "retry"
   | Commit ts -> Format.fprintf ppf "commit@%d" ts

@@ -2,9 +2,12 @@
 
     Every entry tags a protocol event with the emitting object's key and
     the acting transaction's id, both plain ints so the ring is generic
-    over data types.  Invocation and response payloads are carried as
-    small {e interned codes}: the emitting object assigns codes in order
-    of first appearance and keeps the decode table ([Runtime.Atomic_obj]
+    over data types, plus a monotonic-clock timestamp ({!Clock}) taken
+    at emission — the raw material for blocked-time accounting
+    ({!Attrib}), wait-for analysis ({!Waitfor}) and timeline export
+    ({!Export}).  Invocation and response payloads are carried as small
+    {e interned codes}: the emitting object assigns codes in order of
+    first appearance and keeps the decode table ([Runtime.Atomic_obj]
     does this per object), so the ring never stores ADT values and the
     fast path allocates only the entry record.
 
@@ -16,11 +19,21 @@
     object is a faithful suffix of its event order — which is what
     {!Replay} reconstructs histories from. *)
 
+type refusal = { holder : int option; requested : int; held : int }
+(** Attribution payload of a refused lock: the transaction holding the
+    conflicting lock (when known), and the {e operation-pair} codes —
+    [requested] is the operation whose lock was requested, [held] the
+    already-locked operation it conflicts with, both interned per object
+    in a code space separate from invocation/response codes ({!no_op}
+    when unknown).  This is what turns a refusal count into a
+    per-Conflict-entry attribution: each refusal names the exact cell of
+    the conflict relation that fired. *)
+
 type event =
   | Invoke of int  (** invocation, by interned code *)
   | Respond of int  (** chosen response, by interned code *)
   | Lock_granted  (** the response's lock was granted and recorded *)
-  | Lock_refused of int option  (** lock conflict; holder transaction id if known *)
+  | Lock_refused of refusal  (** lock conflict, with attribution *)
   | Blocked  (** no legal response in the view (partial operation) *)
   | Retry  (** the retry loop is about to re-attempt a refused invocation *)
   | Commit of int  (** commit event with its timestamp *)
@@ -30,7 +43,12 @@ type event =
       (** cumulative count of committed transactions folded into the
           version after this fold — never decreases (Theorem 24) *)
 
-type entry = { seq : int; obj : int; txn : int; event : event }
+type entry = { seq : int; time : int; obj : int; txn : int; event : event }
+(** [time] is {!Clock.now_ns} at emission: monotonic nanoseconds,
+    comparable across objects and domains within the process. *)
+
+val no_op : int
+(** Sentinel ([-1]) for an unknown operation code in a {!refusal}. *)
 
 type t
 

@@ -1,0 +1,52 @@
+(** Wait-for analysis: rebuild the waits-for graph from a trace window
+    and check that wait-die kept it acyclic.
+
+    The runtime's deadlock story ({!Runtime.Retry}) is wait-die: on a
+    lock conflict an older requester waits and retries, a younger one
+    dies.  Waits-for edges therefore only ever point from older to
+    younger transactions and cycles are impossible — an {e assumed}
+    invariant until now.  This module checks it: a
+    {!Trace.Lock_refused} with a known holder opens a {e candidate}
+    edge [requester -> holder], which becomes a live waits-for edge
+    only when the requester's subsequent {!Trace.Retry} confirms it
+    chose to wait ({!Runtime.Retry} emits [Retry] strictly after the
+    wait-die decision, so a dying transaction's refusal never becomes
+    an edge).  The edge closes when the stalled attempt is granted,
+    when either side completes, or — back to candidate — when the next
+    attempt is refused again.  A cycle among live edges means two
+    transactions each waited on a lock the other held — a protocol bug
+    with the same contract as the atomicity audit: report it and make
+    the run fail.
+
+    The same windows yield per-transaction blocked time and
+    abort-cascade ("death chain") statistics: a transaction that aborts
+    while an edge to some holder is open {e died on} that holder; chains
+    of such deaths (A died on B, B later died on C, ...) measure how far
+    one long-running transaction's locks ripple through the workload. *)
+
+type report = {
+  entries : int;  (** trace entries analyzed (coverage indicator) *)
+  refusals : int;  (** refusal events seen *)
+  edges : int;  (** wait-for edges ever opened *)
+  max_width : int;  (** maximum simultaneously-open edges *)
+  cycles : int list list;
+      (** every cycle detected among live edges, as transaction-id
+          loops; must be empty under wait-die *)
+  blocked_ns : (int * int) list;
+      (** per-transaction total blocked time in nanoseconds, most
+          blocked first *)
+  deaths : (int * int) list;
+      (** [(victim, holder)]: victim aborted while waiting on holder,
+          in trace order *)
+  longest_death_chain : int list;
+      (** the longest abort cascade, oldest victim first *)
+}
+
+val analyze : Trace.entry list -> report
+(** Fold a trace window (oldest first, as {!Trace.entries} returns
+    it). *)
+
+val ok : report -> bool
+(** No cycles. *)
+
+val pp : Format.formatter -> report -> unit

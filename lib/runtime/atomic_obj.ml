@@ -36,19 +36,28 @@ module Make (A : Spec.Adt_sig.S) = struct
     record : bool;
     mutable events : H.event list; (* newest first *)
     trace : Obs.Trace.t option; (* explicit sink; overrides the global one *)
-    (* Payload intern tables: trace entries carry invocations and
-       responses as small codes assigned in order of first appearance.
-       Mutated only under the mutex; the fast path allocates only on a
-       payload's first occurrence. *)
+    op_label : op -> string;
+    (* Payload intern tables: trace entries carry invocations, responses
+       and (for refusal attribution) whole operations as small codes
+       assigned in order of first appearance.  Mutated only under the
+       mutex; the fast path allocates only on a payload's first
+       occurrence, which also registers the human-readable label with
+       the process-wide [Obs.Attrib] registry so reports and timeline
+       exports can decode the codes after this object is gone. *)
     mutable inv_codes : (A.inv * int) list;
     mutable inv_next : int;
     mutable res_codes : (A.res * int) list;
     mutable res_next : int;
+    mutable op_codes : (op * int) list;
+    mutable op_next : int;
   }
 
-  let create ?name ?(record = false) ?trace ~conflict () =
+  let default_op_label (i, r) = Format.asprintf "%a/%a" A.pp_inv i A.pp_res r
+
+  let create ?name ?(record = false) ?trace ?(op_label = default_op_label) ~conflict () =
     let key = Txn_rt.fresh_object_key () in
     let name = match name with Some n -> n | None -> Printf.sprintf "%s#%d" A.name key in
+    Obs.Attrib.register_object ~obj:key name;
     {
       name;
       key;
@@ -62,10 +71,13 @@ module Make (A : Spec.Adt_sig.S) = struct
       record;
       events = [];
       trace;
+      op_label;
       inv_codes = [];
       inv_next = 0;
       res_codes = [];
       res_next = 0;
+      op_codes = [];
+      op_next = 0;
     }
 
   let name t = t.name
@@ -95,6 +107,8 @@ module Make (A : Spec.Adt_sig.S) = struct
         let c = t.inv_next in
         t.inv_next <- c + 1;
         t.inv_codes <- (i, c) :: t.inv_codes;
+        Obs.Attrib.register_label ~obj:t.key ~kind:Obs.Attrib.Inv ~code:c
+          (Format.asprintf "%a" A.pp_inv i);
         c
       | (i', c) :: rest -> if A.equal_inv i i' then c else find rest
     in
@@ -106,16 +120,35 @@ module Make (A : Spec.Adt_sig.S) = struct
         let c = t.res_next in
         t.res_next <- c + 1;
         t.res_codes <- (r, c) :: t.res_codes;
+        Obs.Attrib.register_label ~obj:t.key ~kind:Obs.Attrib.Res ~code:c
+          (Format.asprintf "%a" A.pp_res r);
         c
       | (r', c) :: rest -> if A.equal_res r r' then c else find rest
     in
     find t.res_codes
+
+  let equal_op (i, r) (i', r') = A.equal_inv i i' && A.equal_res r r'
+
+  let encode_op t o =
+    let rec find = function
+      | [] ->
+        let c = t.op_next in
+        t.op_next <- c + 1;
+        t.op_codes <- (o, c) :: t.op_codes;
+        Obs.Attrib.register_label ~obj:t.key ~kind:Obs.Attrib.Op ~code:c (t.op_label o);
+        c
+      | (o', c) :: rest -> if equal_op o o' then c else find rest
+    in
+    find t.op_codes
 
   let decode_inv t c =
     List.find_map (fun (i, c') -> if c = c' then Some i else None) t.inv_codes
 
   let decode_res t c =
     List.find_map (fun (r, c') -> if c = c' then Some r else None) t.res_codes
+
+  let decode_op_locked t c =
+    List.find_map (fun (o, c') -> if c = c' then Some o else None) t.op_codes
 
   (* Transition helpers; all must run under the mutex.  The pure machine
      never refuses invoke/commit/abort events. *)
@@ -204,11 +237,18 @@ module Make (A : Spec.Adt_sig.S) = struct
             Obs.Metrics.incr m_blocked;
             emit t ~txn:qid Obs.Trace.Blocked;
             Error `Blocked
-          | Error (`Conflict holder) ->
-            let holder_id = Option.map Model.Txn.id holder in
+          | Error (`Conflict info) ->
+            let holder_id = Option.map (fun ci -> Model.Txn.id ci.C.c_holder) info in
             t.conflicts <- t.conflicts + 1;
             Obs.Metrics.incr m_conflicts;
-            emit t ~txn:qid (Obs.Trace.Lock_refused holder_id);
+            (if tracing t then
+               let requested, held =
+                 match info with
+                 | Some ci -> (encode_op t ci.C.c_requested, encode_op t ci.C.c_held)
+                 | None -> (Obs.Trace.no_op, Obs.Trace.no_op)
+               in
+               emit t ~txn:qid
+                 (Obs.Trace.Lock_refused { holder = holder_id; requested; held }));
             Error (`Conflict holder_id))
     in
     (* Register even after a refusal: the machine now tracks a pending
@@ -242,6 +282,7 @@ module Make (A : Spec.Adt_sig.S) = struct
 
   let live_ops t = with_lock t (fun () -> C.live_ops t.machine)
   let history t = with_lock t (fun () -> List.rev t.events)
+  let decode_op t c = with_lock t (fun () -> decode_op_locked t c)
 
   (* ---- trace replay ---- *)
 

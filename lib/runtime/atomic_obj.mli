@@ -32,6 +32,7 @@ module Make (A : Spec.Adt_sig.S) : sig
     ?name:string ->
     ?record:bool ->
     ?trace:Obs.Trace.t ->
+    ?op_label:(op -> string) ->
     conflict:(op -> op -> bool) ->
     unit ->
     t
@@ -39,7 +40,12 @@ module Make (A : Spec.Adt_sig.S) : sig
       atomicity checking (tests); off by default.  [trace] attaches an
       explicit trace ring as this object's event sink, bypassing the
       {!Obs.Control} switch; without it events go to {!Obs.Trace.global}
-      whenever observability is enabled. *)
+      whenever observability is enabled.  [op_label] names interned
+      operations for conflict-attribution reports (registered with
+      {!Obs.Attrib} on first occurrence); the default prints
+      ["inv/res"] with the ADT's printers — pass the spec's
+      constructor-level [op_label] to merge per-value cells into one
+      figure row. *)
 
   val name : t -> string
 
@@ -71,6 +77,11 @@ module Make (A : Spec.Adt_sig.S) : sig
   val history : t -> Model.History.Make(A).t
   (** The recorded object-local history (empty unless [record] was set).
       Feed it to {!Model.Atomicity} to check hybrid atomicity. *)
+
+  val decode_op : t -> int -> op option
+  (** Decode an interned operation code carried by this object's
+      {!Obs.Trace.Lock_refused} entries back to the typed operation
+      pair; [None] for codes this object never issued. *)
 
   val replayed_history : t -> Model.History.Make(A).t
   (** The object-local history reconstructed from the trace ring (the

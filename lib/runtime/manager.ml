@@ -52,10 +52,12 @@ let stable_time t =
 let attempt_once ?priority t body =
   Atomic.incr t.attempts;
   Obs.Metrics.incr m_attempts;
-  let t0 = if Obs.Control.enabled () then Unix.gettimeofday () else 0. in
+  (* Monotonic, like the trace timestamps: attempt latencies must never
+     go negative under a wall-clock adjustment. *)
+  let t0 = if Obs.Control.enabled () then Obs.Clock.now_ns () else 0 in
   let observe () =
     if Obs.Control.enabled () then
-      Obs.Metrics.observe h_attempt (Unix.gettimeofday () -. t0)
+      Obs.Metrics.observe h_attempt (Obs.Clock.ns_to_s (Obs.Clock.now_ns () - t0))
   in
   let txn = Txn_rt.fresh ?priority () in
   match body txn with

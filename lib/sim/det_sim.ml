@@ -156,7 +156,8 @@ module Make (A : Spec.Adt_sig.S) = struct
           | Error (`Conflict holder) -> (
             incr conflicts;
             let holder_priority =
-              Option.bind holder (fun h -> Hashtbl.find_opt priorities (Model.Txn.id h))
+              Option.bind holder (fun ci ->
+                  Hashtbl.find_opt priorities (Model.Txn.id ci.C.c_holder))
             in
             match holder_priority with
             | Some hp when w.priority > hp ->

@@ -7,6 +7,9 @@ type row = {
   throughput : float;
   conflict_prob : float;
   atomic : (unit, string) result option;
+  attrib : Obs.Attrib.t option;
+  waitfor : Obs.Waitfor.report option;
+  window : Obs.Trace.entry list;
 }
 
 type table = { id : string; title : string; params : string; rows : row list }
@@ -43,6 +46,85 @@ let violations tables =
         t.rows)
     tables
 
+let waitfor_failures tables =
+  List.concat_map
+    (fun t ->
+      List.filter_map
+        (fun r ->
+          match r.waitfor with
+          | Some rep when not (Obs.Waitfor.ok rep) ->
+            Some
+              ( t.id,
+                r.label,
+                String.concat "; "
+                  (List.map
+                     (fun loop ->
+                       "cycle " ^ String.concat " -> " (List.map string_of_int loop))
+                     rep.Obs.Waitfor.cycles) )
+          | Some _ | None -> None)
+        t.rows)
+    tables
+
+let windows tables =
+  List.concat_map (fun t -> List.concat_map (fun r -> r.window) t.rows) tables
+
+let fired_mass r =
+  match r.attrib with Some a -> Some (Obs.Attrib.total_refusals a) | None -> None
+
+let label_contains r sub =
+  let s = r.label and n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let pp_conflicts ppf t =
+  Format.fprintf ppf "== %s: conflict attribution ==@." t.id;
+  List.iter
+    (fun r ->
+      match r.attrib with
+      | None -> Format.fprintf ppf "-- %s: (observability disabled)@." r.label
+      | Some a ->
+        Format.fprintf ppf "-- %s@." r.label;
+        Obs.Attrib.pp ~top:8 ppf a;
+        (match Obs.Attrib.holders a with
+        | [] -> ()
+        | top ->
+          Format.fprintf ppf "  top holders:%s@."
+            (String.concat ""
+               (List.filteri (fun i _ -> i < 5) top
+               |> List.map (fun (q, n) -> Printf.sprintf " T%d=%d" q n)))))
+    t.rows;
+  (* The empirical face of Theorem 28: the hybrid (dependency) relation
+     is a subset of failure-to-commute, so on the same workload its
+     fired-conflict mass should not exceed commutativity's.  Scheduling
+     noise can perturb individual runs, hence a report, not an assert. *)
+  let find sub = List.find_opt (fun r -> label_contains r sub && r.attrib <> None) t.rows in
+  match (find "hybrid", find "commutativity") with
+  | Some h, Some c -> (
+    match (fired_mass h, fired_mass c) with
+    | Some hm, Some cm ->
+      let verdict =
+        if hm <= cm then "yes"
+        else if label_contains c "fig 4-3" then
+          "NO (expected: fig 4-2 and fig 4-3 are incomparable minimal relations)"
+        else "NO (scheduling noise; rerun larger)"
+      in
+      Format.fprintf ppf
+        "   fired-conflict mass: %s = %d vs %s = %d -> dependency <= commutativity: %s@."
+        h.label hm c.label cm verdict
+    | _ -> ())
+  | _ -> ()
+
+let pp_waitfor ppf t =
+  Format.fprintf ppf "== %s: wait-for audit ==@." t.id;
+  List.iter
+    (fun r ->
+      match r.waitfor with
+      | None -> Format.fprintf ppf "-- %s: (observability disabled)@." r.label
+      | Some rep ->
+        Format.fprintf ppf "-- %s@." r.label;
+        Obs.Waitfor.pp ppf rep)
+    t.rows
+
 (* Deterministic value sequence, decorrelated across (domain, seq, k). *)
 let pseudo d seq k = ((d * 7919) + (seq * 104729) + (k * 1299709)) land 0x3fffffff
 
@@ -77,6 +159,7 @@ let measure ~label ~conflict_prob ~scale ~setup =
   in
   let result = Driver.run config ~mgr (fun ~domain ~seq txn -> body config ~domain ~seq txn) in
   let conflicts, blocked = stats () in
+  let window = if tracing then Obs.Trace.entries Obs.Trace.global else [] in
   {
     label;
     committed = result.Driver.committed;
@@ -86,6 +169,9 @@ let measure ~label ~conflict_prob ~scale ~setup =
     throughput = result.Driver.throughput;
     conflict_prob;
     atomic = (if tracing then Some (replay ()) else None);
+    attrib = (if tracing then Some (Obs.Attrib.of_entries window) else None);
+    waitfor = (if tracing then Some (Obs.Waitfor.analyze window) else None);
+    window;
   }
 
 (* Seed an object with [n] committed operations, [per_txn] at a time so
@@ -123,7 +209,7 @@ let exp_queue_enq ?(scale = default_scale) () =
           ~conflict_prob:(Qprof.op_conflict_probability ~weights:enq_only_weights conflict)
           ~scale
           ~setup:(fun _mgr ->
-            let q = Qobj.create ~conflict () in
+            let q = Qobj.create ~conflict ~op_label:Adt.Fifo_queue.op_label () in
             let body config ~domain ~seq txn =
               for k = 0 to ops - 1 do
                 let v = 1 + (pseudo domain seq k mod 2) in
@@ -159,7 +245,7 @@ let exp_queue_mixed ?(scale = default_scale) () =
           ~conflict_prob:(Qprof.op_conflict_probability ~weights:mixed_weights conflict)
           ~scale
           ~setup:(fun mgr ->
-            let q = Qobj.create ~conflict () in
+            let q = Qobj.create ~conflict ~op_label:Adt.Fifo_queue.op_label () in
             (* Seed enough for every consumer dequeue to succeed. *)
             let consumer_domains = scale.domains / 2 in
             let total_deqs = consumer_domains * scale.txns * ops in
@@ -218,7 +304,7 @@ let exp_account ?(scale = default_scale) () =
           ~conflict_prob:(Aprof.op_conflict_probability ~weights:account_weights conflict)
           ~scale
           ~setup:(fun mgr ->
-            let acc = Aobj.create ~conflict () in
+            let acc = Aobj.create ~conflict ~op_label:Adt.Account.op_label () in
             (* Large seed balance so overdrafts stay rare. *)
             Runtime.Manager.run mgr (fun txn ->
                 ignore (Aobj.invoke acc txn (Adt.Account.Credit 1_000_000)));
@@ -272,7 +358,7 @@ let exp_semiqueue ?(scale = default_scale) () =
       ~conflict_prob:(Sprof.op_conflict_probability ~weights:rem_weights conflict)
       ~scale
       ~setup:(fun mgr ->
-        let sq = Sobj.create ~conflict () in
+        let sq = Sobj.create ~conflict ~op_label:Adt.Semiqueue.op_label () in
         let consumer_domains = scale.domains / 2 in
         let total_rems = consumer_domains * scale.txns * ops in
         seed_with mgr ~n:total_rems ~per_txn:50 (fun txn k ->
@@ -298,7 +384,7 @@ let exp_semiqueue ?(scale = default_scale) () =
       ~conflict_prob:(Qprof.op_conflict_probability ~weights:mixed_weights conflict)
       ~scale
       ~setup:(fun mgr ->
-        let q = Qobj.create ~conflict () in
+        let q = Qobj.create ~conflict ~op_label:Adt.Fifo_queue.op_label () in
         let consumer_domains = scale.domains / 2 in
         let total_deqs = consumer_domains * scale.txns * ops in
         seed_with mgr ~n:total_deqs ~per_txn:50 (fun txn k ->

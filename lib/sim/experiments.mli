@@ -34,16 +34,44 @@ type row = {
   atomic : (unit, string) result option;
       (** trace-replay hybrid-atomicity verdict for the run
           ({!Obs.Replay}); [None] when observability was disabled. *)
+  attrib : Obs.Attrib.t option;
+      (** per-op-pair conflict attribution folded from the run's trace
+          window; [None] when observability was disabled. *)
+  waitfor : Obs.Waitfor.report option;
+      (** waits-for graph audit of the same window (must be acyclic
+          under wait-die); [None] when observability was disabled. *)
+  window : Obs.Trace.entry list;
+      (** the raw trace window the run produced (empty when
+          observability was disabled) — feed it to {!Obs.Export}. *)
 }
 
 type table = { id : string; title : string; params : string; rows : row list }
 
 val pp_table : Format.formatter -> table -> unit
 
+val pp_conflicts : Format.formatter -> table -> unit
+(** Per-row conflict attribution (top cells, top holders), closing with
+    the hybrid-vs-commutativity fired-conflict-mass comparison — the
+    empirical counterpart of Theorem 28 — when the table has both
+    rows. *)
+
+val pp_waitfor : Format.formatter -> table -> unit
+(** Per-row wait-for audit reports. *)
+
 val violations : table list -> (string * string * string) list
 (** All [(table id, row label, error)] triples whose replay check
     failed — what the CLI and the CI smoke job key their exit status
     on. *)
+
+val waitfor_failures : table list -> (string * string * string) list
+(** All [(table id, row label, cycles)] triples whose waits-for graph
+    had a cycle — same exit-status contract as {!violations}: wait-die
+    makes cycles impossible, so any cycle is a protocol bug. *)
+
+val windows : table list -> Obs.Trace.entry list
+(** Every row's trace window, concatenated in run order (timestamps are
+    monotonic across rows, object keys and transaction ids are
+    process-unique, so the result is directly exportable). *)
 
 type scale = { domains : int; txns : int; think_us : float }
 (** [txns] is per domain. *)
