@@ -257,6 +257,41 @@ let test_obs_overhead =
              off_driver ()));
     ]
 
+(* Durability cost: one committed increment transaction through the
+   full runtime (manager + atomic object) with no log, with a log whose
+   fsync is disabled (append cost only), and with a fully synced log
+   (the write-ahead commit rule's real price: one fsync per commit).
+   State persists across iterations; sequential commits keep the
+   horizon advancing, so the log keeps compacting and the measurement
+   stays stationary. *)
+let test_wal_overhead =
+  let module CObj = Runtime.Atomic_obj.Make (Adt.Counter) in
+  let bench_path tag =
+    let f = Filename.temp_file ("hybrid-cc-bench-" ^ tag) ".wal" in
+    at_exit (fun () -> try Sys.remove f with Sys_error _ -> ());
+    f
+  in
+  let txn_of mgr c () =
+    Runtime.Manager.run mgr (fun txn -> ignore (CObj.invoke c txn (Adt.Counter.Inc 1)))
+  in
+  let plain =
+    let mgr = Runtime.Manager.create () in
+    let c = CObj.create ~conflict:Adt.Counter.conflict_hybrid () in
+    txn_of mgr c
+  in
+  let durable ~fsync tag =
+    let w = Wal.Log.create ~fsync (bench_path tag) in
+    let mgr = Runtime.Manager.create ~wal:w () in
+    let c = CObj.create ~wal:(w, Adt.Counter.codec) ~conflict:Adt.Counter.conflict_hybrid () in
+    txn_of mgr c
+  in
+  Test.make_grouped ~name:"wal-overhead"
+    [
+      Test.make ~name:"wal-off" (Staged.stage plain);
+      Test.make ~name:"wal-nofsync" (Staged.stage (durable ~fsync:false "nofsync"));
+      Test.make ~name:"wal-fsync" (Staged.stage (durable ~fsync:true "fsync"));
+    ]
+
 (* Offline trace-analysis cost: folding a captured window into the
    conflict matrix / waits-for report and serializing it.  The window is
    synthetic (a contended retry/grant pattern) so the fold cost is
@@ -299,6 +334,7 @@ let all_tests =
       test_det_sim;
       test_snapshot;
       test_obs_overhead;
+      test_wal_overhead;
       test_trace_analysis;
     ]
 

@@ -36,17 +36,20 @@ let figures_cmd id verbose =
 let scale_of domains txns think_us =
   { Sim.Experiments.domains; txns; think_us }
 
-let select_tables ~scale id =
+let select_tables ~scale ~seed ?wal id =
   match id with
-  | None -> Sim.Experiments.all ~scale ()
-  | Some "queue" -> [ Sim.Experiments.exp_queue_enq ~scale () ]
-  | Some "queue-mixed" -> [ Sim.Experiments.exp_queue_mixed ~scale () ]
-  | Some "account" -> [ Sim.Experiments.exp_account ~scale () ]
-  | Some "semiqueue" -> [ Sim.Experiments.exp_semiqueue ~scale () ]
+  | None -> Sim.Experiments.all ~scale ~seed ?wal ()
+  | Some "queue" -> [ Sim.Experiments.exp_queue_enq ~scale ~seed ?wal () ]
+  | Some "queue-mixed" -> [ Sim.Experiments.exp_queue_mixed ~scale ~seed ?wal () ]
+  | Some "account" -> [ Sim.Experiments.exp_account ~scale ~seed ?wal () ]
+  | Some "semiqueue" -> [ Sim.Experiments.exp_semiqueue ~scale ~seed ?wal () ]
   | Some other ->
     Format.eprintf "unknown experiment id %S (use queue, queue-mixed, account, semiqueue)@."
       other;
     exit 2
+
+let ensure_dir dir =
+  try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
 
 (* The audits share one exit contract: trace replay proving the run was
    not hybrid atomic, or a cycle in the waits-for graph (impossible
@@ -72,7 +75,7 @@ let with_out_file file f =
       close_out oc)
     (fun () -> f ppf)
 
-let experiments_cmd id deterministic quick metrics domains txns think_us =
+let experiments_cmd id deterministic quick metrics seed wal_dir domains txns think_us =
   if deterministic then begin
     let tables =
       match id with
@@ -93,7 +96,23 @@ let experiments_cmd id deterministic quick metrics domains txns think_us =
     let scale =
       if quick then Sim.Experiments.quick_scale else scale_of domains txns think_us
     in
-    let tables = select_tables ~scale id in
+    Obs.Metrics.annotate "run.seed" (string_of_int seed);
+    let wal =
+      Option.map
+        (fun dir ->
+          ensure_dir dir;
+          let w = Wal.Log.create (Filename.concat dir "experiments.wal") in
+          Obs.Metrics.annotate "run.wal" (Wal.Log.path w);
+          w)
+        wal_dir
+    in
+    let tables = select_tables ~scale ~seed ?wal id in
+    (match wal with
+    | Some w ->
+      Wal.Log.close w;
+      Format.printf "wrote write-ahead log to %s (%d records, %d live)@." (Wal.Log.path w)
+        (Wal.Log.file_records w) (Wal.Log.live w)
+    | None -> ());
     List.iter (fun t -> Format.printf "%a@." Sim.Experiments.pp_table t) tables;
     if metrics then begin
       Format.printf "== metrics ==@.";
@@ -106,12 +125,13 @@ let experiments_cmd id deterministic quick metrics domains txns think_us =
     audit_exit tables
   end
 
-let trace_cmd id quick conflicts waitfor chrome metrics_json domains txns think_us =
+let trace_cmd id quick conflicts waitfor chrome metrics_json seed domains txns think_us =
   Obs.Control.set_enabled true;
   let scale =
     if quick then Sim.Experiments.quick_scale else scale_of domains txns think_us
   in
-  let tables = select_tables ~scale id in
+  Obs.Metrics.annotate "run.seed" (string_of_int seed);
+  let tables = select_tables ~scale ~seed id in
   List.iter (fun t -> Format.printf "%a@." Sim.Experiments.pp_table t) tables;
   if conflicts then
     List.iter (fun t -> Format.printf "%a@." Sim.Experiments.pp_conflicts t) tables;
@@ -190,6 +210,44 @@ let derive_cmd id =
   in
   List.iter (fun (_, f) -> f ()) entries
 
+(* Recovery audit: parse the log(s), recover every declared object
+   through its checkpoint, cross-check against the reference replay.
+   Non-zero exit on any mismatch — the contract the CI crash-smoke job
+   keys on after killing a durable run. *)
+let recover_cmd path =
+  let files =
+    if Sys.is_directory path then
+      Sys.readdir path |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".wal")
+      |> List.sort String.compare
+      |> List.map (Filename.concat path)
+    else [ path ]
+  in
+  if files = [] then begin
+    Format.eprintf "no .wal files under %s@." path;
+    exit 2
+  end;
+  let all_ok =
+    List.fold_left
+      (fun acc file ->
+        Format.printf "== recover %s ==@." file;
+        let report = Sim.Durable.verify_file file in
+        Format.printf "%a@." Sim.Durable.pp_report report;
+        acc && Sim.Durable.ok report)
+      true files
+  in
+  if not all_ok then exit 1
+
+let crash_cmd quick seed dir domains txns think_us =
+  let scale =
+    if quick then Sim.Experiments.quick_scale else scale_of domains txns think_us
+  in
+  ensure_dir dir;
+  Obs.Metrics.annotate "run.seed" (string_of_int seed);
+  let runs = Sim.Crash_exp.all ~scale ~seed ~dir () in
+  List.iter (fun r -> Format.printf "%a@." Sim.Crash_exp.pp_run r) runs;
+  if not (List.for_all Sim.Crash_exp.ok runs) then exit 1
+
 let history_cmd () =
   let module Q = Adt.Fifo_queue in
   let module L = Hybrid.Lock_machine.Make (Q) in
@@ -260,6 +318,24 @@ let metrics_arg =
     & info [ "metrics" ]
         ~doc:"Dump the observability metrics registry and trace counters after the run.")
 
+let seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Workload seed: shifts the deterministic operation-value sequence so reruns \
+           explore different workloads reproducibly.  Recorded in the metrics dump.")
+
+let wal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wal" ] ~docv:"DIR"
+        ~doc:
+          "Run durably: write a write-ahead intentions log to $(docv)/experiments.wal \
+           (commit records fsynced before commit events are distributed).  Verify it \
+           afterwards with the $(b,recover) subcommand.")
+
 let figures_t =
   Cmd.v
     (Cmd.info "figures" ~doc:"Regenerate the paper's figures from the specifications")
@@ -270,7 +346,7 @@ let experiments_t =
     (Cmd.info "experiments" ~doc:"Run the measured concurrency experiments")
     Term.(
       const experiments_cmd $ id_arg $ deterministic_arg $ quick_arg $ metrics_arg
-      $ domains_arg $ txns_arg $ think_arg)
+      $ seed_arg $ wal_arg $ domains_arg $ txns_arg $ think_arg)
 
 let conflicts_arg =
   Arg.(
@@ -315,7 +391,7 @@ let trace_t =
           non-zero on an atomicity violation or a waits-for cycle.")
     Term.(
       const trace_cmd $ id_arg $ quick_arg $ conflicts_arg $ waitfor_arg $ chrome_arg
-      $ metrics_json_arg $ domains_arg $ txns_arg $ think_arg)
+      $ metrics_json_arg $ seed_arg $ domains_arg $ txns_arg $ think_arg)
 
 let history_t =
   Cmd.v
@@ -329,12 +405,47 @@ let derive_t =
          "Derive conflict tables for any shipped data type (including the extension           types) from its serial specification")
     Term.(const derive_cmd $ id_arg)
 
+let recover_path_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"PATH" ~doc:"A .wal file, or a directory of .wal files.")
+
+let recover_t =
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Recover every object from a write-ahead log and audit the result: recovery \
+          through the latest checkpoint must match an independent replay of the \
+          committed prefix from the initial state.  Exits non-zero on any mismatch or \
+          unrecoverable corruption; a torn tail is tolerated (that is what a crash \
+          leaves).")
+    Term.(const recover_cmd $ recover_path_arg)
+
+let crash_dir_arg =
+  Arg.(
+    value
+    & opt string "_crash"
+    & info [ "dir" ] ~docv:"DIR" ~doc:"Directory for the experiment logs.")
+
+let crash_t =
+  Cmd.v
+    (Cmd.info "crash"
+       ~doc:
+         "Run the crash-recovery experiments: concurrent durable workloads, then a \
+          simulated kill -9 at every deterministic kill point of the finished log \
+          (around each commit record, mid-append, torn tail).  Each crash image must \
+          recover exactly its committed prefix.  Exits non-zero on any failure.")
+    Term.(
+      const crash_cmd $ quick_arg $ seed_arg $ crash_dir_arg $ domains_arg $ txns_arg
+      $ think_arg)
+
 let main =
   Cmd.group
     (Cmd.info "hybrid-cc" ~version:"1.0.0"
        ~doc:
          "Reproduction of Herlihy & Weihl, \"Hybrid Concurrency Control for Abstract \
           Data Types\" (1988)")
-    [ figures_t; experiments_t; trace_t; history_t; derive_t ]
+    [ figures_t; experiments_t; trace_t; history_t; derive_t; recover_t; crash_t ]
 
 let () = exit (Cmd.eval main)

@@ -69,3 +69,37 @@ let conflict_commutativity p q =
   one_way p q || one_way q p
 
 let conflict_rw _ _ = true
+
+(* ---- WAL codec (Wal.Codec.DURABLE): tag byte + zig-zag varint args ---- *)
+
+let codec =
+  let module B = Util.Binio in
+  {
+    Wal.Codec.enc_inv =
+      (fun buf -> function
+        | Credit n ->
+          B.w_tag buf 0;
+          B.w_int buf n
+        | Post n ->
+          B.w_tag buf 1;
+          B.w_int buf n
+        | Debit n ->
+          B.w_tag buf 2;
+          B.w_int buf n);
+    dec_inv =
+      (fun r ->
+        match B.r_tag r with
+        | 0 -> Credit (B.r_int r)
+        | 1 -> Post (B.r_int r)
+        | 2 -> Debit (B.r_int r)
+        | t -> B.corrupt "Account.inv: tag %d" t);
+    enc_res = (fun buf -> function Ok -> B.w_tag buf 0 | Overdraft -> B.w_tag buf 1);
+    dec_res =
+      (fun r ->
+        match B.r_tag r with
+        | 0 -> Ok
+        | 1 -> Overdraft
+        | t -> B.corrupt "Account.res: tag %d" t);
+    enc_state = B.w_int;
+    dec_state = B.r_int;
+  }

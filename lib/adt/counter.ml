@@ -61,3 +61,40 @@ let conflict_rw p q =
   match (p, q) with
   | (Read, _), (Read, _) -> false
   | ((Inc _ | Dec _ | Read), _), _ -> true
+
+(* ---- WAL codec (Wal.Codec.DURABLE) ---- *)
+
+let codec =
+  let module B = Util.Binio in
+  {
+    Wal.Codec.enc_inv =
+      (fun buf -> function
+        | Inc n ->
+          B.w_tag buf 0;
+          B.w_int buf n
+        | Dec n ->
+          B.w_tag buf 1;
+          B.w_int buf n
+        | Read -> B.w_tag buf 2);
+    dec_inv =
+      (fun r ->
+        match B.r_tag r with
+        | 0 -> Inc (B.r_int r)
+        | 1 -> Dec (B.r_int r)
+        | 2 -> Read
+        | t -> B.corrupt "Counter.inv: tag %d" t);
+    enc_res =
+      (fun buf -> function
+        | Ok -> B.w_tag buf 0
+        | Val v ->
+          B.w_tag buf 1;
+          B.w_int buf v);
+    dec_res =
+      (fun r ->
+        match B.r_tag r with
+        | 0 -> Ok
+        | 1 -> Val (B.r_int r)
+        | t -> B.corrupt "Counter.res: tag %d" t);
+    enc_state = B.w_int;
+    dec_state = B.r_int;
+  }

@@ -110,3 +110,46 @@ let conflict_rw p q =
   match (p, q) with
   | (Member _, _), (Member _, _) -> false
   | ((Insert _ | Remove _ | Member _), _), _ -> true
+
+(* ---- WAL codec (Wal.Codec.DURABLE) ---- *)
+
+let codec =
+  let module B = Util.Binio in
+  {
+    Wal.Codec.enc_inv =
+      (fun buf -> function
+        | Insert k ->
+          B.w_tag buf 0;
+          B.w_int buf k
+        | Remove k ->
+          B.w_tag buf 1;
+          B.w_int buf k
+        | Member k ->
+          B.w_tag buf 2;
+          B.w_int buf k);
+    dec_inv =
+      (fun r ->
+        match B.r_tag r with
+        | 0 -> Insert (B.r_int r)
+        | 1 -> Remove (B.r_int r)
+        | 2 -> Member (B.r_int r)
+        | t -> B.corrupt "Directory.inv: tag %d" t);
+    enc_res =
+      (fun buf -> function
+        | Ok -> B.w_tag buf 0
+        | Duplicate -> B.w_tag buf 1
+        | Missing -> B.w_tag buf 2
+        | True -> B.w_tag buf 3
+        | False -> B.w_tag buf 4);
+    dec_res =
+      (fun r ->
+        match B.r_tag r with
+        | 0 -> Ok
+        | 1 -> Duplicate
+        | 2 -> Missing
+        | 3 -> True
+        | 4 -> False
+        | t -> B.corrupt "Directory.res: tag %d" t);
+    enc_state = (fun buf s -> B.w_list B.w_int buf s);
+    dec_state = (fun r -> B.r_list B.r_int r);
+  }

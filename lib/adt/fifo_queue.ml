@@ -61,3 +61,36 @@ let conflict_fig_4_3 = symmetric dependency_fig_4_3
 let conflict_commutativity = conflict_fig_4_3
 
 let conflict_rw _ _ = true
+
+(* ---- WAL codec (Wal.Codec.DURABLE) ---- *)
+
+let codec =
+  let module B = Util.Binio in
+  {
+    Wal.Codec.enc_inv =
+      (fun buf -> function
+        | Enq v ->
+          B.w_tag buf 0;
+          B.w_int buf v
+        | Deq -> B.w_tag buf 1);
+    dec_inv =
+      (fun r ->
+        match B.r_tag r with
+        | 0 -> Enq (B.r_int r)
+        | 1 -> Deq
+        | t -> B.corrupt "FIFO-Queue.inv: tag %d" t);
+    enc_res =
+      (fun buf -> function
+        | Ok -> B.w_tag buf 0
+        | Val v ->
+          B.w_tag buf 1;
+          B.w_int buf v);
+    dec_res =
+      (fun r ->
+        match B.r_tag r with
+        | 0 -> Ok
+        | 1 -> Val (B.r_int r)
+        | t -> B.corrupt "FIFO-Queue.res: tag %d" t);
+    enc_state = (fun buf s -> B.w_list B.w_int buf s);
+    dec_state = (fun r -> B.r_list B.r_int r);
+  }

@@ -49,3 +49,9 @@ val conflict_commutativity : op -> op -> bool
 val conflict_rw : op -> op -> bool
 (** Read/write locking: both operations are writers, so everything
     conflicts. *)
+
+val codec : (inv, res, state) Wal.Codec.t
+(** Byte (de)serializers for the durability layer; together with the
+    serial specification this module satisfies {!Wal.Codec.DURABLE}.
+    Round-trip ([decode (encode x) = x]) is a qcheck property in the
+    test suite. *)

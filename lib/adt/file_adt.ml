@@ -58,3 +58,36 @@ let conflict_rw p q =
   match (p, q) with
   | (Read, _), (Read, _) -> false
   | ((Read | Write _), _), _ -> true
+
+(* ---- WAL codec (Wal.Codec.DURABLE) ---- *)
+
+let codec =
+  let module B = Util.Binio in
+  {
+    Wal.Codec.enc_inv =
+      (fun buf -> function
+        | Read -> B.w_tag buf 0
+        | Write v ->
+          B.w_tag buf 1;
+          B.w_int buf v);
+    dec_inv =
+      (fun r ->
+        match B.r_tag r with
+        | 0 -> Read
+        | 1 -> Write (B.r_int r)
+        | t -> B.corrupt "File.inv: tag %d" t);
+    enc_res =
+      (fun buf -> function
+        | Val v ->
+          B.w_tag buf 0;
+          B.w_int buf v
+        | Ok -> B.w_tag buf 1);
+    dec_res =
+      (fun r ->
+        match B.r_tag r with
+        | 0 -> Val (B.r_int r)
+        | 1 -> Ok
+        | t -> B.corrupt "File.res: tag %d" t);
+    enc_state = B.w_int;
+    dec_state = B.r_int;
+  }

@@ -76,3 +76,42 @@ let conflict_rw p q =
   match (p, q) with
   | ((Size | Last), _), ((Size | Last), _) -> false
   | ((Append _ | Size | Last), _), _ -> true
+
+(* ---- WAL codec (Wal.Codec.DURABLE) ---- *)
+
+let codec =
+  let module B = Util.Binio in
+  {
+    Wal.Codec.enc_inv =
+      (fun buf -> function
+        | Append v ->
+          B.w_tag buf 0;
+          B.w_int buf v
+        | Size -> B.w_tag buf 1
+        | Last -> B.w_tag buf 2);
+    dec_inv =
+      (fun r ->
+        match B.r_tag r with
+        | 0 -> Append (B.r_int r)
+        | 1 -> Size
+        | 2 -> Last
+        | t -> B.corrupt "Log.inv: tag %d" t);
+    enc_res =
+      (fun buf -> function
+        | Ok -> B.w_tag buf 0
+        | Count n ->
+          B.w_tag buf 1;
+          B.w_int buf n
+        | Val v ->
+          B.w_tag buf 2;
+          B.w_int buf v);
+    dec_res =
+      (fun r ->
+        match B.r_tag r with
+        | 0 -> Ok
+        | 1 -> Count (B.r_int r)
+        | 2 -> Val (B.r_int r)
+        | t -> B.corrupt "Log.res: tag %d" t);
+    enc_state = (fun buf s -> B.w_list B.w_int buf s);
+    dec_state = (fun r -> B.r_list B.r_int r);
+  }

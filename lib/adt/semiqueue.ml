@@ -63,3 +63,36 @@ let symmetric rel p q = rel p q || rel q p
 let conflict_hybrid = symmetric dependency_fig_4_4
 let conflict_commutativity = conflict_hybrid
 let conflict_rw _ _ = true
+
+(* ---- WAL codec (Wal.Codec.DURABLE) ---- *)
+
+let codec =
+  let module B = Util.Binio in
+  {
+    Wal.Codec.enc_inv =
+      (fun buf -> function
+        | Ins v ->
+          B.w_tag buf 0;
+          B.w_int buf v
+        | Rem -> B.w_tag buf 1);
+    dec_inv =
+      (fun r ->
+        match B.r_tag r with
+        | 0 -> Ins (B.r_int r)
+        | 1 -> Rem
+        | t -> B.corrupt "SemiQueue.inv: tag %d" t);
+    enc_res =
+      (fun buf -> function
+        | Ok -> B.w_tag buf 0
+        | Val v ->
+          B.w_tag buf 1;
+          B.w_int buf v);
+    dec_res =
+      (fun r ->
+        match B.r_tag r with
+        | 0 -> Ok
+        | 1 -> Val (B.r_int r)
+        | t -> B.corrupt "SemiQueue.res: tag %d" t);
+    enc_state = (fun buf s -> B.w_list B.w_int buf s);
+    dec_state = (fun r -> B.r_list B.r_int r);
+  }

@@ -29,3 +29,9 @@ val conflict_commutativity : op -> op -> bool
     closure of the minimal dependency relation. *)
 
 val conflict_rw : op -> op -> bool
+
+val codec : (inv, res, state) Wal.Codec.t
+(** Byte (de)serializers for the durability layer; together with the
+    serial specification this module satisfies {!Wal.Codec.DURABLE}.
+    Round-trip ([decode (encode x) = x]) is a qcheck property in the
+    test suite. *)

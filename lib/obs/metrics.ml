@@ -126,7 +126,21 @@ let counters () =
   List.filter_map (function Counter c -> Some (c.cname, value c) | Histogram _ -> None)
     (instruments ())
 
+(* Run annotations (seed, configuration): tiny and write-rare, so the
+   registry mutex is fine. *)
+let annotation_store : (string, string) Hashtbl.t = Hashtbl.create 8
+
+let annotate key v = with_registry (fun () -> Hashtbl.replace annotation_store key v)
+
+let annotations () =
+  with_registry (fun () ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) annotation_store [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let dump ppf () =
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "%-28s %s@." k v)
+    (annotations ());
   List.iter
     (function
       | Counter c -> Format.fprintf ppf "%-28s %d@." c.cname (value c)
@@ -150,6 +164,9 @@ let dump ppf () =
    keys are emitted in a fixed order and instruments are sorted by name,
    making the output deterministic up to the measured values. *)
 let dump_json ppf () =
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf {|{"type":"annotation","name":%S,"value":%S}@.|} k v)
+    (annotations ());
   List.iter
     (function
       | Counter c ->

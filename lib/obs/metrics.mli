@@ -56,6 +56,16 @@ val quantile : histogram -> float -> float
 val counters : unit -> (string * int) list
 (** Every registered counter with its merged value, sorted by name. *)
 
+val annotate : string -> string -> unit
+(** Attach a run annotation (e.g. the workload seed) to the registry:
+    a string key/value emitted by {!dump} and {!dump_json} alongside the
+    instruments.  Re-annotating a key overwrites it.  Not gated on
+    {!Control.enabled} — annotations describe the run configuration, not
+    the measured execution. *)
+
+val annotations : unit -> (string * string) list
+(** All annotations, sorted by key. *)
+
 val dump : Format.formatter -> unit -> unit
 (** Text dump of every counter and histogram, sorted by name.
     Histograms with observations include interpolated p50/p95/p99. *)

@@ -36,6 +36,7 @@ module Make (A : Spec.Adt_sig.S) = struct
     record : bool;
     mutable events : H.event list; (* newest first *)
     trace : Obs.Trace.t option; (* explicit sink; overrides the global one *)
+    wal : (Wal.Log.t * (A.inv, A.res, A.state) Wal.Codec.t) option;
     op_label : op -> string;
     (* Payload intern tables: trace entries carry invocations, responses
        and (for refusal attribution) whole operations as small codes
@@ -54,10 +55,16 @@ module Make (A : Spec.Adt_sig.S) = struct
 
   let default_op_label (i, r) = Format.asprintf "%a/%a" A.pp_inv i A.pp_res r
 
-  let create ?name ?(record = false) ?trace ?(op_label = default_op_label) ~conflict () =
+  let create ?name ?(record = false) ?trace ?wal ?(op_label = default_op_label) ~conflict
+      () =
     let key = Txn_rt.fresh_object_key () in
     let name = match name with Some n -> n | None -> Printf.sprintf "%s#%d" A.name key in
     Obs.Attrib.register_object ~obj:key name;
+    (* Declare the object up front so recovery can dispatch this log's
+       records to the right DURABLE implementation by ADT name. *)
+    (match wal with
+    | Some (w, _) -> Wal.Log.append w (Wal.Log.Object { obj = name; adt = A.name })
+    | None -> ());
     {
       name;
       key;
@@ -71,6 +78,7 @@ module Make (A : Spec.Adt_sig.S) = struct
       record;
       events = [];
       trace;
+      wal;
       op_label;
       inv_codes = [];
       inv_next = 0;
@@ -163,19 +171,33 @@ module Make (A : Spec.Adt_sig.S) = struct
      committed transactions into the version; diff the compaction
      summary around the transition and report the fold as trace events.
      [Forgotten] carries the cumulative fold count, so Theorem 24's
-     monotonicity is directly visible in the event stream. *)
+     monotonicity is directly visible in the event stream.
+
+     With a WAL attached, the same fold is the checkpoint trigger: the
+     horizon is permanent (Theorem 24), so the folded version at the new
+     horizon timestamp is a sound recovery base, and every log record of
+     a transaction whose every touched object has checkpointed at or
+     past its timestamp becomes dead weight the log compactor may
+     drop. *)
   let with_fold_events t ~txn f =
-    if not (tracing t) then f ()
+    if not (tracing t) && Option.is_none t.wal then f ()
     else begin
       let before = C.summary t.machine in
       f ();
       let after = C.summary t.machine in
       if after.C.s_forgotten > before.C.s_forgotten then begin
-        (match after.C.s_folded_upto with
-        | Hybrid.Xts.Fin ts -> emit t ~txn (Obs.Trace.Horizon_advanced ts)
-        | Hybrid.Xts.Neg_inf -> ());
-        emit t ~txn (Obs.Trace.Forgotten after.C.s_forgotten);
-        Obs.Metrics.add m_forgotten (after.C.s_forgotten - before.C.s_forgotten)
+        if tracing t then begin
+          (match after.C.s_folded_upto with
+          | Hybrid.Xts.Fin ts -> emit t ~txn (Obs.Trace.Horizon_advanced ts)
+          | Hybrid.Xts.Neg_inf -> ());
+          emit t ~txn (Obs.Trace.Forgotten after.C.s_forgotten)
+        end;
+        Obs.Metrics.add m_forgotten (after.C.s_forgotten - before.C.s_forgotten);
+        match (t.wal, after.C.s_folded_upto) with
+        | Some (w, codec), Hybrid.Xts.Fin upto ->
+          let payload = Wal.Codec.encode_states codec (C.version_states t.machine) in
+          Wal.Log.append w (Wal.Log.Checkpoint { obj = t.name; upto; payload })
+        | _ -> ()
       end
     end
 
@@ -228,6 +250,17 @@ module Make (A : Spec.Adt_sig.S) = struct
             t.machine <- m;
             t.invocations <- t.invocations + 1;
             Obs.Metrics.incr m_invocations;
+            (* Write-ahead intention: the operation joins the
+               transaction's intentions list in the log the moment it is
+               chosen, under the object mutex — so intentions for one
+               object appear in the log in execution order, and a commit
+               record can only follow every intention it covers. *)
+            (match t.wal with
+            | Some (w, codec) ->
+              Wal.Log.append w
+                (Wal.Log.Intention
+                   { obj = t.name; txn = qid; payload = Wal.Codec.encode_op codec (i, r) })
+            | None -> ());
             push_event t (H.Respond (q, r));
             emit t ~txn:qid (Obs.Trace.Respond (encode_res t r));
             emit t ~txn:qid Obs.Trace.Lock_granted;

@@ -32,6 +32,7 @@ module Make (A : Spec.Adt_sig.S) : sig
     ?name:string ->
     ?record:bool ->
     ?trace:Obs.Trace.t ->
+    ?wal:Wal.Log.t * (A.inv, A.res, A.state) Wal.Codec.t ->
     ?op_label:(op -> string) ->
     conflict:(op -> op -> bool) ->
     unit ->
@@ -40,12 +41,18 @@ module Make (A : Spec.Adt_sig.S) : sig
       atomicity checking (tests); off by default.  [trace] attaches an
       explicit trace ring as this object's event sink, bypassing the
       {!Obs.Control} switch; without it events go to {!Obs.Trace.global}
-      whenever observability is enabled.  [op_label] names interned
-      operations for conflict-attribution reports (registered with
-      {!Obs.Attrib} on first occurrence); the default prints
-      ["inv/res"] with the ADT's printers — pass the spec's
-      constructor-level [op_label] to merge per-value cells into one
-      figure row. *)
+      whenever observability is enabled.  [wal] makes the object
+      durable: an [Object] record declares it on creation, every chosen
+      operation appends an [Intention] record (the transaction's
+      intentions list, paper Section 5.1), and each horizon advance
+      appends a [Checkpoint] record carrying the horizon timestamp and
+      the folded version — sound to recover from because the horizon
+      only grows (Theorem 24).  The object must share its manager's
+      {!Wal.Log.t}.  [op_label] names interned operations for
+      conflict-attribution reports (registered with {!Obs.Attrib} on
+      first occurrence); the default prints ["inv/res"] with the ADT's
+      printers — pass the spec's constructor-level [op_label] to merge
+      per-value cells into one figure row. *)
 
   val name : t -> string
 

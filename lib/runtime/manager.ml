@@ -7,6 +7,7 @@ type t = {
   failures : int Atomic.t;
   inflight_mutex : Mutex.t;
   mutable inflight : int list; (* timestamps drawn, commit not yet fully distributed *)
+  wal : Wal.Log.t option;
 }
 
 exception Too_many_attempts of string
@@ -16,7 +17,7 @@ let m_commits = Obs.Metrics.counter "txn.commits"
 let m_aborts = Obs.Metrics.counter "txn.aborts"
 let h_attempt = Obs.Metrics.histogram "txn.attempt_latency"
 
-let create () =
+let create ?wal () =
   {
     clock = Atomic.make 0;
     attempts = Atomic.make 0;
@@ -24,7 +25,10 @@ let create () =
     failures = Atomic.make 0;
     inflight_mutex = Mutex.create ();
     inflight = [];
+    wal;
   }
+
+let wal t = t.wal
 
 let current_time t = Atomic.get t.clock
 
@@ -33,11 +37,17 @@ let with_inflight t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.inflight_mutex) f
 
 (* Draw a timestamp and mark it in flight in one critical section, so
-   [stable_time] can never miss a drawn-but-undistributed commit. *)
-let begin_commit t =
+   [stable_time] can never miss a drawn-but-undistributed commit.  The
+   WAL commit record is appended inside the same critical section: the
+   log's commit-record order is then exactly the commit-timestamp order,
+   i.e. the hybrid serialization order. *)
+let begin_commit t txn =
   with_inflight t (fun () ->
       let ts = 1 + Atomic.fetch_and_add t.clock 1 in
       t.inflight <- ts :: t.inflight;
+      (match t.wal with
+      | Some w -> Wal.Log.append w (Wal.Log.Commit { txn = Txn_rt.id txn; ts })
+      | None -> ());
       ts)
 
 let end_commit t ts =
@@ -48,6 +58,14 @@ let stable_time t =
       match t.inflight with
       | [] -> Atomic.get t.clock
       | l -> List.fold_left min max_int l - 1)
+
+(* Abort records are an optimization, not a correctness requirement:
+   recovery discards any intentions without a commit record, so a lost
+   abort record only costs the log compactor retained bytes. *)
+let log_abort t txn =
+  match t.wal with
+  | Some w -> Wal.Log.append w (Wal.Log.Abort { txn = Txn_rt.id txn })
+  | None -> ()
 
 let attempt_once ?priority t body =
   Atomic.incr t.attempts;
@@ -65,20 +83,26 @@ let attempt_once ?priority t body =
     (* Draw the timestamp before any commit event becomes visible (see
        the interface comment), and keep it in the in-flight set until
        every participant has seen the commit so snapshot readers can
-       wait for a stable watermark. *)
-    let ts = begin_commit t in
+       wait for a stable watermark.  With a WAL attached the commit
+       record is forced to stable storage before any commit event is
+       distributed — the write-ahead rule: once any object acts on the
+       commit, a crash replays it. *)
+    let ts = begin_commit t txn in
+    Option.iter Wal.Log.sync t.wal;
     Fun.protect ~finally:(fun () -> end_commit t ts) (fun () -> Txn_rt.commit txn ts);
     Atomic.incr t.commits;
     Obs.Metrics.incr m_commits;
     observe ();
     Ok (v, Txn_rt.priority txn)
   | exception Txn_rt.Abort_requested reason ->
+    log_abort t txn;
     Txn_rt.abort txn;
     Atomic.incr t.failures;
     Obs.Metrics.incr m_aborts;
     observe ();
     Error (reason, Txn_rt.priority txn)
   | exception e ->
+    log_abort t txn;
     Txn_rt.abort txn;
     Atomic.incr t.failures;
     Obs.Metrics.incr m_aborts;

@@ -23,7 +23,16 @@ type outcome_stats = {
   aborted : int;  (** aborted attempts (each may be retried) *)
 }
 
-val create : unit -> t
+val create : ?wal:Wal.Log.t -> unit -> t
+(** With [wal], the manager runs the write-ahead commit rule: the commit
+    record (transaction id + timestamp) is appended {e inside} the
+    timestamp-draw critical section — so commit records appear in the
+    log in exact commit-timestamp order — and fsynced before any commit
+    event is distributed to participants.  Abort records are appended on
+    abort (without fsync; recovery discards uncommitted intentions
+    regardless). *)
+
+val wal : t -> Wal.Log.t option
 
 val current_time : t -> Model.Timestamp.t
 (** Largest timestamp issued so far (0 if none). *)

@@ -1,0 +1,174 @@
+type run = {
+  c_id : string;
+  c_committed : int;
+  c_records : int;
+  c_live : int;
+  c_kill_points : int;
+  c_failures : (string * string) list;
+  c_final : (unit, string) result;
+}
+
+let ok r = r.c_failures = [] && Result.is_ok r.c_final
+
+let pp_run ppf r =
+  Format.fprintf ppf "== CRASH-%s ==@." (String.uppercase_ascii r.c_id);
+  Format.fprintf ppf
+    "   %d committed txns, %d log records (%d live), %d kill points@." r.c_committed
+    r.c_records r.c_live r.c_kill_points;
+  (match r.c_final with
+  | Ok () -> Format.fprintf ppf "   clean-log recovery matches the live object: OK@."
+  | Error e -> Format.fprintf ppf "   clean-log recovery FAILED: %s@." e);
+  match r.c_failures with
+  | [] -> Format.fprintf ppf "   every kill point recovers the committed prefix: OK@."
+  | fs ->
+    List.iter (fun (kp, e) -> Format.fprintf ppf "   FAIL at %s: %s@." kp e) fs
+
+(* Same decorrelation scheme as Experiments.pseudo. *)
+let pseudo ~seed d seq k =
+  ((seed * 15485863) + (d * 7919) + (seq * 104729) + (k * 1299709)) land 0x3fffffff
+
+module Make (D : Wal.Codec.DURABLE) = struct
+  module O = Runtime.Atomic_obj.Make (D)
+  module R = Wal.Recover.Make (D)
+
+  (* Run [body] durably, then re-derive the object from every
+     deterministic crash image of the finished log: recovery through the
+     checkpoint must match the reference replay of that image's
+     committed prefix (observational equivalence).  fsync is off — the
+     crash images are cut from the finished file, so durability across
+     power loss is not what is under test — and the rewrite threshold is
+     effectively infinite so the full record history survives for the
+     reference replay. *)
+  let run ~id ~dir ~scale ~limit ~conflict ~seed_ops ~body =
+    let path = Filename.concat dir (id ^ ".wal") in
+    let w = Wal.Log.create ~fsync:false ~compact_threshold:max_int path in
+    let mgr = Runtime.Manager.create ~wal:w () in
+    let o = O.create ~wal:(w, D.codec) ~conflict () in
+    (match seed_ops with
+    | 0, _ -> ()
+    | n, f ->
+      let remaining = ref n in
+      while !remaining > 0 do
+        let batch = min 50 !remaining in
+        Runtime.Manager.run mgr (fun txn ->
+            for k = 0 to batch - 1 do
+              f o txn (n - !remaining + k)
+            done);
+        remaining := !remaining - batch
+      done);
+    let config =
+      {
+        Driver.domains = scale.Experiments.domains;
+        txns_per_domain = scale.Experiments.txns;
+        think_us = scale.Experiments.think_us;
+      }
+    in
+    let result =
+      Driver.run config ~mgr (fun ~domain ~seq txn -> body o config ~domain ~seq txn)
+    in
+    let live = Wal.Log.live w in
+    Wal.Log.close w;
+    let live_states = O.committed_states o in
+    let raw = Wal.Log.read_file path in
+    let records, _tail = Wal.Log.parse raw in
+    let name = O.name o in
+    let final =
+      match R.recover ~obj:name records with
+      | Error e -> Error e
+      | Ok oc ->
+        if R.equal_states oc.R.states live_states then Ok ()
+        else
+          Error
+            (Format.asprintf "recovered %a but the live object held %a" R.pp_states
+               oc.R.states R.pp_states live_states)
+    in
+    let kps = Wal.Crash.kill_points ~limit raw in
+    let failures =
+      List.filter_map
+        (fun kp ->
+          let recs, _ = Wal.Log.parse (Wal.Crash.image raw kp) in
+          let label () = Format.asprintf "%a" Wal.Crash.pp_kill_point kp in
+          match (R.recover ~obj:name recs, R.reference ~obj:name recs) with
+          | Error e, _ -> Some (label (), "recover: " ^ e)
+          | _, Error e -> Some (label (), "reference replay: " ^ e)
+          | Ok oc, Ok ref_states ->
+            if R.equal_states oc.R.states ref_states then None
+            else
+              Some
+                ( label (),
+                  Format.asprintf "recovered %a, committed prefix is %a" R.pp_states
+                    oc.R.states R.pp_states ref_states ))
+        kps
+    in
+    {
+      c_id = id;
+      c_committed = result.Driver.committed;
+      c_records = List.length records;
+      c_live = live;
+      c_kill_points = List.length kps;
+      c_failures = failures;
+      c_final = final;
+    }
+end
+
+module Q = Make (Adt.Fifo_queue)
+module S = Make (Adt.Semiqueue)
+module A = Make (Adt.Account)
+
+let default_limit = 400
+
+let queue ?(scale = Experiments.quick_scale) ?(seed = 0) ~dir () =
+  let ops = 3 in
+  let consumer_domains = scale.Experiments.domains / 2 in
+  let total_deqs = consumer_domains * scale.Experiments.txns * ops in
+  Q.run ~id:"queue" ~dir ~scale ~limit:default_limit
+    ~conflict:Adt.Fifo_queue.conflict_hybrid
+    ~seed_ops:
+      ( total_deqs,
+        fun q txn k -> ignore (Q.O.invoke q txn (Adt.Fifo_queue.Enq (1 + (k mod 2)))) )
+    ~body:(fun q config ~domain ~seq txn ->
+      let producing = domain >= consumer_domains in
+      for k = 0 to ops - 1 do
+        if producing then
+          ignore
+            (Q.O.invoke q txn (Adt.Fifo_queue.Enq (1 + (pseudo ~seed domain seq k mod 2))))
+        else ignore (Q.O.invoke q txn Adt.Fifo_queue.Deq);
+        Driver.think config
+      done)
+
+let semiqueue ?(scale = Experiments.quick_scale) ?(seed = 0) ~dir () =
+  let ops = 3 in
+  let consumer_domains = scale.Experiments.domains / 2 in
+  let total_rems = consumer_domains * scale.Experiments.txns * ops in
+  S.run ~id:"semiqueue" ~dir ~scale ~limit:default_limit
+    ~conflict:Adt.Semiqueue.conflict_hybrid
+    ~seed_ops:
+      ( total_rems,
+        fun sq txn k -> ignore (S.O.invoke sq txn (Adt.Semiqueue.Ins (1 + (k mod 2)))) )
+    ~body:(fun sq config ~domain ~seq txn ->
+      let producing = domain >= consumer_domains in
+      for k = 0 to ops - 1 do
+        if producing then
+          ignore
+            (S.O.invoke sq txn (Adt.Semiqueue.Ins (1 + (pseudo ~seed domain seq k mod 2))))
+        else ignore (S.O.invoke sq txn Adt.Semiqueue.Rem);
+        Driver.think config
+      done)
+
+let account ?(scale = Experiments.quick_scale) ?(seed = 0) ~dir () =
+  let ops = 3 in
+  A.run ~id:"account" ~dir ~scale ~limit:default_limit
+    ~conflict:Adt.Account.conflict_hybrid
+    ~seed_ops:
+      (1, fun acc txn _ -> ignore (A.O.invoke acc txn (Adt.Account.Credit 1_000_000)))
+    ~body:(fun acc config ~domain ~seq txn ->
+      for k = 0 to ops - 1 do
+        let amount = 1 + (pseudo ~seed domain seq k mod 9) in
+        (if (domain + seq) mod 2 = 0 then
+           ignore (A.O.invoke acc txn (Adt.Account.Credit amount))
+         else ignore (A.O.invoke acc txn (Adt.Account.Debit amount)));
+        Driver.think config
+      done)
+
+let all ?scale ?seed ~dir () =
+  [ queue ?scale ?seed ~dir (); semiqueue ?scale ?seed ~dir (); account ?scale ?seed ~dir () ]

@@ -1,0 +1,114 @@
+let registry : (string * Wal.Codec.packed) list =
+  [
+    (Adt.Fifo_queue.name, Wal.Codec.Packed (module Adt.Fifo_queue));
+    (Adt.Semiqueue.name, Wal.Codec.Packed (module Adt.Semiqueue));
+    (Adt.Account.name, Wal.Codec.Packed (module Adt.Account));
+    (Adt.Counter.name, Wal.Codec.Packed (module Adt.Counter));
+    (Adt.Directory.name, Wal.Codec.Packed (module Adt.Directory));
+    (Adt.File_adt.name, Wal.Codec.Packed (module Adt.File_adt));
+    (Adt.Log_adt.name, Wal.Codec.Packed (module Adt.Log_adt));
+    (Adt.Bounded_buffer.name, Wal.Codec.Packed (module Adt.Bounded_buffer));
+  ]
+
+let find adt = List.assoc_opt adt registry
+
+type verdict = {
+  v_obj : string;
+  v_adt : string;
+  v_checkpoint : int option;
+  v_redone_txns : int;
+  v_redone_ops : int;
+  v_discarded : int;
+  v_states : string;
+  v_result : (unit, string) result;
+}
+
+type report = {
+  r_records : int;
+  r_tail : Wal.Log.tail;
+  r_committed : int;
+  r_aborted : int;
+  r_verdicts : verdict list;
+}
+
+let ok r = List.for_all (fun v -> Result.is_ok v.v_result) r.r_verdicts
+
+(* Recover each declared object through the checkpoint; with
+   [reference], also replay the committed prefix from the initial state
+   and require observational equivalence.  Disagreement then means
+   checkpoint truncation lost (or invented) committed operations — a
+   Theorem 24 violation.  The reference replay is only sound when the
+   full record history survived (compaction rewrites legitimately drop
+   intentions covered by checkpoints), so it is opt-in: the crash
+   experiments and tests run with rewriting disabled and use it. *)
+let verify_object ~reference records (name, adt) =
+  let fail msg =
+    {
+      v_obj = name;
+      v_adt = adt;
+      v_checkpoint = None;
+      v_redone_txns = 0;
+      v_redone_ops = 0;
+      v_discarded = 0;
+      v_states = "-";
+      v_result = Error msg;
+    }
+  in
+  match find adt with
+  | None -> fail (Printf.sprintf "no durable implementation registered for ADT %S" adt)
+  | Some (Wal.Codec.Packed (module D)) -> (
+    let module R = Wal.Recover.Make (D) in
+    match R.recover ~obj:name records with
+    | Error e -> fail ("recover: " ^ e)
+    | Ok oc ->
+      let result =
+        if not reference then Ok ()
+        else
+          match R.reference ~obj:name records with
+          | Error e -> Error ("reference replay: " ^ e)
+          | Ok ref_states ->
+            if R.equal_states oc.R.states ref_states then Ok ()
+            else
+              Error
+                (Format.asprintf
+                   "checkpointed recovery %a disagrees with reference replay %a"
+                   R.pp_states oc.R.states R.pp_states ref_states)
+      in
+      {
+        v_obj = name;
+        v_adt = adt;
+        v_checkpoint = oc.R.checkpoint_upto;
+        v_redone_txns = oc.R.redone_txns;
+        v_redone_ops = oc.R.redone_ops;
+        v_discarded = oc.R.discarded_txns;
+        v_states = Format.asprintf "%a" R.pp_states oc.R.states;
+        v_result = result;
+      })
+
+let verify ?(reference = false) (records, tail) =
+  {
+    r_records = List.length records;
+    r_tail = tail;
+    r_committed = List.length (Wal.Recover.committed records);
+    r_aborted = List.length (Wal.Recover.aborted records);
+    r_verdicts = List.map (verify_object ~reference records) (Wal.Recover.objects records);
+  }
+
+let verify_file ?reference path = verify ?reference (Wal.Log.read path)
+
+let pp_tail ppf = function
+  | Wal.Log.Clean -> Format.pp_print_string ppf "clean"
+  | Wal.Log.Torn off -> Format.fprintf ppf "torn at byte %d (discarded)" off
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "-- %s (%s): %s@." v.v_obj v.v_adt
+    (match v.v_result with Ok () -> "OK" | Error e -> "FAIL: " ^ e);
+  Format.fprintf ppf "   checkpoint=%s redone=%d txns / %d ops, discarded=%d, states=%s@."
+    (match v.v_checkpoint with Some ts -> string_of_int ts | None -> "none")
+    v.v_redone_txns v.v_redone_ops v.v_discarded v.v_states
+
+let pp_report ppf r =
+  Format.fprintf ppf "log: %d records, tail %a, %d committed, %d aborted@." r.r_records
+    pp_tail r.r_tail r.r_committed r.r_aborted;
+  List.iter (pp_verdict ppf) r.r_verdicts;
+  Format.fprintf ppf "recovery: %s@." (if ok r then "OK" else "FAILED")

@@ -1,0 +1,50 @@
+(** Registry of durable ADT implementations and whole-log recovery
+    verification.
+
+    The log's [Object] records name each object's ADT; this registry
+    maps those names back to the {!Wal.Codec.DURABLE} modules so
+    recovery can dispatch.  It lives here (not in [lib/wal]) because the
+    WAL layer must not depend on the shipped ADTs. *)
+
+val registry : (string * Wal.Codec.packed) list
+(** All eight shipped ADTs, keyed by [A.name]. *)
+
+val find : string -> Wal.Codec.packed option
+
+type verdict = {
+  v_obj : string;
+  v_adt : string;
+  v_checkpoint : int option;  (** horizon of the checkpoint recovered from *)
+  v_redone_txns : int;
+  v_redone_ops : int;
+  v_discarded : int;  (** uncommitted intention-holders discarded *)
+  v_states : string;  (** recovered state set, pretty-printed *)
+  v_result : (unit, string) result;
+}
+
+type report = {
+  r_records : int;
+  r_tail : Wal.Log.tail;
+  r_committed : int;
+  r_aborted : int;
+  r_verdicts : verdict list;
+}
+
+val ok : report -> bool
+
+val verify : ?reference:bool -> Wal.Log.record list * Wal.Log.tail -> report
+(** Recover every declared object through its latest checkpoint: a
+    verdict fails on a corrupt payload, an illegal redo, or an
+    unregistered ADT.  With [reference] (default [false]) each object is
+    {e also} replayed from its initial state ignoring checkpoints,
+    requiring observational equivalence — the cross-check that
+    checkpoint truncation (Theorem 24) loses nothing.  Only sound when
+    the log retains its full record history (compaction rewrites
+    legitimately drop covered intentions), so leave it off for logs
+    produced with rewriting enabled. *)
+
+val verify_file : ?reference:bool -> string -> report
+(** {!verify} on {!Wal.Log.read} of the file; a torn tail is reported,
+    not an error (that is the expected shape after a crash). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -125,16 +125,23 @@ let pp_waitfor ppf t =
         Obs.Waitfor.pp ppf rep)
     t.rows
 
-(* Deterministic value sequence, decorrelated across (domain, seq, k). *)
-let pseudo d seq k = ((d * 7919) + (seq * 104729) + (k * 1299709)) land 0x3fffffff
+(* Deterministic value sequence, decorrelated across (domain, seq, k);
+   [seed] shifts the whole sequence so reruns can vary the workload
+   reproducibly ([seed = 0] reproduces the historical values). *)
+let pseudo ~seed d seq k =
+  ((seed * 15485863) + (d * 7919) + (seq * 104729) + (k * 1299709)) land 0x3fffffff
 
-let params_of scale ops =
-  Printf.sprintf "%d domains x %d txns x %d ops/txn, think %.0fus" scale.domains
-    scale.txns ops scale.think_us
+let params_of ?(seed = 0) scale ops =
+  Printf.sprintf "%d domains x %d txns x %d ops/txn, think %.0fus, seed %d" scale.domains
+    scale.txns ops scale.think_us seed
 
 module Qobj = Runtime.Atomic_obj.Make (Adt.Fifo_queue)
 module Sobj = Runtime.Atomic_obj.Make (Adt.Semiqueue)
 module Aobj = Runtime.Atomic_obj.Make (Adt.Account)
+
+(* Pair the manager's log (if any) with the object's codec, the shape
+   [Atomic_obj.create ?wal] wants. *)
+let durable mgr codec = Option.map (fun w -> (w, codec)) (Runtime.Manager.wal mgr)
 module Qprof = Conflict_profile.Make (Adt.Fifo_queue)
 module Sprof = Conflict_profile.Make (Adt.Semiqueue)
 module Aprof = Conflict_profile.Make (Adt.Account)
@@ -145,10 +152,10 @@ module Aprof = Conflict_profile.Make (Adt.Account)
    [setup]).  The global trace ring is cleared {e before} [setup] so the
    replayed history includes the seeding transactions — without them the
    reconstructed dequeue/debit responses would be illegal. *)
-let measure ~label ~conflict_prob ~scale ~setup =
+let measure ?wal ~label ~conflict_prob ~scale ~setup () =
   let tracing = Obs.Control.enabled () in
   if tracing then Obs.Trace.clear Obs.Trace.global;
-  let mgr = Runtime.Manager.create () in
+  let mgr = Runtime.Manager.create ?wal () in
   let body, stats, replay = setup mgr in
   let config =
     {
@@ -200,19 +207,23 @@ let queue_relations =
 let enq_only_weights (i, _) =
   match i with Adt.Fifo_queue.Enq _ -> 1. | Adt.Fifo_queue.Deq -> 0.
 
-let exp_queue_enq ?(scale = default_scale) () =
+let exp_queue_enq ?(scale = default_scale) ?(seed = 0) ?wal () =
   let ops = 4 in
   let rows =
     List.map
       (fun (label, conflict) ->
-        measure ~label
+        measure ?wal ~label
           ~conflict_prob:(Qprof.op_conflict_probability ~weights:enq_only_weights conflict)
           ~scale
-          ~setup:(fun _mgr ->
-            let q = Qobj.create ~conflict ~op_label:Adt.Fifo_queue.op_label () in
+          ~setup:(fun mgr ->
+            let q =
+              Qobj.create
+                ?wal:(durable mgr Adt.Fifo_queue.codec)
+                ~conflict ~op_label:Adt.Fifo_queue.op_label ()
+            in
             let body config ~domain ~seq txn =
               for k = 0 to ops - 1 do
-                let v = 1 + (pseudo domain seq k mod 2) in
+                let v = 1 + (pseudo ~seed domain seq k mod 2) in
                 ignore (Qobj.invoke q txn (Adt.Fifo_queue.Enq v));
                 Driver.think config
               done
@@ -221,13 +232,14 @@ let exp_queue_enq ?(scale = default_scale) () =
               let s = Qobj.stats q in
               (s.Qobj.conflicts, s.Qobj.blocked)
             in
-            (body, stats, fun () -> Qobj.replay_check q)))
+            (body, stats, fun () -> Qobj.replay_check q))
+          ())
       queue_relations
   in
   {
     id = "EXP-QUEUE-ENQ";
     title = "concurrent enqueuers on one FIFO queue";
-    params = params_of scale ops;
+    params = params_of ~seed scale ops;
     rows;
   }
 
@@ -236,16 +248,20 @@ let exp_queue_enq ?(scale = default_scale) () =
 
 let mixed_weights _ = 1.
 
-let exp_queue_mixed ?(scale = default_scale) () =
+let exp_queue_mixed ?(scale = default_scale) ?(seed = 0) ?wal () =
   let ops = 3 in
   let rows =
     List.map
       (fun (label, conflict) ->
-        measure ~label
+        measure ?wal ~label
           ~conflict_prob:(Qprof.op_conflict_probability ~weights:mixed_weights conflict)
           ~scale
           ~setup:(fun mgr ->
-            let q = Qobj.create ~conflict ~op_label:Adt.Fifo_queue.op_label () in
+            let q =
+              Qobj.create
+                ?wal:(durable mgr Adt.Fifo_queue.codec)
+                ~conflict ~op_label:Adt.Fifo_queue.op_label ()
+            in
             (* Seed enough for every consumer dequeue to succeed. *)
             let consumer_domains = scale.domains / 2 in
             let total_deqs = consumer_domains * scale.txns * ops in
@@ -257,7 +273,7 @@ let exp_queue_mixed ?(scale = default_scale) () =
                 if producing then
                   ignore
                     (Qobj.invoke q txn
-                       (Adt.Fifo_queue.Enq (1 + (pseudo domain seq k mod 2))))
+                       (Adt.Fifo_queue.Enq (1 + (pseudo ~seed domain seq k mod 2))))
                 else ignore (Qobj.invoke q txn Adt.Fifo_queue.Deq);
                 Driver.think config
               done
@@ -266,13 +282,14 @@ let exp_queue_mixed ?(scale = default_scale) () =
               let s = Qobj.stats q in
               (s.Qobj.conflicts, s.Qobj.blocked)
             in
-            (body, stats, fun () -> Qobj.replay_check q)))
+            (body, stats, fun () -> Qobj.replay_check q))
+          ())
       queue_relations
   in
   {
     id = "EXP-QUEUE-MIXED";
     title = "producers vs consumers on one FIFO queue (incomparable minimal relations)";
-    params = params_of scale ops;
+    params = params_of ~seed scale ops;
     rows;
   }
 
@@ -295,16 +312,20 @@ let account_weights (i, r) =
   | Adt.Account.Debit _, Adt.Account.Ok -> 4.
   | Adt.Account.Debit _, Adt.Account.Overdraft -> 0.1
 
-let exp_account ?(scale = default_scale) () =
+let exp_account ?(scale = default_scale) ?(seed = 0) ?wal () =
   let ops = 3 in
   let rows =
     List.map
       (fun (label, conflict) ->
-        measure ~label
+        measure ?wal ~label
           ~conflict_prob:(Aprof.op_conflict_probability ~weights:account_weights conflict)
           ~scale
           ~setup:(fun mgr ->
-            let acc = Aobj.create ~conflict ~op_label:Adt.Account.op_label () in
+            let acc =
+              Aobj.create
+                ?wal:(durable mgr Adt.Account.codec)
+                ~conflict ~op_label:Adt.Account.op_label ()
+            in
             (* Large seed balance so overdrafts stay rare. *)
             Runtime.Manager.run mgr (fun txn ->
                 ignore (Aobj.invoke acc txn (Adt.Account.Credit 1_000_000)));
@@ -321,13 +342,15 @@ let exp_account ?(scale = default_scale) () =
               else if (domain + seq) mod 2 = 0 then
                 for k = 0 to ops - 1 do
                   ignore
-                    (Aobj.invoke acc txn (Adt.Account.Credit (1 + (pseudo domain seq k mod 9))));
+                    (Aobj.invoke acc txn
+                       (Adt.Account.Credit (1 + (pseudo ~seed domain seq k mod 9))));
                   Driver.think config
                 done
               else
                 for k = 0 to ops - 1 do
                   ignore
-                    (Aobj.invoke acc txn (Adt.Account.Debit (1 + (pseudo domain seq k mod 9))));
+                    (Aobj.invoke acc txn
+                       (Adt.Account.Debit (1 + (pseudo ~seed domain seq k mod 9))));
                   Driver.think config
                 done
             in
@@ -335,13 +358,14 @@ let exp_account ?(scale = default_scale) () =
               let s = Aobj.stats acc in
               (s.Aobj.conflicts, s.Aobj.blocked)
             in
-            (body, stats, fun () -> Aobj.replay_check acc)))
+            (body, stats, fun () -> Aobj.replay_check acc))
+          ())
       account_relations
   in
   {
     id = "EXP-ACCOUNT";
     title = "credit/post/debit mix on one account (result-dependent locking)";
-    params = params_of scale ops;
+    params = params_of ~seed scale ops;
     rows;
   }
 
@@ -351,14 +375,18 @@ let exp_account ?(scale = default_scale) () =
 let rem_weights (i, _) =
   match i with Adt.Semiqueue.Ins _ -> 1. | Adt.Semiqueue.Rem -> 1.
 
-let exp_semiqueue ?(scale = default_scale) () =
+let exp_semiqueue ?(scale = default_scale) ?(seed = 0) ?wal () =
   let ops = 3 in
   let semiqueue_row label conflict =
-    measure ~label
+    measure ?wal ~label
       ~conflict_prob:(Sprof.op_conflict_probability ~weights:rem_weights conflict)
       ~scale
       ~setup:(fun mgr ->
-        let sq = Sobj.create ~conflict ~op_label:Adt.Semiqueue.op_label () in
+        let sq =
+          Sobj.create
+            ?wal:(durable mgr Adt.Semiqueue.codec)
+            ~conflict ~op_label:Adt.Semiqueue.op_label ()
+        in
         let consumer_domains = scale.domains / 2 in
         let total_rems = consumer_domains * scale.txns * ops in
         seed_with mgr ~n:total_rems ~per_txn:50 (fun txn k ->
@@ -368,7 +396,8 @@ let exp_semiqueue ?(scale = default_scale) () =
           for k = 0 to ops - 1 do
             if producing then
               ignore
-                (Sobj.invoke sq txn (Adt.Semiqueue.Ins (1 + (pseudo domain seq k mod 2))))
+                (Sobj.invoke sq txn
+                   (Adt.Semiqueue.Ins (1 + (pseudo ~seed domain seq k mod 2))))
             else ignore (Sobj.invoke sq txn Adt.Semiqueue.Rem);
             Driver.think config
           done
@@ -378,13 +407,18 @@ let exp_semiqueue ?(scale = default_scale) () =
           (s.Sobj.conflicts, s.Sobj.blocked)
         in
         (body, stats, fun () -> Sobj.replay_check sq))
+      ()
   in
   let queue_row label conflict =
-    measure ~label
+    measure ?wal ~label
       ~conflict_prob:(Qprof.op_conflict_probability ~weights:mixed_weights conflict)
       ~scale
       ~setup:(fun mgr ->
-        let q = Qobj.create ~conflict ~op_label:Adt.Fifo_queue.op_label () in
+        let q =
+          Qobj.create
+            ?wal:(durable mgr Adt.Fifo_queue.codec)
+            ~conflict ~op_label:Adt.Fifo_queue.op_label ()
+        in
         let consumer_domains = scale.domains / 2 in
         let total_deqs = consumer_domains * scale.txns * ops in
         seed_with mgr ~n:total_deqs ~per_txn:50 (fun txn k ->
@@ -394,7 +428,8 @@ let exp_semiqueue ?(scale = default_scale) () =
           for k = 0 to ops - 1 do
             if producing then
               ignore
-                (Qobj.invoke q txn (Adt.Fifo_queue.Enq (1 + (pseudo domain seq k mod 2))))
+                (Qobj.invoke q txn
+                   (Adt.Fifo_queue.Enq (1 + (pseudo ~seed domain seq k mod 2))))
             else ignore (Qobj.invoke q txn Adt.Fifo_queue.Deq);
             Driver.think config
           done
@@ -404,6 +439,7 @@ let exp_semiqueue ?(scale = default_scale) () =
           (s.Qobj.conflicts, s.Qobj.blocked)
         in
         (body, stats, fun () -> Qobj.replay_check q))
+      ()
   in
   let rows =
     [
@@ -415,14 +451,14 @@ let exp_semiqueue ?(scale = default_scale) () =
   {
     id = "EXP-SEMIQ";
     title = "nondeterminism buys concurrency: SemiQueue vs FIFO Queue";
-    params = params_of scale ops;
+    params = params_of ~seed scale ops;
     rows;
   }
 
-let all ?(scale = default_scale) () =
+let all ?(scale = default_scale) ?(seed = 0) ?wal () =
   [
-    exp_queue_enq ~scale ();
-    exp_queue_mixed ~scale ();
-    exp_account ~scale ();
-    exp_semiqueue ~scale ();
+    exp_queue_enq ~scale ~seed ?wal ();
+    exp_queue_mixed ~scale ~seed ?wal ();
+    exp_account ~scale ~seed ?wal ();
+    exp_semiqueue ~scale ~seed ?wal ();
   ]

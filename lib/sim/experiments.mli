@@ -80,19 +80,27 @@ val default_scale : scale
 val quick_scale : scale
 (** Small sizes for tests. *)
 
-val exp_queue_enq : ?scale:scale -> unit -> table
+(** Every experiment takes [?seed] (default [0], which reproduces the
+    historical workload values) to shift the deterministic operation-value
+    sequence, and [?wal] to run durably: the manager writes the
+    write-ahead commit rule against the given log and every object logs
+    intentions and checkpoints into it (see {!Wal}).  All rows of a table
+    share the log — object names are unique, so recovery keeps them
+    apart. *)
+
+val exp_queue_enq : ?scale:scale -> ?seed:int -> ?wal:Wal.Log.t -> unit -> table
 (** EXP-QUEUE(a): enqueue-only transactions (4 enqueues each). *)
 
-val exp_queue_mixed : ?scale:scale -> unit -> table
+val exp_queue_mixed : ?scale:scale -> ?seed:int -> ?wal:Wal.Log.t -> unit -> table
 (** EXP-QUEUE(b): half the domains enqueue, half dequeue, over a seeded
     queue. *)
 
-val exp_account : ?scale:scale -> unit -> table
+val exp_account : ?scale:scale -> ?seed:int -> ?wal:Wal.Log.t -> unit -> table
 (** EXP-ACCOUNT: credit / post / debit transaction mix on one account,
     seeded with a large balance. *)
 
-val exp_semiqueue : ?scale:scale -> unit -> table
+val exp_semiqueue : ?scale:scale -> ?seed:int -> ?wal:Wal.Log.t -> unit -> table
 (** EXP-SEMIQ: the producer/consumer workload on a SemiQueue vs. a FIFO
     queue. *)
 
-val all : ?scale:scale -> unit -> table list
+val all : ?scale:scale -> ?seed:int -> ?wal:Wal.Log.t -> unit -> table list

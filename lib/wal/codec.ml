@@ -1,0 +1,54 @@
+type ('inv, 'res, 'state) t = {
+  enc_inv : Buffer.t -> 'inv -> unit;
+  dec_inv : Util.Binio.reader -> 'inv;
+  enc_res : Buffer.t -> 'res -> unit;
+  dec_res : Util.Binio.reader -> 'res;
+  enc_state : Buffer.t -> 'state -> unit;
+  dec_state : Util.Binio.reader -> 'state;
+}
+
+module type DURABLE = sig
+  include Spec.Adt_sig.S
+
+  val codec : (inv, res, state) t
+end
+
+type packed = Packed : (module DURABLE) -> packed
+
+let to_string enc v =
+  let buf = Buffer.create 16 in
+  enc buf v;
+  Buffer.contents buf
+
+let of_string dec s =
+  let r = Util.Binio.reader s in
+  let v = dec r in
+  if not (Util.Binio.eof r) then
+    raise (Util.Binio.Corrupt "Codec.of_string: trailing bytes");
+  v
+
+let encode_op c (i, r) =
+  let buf = Buffer.create 16 in
+  c.enc_inv buf i;
+  c.enc_res buf r;
+  Buffer.contents buf
+
+let decode_op c s =
+  let r = Util.Binio.reader s in
+  let i = c.dec_inv r in
+  let res = c.dec_res r in
+  if not (Util.Binio.eof r) then raise (Util.Binio.Corrupt "Codec.decode_op: trailing bytes");
+  (i, res)
+
+let encode_states c ss = to_string (Util.Binio.w_list c.enc_state) ss
+let decode_states c s = of_string (Util.Binio.r_list c.dec_state) s
+
+let roundtrip_op c ~equal_inv ~equal_res op =
+  match decode_op c (encode_op c op) with
+  | i', r' -> equal_inv (fst op) i' && equal_res (snd op) r'
+  | exception Util.Binio.Corrupt _ -> false
+
+let roundtrip_state c ~equal_state s =
+  match of_string c.dec_state (to_string c.enc_state s) with
+  | s' -> equal_state s s'
+  | exception Util.Binio.Corrupt _ -> false

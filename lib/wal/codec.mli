@@ -1,0 +1,55 @@
+(** (De)serializers turning an ADT's invocations, responses and states
+    into WAL record payloads.
+
+    The paper's LOCK protocol (Section 5.1) already keeps, per
+    transaction, the redo information a write-ahead log needs: the
+    intentions list is a sequence of (invocation, response) operations,
+    and replaying committed intentions in commit-timestamp order rebuilds
+    the committed state.  A codec is the missing piece — a stable byte
+    encoding of those operations and of the folded version state, so the
+    log survives the process. *)
+
+type ('inv, 'res, 'state) t = {
+  enc_inv : Buffer.t -> 'inv -> unit;
+  dec_inv : Util.Binio.reader -> 'inv;
+  enc_res : Buffer.t -> 'res -> unit;
+  dec_res : Util.Binio.reader -> 'res;
+  enc_state : Buffer.t -> 'state -> unit;
+  dec_state : Util.Binio.reader -> 'state;
+}
+
+(** A serial specification packaged with its codec: the contract an ADT
+    must meet to be durable.  Decoders raise {!Util.Binio.Corrupt} on
+    malformed payloads; [decode (encode x) = x] up to the spec's equality
+    is a qcheck property for every shipped ADT. *)
+module type DURABLE = sig
+  include Spec.Adt_sig.S
+
+  val codec : (inv, res, state) t
+end
+
+type packed = Packed : (module DURABLE) -> packed
+(** Existential wrapper for registries keyed by ADT name (recovery
+    dispatches on the [Object] record's type name). *)
+
+val to_string : (Buffer.t -> 'a -> unit) -> 'a -> string
+
+val of_string : (Util.Binio.reader -> 'a) -> string -> 'a
+(** Raises {!Util.Binio.Corrupt} on trailing bytes. *)
+
+val encode_op : ('i, 'r, 's) t -> 'i * 'r -> string
+(** Intention-record payload: invocation then response. *)
+
+val decode_op : ('i, 'r, 's) t -> string -> 'i * 'r
+
+val encode_states : ('i, 'r, 's) t -> 's list -> string
+(** Checkpoint-record payload: the folded version is a state {e set}
+    (singleton for deterministic ADTs, larger for SemiQueue-style
+    nondeterminism). *)
+
+val decode_states : ('i, 'r, 's) t -> string -> 's list
+
+val roundtrip_op :
+  ('i, 'r, 's) t -> equal_inv:('i -> 'i -> bool) -> equal_res:('r -> 'r -> bool) -> 'i * 'r -> bool
+
+val roundtrip_state : ('i, 'r, 's) t -> equal_state:('s -> 's -> bool) -> 's -> bool

@@ -1,0 +1,346 @@
+module B = Util.Binio
+
+type record =
+  | Object of { obj : string; adt : string }
+  | Intention of { obj : string; txn : int; payload : string }
+  | Commit of { txn : int; ts : int }
+  | Abort of { txn : int }
+  | Checkpoint of { obj : string; upto : int; payload : string }
+
+let equal_record (a : record) b = a = b
+
+let pp_record ppf = function
+  | Object { obj; adt } -> Format.fprintf ppf "Object(%s:%s)" obj adt
+  | Intention { obj; txn; payload } ->
+    Format.fprintf ppf "Intention(%s, T%d, %d bytes)" obj txn (String.length payload)
+  | Commit { txn; ts } -> Format.fprintf ppf "Commit(T%d, ts=%d)" txn ts
+  | Abort { txn } -> Format.fprintf ppf "Abort(T%d)" txn
+  | Checkpoint { obj; upto; payload } ->
+    Format.fprintf ppf "Checkpoint(%s, upto=%d, %d bytes)" obj upto (String.length payload)
+
+(* ---- record payload encoding (inside the frame) ---- *)
+
+let tag_object = 1
+let tag_intention = 2
+let tag_commit = 3
+let tag_abort = 4
+let tag_checkpoint = 5
+
+let encode_record buf = function
+  | Object { obj; adt } ->
+    B.w_tag buf tag_object;
+    B.w_string buf obj;
+    B.w_string buf adt
+  | Intention { obj; txn; payload } ->
+    B.w_tag buf tag_intention;
+    B.w_string buf obj;
+    B.w_int buf txn;
+    B.w_string buf payload
+  | Commit { txn; ts } ->
+    B.w_tag buf tag_commit;
+    B.w_int buf txn;
+    B.w_int buf ts
+  | Abort { txn } ->
+    B.w_tag buf tag_abort;
+    B.w_int buf txn
+  | Checkpoint { obj; upto; payload } ->
+    B.w_tag buf tag_checkpoint;
+    B.w_string buf obj;
+    B.w_int buf upto;
+    B.w_string buf payload
+
+let decode_record s =
+  let r = B.reader s in
+  let record =
+    match B.r_tag r with
+    | 1 ->
+      let obj = B.r_string r in
+      let adt = B.r_string r in
+      Object { obj; adt }
+    | 2 ->
+      let obj = B.r_string r in
+      let txn = B.r_int r in
+      let payload = B.r_string r in
+      Intention { obj; txn; payload }
+    | 3 ->
+      let txn = B.r_int r in
+      let ts = B.r_int r in
+      Commit { txn; ts }
+    | 4 -> Abort { txn = B.r_int r }
+    | 5 ->
+      let obj = B.r_string r in
+      let upto = B.r_int r in
+      let payload = B.r_string r in
+      Checkpoint { obj; upto; payload }
+    | t -> raise (B.Corrupt (Printf.sprintf "unknown record tag %d" t))
+  in
+  if not (B.eof r) then raise (B.Corrupt "trailing bytes in record");
+  record
+
+(* ---- framing: [len:u32][crc32(payload):u32][payload] ---- *)
+
+let header_bytes = 8
+let max_record_bytes = 1 lsl 28
+
+let frame buf record =
+  let payload = Buffer.create 32 in
+  encode_record payload record;
+  let s = Buffer.contents payload in
+  B.w_u32 buf (String.length s);
+  B.w_u32 buf (B.crc32 s);
+  Buffer.add_string buf s
+
+let framed_size record =
+  let buf = Buffer.create 32 in
+  frame buf record;
+  Buffer.length buf
+
+type tail = Clean | Torn of int
+
+(* One framing or decode failure ends the parse: everything at or after
+   the bad offset is a torn tail (the expected shape after kill -9 mid
+   append).  CRC catches a partially written payload whose length header
+   made it to disk intact. *)
+let parse s =
+  let n = String.length s in
+  let rec go acc off =
+    if off = n then (List.rev acc, Clean)
+    else if n - off < header_bytes then (List.rev acc, Torn off)
+    else
+      let len = B.r_u32_at s off in
+      let crc = B.r_u32_at s (off + 4) in
+      if len < 0 || len > max_record_bytes || off + header_bytes + len > n then
+        (List.rev acc, Torn off)
+      else
+        let payload = String.sub s (off + header_bytes) len in
+        if B.crc32 payload <> crc then (List.rev acc, Torn off)
+        else
+          match decode_record payload with
+          | record -> go (record :: acc) (off + header_bytes + len)
+          | exception B.Corrupt _ -> (List.rev acc, Torn off)
+  in
+  go [] 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      really_input_string ic n)
+
+let read path = parse (read_file path)
+
+(* ------------------------------------------------------------------ *)
+(* Writer with checkpoint-driven truncation                            *)
+
+let m_appends = Obs.Metrics.counter "wal.appends"
+let m_bytes = Obs.Metrics.counter "wal.bytes"
+let m_fsyncs = Obs.Metrics.counter "wal.fsyncs"
+let m_checkpoints = Obs.Metrics.counter "wal.checkpoints"
+let m_rewrites = Obs.Metrics.counter "wal.rewrites"
+
+type txn_info = {
+  mutable t_ops : (int * string * string) list; (* seq, obj, payload; newest first *)
+  mutable t_objs : string list; (* objects touched, no duplicates *)
+}
+
+type t = {
+  path : string;
+  fsync : bool;
+  compact_threshold : int;
+  mutex : Mutex.t;
+  mutable fd : Unix.file_descr;
+  mutable closed : bool;
+  mutable dirty : bool;
+  mutable seq : int; (* appends ever (survives rewrites) *)
+  mutable file_records : int; (* records in the current file *)
+  mutable file_bytes : int;
+  (* live-set bookkeeping: exactly the records a rewrite must retain *)
+  objs : (string, string) Hashtbl.t; (* obj -> adt *)
+  ckpts : (string, int * string) Hashtbl.t; (* obj -> (upto, payload) *)
+  active : (int, txn_info) Hashtbl.t; (* txns with ops, not yet completed *)
+  committed : (int, int * int * txn_info) Hashtbl.t; (* txn -> (seq, ts, info) *)
+}
+
+let create ?(fsync = true) ?(compact_threshold = 512) path =
+  let fd = Unix.openfile path Unix.[ O_WRONLY; O_CREAT; O_TRUNC; O_CLOEXEC ] 0o644 in
+  {
+    path;
+    fsync;
+    compact_threshold;
+    mutex = Mutex.create ();
+    fd;
+    closed = false;
+    dirty = false;
+    seq = 0;
+    file_records = 0;
+    file_bytes = 0;
+    objs = Hashtbl.create 8;
+    ckpts = Hashtbl.create 8;
+    active = Hashtbl.create 32;
+    committed = Hashtbl.create 32;
+  }
+
+let path t = t.path
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let write_all fd s =
+  let n = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+let fsync_dir path =
+  match Unix.openfile (Filename.dirname path) Unix.[ O_RDONLY; O_CLOEXEC ] 0 with
+  | fd ->
+    Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let live_records t =
+  Hashtbl.length t.objs + Hashtbl.length t.ckpts
+  + Hashtbl.fold (fun _ info acc -> acc + List.length info.t_ops) t.active 0
+  + Hashtbl.fold (fun _ (_, _, info) acc -> acc + List.length info.t_ops + 1) t.committed 0
+
+let find_active t txn =
+  match Hashtbl.find_opt t.active txn with
+  | Some info -> info
+  | None ->
+    let info = { t_ops = []; t_objs = [] } in
+    Hashtbl.replace t.active txn info;
+    info
+
+(* A committed transaction's records become redundant once every object
+   it touched has checkpointed at or past its timestamp: its intentions
+   are folded into each object's durable version (Theorem 24 makes the
+   fold permanent), so recovery no longer needs to redo them. *)
+let covered t ts info =
+  List.for_all
+    (fun obj ->
+      match Hashtbl.find_opt t.ckpts obj with
+      | Some (upto, _) -> ts <= upto
+      | None -> false)
+    info.t_objs
+
+let drop_covered t =
+  let dead =
+    Hashtbl.fold
+      (fun txn (_, ts, info) acc -> if covered t ts info then txn :: acc else acc)
+      t.committed []
+  in
+  List.iter (Hashtbl.remove t.committed) dead
+
+(* Track the live set under an appended record. *)
+let account t seq = function
+  | Object { obj; adt } -> Hashtbl.replace t.objs obj adt
+  | Intention { obj; txn; payload } ->
+    let info = find_active t txn in
+    info.t_ops <- (seq, obj, payload) :: info.t_ops;
+    if not (List.mem obj info.t_objs) then info.t_objs <- obj :: info.t_objs
+  | Commit { txn; ts } -> (
+    match Hashtbl.find_opt t.active txn with
+    | None -> () (* read-only or no-op transaction: nothing to redo *)
+    | Some info ->
+      Hashtbl.remove t.active txn;
+      if not (covered t ts info) then Hashtbl.replace t.committed txn (seq, ts, info))
+  | Abort { txn } ->
+    (* Recovery discards uncommitted intentions anyway, so an aborted
+       transaction's records need not be retained at all. *)
+    Hashtbl.remove t.active txn
+  | Checkpoint { obj; upto; payload } ->
+    Obs.Metrics.incr m_checkpoints;
+    (match Hashtbl.find_opt t.ckpts obj with
+    | Some (prev, _) when prev > upto -> () (* never regress a checkpoint *)
+    | Some _ | None -> Hashtbl.replace t.ckpts obj (upto, payload));
+    drop_covered t
+
+(* Rewrite the file down to the live set: per-object declarations and
+   latest checkpoints first, then the retained transaction records in
+   their original append order.  Atomic via write-to-temp + rename, so a
+   crash during the rewrite leaves the previous log intact. *)
+let rewrite_locked t =
+  let buf = Buffer.create 4096 in
+  let count = ref 0 in
+  let emit r =
+    frame buf r;
+    incr count
+  in
+  Hashtbl.fold (fun obj adt acc -> (obj, adt) :: acc) t.objs []
+  |> List.sort compare
+  |> List.iter (fun (obj, adt) -> emit (Object { obj; adt }));
+  Hashtbl.fold (fun obj (upto, payload) acc -> (obj, upto, payload) :: acc) t.ckpts []
+  |> List.sort compare
+  |> List.iter (fun (obj, upto, payload) -> emit (Checkpoint { obj; upto; payload }));
+  let tail = ref [] in
+  let add seq r = tail := (seq, r) :: !tail in
+  Hashtbl.iter
+    (fun txn info ->
+      List.iter (fun (seq, obj, payload) -> add seq (Intention { obj; txn; payload })) info.t_ops)
+    t.active;
+  Hashtbl.iter
+    (fun txn (seq, ts, info) ->
+      List.iter (fun (s, obj, payload) -> add s (Intention { obj; txn; payload })) info.t_ops;
+      add seq (Commit { txn; ts }))
+    t.committed;
+  List.sort (fun (a, _) (b, _) -> compare a b) !tail
+  |> List.iter (fun (_, r) -> emit r);
+  let tmp = t.path ^ ".rewrite" in
+  let fd = Unix.openfile tmp Unix.[ O_WRONLY; O_CREAT; O_TRUNC; O_CLOEXEC ] 0o644 in
+  (try
+     write_all fd (Buffer.contents buf);
+     if t.fsync then Unix.fsync fd;
+     Unix.close fd
+   with e ->
+     Unix.close fd;
+     raise e);
+  Unix.rename tmp t.path;
+  if t.fsync then fsync_dir t.path;
+  Unix.close t.fd;
+  t.fd <- Unix.openfile t.path Unix.[ O_WRONLY; O_APPEND; O_CLOEXEC ] 0o644;
+  t.file_records <- !count;
+  t.file_bytes <- Buffer.length buf;
+  t.dirty <- false;
+  Obs.Metrics.incr m_rewrites
+
+let append t record =
+  with_lock t (fun () ->
+      if t.closed then invalid_arg "Wal.Log.append: log closed";
+      let buf = Buffer.create 64 in
+      frame buf record;
+      let s = Buffer.contents buf in
+      write_all t.fd s;
+      t.dirty <- true;
+      t.seq <- t.seq + 1;
+      t.file_records <- t.file_records + 1;
+      t.file_bytes <- t.file_bytes + String.length s;
+      Obs.Metrics.incr m_appends;
+      Obs.Metrics.add m_bytes (String.length s);
+      account t t.seq record;
+      let live = live_records t in
+      if t.file_records - live >= t.compact_threshold then rewrite_locked t)
+
+let sync t =
+  with_lock t (fun () ->
+      if t.dirty && t.fsync then begin
+        Unix.fsync t.fd;
+        Obs.Metrics.incr m_fsyncs;
+        t.dirty <- false
+      end)
+
+let close t =
+  with_lock t (fun () ->
+      if not t.closed then begin
+        if t.dirty && t.fsync then Unix.fsync t.fd;
+        Unix.close t.fd;
+        t.closed <- true
+      end)
+
+let file_records t = with_lock t (fun () -> t.file_records)
+let file_bytes t = with_lock t (fun () -> t.file_bytes)
+let live t = with_lock t (fun () -> live_records t)
+
+let checkpoint_upto t obj =
+  with_lock t (fun () -> Option.map fst (Hashtbl.find_opt t.ckpts obj))

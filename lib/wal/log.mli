@@ -1,0 +1,79 @@
+(** The write-ahead intentions log.
+
+    Record vocabulary (one-to-one with the paper's protocol state):
+    - [Object]: declares an object's name and ADT type, so recovery can
+      dispatch to the right {!Codec.DURABLE} implementation;
+    - [Intention]: one operation appended to a transaction's intentions
+      list at some object (Section 5.1) — a redo record;
+    - [Commit]: a transaction's commit timestamp.  The manager appends it
+      {e before} distributing commit events and inside the timestamp-draw
+      critical section, so the log's commit-record order is exactly the
+      commit-timestamp order — the hybrid serialization order;
+    - [Abort]: the transaction's intentions must be discarded;
+    - [Checkpoint]: an object's horizon advanced to [upto]
+      (Definition 20) and [payload] is its folded version (the common
+      prefix of Definition 22, serialized by the codec).  Theorem 24 —
+      the common prefix grows monotonically — is what makes the
+      checkpoint a sound truncation point: no later event can un-fold it.
+
+    Framing is [length:u32][crc32:u32][payload].  {!parse} stops at the
+    first bad frame and reports it as a torn tail, which is the expected
+    shape after [kill -9] mid-append.
+
+    The writer keeps the live record set in memory (object declarations,
+    latest checkpoints, intentions not yet covered by every touched
+    object's checkpoint) and rewrites the file down to that set once
+    enough dead records accumulate — keeping the log O(live
+    transactions) instead of O(history). *)
+
+type record =
+  | Object of { obj : string; adt : string }
+  | Intention of { obj : string; txn : int; payload : string }
+  | Commit of { txn : int; ts : int }
+  | Abort of { txn : int }
+  | Checkpoint of { obj : string; upto : int; payload : string }
+
+val equal_record : record -> record -> bool
+val pp_record : Format.formatter -> record -> unit
+
+(** {1 Framing} *)
+
+val frame : Buffer.t -> record -> unit
+val framed_size : record -> int
+
+type tail = Clean | Torn of int  (** byte offset of the first bad frame *)
+
+val parse : string -> record list * tail
+val read_file : string -> string
+val read : string -> record list * tail
+
+(** {1 Writer} *)
+
+type t
+
+val create : ?fsync:bool -> ?compact_threshold:int -> string -> t
+(** Open a fresh log at the given path (truncating any previous file).
+    [fsync:false] turns {!sync} into a no-op — for experiments where
+    durability across power loss is not under test.  A rewrite triggers
+    once [compact_threshold] (default 512) dead records accumulate. *)
+
+val append : t -> record -> unit
+(** Thread-safe; buffered by the OS until {!sync}. *)
+
+val sync : t -> unit
+(** fsync if there are unsynced appends (and [fsync] was not disabled). *)
+
+val close : t -> unit
+val path : t -> string
+
+val file_records : t -> int
+(** Records currently in the file (resets at each rewrite). *)
+
+val file_bytes : t -> int
+
+val live : t -> int
+(** Size of the live set a rewrite would retain — the O(live
+    transactions) bound the acceptance criterion measures. *)
+
+val checkpoint_upto : t -> string -> int option
+(** The latest checkpointed horizon for an object, if any. *)
