@@ -257,6 +257,57 @@ let test_obs_overhead =
              off_driver ()));
     ]
 
+(* Live-exposition cost, both sides of the introspection server:
+
+   - the *hot path*: the per-commit instrumentation a serve process
+     pays on every transaction — one stored-gauge incr/decr pair, one
+     counter add, one histogram observation — with the switch on vs off
+     (gauges are never gated, so "off" still pays the pair; that is the
+     floor the 5% obs budget in EXPERIMENTS.md is measured against);
+   - the *scrape path*: rendering the full Prometheus exposition and a
+     ["locks"] channel snapshot against a populated registry (a live
+     introspected object + manager, plus every instrument the groups
+     above registered).  Scrapes run on the server thread, not the
+     workload's, so this is latency a poll sees, not workload
+     overhead. *)
+let test_live_exposition =
+  let module QObj = Runtime.Atomic_obj.Make (Adt.Fifo_queue) in
+  let mgr = Runtime.Manager.create () in
+  let q =
+    QObj.create ~name:"bench/queue" ~conflict:Adt.Fifo_queue.conflict_hybrid
+      ~op_label:Adt.Fifo_queue.op_label ()
+  in
+  QObj.register_introspection q;
+  Runtime.Manager.register_introspection ~name:"bench/manager" mgr;
+  Runtime.Manager.run mgr (fun txn ->
+      ignore (QObj.invoke q txn (Adt.Fifo_queue.Enq 1)));
+  let g = Obs.Gauge.make "bench_live_inflight" in
+  let c = Obs.Metrics.counter "bench.live.commits" in
+  let h = Obs.Metrics.histogram "bench.live.latency" in
+  let hot_path () =
+    Obs.Gauge.incr g;
+    Obs.Metrics.incr c;
+    Obs.Metrics.observe h 1e-5;
+    Obs.Gauge.decr g
+  in
+  Test.make_grouped ~name:"live-exposition"
+    [
+      Test.make ~name:"registry-update-on"
+        (Staged.stage (fun () ->
+             Obs.Control.set_enabled true;
+             hot_path ()));
+      Test.make ~name:"registry-update-off"
+        (Staged.stage (fun () ->
+             Obs.Control.set_enabled false;
+             hot_path ()));
+      Test.make ~name:"metrics-render"
+        (Staged.stage (fun () ->
+             Obs.Control.set_enabled true;
+             ignore (Obs.Expose.render ())));
+      Test.make ~name:"locks-snapshot"
+        (Staged.stage (fun () -> ignore (Obs.Registry.snapshot "locks")));
+    ]
+
 (* Durability cost: one committed increment transaction through the
    full runtime (manager + atomic object) with no log, with a log whose
    fsync is disabled (append cost only), and with a fully synced log
@@ -334,6 +385,7 @@ let all_tests =
       test_det_sim;
       test_snapshot;
       test_obs_overhead;
+      test_live_exposition;
       test_wal_overhead;
       test_trace_analysis;
     ]

@@ -248,6 +248,199 @@ let crash_cmd quick seed dir domains txns think_us =
   List.iter (fun r -> Format.printf "%a@." Sim.Crash_exp.pp_run r) runs;
   if not (List.for_all Sim.Crash_exp.ok runs) then exit 1
 
+(* ------------------------------------------------------------------ *)
+(* serve: long-running workload with the introspection server attached *)
+
+let serve_cmd quick port duration period_ms seed wal_dir domains think_us inject =
+  Obs.Control.set_enabled true;
+  ignore (Obs.Control.install_sigusr2 ());
+  Obs.Metrics.annotate "run.seed" (string_of_int seed);
+  Obs.Metrics.annotate "run.mode" "serve";
+  let wal =
+    Option.map
+      (fun dir ->
+        ensure_dir dir;
+        let w = Wal.Log.create (Filename.concat dir "live.wal") in
+        Wal.Log.register_introspection w;
+        Obs.Metrics.annotate "run.wal" (Wal.Log.path w);
+        w)
+      wal_dir
+  in
+  let config =
+    if quick then { Sim.Live.default_config with domains = 2; think_us = 50.; seed }
+    else { Sim.Live.default_config with domains; think_us; seed }
+  in
+  let duration = if quick && duration = 0. then 10. else duration in
+  let live = Sim.Live.start ?wal config in
+  (* Audit several times per rotation so every epoch's replay audit runs
+     before the next rotation replaces it. *)
+  let sampler = Obs.Sampler.start ~period_ms:(max 50 (period_ms / 4)) () in
+  let routes =
+    ( "/waitfor",
+      fun _ ->
+        Obs.Server.respond_json
+          (Obs.Waitfor.to_json
+             (Obs.Waitfor.analyze (Obs.Trace.entries (Sim.Live.current_ring live)))) )
+    :: Obs.Server.default_routes ()
+  in
+  let server = Obs.Server.start ~port ~routes () in
+  Format.printf
+    "hcc: serving introspection on http://127.0.0.1:%d@.  endpoints: /metrics /locks \
+     /horizon /waitfor /health /control@.  workload: %d domains, think %.0fus, epoch \
+     rotation every %dms%s@.%!"
+    (Obs.Server.port server) config.Sim.Live.domains config.Sim.Live.think_us period_ms
+    (if duration > 0. then Printf.sprintf ", running %.0fs" duration else " (Ctrl-C to stop)");
+  let stop_requested = Atomic.make false in
+  (try
+     Sys.set_signal Sys.sigint
+       (Sys.Signal_handle (fun _ -> Atomic.set stop_requested true))
+   with Invalid_argument _ | Sys_error _ -> ());
+  let deadline = if duration > 0. then Some (Unix.gettimeofday () +. duration) else None in
+  let injected = ref false in
+  let finished () =
+    Atomic.get stop_requested
+    || match deadline with Some d -> Unix.gettimeofday () > d | None -> false
+  in
+  while not (finished ()) do
+    Unix.sleepf (float_of_int period_ms /. 1000.);
+    if inject && not !injected then begin
+      injected := Sim.Live.inject_violation live;
+      if !injected then Format.printf "hcc: injected a forged double-dequeue into the live trace@.%!"
+    end;
+    Sim.Live.rotate live
+  done;
+  Sim.Live.stop live;
+  (* Drain the epoch pipeline: each rotation promotes one retired epoch
+     to auditable, and the audit must run before the next rotation
+     replaces it. *)
+  Sim.Live.rotate live;
+  ignore (Obs.Sampler.run_once ());
+  Sim.Live.rotate live;
+  ignore (Obs.Sampler.run_once ());
+  Obs.Sampler.stop sampler;
+  Obs.Server.stop server;
+  Option.iter Wal.Log.close wal;
+  let stats = Runtime.Manager.stats (Sim.Live.manager live) in
+  Format.printf
+    "hcc: served %d epochs; %d committed, %d aborted attempts, %d give-ups@."
+    (Sim.Live.epochs live) stats.Runtime.Manager.committed
+    stats.Runtime.Manager.aborted (Sim.Live.give_ups live);
+  if Obs.Sampler.healthy () then Format.printf "audit: clean (0 violations)@."
+  else begin
+    Format.eprintf "audit: %d violation(s); last: %s@." (Obs.Sampler.violations ())
+      (Option.value ~default:"unknown" (Obs.Sampler.last_error ()));
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* top: terminal dashboard polling a serve process                     *)
+
+let get_ok ~port path =
+  match Obs.Server.http_get ~port path with
+  | Ok (200, body) -> body
+  | Ok (status, _) ->
+    Format.eprintf "hcc top: GET %s returned %d@." path status;
+    exit 1
+  | Error e ->
+    Format.eprintf "hcc top: GET %s failed: %s@." path e;
+    exit 1
+
+let parse_or_die what = function
+  | Ok v -> v
+  | Error e ->
+    Format.eprintf "hcc top: cannot parse %s: %s@." what e;
+    exit 1
+
+let metric series name = Option.value ~default:0. (Obs.Expose.find name series)
+
+let top_tick ~port ~prev_commits ~dt =
+  let series = parse_or_die "/metrics" (Obs.Expose.parse (get_ok ~port "/metrics")) in
+  let horizon = parse_or_die "/horizon" (Obs.Json.parse (get_ok ~port "/horizon")) in
+  let locks = parse_or_die "/locks" (Obs.Json.parse (get_ok ~port "/locks")) in
+  let health_status, health_body =
+    match Obs.Server.http_get ~port "/health" with
+    | Ok (status, body) -> (status, String.trim body)
+    | Error e ->
+      Format.eprintf "hcc top: GET /health failed: %s@." e;
+      exit 1
+  in
+  let commits = metric series "hcc_txn_commits_total" in
+  let rate =
+    match prev_commits with
+    | Some prev when dt > 0. -> (commits -. prev) /. dt
+    | _ -> 0.
+  in
+  Format.printf "hcc top — 127.0.0.1:%d   health: %s@." port
+    (if health_status = 200 then "ok" else "DEGRADED (" ^ health_body ^ ")");
+  Format.printf
+    "txn/s %8.0f   commits %8.0f   aborts %6.0f   retries %6.0f   waiting %3.0f@." rate
+    commits
+    (metric series "hcc_txn_aborts_total")
+    (metric series "hcc_retry_retries_total")
+    (metric series "hcc_retry_waiting");
+  Format.printf
+    "audit: passes %.0f   violations %.0f   cycles %.0f   windows lost %.0f@."
+    (metric series "hcc_audit_passes_total")
+    (metric series "hcc_audit_violations_total")
+    (metric series "hcc_audit_cycles_total")
+    (metric series "hcc_audit_window_lost_total");
+  let int_member name j = Option.bind (Obs.Json.member name j) Obs.Json.to_int in
+  (match Obs.Json.to_list horizon with
+  | Some rows when rows <> [] ->
+    Format.printf "horizon:@.";
+    List.iter
+      (fun row ->
+        match Option.bind (Obs.Json.member "object" row) Obs.Json.to_str with
+        | None -> ()
+        | Some name ->
+          let field n =
+            match int_member n row with Some v -> string_of_int v | None -> "-"
+          in
+          if int_member "clock_lag" row <> None then
+            Format.printf "  %-16s horizon %-6s clock %-6s lag %-4s remembered %-4s live_ops %s@."
+              name (field "horizon") (field "clock") (field "clock_lag")
+              (field "remembered") (field "live_ops")
+          else
+            Format.printf "  %-16s clock %-6s stable %-6s inflight %s@." name
+              (field "clock") (field "stable_time") (field "inflight"))
+      rows
+  | _ -> ());
+  (match Obs.Json.to_list locks with
+  | Some rows when rows <> [] ->
+    Format.printf "locks:@.";
+    List.iter
+      (fun row ->
+        match Option.bind (Obs.Json.member "object" row) Obs.Json.to_str with
+        | None -> ()
+        | Some name ->
+          let active =
+            match Option.bind (Obs.Json.member "active" row) Obs.Json.to_list with
+            | Some l -> List.length l
+            | None -> 0
+          in
+          let field n =
+            match int_member n row with Some v -> string_of_int v | None -> "-"
+          in
+          Format.printf "  %-16s active %-4d conflicts %-6s blocked %s@." name active
+            (field "conflicts") (field "blocked"))
+      rows
+  | _ -> ());
+  Format.printf "%!";
+  commits
+
+let top_cmd port interval iterations =
+  let interactive = iterations <> 1 && Unix.isatty Unix.stdout in
+  let prev = ref None in
+  let i = ref 0 in
+  let continue () = iterations <= 0 || !i < iterations in
+  while continue () do
+    if !i > 0 then Unix.sleepf interval;
+    if interactive then print_string "\027[2J\027[H";
+    let dt = if !i = 0 then 0. else interval in
+    prev := Some (top_tick ~port ~prev_commits:!prev ~dt);
+    incr i
+  done
+
 let history_cmd () =
   let module Q = Adt.Fifo_queue in
   let module L = Hybrid.Lock_machine.Make (Q) in
@@ -440,12 +633,90 @@ let crash_t =
       const crash_cmd $ quick_arg $ seed_arg $ crash_dir_arg $ domains_arg $ txns_arg
       $ think_arg)
 
+let port_arg default =
+  Arg.(
+    value & opt int default
+    & info [ "port" ] ~docv:"PORT" ~doc:"Introspection server TCP port (0 = ephemeral).")
+
+let duration_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "duration" ] ~docv:"SECONDS"
+        ~doc:
+          "Stop after this many seconds (0 = run until Ctrl-C; $(b,--quick) defaults \
+           to 10s).")
+
+let period_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "period-ms" ] ~docv:"MS"
+        ~doc:
+          "Epoch rotation period: how often the workload's objects are retired to the \
+           online auditor.  The audit sampler ticks at a quarter of this.")
+
+let inject_arg =
+  Arg.(
+    value & flag
+    & info [ "inject-violation" ]
+        ~doc:
+          "Forge a double-dequeue in the live trace once the workload has committed a \
+           dequeue.  The online auditor must flag it: the violations counter rises, \
+           /health degrades, and the process exits non-zero — the smoke test that the \
+           auditor is actually watching.")
+
+let serve_t =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a continuous mixed workload (FIFO queue, SemiQueue, Account under the \
+          hybrid relations) with the live-introspection HTTP server attached: \
+          Prometheus /metrics, JSON /locks /horizon /waitfor, /health, /control.  An \
+          always-on sampler replay-checks each retired workload epoch and audits the \
+          wait-for graph; any violation degrades /health and fails the exit code.")
+    Term.(
+      const serve_cmd $ quick_arg $ port_arg 9090 $ duration_arg $ period_arg $ seed_arg
+      $ wal_arg $ domains_arg $ think_arg $ inject_arg)
+
+let interval_arg =
+  Arg.(
+    value & opt float 1.
+    & info [ "interval" ] ~docv:"SECONDS" ~doc:"Seconds between refreshes.")
+
+let iterations_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "iterations" ] ~docv:"N"
+        ~doc:
+          "Stop after N refreshes (0 = run until interrupted).  $(b,--iterations 1) \
+           prints one snapshot without clearing the screen — usable as a scrape/parse \
+           check in CI.")
+
+let top_t =
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Terminal dashboard for a running $(b,serve) process: polls /metrics, /locks, \
+          /horizon and /health over HTTP, parses its own exposition format, and shows \
+          throughput, audit verdicts, per-object horizon lag and lock tables.  Exits \
+          non-zero if an endpoint is unreachable or fails to parse.")
+    Term.(const top_cmd $ port_arg 9090 $ interval_arg $ iterations_arg)
+
 let main =
   Cmd.group
     (Cmd.info "hybrid-cc" ~version:"1.0.0"
        ~doc:
          "Reproduction of Herlihy & Weihl, \"Hybrid Concurrency Control for Abstract \
           Data Types\" (1988)")
-    [ figures_t; experiments_t; trace_t; history_t; derive_t; recover_t; crash_t ]
+    [
+      figures_t;
+      experiments_t;
+      trace_t;
+      history_t;
+      derive_t;
+      recover_t;
+      crash_t;
+      serve_t;
+      top_t;
+    ]
 
 let () = exit (Cmd.eval main)

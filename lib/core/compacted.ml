@@ -232,6 +232,7 @@ module Make (A : Spec.Adt_sig.S) = struct
              else ss)
            t.version t.remembered)
 
+  let clock t = t.clock
   let version_states t = t.version
   let forgotten t = t.forgotten
   let remembered t = List.length t.remembered
@@ -239,6 +240,10 @@ module Make (A : Spec.Adt_sig.S) = struct
   let live_ops t =
     List.fold_left (fun acc (_, _, ops) -> acc + List.length ops) 0 t.remembered
     + Tmap.fold (fun _ ops acc -> acc + List.length ops) t.intentions 0
+
+  let active t =
+    Tmap.fold (fun q ops acc -> (q, List.length ops) :: acc) t.intentions []
+    |> List.rev
 
   type summary = {
     s_folded_upto : Xts.t;

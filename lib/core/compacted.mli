@@ -75,10 +75,24 @@ module Make (A : Spec.Adt_sig.S) : sig
       horizon). *)
 
   val horizon : t -> Xts.t
+
+  val clock : t -> Xts.t
+  (** The largest commit timestamp this object has seen.  The distance
+      from {!folded_upto} up to here is the object's {e compaction
+      debt}: commits the horizon has not yet allowed it to fold
+      (Theorem 24 says the gap is transient — it closes as soon as the
+      bounding active transactions complete). *)
+
   val live_ops : t -> int
   (** Total operations currently retained (committed-but-remembered plus
       active intentions) — the measure of the memory the compaction
       saves. *)
+
+  val active : t -> (Model.Txn.t * int) list
+  (** Active transactions (intentions recorded, neither committed nor
+      aborted) with the length of each one's intentions list, ascending
+      by transaction id — the lock-table rows the introspection server's
+      [/locks] endpoint reports. *)
 
   type summary = {
     s_folded_upto : Xts.t;

@@ -1,3 +1,15 @@
 let flag = Atomic.make true
 let enabled () = Atomic.get flag
 let set_enabled b = Atomic.set flag b
+
+let toggle () =
+  (* A racing toggle may double-flip; the switch is operator-facing, so
+     last-write-wins is the semantics we want anyway. *)
+  let now = not (Atomic.get flag) in
+  Atomic.set flag now;
+  now
+
+let install_sigusr2 () =
+  match Sys.signal Sys.sigusr2 (Sys.Signal_handle (fun _ -> ignore (toggle ()))) with
+  | _prev -> true
+  | exception (Invalid_argument _ | Sys_error _) -> false

@@ -7,9 +7,24 @@
     group measures the difference) — and benchmarks flip it off to
     measure the no-op-registry baseline.
 
+    The switch is {e runtime-toggleable}: the introspection server's
+    [/control] endpoint calls {!set_enabled} on a live process, and
+    {!install_sigusr2} wires the conventional signal so an operator can
+    flip tracing on a running server with [kill -USR2] — no restart.
+    Gauges ({!Gauge}) and audit verdict counters
+    ({!Metrics.add_always}) deliberately bypass the switch: levels must
+    not be corrupted and violations must not be hidden by a toggle.
+
     Explicitly attached trace sinks (see {!Trace} and
     [Runtime.Atomic_obj.create ~trace]) bypass the flag: a caller that
     wired a sink asked for the events. *)
 
 val enabled : unit -> bool
 val set_enabled : bool -> unit
+
+val toggle : unit -> bool
+(** Flip the switch; returns the new state. *)
+
+val install_sigusr2 : unit -> bool
+(** Install a SIGUSR2 handler that calls {!toggle}.  [false] when the
+    platform does not support the signal. *)

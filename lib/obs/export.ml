@@ -1,23 +1,9 @@
 (* Chrome trace_event JSON-array output.  Events are buffered as
    strings and written in one pass; the format does not require any
-   particular event order. *)
+   particular event order.  String escaping goes through {!Json.escape}
+   — the one escaping discipline every exporter shares. *)
 
-let json_string s =
-  let b = Buffer.create (String.length s + 2) in
-  Buffer.add_char b '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | '\r' -> Buffer.add_string b "\\r"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.add_char b '"';
-  Buffer.contents b
+let json_string = Json.escape
 
 let obj_pid = 1
 let txn_pid = 2
@@ -120,6 +106,20 @@ let chrome_trace ppf (entries : Trace.entry list) =
           ~name:(Printf.sprintf "forgotten=%d" n)
           e.time)
     entries;
+  (* Run annotations (the workload seed, configuration) ride along as a
+     metadata event, so a saved timeline records which run produced it. *)
+  (match Metrics.annotations () with
+  | [] -> ()
+  | notes ->
+    push
+      (Json.to_string
+         (Json.Obj
+            [
+              ("name", Json.String "run_info");
+              ("ph", Json.String "M");
+              ("pid", Json.Int 0);
+              ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) notes));
+            ])));
   (* name the tracks *)
   push
     (Printf.sprintf

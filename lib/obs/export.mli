@@ -17,7 +17,11 @@
     window's first event, in microseconds as the format requires.
     Labels come from the {!Attrib} registry, so export works on any
     window whose emitting objects registered their codes
-    ([Runtime.Atomic_obj] always does).
+    ([Runtime.Atomic_obj] always does).  Run annotations
+    ({!Metrics.annotate} — notably the workload [--seed]) are embedded
+    as a [run_info] metadata event, so a saved timeline records the
+    exact run that produced it.  All string escaping goes through
+    {!Json.escape}.
 
     {!metrics_json} re-exports {!Metrics.dump_json}: one JSON object
     per line, for CI snapshot diffing alongside the timeline. *)

@@ -1,0 +1,216 @@
+let prefix = "hcc_"
+
+let sanitize_name name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+    name
+
+(* Label-value escaping per the text exposition format: backslash,
+   double quote and newline.  This is where interned operation labels
+   (e.g. [Deq/Val "x\n"]) must survive a round trip. *)
+let escape_label_value s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let add_labels b = function
+  | [] -> ()
+  | labels ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (sanitize_name k);
+        Buffer.add_string b "=\"";
+        Buffer.add_string b (escape_label_value v);
+        Buffer.add_char b '"')
+      labels;
+    Buffer.add_char b '}'
+
+let add_float b f =
+  if Float.is_nan f then Buffer.add_string b "NaN"
+  else if f = Float.infinity then Buffer.add_string b "+Inf"
+  else if f = Float.neg_infinity then Buffer.add_string b "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.0f" f)
+  else Buffer.add_string b (Printf.sprintf "%g" f)
+
+let add_sample b name labels v =
+  Buffer.add_string b name;
+  add_labels b labels;
+  Buffer.add_char b ' ';
+  add_float b v;
+  Buffer.add_char b '\n'
+
+let add_type b name kind =
+  Buffer.add_string b "# TYPE ";
+  Buffer.add_string b name;
+  Buffer.add_char b ' ';
+  Buffer.add_string b kind;
+  Buffer.add_char b '\n'
+
+let render () =
+  let b = Buffer.create 4096 in
+  (* Run annotations as an info-style gauge, the idiom for constant
+     run metadata (seed, configuration): one series whose labels carry
+     the values. *)
+  (match Metrics.annotations () with
+  | [] -> ()
+  | ann ->
+    let name = prefix ^ "run_info" in
+    add_type b name "gauge";
+    add_sample b name (List.map (fun (k, v) -> (sanitize_name k, v)) ann) 1.);
+  let gauges = ref [] and counters = ref [] and histograms = ref [] in
+  List.iter
+    (function
+      | Registry.Counter (n, v) -> counters := (n, v) :: !counters
+      | Registry.Gauge s -> gauges := s :: !gauges
+      | Registry.Histogram (n, h) -> histograms := (n, h) :: !histograms)
+    (Registry.instruments ());
+  List.iter
+    (fun (n, v) ->
+      let name = prefix ^ sanitize_name n ^ "_total" in
+      add_type b name "counter";
+      add_sample b name [] (float_of_int v))
+    (List.rev !counters);
+  (* Gauges sharing a name (different label sets) form one family:
+     one TYPE line, then every series.  NaN samples (a callback that
+     raised) are dropped rather than exported as NaN. *)
+  let rec gauge_families = function
+    | [] -> ()
+    | (s : Gauge.sample) :: _ as l ->
+      let name = prefix ^ sanitize_name s.Gauge.name in
+      let same, rest =
+        List.partition (fun (x : Gauge.sample) -> x.Gauge.name = s.Gauge.name) l
+      in
+      let live = List.filter (fun (x : Gauge.sample) -> not (Float.is_nan x.Gauge.value)) same in
+      if live <> [] then begin
+        add_type b name "gauge";
+        List.iter (fun (x : Gauge.sample) -> add_sample b name x.Gauge.labels x.Gauge.value) live
+      end;
+      gauge_families rest
+  in
+  gauge_families (List.rev !gauges);
+  List.iter
+    (fun (n, (h : Registry.histogram_snapshot)) ->
+      let name = prefix ^ sanitize_name n ^ "_seconds" in
+      add_type b name "histogram";
+      (* The exposition format wants cumulative bucket counts. *)
+      let cum = ref 0 in
+      List.iter
+        (fun (bound, c) ->
+          cum := !cum + c;
+          let le =
+            match bound with
+            | Some bd -> Printf.sprintf "%g" bd
+            | None -> "+Inf"
+          in
+          add_sample b (name ^ "_bucket") [ ("le", le) ] (float_of_int !cum))
+        h.Registry.h_buckets;
+      add_sample b (name ^ "_sum") [] h.Registry.h_sum;
+      add_sample b (name ^ "_count") [] (float_of_int h.Registry.h_count))
+    (List.rev !histograms);
+  Buffer.contents b
+
+(* ---- parser (for the [top] dashboard, tests and the CI smoke job) ---- *)
+
+type series = { s_name : string; s_labels : (string * string) list; s_value : float }
+
+let parse_labels s =
+  (* s is the text between '{' and '}' *)
+  let n = String.length s in
+  let rec go acc i =
+    if i >= n then List.rev acc
+    else
+      let eq = String.index_from s i '=' in
+      let key = String.sub s i (eq - i) in
+      if eq + 1 >= n || s.[eq + 1] <> '"' then failwith "expected '\"' after '='";
+      let b = Buffer.create 16 in
+      let rec value j =
+        if j >= n then failwith "unterminated label value"
+        else
+          match s.[j] with
+          | '\\' ->
+            if j + 1 >= n then failwith "unterminated escape";
+            (match s.[j + 1] with
+            | 'n' -> Buffer.add_char b '\n'
+            | c -> Buffer.add_char b c);
+            value (j + 2)
+          | '"' -> j + 1
+          | c ->
+            Buffer.add_char b c;
+            value (j + 1)
+      in
+      let after = value (eq + 2) in
+      let acc = (key, Buffer.contents b) :: acc in
+      if after < n && s.[after] = ',' then go acc (after + 1) else List.rev acc
+  in
+  go [] 0
+
+let parse_value = function
+  | "NaN" -> Float.nan
+  | "+Inf" -> Float.infinity
+  | "-Inf" -> Float.neg_infinity
+  | s -> float_of_string s
+
+let parse_series line =
+  (* name[{labels}] value — labels may contain spaces and braces inside
+     quoted values, so scan for the closing brace outside quotes. *)
+  match String.index_opt line '{' with
+  | None -> (
+    match String.index_opt line ' ' with
+    | None -> failwith ("no value on line: " ^ line)
+    | Some sp ->
+      {
+        s_name = String.sub line 0 sp;
+        s_labels = [];
+        s_value = parse_value (String.trim (String.sub line sp (String.length line - sp)));
+      })
+  | Some ob ->
+    let n = String.length line in
+    let rec close i in_quotes =
+      if i >= n then failwith "unterminated label set"
+      else
+        match line.[i] with
+        | '\\' when in_quotes -> close (i + 2) in_quotes
+        | '"' -> close (i + 1) (not in_quotes)
+        | '}' when not in_quotes -> i
+        | _ -> close (i + 1) in_quotes
+    in
+    let cb = close (ob + 1) false in
+    {
+      s_name = String.sub line 0 ob;
+      s_labels = parse_labels (String.sub line (ob + 1) (cb - ob - 1));
+      s_value = parse_value (String.trim (String.sub line (cb + 1) (n - cb - 1)));
+    }
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then go acc rest
+      else (
+        match parse_series line with
+        | s -> go (s :: acc) rest
+        | exception e ->
+          Error (Printf.sprintf "bad exposition line %S: %s" line (Printexc.to_string e)))
+  in
+  go [] lines
+
+let find ?(labels = []) name series =
+  List.find_opt
+    (fun s ->
+      s.s_name = name
+      && List.for_all (fun (k, v) -> List.assoc_opt k s.s_labels = Some v) labels)
+    series
+  |> Option.map (fun s -> s.s_value)

@@ -1,0 +1,37 @@
+(** Prometheus text-exposition (version 0.0.4) rendering of the
+    unified registry — the scrape surface of the introspection server.
+
+    Naming: every metric is prefixed [hcc_]; registry names are
+    sanitized (characters outside [[a-zA-Z0-9_:]] become [_]); counters
+    get the [_total] suffix ([obj.commits] → [hcc_obj_commits_total]),
+    histograms are exported in seconds as [_seconds_bucket] (cumulative
+    counts, [le] labels), [_seconds_sum] and [_seconds_count].  Gauges
+    keep their name and carry their label sets; gauges sharing a name
+    form one family under a single [# TYPE] line.  Run annotations
+    ({!Metrics.annotate} — the workload seed, configuration) are
+    exported as an info-style gauge [hcc_run_info{seed="42",...} 1].
+
+    Label values are escaped per the format (backslash, quote,
+    newline) — interned operation labels pass through verbatim
+    otherwise, so a label can be ["Deq/Val 1"].
+
+    {!parse} is the matching reader, used by the [top] dashboard, the
+    tests and the CI smoke job to assert the exposition parses — we
+    consume our own format rather than shipping it on faith. *)
+
+val render : unit -> string
+(** The full exposition document for the current registry contents.
+    Gauge callbacks are evaluated during the call; a callback that
+    raises contributes no sample. *)
+
+val sanitize_name : string -> string
+val escape_label_value : string -> string
+
+type series = { s_name : string; s_labels : (string * string) list; s_value : float }
+
+val parse : string -> (series list, string) result
+(** Parse an exposition document: every non-comment line becomes a
+    series.  [Error] describes the first malformed line. *)
+
+val find : ?labels:(string * string) list -> string -> series list -> float option
+(** First series with this name whose labels include all of [labels]. *)

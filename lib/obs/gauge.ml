@@ -1,0 +1,81 @@
+(* Same sharding story as Metrics: a fixed power-of-two array of cells
+   indexed by domain id, so concurrent updates from different domains
+   touch different atomics. *)
+let shards = 64
+
+let shard () = (Domain.self () :> int) land (shards - 1)
+
+type key = string * (string * string) list
+
+type t = { g_name : string; g_labels : (string * string) list; cells : int Atomic.t array }
+
+type sample = { name : string; labels : (string * string) list; value : float }
+
+let registry : (key, t) Hashtbl.t = Hashtbl.create 32
+let callbacks : (key, unit -> float) Hashtbl.t = Hashtbl.create 32
+let mutex = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let norm_labels labels = List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+let make ?(labels = []) name =
+  let labels = norm_labels labels in
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry (name, labels) with
+      | Some g -> g
+      | None ->
+        let g =
+          { g_name = name; g_labels = labels; cells = Array.init shards (fun _ -> Atomic.make 0) }
+        in
+        Hashtbl.replace registry (name, labels) g;
+        g)
+
+(* Updates are not gated on Control.enabled: a gauge tracks current
+   state (waiting transactions, live bytes), and skipping half of an
+   incr/decr pair while the switch flips would corrupt it forever. *)
+let add g n = ignore (Atomic.fetch_and_add g.cells.(shard ()) n)
+let incr g = add g 1
+let decr g = add g (-1)
+
+(* Set-style use: collapse the distributed value onto cell 0.  Callers
+   pick one style per gauge; [set] is for single-writer gauges where
+   sharding buys nothing (e.g. a sampled statistic). *)
+let set g v =
+  Array.iteri (fun i c -> if i > 0 then Atomic.set c 0) g.cells;
+  Atomic.set g.cells.(0) v
+
+let value g = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 g.cells
+
+let callback ?(labels = []) name f =
+  let labels = norm_labels labels in
+  with_registry (fun () -> Hashtbl.replace callbacks (name, labels) f)
+
+let remove_callback ?(labels = []) name =
+  let labels = norm_labels labels in
+  with_registry (fun () -> Hashtbl.remove callbacks (name, labels))
+
+let samples () =
+  let stored =
+    with_registry (fun () ->
+        Hashtbl.fold (fun _ g acc -> (g.g_name, g.g_labels, `Stored g) :: acc) registry []
+        |> Hashtbl.fold (fun (n, l) f acc -> (n, l, `Callback f) :: acc) callbacks)
+  in
+  List.map
+    (fun (name, labels, src) ->
+      let value =
+        match src with
+        | `Stored g -> float_of_int (value g)
+        | `Callback f -> ( try f () with _ -> Float.nan)
+      in
+      { name; labels; value })
+    stored
+  |> List.sort (fun a b ->
+         match String.compare a.name b.name with 0 -> compare a.labels b.labels | c -> c)
+
+let reset () =
+  with_registry (fun () ->
+      Hashtbl.reset callbacks;
+      Hashtbl.iter (fun _ g -> Array.iter (fun c -> Atomic.set c 0) g.cells) registry)

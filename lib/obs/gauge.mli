@@ -1,0 +1,55 @@
+(** Process-wide gauges: instantaneous values alongside {!Metrics}'s
+    monotone counters and histograms.
+
+    Two kinds share one namespace of [(name, labels)] pairs:
+
+    - {e stored} gauges ({!make}) are integer-valued and sharded per
+      domain exactly like {!Metrics} counters, so {!add}/{!incr}/{!decr}
+      on the hot path is one uncontended [fetch_and_add].  Use these for
+      level-style quantities maintained by many domains (transactions
+      currently waiting, bytes live).
+    - {e callback} gauges ({!callback}) are evaluated at read time.  Use
+      these to expose state that already lives elsewhere under its own
+      lock (an object's live-operation count, a log's file size);
+      registering again under the same [(name, labels)] replaces the
+      previous callback, so a long-lived process that recreates its
+      objects keeps a bounded gauge set.
+
+    Unlike counters, gauge updates are {e not} gated on
+    {!Control.enabled}: skipping half of an incr/decr pair while the
+    switch flips would corrupt the level permanently, and the cost is a
+    single sharded add.
+
+    Labels are sorted at registration; label {e values} are arbitrary
+    strings (operation labels with quotes and newlines included) —
+    escaping is the exposition layer's job ({!Expose}). *)
+
+type t
+
+type sample = { name : string; labels : (string * string) list; value : float }
+
+val make : ?labels:(string * string) list -> string -> t
+(** Find or create the stored gauge with this name and label set. *)
+
+val add : t -> int -> unit
+val incr : t -> unit
+val decr : t -> unit
+
+val set : t -> int -> unit
+(** Overwrite the gauge's value.  Single-writer use only (it collapses
+    the shards); do not mix with {!add} from other domains. *)
+
+val value : t -> int
+
+val callback : ?labels:(string * string) list -> string -> (unit -> float) -> unit
+(** Register (or replace) a read-time gauge.  The callback runs outside
+    the gauge registry lock, so it may take its own locks; an exception
+    makes the sample NaN (rendered as absent by {!Expose}). *)
+
+val remove_callback : ?labels:(string * string) list -> string -> unit
+
+val samples : unit -> sample list
+(** Every gauge evaluated now, sorted by name then labels. *)
+
+val reset : unit -> unit
+(** Zero stored gauges and drop all callbacks (tests). *)

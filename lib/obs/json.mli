@@ -1,0 +1,51 @@
+(** The one JSON writer (and a small reader) every exporter shares.
+
+    Before this module, the observability layer had two independent JSON
+    emitters: {!Export}'s hand-rolled string escaper for Chrome
+    timelines, and {!Metrics}'s [%S]-based line JSON — the latter
+    actually emitted OCaml string syntax (decimal [\ddd] escapes), which
+    is not valid JSON for control or non-ASCII bytes.  Everything now
+    funnels through {!escape}/{!write}, so every artifact the system
+    produces (timelines, metric snapshots, introspection endpoints) uses
+    one escaping discipline.
+
+    The reader ({!parse}) exists for the consumers we ship ourselves —
+    the [top] dashboard polling the introspection server, and tests
+    round-tripping exporter output — so the toolchain needs no external
+    JSON dependency.  It accepts standard JSON with two liberties:
+    [\u] surrogate pairs are not recombined, and numbers are read as
+    [Int] when exact. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** The JSON string literal for [s], including the surrounding quotes:
+    quote, backslash, control characters and the common whitespace
+    escapes are encoded per RFC 8259.  This is the escaping primitive
+    the other exporters splice into hand-built documents. *)
+
+val write : Buffer.t -> t -> unit
+(** Compact (no whitespace) serialization.  Non-finite floats become
+    [null] — JSON has no literal for them. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON document; trailing bytes are an error. *)
+
+(** Accessors used by the dashboard and tests; each returns [None] on a
+    shape mismatch. *)
+
+val member : string -> t -> t option
+val to_int : t -> int option
+val to_float : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option

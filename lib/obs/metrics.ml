@@ -38,6 +38,10 @@ let counter name =
 
 let add c n = if Control.enabled () then ignore (Atomic.fetch_and_add c.cells.(shard ()) n)
 let incr c = add c 1
+
+(* For audit verdicts: a violation must surface in the scrape even if
+   the operator toggled the fast-path switch off mid-run. *)
+let add_always c n = ignore (Atomic.fetch_and_add c.cells.(shard ()) n)
 let value c = Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c.cells
 
 let default_bounds =
@@ -126,6 +130,10 @@ let counters () =
   List.filter_map (function Counter c -> Some (c.cname, value c) | Histogram _ -> None)
     (instruments ())
 
+let histograms () =
+  List.filter_map (function Histogram h -> Some (h.hname, h) | Counter _ -> None)
+    (instruments ())
+
 (* Run annotations (seed, configuration): tiny and write-rare, so the
    registry mutex is fine. *)
 let annotation_store : (string, string) Hashtbl.t = Hashtbl.create 8
@@ -162,28 +170,52 @@ let dump ppf () =
 
 (* One JSON object per line so CI can diff snapshots with line tools;
    keys are emitted in a fixed order and instruments are sorted by name,
-   making the output deterministic up to the measured values. *)
+   making the output deterministic up to the measured values.  All
+   strings go through the shared Json writer (PR-2's %S-based emitter
+   produced OCaml escapes, which are not JSON for control bytes). *)
 let dump_json ppf () =
+  let line j = Format.fprintf ppf "%s@." (Json.to_string j) in
   List.iter
-    (fun (k, v) -> Format.fprintf ppf {|{"type":"annotation","name":%S,"value":%S}@.|} k v)
+    (fun (k, v) ->
+      line
+        (Json.Obj
+           [
+             ("type", Json.String "annotation");
+             ("name", Json.String k);
+             ("value", Json.String v);
+           ]))
     (annotations ());
   List.iter
     (function
       | Counter c ->
-        Format.fprintf ppf {|{"type":"counter","name":%S,"value":%d}@.|} c.cname
-          (value c)
+        line
+          (Json.Obj
+             [
+               ("type", Json.String "counter");
+               ("name", Json.String c.cname);
+               ("value", Json.Int (value c));
+             ])
       | Histogram h ->
-        let pp_bucket ppf (bound, c) =
-          match bound with
-          | Some b -> Format.fprintf ppf {|{"le":%g,"count":%d}|} b c
-          | None -> Format.fprintf ppf {|{"le":"inf","count":%d}|} c
+        let bucket (bound, c) =
+          Json.Obj
+            [
+              ( "le",
+                match bound with Some b -> Json.Float b | None -> Json.String "inf" );
+              ("count", Json.Int c);
+            ]
         in
-        Format.fprintf ppf
-          {|{"type":"histogram","name":%S,"count":%d,"sum":%g,"p50":%g,"p95":%g,"p99":%g,"buckets":[%a]}@.|}
-          h.hname (count h) (sum h) (quantile h 0.50) (quantile h 0.95)
-          (quantile h 0.99)
-          (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',') pp_bucket)
-          (buckets h))
+        line
+          (Json.Obj
+             [
+               ("type", Json.String "histogram");
+               ("name", Json.String h.hname);
+               ("count", Json.Int (count h));
+               ("sum", Json.Float (sum h));
+               ("p50", Json.Float (quantile h 0.50));
+               ("p95", Json.Float (quantile h 0.95));
+               ("p99", Json.Float (quantile h 0.99));
+               ("buckets", Json.List (List.map bucket (buckets h)));
+             ]))
     (instruments ())
 
 let reset () =

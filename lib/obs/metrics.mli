@@ -28,6 +28,12 @@ val counter : string -> counter
 
 val incr : counter -> unit
 val add : counter -> int -> unit
+
+val add_always : counter -> int -> unit
+(** Like {!add} but not gated on {!Control.enabled}.  For audit
+    verdicts ([audit.violations] and friends): a violation must reach
+    the scrape even if the operator toggled the fast-path switch off. *)
+
 val value : counter -> int
 
 val histogram : ?bounds:float array -> string -> histogram
@@ -55,6 +61,10 @@ val quantile : histogram -> float -> float
 
 val counters : unit -> (string * int) list
 (** Every registered counter with its merged value, sorted by name. *)
+
+val histograms : unit -> (string * histogram) list
+(** Every registered histogram, sorted by name — the enumeration
+    {!Registry} and {!Expose} render from. *)
 
 val annotate : string -> string -> unit
 (** Attach a run annotation (e.g. the workload seed) to the registry:

@@ -1,0 +1,88 @@
+type histogram_snapshot = {
+  h_buckets : (float option * int) list;
+  h_count : int;
+  h_sum : float;
+  h_p50 : float;
+  h_p95 : float;
+  h_p99 : float;
+}
+
+type instrument =
+  | Counter of string * int
+  | Gauge of Gauge.sample
+  | Histogram of string * histogram_snapshot
+
+let instruments () =
+  let counters = List.map (fun (n, v) -> Counter (n, v)) (Metrics.counters ()) in
+  let histograms =
+    List.map
+      (fun (n, h) ->
+        Histogram
+          ( n,
+            {
+              h_buckets = Metrics.buckets h;
+              h_count = Metrics.count h;
+              h_sum = Metrics.sum h;
+              h_p50 = Metrics.quantile h 0.50;
+              h_p95 = Metrics.quantile h 0.95;
+              h_p99 = Metrics.quantile h 0.99;
+            } ))
+      (Metrics.histograms ())
+  in
+  let gauges = List.map (fun s -> Gauge s) (Gauge.samples ()) in
+  counters @ gauges @ histograms
+
+(* ---- snapshot channels ---- *)
+
+(* Channel providers are replace-on-name: a long-lived server whose
+   workload recreates objects under stable names keeps a bounded
+   provider set, while ad-hoc runs (unique names) simply accumulate for
+   the process lifetime. *)
+let channels : (string, (string, unit -> Json.t) Hashtbl.t) Hashtbl.t = Hashtbl.create 8
+let mutex = Mutex.create ()
+
+let with_channels f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let register_snapshot ~channel ~name f =
+  with_channels (fun () ->
+      let tbl =
+        match Hashtbl.find_opt channels channel with
+        | Some tbl -> tbl
+        | None ->
+          let tbl = Hashtbl.create 8 in
+          Hashtbl.replace channels channel tbl;
+          tbl
+      in
+      Hashtbl.replace tbl name f)
+
+let unregister_snapshot ~channel ~name =
+  with_channels (fun () ->
+      match Hashtbl.find_opt channels channel with
+      | Some tbl -> Hashtbl.remove tbl name
+      | None -> ())
+
+let snapshot channel =
+  let providers =
+    with_channels (fun () ->
+        match Hashtbl.find_opt channels channel with
+        | None -> []
+        | Some tbl -> Hashtbl.fold (fun name f acc -> (name, f) :: acc) tbl [])
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  (* Providers run outside the channel lock: they take their own locks
+     (object mutexes, the WAL mutex) and must not block registration. *)
+  Json.List
+    (List.map
+       (fun (name, f) ->
+         match f () with
+         | j -> j
+         | exception e ->
+           Json.Obj
+             [ ("name", Json.String name); ("error", Json.String (Printexc.to_string e)) ])
+       providers)
+
+let channel_names () =
+  with_channels (fun () -> Hashtbl.fold (fun name _ acc -> name :: acc) channels [])
+  |> List.sort String.compare

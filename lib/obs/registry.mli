@@ -1,0 +1,52 @@
+(** The unified instrument registry: one enumeration over everything
+    the process measures.
+
+    {!Metrics} owns counters and histograms (sharded, hot-path),
+    {!Gauge} owns gauges (stored and callback); this module joins them
+    into a single typed listing for renderers — {!Expose} turns it into
+    Prometheus text, {!Metrics.dump_json} remains the line-JSON view of
+    the counter/histogram half.
+
+    It also owns {e snapshot channels}: named JSON providers registered
+    by the subsystems that hold interesting state under their own locks.
+    The runtime registers each atomic object's lock table into the
+    ["locks"] channel and its compaction state into ["horizon"]; the
+    transaction manager registers its clock; the WAL registers its
+    live-set accounting.  The introspection server ({!Server}) serves a
+    channel as one JSON array — so [lib/obs] never needs to know the
+    runtime's types, and the runtime never needs to know HTTP.
+
+    Registration is replace-on-[(channel, name)]: a server whose
+    workload recreates objects under stable names keeps a bounded
+    provider set. *)
+
+type histogram_snapshot = {
+  h_buckets : (float option * int) list;  (** ascending; [None] = +inf *)
+  h_count : int;
+  h_sum : float;  (** seconds *)
+  h_p50 : float;
+  h_p95 : float;
+  h_p99 : float;
+}
+
+type instrument =
+  | Counter of string * int
+  | Gauge of Gauge.sample
+  | Histogram of string * histogram_snapshot
+
+val instruments : unit -> instrument list
+(** Counters, then gauges, then histograms, each sorted by name; gauge
+    callbacks are evaluated during the call. *)
+
+val register_snapshot : channel:string -> name:string -> (unit -> Json.t) -> unit
+(** The provider runs outside all registry locks and may take its own;
+    an exception is rendered as an [{"name", "error"}] object instead of
+    failing the whole snapshot. *)
+
+val unregister_snapshot : channel:string -> name:string -> unit
+
+val snapshot : string -> Json.t
+(** The channel's providers, each evaluated now, as a JSON array sorted
+    by provider name.  An unknown channel is the empty array. *)
+
+val channel_names : unit -> string list

@@ -1,0 +1,98 @@
+let c_passes = Metrics.counter "audit.passes"
+let c_violations = Metrics.counter "audit.violations"
+let c_cycles = Metrics.counter "audit.cycles"
+let c_window_lost = Metrics.counter "audit.window_lost"
+
+let audits : (string, unit -> (unit, string) result) Hashtbl.t = Hashtbl.create 16
+let audits_mu = Mutex.create ()
+
+let register_audit ~name f =
+  Mutex.protect audits_mu (fun () -> Hashtbl.replace audits name f)
+
+let unregister_audit ~name =
+  Mutex.protect audits_mu (fun () -> Hashtbl.remove audits name)
+
+let skip_window_lost () =
+  Metrics.add_always c_window_lost 1;
+  Ok ()
+
+let violation_count = Atomic.make 0
+let last_violation = Atomic.make None
+
+let violation name reason =
+  Atomic.incr violation_count;
+  Atomic.set last_violation (Some (Printf.sprintf "%s: %s" name reason));
+  Metrics.add_always c_violations 1
+
+let violations () = Atomic.get violation_count
+let healthy () = violations () = 0
+let last_error () = Atomic.get last_violation
+
+(* The closures run outside the table mutex: a replay check walks a
+   whole epoch window and may take milliseconds — registration must not
+   block behind it. *)
+let snapshot_audits () =
+  Mutex.protect audits_mu (fun () ->
+      Hashtbl.fold (fun name f acc -> (name, f) :: acc) audits []
+      |> List.sort (fun (a, _) (b, _) -> compare a b))
+
+let run_audits () =
+  List.fold_left
+    (fun bad (name, f) ->
+      match f () with
+      | Ok () ->
+        Metrics.add_always c_passes 1;
+        bad
+      | Error reason ->
+        violation name reason;
+        bad + 1
+      | exception exn ->
+        violation name (Printexc.to_string exn);
+        bad + 1)
+    0 (snapshot_audits ())
+
+let run_cycle_check ring =
+  let r = Waitfor.analyze (Trace.entries ring) in
+  let cycles = List.length r.Waitfor.cycles in
+  if cycles > 0 then begin
+    Metrics.add_always c_cycles cycles;
+    violation "waitfor"
+      (Format.asprintf "%d wait-for cycle(s): %a" cycles Waitfor.pp r)
+  end;
+  if cycles > 0 then 1 else 0
+
+let run_once ?(ring = Trace.global) () = run_audits () + run_cycle_check ring
+
+type t = {
+  thread : Thread.t;
+  stopping : bool Atomic.t;
+  tick_count : int Atomic.t;
+}
+
+let start ?(period_ms = 250) ?(ring = Trace.global) () =
+  let stopping = Atomic.make false in
+  let tick_count = Atomic.make 0 in
+  let period_s = float_of_int (max 1 period_ms) /. 1000. in
+  let last_cursor = ref (-1) in
+  let loop () =
+    while not (Atomic.get stopping) do
+      let bad = run_audits () in
+      let c = Trace.cursor ring in
+      let bad =
+        if c <> !last_cursor then begin
+          last_cursor := c;
+          bad + run_cycle_check ring
+        end
+        else bad
+      in
+      ignore bad;
+      Atomic.incr tick_count;
+      Thread.delay period_s
+    done
+  in
+  { thread = Thread.create loop (); stopping; tick_count }
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then Thread.join t.thread
+
+let ticks t = Atomic.get t.tick_count

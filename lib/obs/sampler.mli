@@ -1,0 +1,63 @@
+(** Always-on background auditor: the protocol checks that used to run
+    only at the end of an experiment ([Replay.check] atomicity, the
+    {!Waitfor} cycle check) run continuously against a live workload.
+
+    Subsystems register {e audit closures} — a closure owns everything
+    it needs (an object handle, its epoch's trace ring) and returns
+    [Ok ()] or [Error reason].  [Runtime.Atomic_obj.register_audit]
+    wires an object's replay check; [Sim.Live] re-registers per epoch
+    under stable names so the audit set stays bounded.  Registration is
+    replace-on-name.
+
+    Each tick ({!run_once}) the sampler runs every registered closure,
+    then — if the watched ring's cursor advanced since the previous
+    tick — runs {!Waitfor.analyze} over the ring's surviving window and
+    treats any wait-for cycle as a violation (wait-die is supposed to
+    make the wait-for graph acyclic; a cycle means the protocol broke).
+    Verdicts go to counters via {!Metrics.add_always}, so a mid-run
+    [Control] toggle cannot hide a violation:
+
+    - [audit.passes] — closures that returned [Ok]
+    - [audit.violations] — closures that returned [Error], plus cycles
+      (exported as [hcc_audit_violations_total])
+    - [audit.cycles] — wait-for cycles found
+    - [audit.window_lost] — audits skipped because their trace window
+      wrapped (a truncated window cannot be replay-checked soundly;
+      skipping is honest, silently passing is not)
+
+    {!healthy} is what the [/health] endpoint serves: [true] iff no
+    violation has ever been counted in this process. *)
+
+val register_audit : name:string -> (unit -> (unit, string) result) -> unit
+val unregister_audit : name:string -> unit
+
+val skip_window_lost : unit -> (unit, string) result
+(** For registrants whose window wrapped: counts [audit.window_lost]
+    and returns [Ok] — register [skip_window_lost] in place of the real
+    check to record the gap without a spurious verdict. *)
+
+val run_once : ?ring:Trace.t -> unit -> int
+(** One audit pass; returns the number of {e new} violations it found.
+    [ring] (default {!Trace.global}) is the window for the cycle
+    check. *)
+
+val violations : unit -> int
+(** Total violations counted since process start. *)
+
+val healthy : unit -> bool
+
+val last_error : unit -> string option
+(** The most recent violation's description, for [/health]'s body. *)
+
+type t
+
+val start : ?period_ms:int -> ?ring:Trace.t -> unit -> t
+(** Spawn the auditor thread; {!run_once} every [period_ms] (default
+    250) until {!stop}.  The cycle check is incremental: a tick where
+    the ring cursor did not move skips the window scan. *)
+
+val stop : t -> unit
+(** Signal and join the auditor thread.  Idempotent. *)
+
+val ticks : t -> int
+(** Completed audit passes — lets tests wait for "at least one tick". *)

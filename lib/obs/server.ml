@@ -1,0 +1,292 @@
+type request = { path : string; query : (string * string) list }
+
+type response = { status : int; content_type : string; body : string }
+
+let respond ?(status = 200) ?(content_type = "text/plain; charset=utf-8") body =
+  { status; content_type; body }
+
+let respond_json ?status j =
+  respond ?status ~content_type:"application/json" (Json.to_string j)
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 503 -> "Service Unavailable"
+  | 500 | _ -> "Internal Server Error"
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing                                                     *)
+
+let percent_decode s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+  in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '%' when !i + 2 < n -> (
+      match (hex s.[!i + 1], hex s.[!i + 2]) with
+      | Some h, Some l ->
+        Buffer.add_char b (Char.chr ((h * 16) + l));
+        i := !i + 2
+      | _ -> Buffer.add_char b '%')
+    | '+' -> Buffer.add_char b ' '
+    | c -> Buffer.add_char b c);
+    incr i
+  done;
+  Buffer.contents b
+
+let parse_query q =
+  String.split_on_char '&' q
+  |> List.filter_map (fun kv ->
+         if kv = "" then None
+         else
+           match String.index_opt kv '=' with
+           | None -> Some (percent_decode kv, "")
+           | Some i ->
+             Some
+               ( percent_decode (String.sub kv 0 i),
+                 percent_decode (String.sub kv (i + 1) (String.length kv - i - 1)) ))
+
+let parse_target target =
+  match String.index_opt target '?' with
+  | None -> { path = target; query = [] }
+  | Some i ->
+    {
+      path = String.sub target 0 i;
+      query = parse_query (String.sub target (i + 1) (String.length target - i - 1));
+    }
+
+(* First request line of "GET /path?query HTTP/1.x"; headers are read
+   and discarded (HTTP/1.0, no bodies on GET). *)
+let parse_request raw =
+  match String.index_opt raw '\n' with
+  | None -> Error "no request line"
+  | Some eol -> (
+    let line = String.trim (String.sub raw 0 eol) in
+    match String.split_on_char ' ' line with
+    | [ meth; target; _version ] when String.uppercase_ascii meth = "GET" ->
+      Ok (parse_target target)
+    | [ meth; _; _ ] -> Error (Printf.sprintf "method %s not supported" meth)
+    | _ -> Error "malformed request line")
+
+(* ------------------------------------------------------------------ *)
+(* Connection handling                                                 *)
+
+let max_request_bytes = 8192
+
+let read_request fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    if Buffer.length buf >= max_request_bytes then Buffer.contents buf
+    else
+      (* A GET request ends at the blank line after the headers. *)
+      let s = Buffer.contents buf in
+      let module S = String in
+      let done_ =
+        let rec find i =
+          if i + 1 >= S.length s then false
+          else if s.[i] = '\n' && (s.[i + 1] = '\n' || (s.[i + 1] = '\r' && i + 2 < S.length s && s.[i + 2] = '\n'))
+          then true
+          else find (i + 1)
+        in
+        S.length s > 0 && find 0
+      in
+      if done_ then s
+      else
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> Buffer.contents buf
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          ->
+          Buffer.contents buf
+  in
+  go ()
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let render_response { status; content_type; body } =
+  Printf.sprintf
+    "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status (status_text status) content_type (String.length body) body
+
+let handle routes fd =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0;
+  let resp =
+    match parse_request (read_request fd) with
+    | Error e -> respond ~status:400 (e ^ "\n")
+    | Ok req -> (
+      match List.assoc_opt req.path routes with
+      | None -> respond ~status:404 "not found\n"
+      | Some handler -> (
+        try handler req
+        with exn -> respond ~status:500 (Printexc.to_string exn ^ "\n")))
+  in
+  write_all fd (render_response resp)
+
+(* ------------------------------------------------------------------ *)
+(* Default routes                                                      *)
+
+let control_route req =
+  let enabled =
+    match
+      (List.assoc_opt "enabled" req.query, List.assoc_opt "toggle" req.query)
+    with
+    | Some "true", _ | Some "1", _ ->
+      Control.set_enabled true;
+      true
+    | Some "false", _ | Some "0", _ ->
+      Control.set_enabled false;
+      false
+    | Some _, _ | None, Some _ -> Control.toggle ()
+    | None, None -> Control.enabled ()
+  in
+  respond_json (Json.Obj [ ("enabled", Json.Bool enabled) ])
+
+let health_route _req =
+  if Sampler.healthy () then respond "ok\n"
+  else
+    let detail =
+      match Sampler.last_error () with Some e -> e | None -> "unknown"
+    in
+    respond ~status:503
+      (Printf.sprintf "degraded: %d audit violation(s); last: %s\n"
+         (Sampler.violations ()) detail)
+
+let default_routes ?(ring = Trace.global) () =
+  [
+    ("/metrics", fun _ ->
+        respond ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+          (Expose.render ()));
+    ("/locks", fun _ -> respond_json (Registry.snapshot "locks"));
+    ("/horizon", fun _ -> respond_json (Registry.snapshot "horizon"));
+    ("/waitfor", fun _ -> respond_json (Waitfor.to_json (Waitfor.analyze (Trace.entries ring))));
+    ("/health", health_route);
+    ("/control", control_route);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Server lifecycle                                                    *)
+
+type t = {
+  sock : Unix.file_descr;
+  srv_port : int;
+  thread : Thread.t;
+  stopping : bool Atomic.t;
+}
+
+let start ?(port = 0) ?routes () =
+  let routes = match routes with Some r -> r | None -> default_routes () in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+  (try Unix.bind sock addr
+   with e ->
+     Unix.close sock;
+     raise e);
+  Unix.listen sock 16;
+  let srv_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  let stopping = Atomic.make false in
+  let loop () =
+    while not (Atomic.get stopping) do
+      match Unix.accept sock with
+      | fd, _addr ->
+        (try handle routes fd with _ -> ());
+        (try Unix.close fd with _ -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ ->
+        (* The listen socket was closed under us: that is how {!stop}
+           breaks the accept. *)
+        Atomic.set stopping true
+      | exception _ -> Atomic.set stopping true
+    done
+  in
+  { sock; srv_port; thread = Thread.create loop (); stopping }
+
+let port t = t.srv_port
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with _ -> ());
+    (try Unix.close t.sock with _ -> ());
+    Thread.join t.thread
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Client                                                              *)
+
+let http_get ?(timeout_s = 5.0) ~port path =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with _ -> ())
+    (fun () ->
+      try
+        Unix.setsockopt_float sock Unix.SO_RCVTIMEO timeout_s;
+        Unix.setsockopt_float sock Unix.SO_SNDTIMEO timeout_s;
+        Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        write_all sock
+          (Printf.sprintf "GET %s HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n" path);
+        let buf = Buffer.create 4096 in
+        let chunk = Bytes.create 4096 in
+        let rec drain () =
+          match Unix.read sock chunk 0 (Bytes.length chunk) with
+          | 0 -> ()
+          | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            drain ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+        in
+        drain ();
+        let raw = Buffer.contents buf in
+        match String.index_opt raw '\n' with
+        | None -> Error "empty response"
+        | Some eol -> (
+          let line = String.trim (String.sub raw 0 eol) in
+          match String.split_on_char ' ' line with
+          | _http :: code :: _ -> (
+            match int_of_string_opt code with
+            | None -> Error ("bad status line: " ^ line)
+            | Some status -> (
+              (* Body starts after the first blank line. *)
+              let rec find i =
+                if i + 1 >= String.length raw then None
+                else if raw.[i] = '\n' && raw.[i + 1] = '\n' then Some (i + 2)
+                else if
+                  raw.[i] = '\n' && raw.[i + 1] = '\r'
+                  && i + 2 < String.length raw
+                  && raw.[i + 2] = '\n'
+                then Some (i + 3)
+                else find (i + 1)
+              in
+              match find 0 with
+              | None -> Ok (status, "")
+              | Some b -> Ok (status, String.sub raw b (String.length raw - b))))
+          | _ -> Error ("bad status line: " ^ line))
+      with
+      | Unix.Unix_error (e, fn, _) ->
+        Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+      | exn -> Error (Printexc.to_string exn))

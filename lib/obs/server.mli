@@ -1,0 +1,52 @@
+(** Minimal threaded HTTP/1.0 introspection server over [Unix] sockets
+    — no web-framework dependency, one connection per request, close
+    after responding.  It exists to serve {!Expose.render} and
+    {!Registry.snapshot} from a live process; it is {e not} a
+    general-purpose web server (no keep-alive, no request bodies, 8 KiB
+    request cap, 5 s socket timeouts).
+
+    {!default_routes} wires the standard endpoints:
+
+    - [/metrics] — Prometheus text exposition ({!Expose.render})
+    - [/locks] — JSON array, ["locks"] snapshot channel (per-object
+      lock tables)
+    - [/horizon] — JSON array, ["horizon"] channel (per-object horizon
+      and clock lag) plus the manager clocks
+    - [/waitfor] — {!Waitfor.analyze} of the watched ring, as JSON
+    - [/health] — [200 ok] while {!Sampler.healthy}, else [503] with
+      the violation count and last reason
+    - [/control] — observability switch: [GET /control] reports it,
+      [/control?enabled=true|false] sets it, [/control?toggle=1] flips
+      it; responds [{"enabled": bool}]
+
+    The accept loop runs on one {!Thread}; handlers run inline on it.
+    Handler exceptions become [500] responses rather than killing the
+    loop. *)
+
+type request = { path : string; query : (string * string) list }
+
+type response = { status : int; content_type : string; body : string }
+
+val respond : ?status:int -> ?content_type:string -> string -> response
+(** Defaults: [status 200], [content_type "text/plain; charset=utf-8"]. *)
+
+val respond_json : ?status:int -> Json.t -> response
+
+val default_routes : ?ring:Trace.t -> unit -> (string * (request -> response)) list
+(** [ring] (default {!Trace.global}) feeds [/waitfor]. *)
+
+type t
+
+val start : ?port:int -> ?routes:(string * (request -> response)) list -> unit -> t
+(** Bind [127.0.0.1:port] (default [0] — ephemeral, read it back with
+    {!port}), listen, and spawn the accept thread.  [routes] defaults to
+    {!default_routes}; an unknown path is [404]. *)
+
+val port : t -> int
+
+val stop : t -> unit
+(** Close the listen socket and join the accept thread.  Idempotent. *)
+
+val http_get : ?timeout_s:float -> port:int -> string -> (int * string, string) result
+(** Tiny matching client for the [top] dashboard and tests:
+    [GET path] against [127.0.0.1:port], returning status and body. *)

@@ -40,6 +40,10 @@ let emit t ~obj ~txn event =
 
 let dropped t = max 0 (Atomic.get t.cursor - Array.length t.slots)
 
+let cursor t = Atomic.get t.cursor
+
+let capacity t = Array.length t.slots
+
 let entries t =
   let c = Atomic.get t.cursor in
   let lo = max 0 (c - Array.length t.slots) in

@@ -69,6 +69,13 @@ val entries : t -> entry list
 val dropped : t -> int
 (** How many entries have been overwritten since creation/{!clear}. *)
 
+val cursor : t -> int
+(** Total entries ever emitted — the monotone write position.  An
+    incremental reader ({!Sampler}) compares cursors across polls to
+    decide whether anything new arrived. *)
+
+val capacity : t -> int
+
 val clear : t -> unit
 (** Reset to empty.  Not safe against concurrent writers; call when
     quiescent. *)

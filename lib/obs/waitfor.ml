@@ -191,3 +191,29 @@ let pp ppf r =
     Format.fprintf ppf "  deaths while waiting: %d, longest death chain: %s@."
       (List.length r.deaths)
       (String.concat " -> " (List.map (Printf.sprintf "T%d") r.longest_death_chain))
+
+let to_json r =
+  Json.Obj
+    [
+      ("entries", Json.Int r.entries);
+      ("refusals", Json.Int r.refusals);
+      ("edges", Json.Int r.edges);
+      ("max_width", Json.Int r.max_width);
+      ("acyclic", Json.Bool (ok r));
+      ( "cycles",
+        Json.List (List.map (fun loop -> Json.List (List.map (fun q -> Json.Int q) loop)) r.cycles)
+      );
+      ( "blocked_ns",
+        Json.List
+          (List.map
+             (fun (q, ns) -> Json.Obj [ ("txn", Json.Int q); ("ns", Json.Int ns) ])
+             r.blocked_ns) );
+      ( "deaths",
+        Json.List
+          (List.map
+             (fun (victim, holder) ->
+               Json.Obj [ ("victim", Json.Int victim); ("holder", Json.Int holder) ])
+             r.deaths) );
+      ( "longest_death_chain",
+        Json.List (List.map (fun q -> Json.Int q) r.longest_death_chain) );
+    ]

@@ -50,3 +50,8 @@ val ok : report -> bool
 (** No cycles. *)
 
 val pp : Format.formatter -> report -> unit
+
+val to_json : report -> Json.t
+(** The report as one JSON object (the [/waitfor] endpoint's body):
+    counts, [acyclic], cycles as transaction-id loops, per-transaction
+    blocked nanoseconds and the death-chain data. *)

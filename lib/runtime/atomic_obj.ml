@@ -95,6 +95,78 @@ module Make (A : Spec.Adt_sig.S) = struct
     Mutex.lock t.mutex;
     Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
+  (* ---- introspection (snapshot channels + gauges) ----
+
+     Providers and callback gauges are keyed by the object's name, so a
+     long-lived server that recreates objects under stable names keeps a
+     bounded provider set (both registries replace on key).  Opt-in via
+     an explicit {!register_introspection} call because short-lived
+     benchmark objects with generated names would otherwise accumulate
+     registrations for the life of the process. *)
+
+  let xts_json = function
+    | Hybrid.Xts.Fin ts -> Obs.Json.Int ts
+    | Hybrid.Xts.Neg_inf -> Obs.Json.Null
+
+  let locks_json t () =
+    with_lock t (fun () ->
+        let rows =
+          List.map
+            (fun (q, n) ->
+              Obs.Json.Obj
+                [ ("txn", Obs.Json.Int (Model.Txn.id q)); ("intentions", Obs.Json.Int n) ])
+            (C.active t.machine)
+        in
+        Obs.Json.Obj
+          [
+            ("object", Obs.Json.String t.name);
+            ("key", Obs.Json.Int t.key);
+            ("active", Obs.Json.List rows);
+            ("conflicts", Obs.Json.Int t.conflicts);
+            ("blocked", Obs.Json.Int t.blocked);
+          ])
+
+  let horizon_json t () =
+    with_lock t (fun () ->
+        let m = t.machine in
+        let s = C.summary m in
+        let lag =
+          match (C.clock m, s.C.s_folded_upto) with
+          | Hybrid.Xts.Fin c, Hybrid.Xts.Fin f -> Obs.Json.Int (c - f)
+          | Hybrid.Xts.Fin c, Hybrid.Xts.Neg_inf -> Obs.Json.Int c
+          | Hybrid.Xts.Neg_inf, _ -> Obs.Json.Int 0
+        in
+        Obs.Json.Obj
+          [
+            ("object", Obs.Json.String t.name);
+            ("key", Obs.Json.Int t.key);
+            ("horizon", xts_json (C.horizon m));
+            ("folded_upto", xts_json s.C.s_folded_upto);
+            ("clock", xts_json (C.clock m));
+            ("clock_lag", lag);
+            ("forgotten", Obs.Json.Int s.C.s_forgotten);
+            ("remembered", Obs.Json.Int s.C.s_remembered);
+            ("live_ops", Obs.Json.Int s.C.s_live_ops);
+          ])
+
+  let register_introspection t =
+    Obs.Registry.register_snapshot ~channel:"locks" ~name:t.name (locks_json t);
+    Obs.Registry.register_snapshot ~channel:"horizon" ~name:t.name (horizon_json t);
+    let labels = [ ("obj", t.name) ] in
+    Obs.Gauge.callback ~labels "obj_live_ops" (fun () ->
+        float_of_int (with_lock t (fun () -> C.live_ops t.machine)));
+    (* Remembered committed transactions = the Theorem 24 compaction
+       debt: commits the horizon has not yet let this object fold. *)
+    Obs.Gauge.callback ~labels "obj_compaction_debt" (fun () ->
+        float_of_int (with_lock t (fun () -> C.remembered t.machine)))
+
+  let unregister_introspection t =
+    Obs.Registry.unregister_snapshot ~channel:"locks" ~name:t.name;
+    Obs.Registry.unregister_snapshot ~channel:"horizon" ~name:t.name;
+    let labels = [ ("obj", t.name) ] in
+    Obs.Gauge.remove_callback ~labels "obj_live_ops";
+    Obs.Gauge.remove_callback ~labels "obj_compaction_debt"
+
   let push_event t e = if t.record then t.events <- e :: t.events
 
   (* ---- trace emission (all sites run under the object's mutex, so the
@@ -328,6 +400,18 @@ module Make (A : Spec.Adt_sig.S) = struct
           entries)
 
   let replay_check ?online t = R.check ?online (replayed_history t)
+
+  (* Online audit hook: the sampler re-runs the replay check against the
+     object's sink every tick.  A wrapped ring cannot be replay-checked
+     soundly (the truncated history would fail well-formedness
+     spuriously), so the closure reports the lost window instead of a
+     fake verdict. *)
+  let register_audit ?name t =
+    let audit_name = match name with Some n -> n | None -> "replay/" ^ t.name in
+    Obs.Sampler.register_audit ~name:audit_name (fun () ->
+        if Obs.Trace.dropped (sink t) > 0 then Obs.Sampler.skip_window_lost ()
+        else replay_check t);
+    audit_name
 
   (* ---- snapshot reads (see Snapshot) ---- *)
 

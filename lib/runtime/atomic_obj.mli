@@ -103,6 +103,29 @@ module Make (A : Spec.Adt_sig.S) : sig
       the timestamp-generation constraint, and hybrid atomicity of the
       traced run. *)
 
+  (** {1 Live introspection} *)
+
+  val register_introspection : t -> unit
+  (** Register this object with the process introspection registry:
+      a ["locks"] snapshot provider (active transactions and their
+      intentions-list depths, conflict/blocked counts), a ["horizon"]
+      provider (horizon, clock, folded-up-to timestamps, forgotten /
+      remembered / live-op counts), and callback gauges [obj_live_ops]
+      and [obj_compaction_debt] labelled by object name.  Keyed by name
+      — re-registering a recreated object under the same name replaces
+      the old providers, so a long-running server keeps a bounded set.
+      Opt-in: short-lived benchmark objects should not accumulate
+      registrations. *)
+
+  val unregister_introspection : t -> unit
+
+  val register_audit : ?name:string -> t -> string
+  (** Register {!replay_check} as an {!Obs.Sampler} audit closure under
+      [name] (default ["replay/<object name>"]); returns the name used.
+      If the object's trace ring has wrapped, the closure counts the
+      lost window ({!Obs.Sampler.skip_window_lost}) instead of reporting
+      a spurious verdict on a truncated history. *)
+
   (** {1 Snapshot reads} *)
 
   val snapshot_source : t -> Snapshot.source

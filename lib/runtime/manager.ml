@@ -138,3 +138,28 @@ let stats t =
     committed = Atomic.get t.commits;
     aborted = Atomic.get t.failures;
   }
+
+(* ---- live introspection ---- *)
+
+let clock_json ?(name = "manager") t () =
+  let inflight = with_inflight t (fun () -> List.length t.inflight) in
+  Obs.Json.Obj
+    [
+      ("object", Obs.Json.String name);
+      ("clock", Obs.Json.Int (current_time t));
+      ("stable_time", Obs.Json.Int (stable_time t));
+      ("inflight", Obs.Json.Int inflight);
+      ("attempts", Obs.Json.Int (Atomic.get t.attempts));
+      ("commits", Obs.Json.Int (Atomic.get t.commits));
+      ("aborts", Obs.Json.Int (Atomic.get t.failures));
+    ]
+
+let register_introspection ?(name = "manager") t =
+  Obs.Registry.register_snapshot ~channel:"horizon" ~name (clock_json ~name t);
+  let labels = [ ("mgr", name) ] in
+  Obs.Gauge.callback ~labels "txn_clock" (fun () -> float_of_int (current_time t));
+  (* Commits whose timestamp is drawn but whose events are still being
+     distributed: the gap between the clock and the stable watermark
+     snapshot readers wait behind. *)
+  Obs.Gauge.callback ~labels "txn_inflight" (fun () ->
+      float_of_int (with_inflight t (fun () -> List.length t.inflight)))

@@ -61,3 +61,10 @@ val abort_in : ?reason:string -> unit -> 'a
 (** Convenience for transaction bodies: raise {!Txn_rt.Abort_requested}. *)
 
 val stats : t -> outcome_stats
+
+val register_introspection : ?name:string -> t -> unit
+(** Register this manager's clock with the live-introspection registry:
+    a provider named [name] (default ["manager"]) in the ["horizon"]
+    snapshot channel (clock, stable watermark, in-flight commit count,
+    outcome tallies) and callback gauges [txn_clock] and [txn_inflight]
+    labelled [mgr=name].  Replace-on-name, like every registry entry. *)

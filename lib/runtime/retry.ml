@@ -4,11 +4,26 @@ let m_retries = Obs.Metrics.counter "retry.retries"
 let m_wait_die = Obs.Metrics.counter "retry.wait_die_deaths"
 let m_give_ups = Obs.Metrics.counter "retry.give_ups"
 
+(* Transactions currently inside a retry loop after at least one
+   refusal — the instantaneous contention level the [top] dashboard
+   shows.  A gauge, not gated on the observability switch (a toggle
+   mid-loop must not strand a phantom waiter). *)
+let g_waiting = Obs.Gauge.make "retry_waiting"
+
 let die ~name reason =
   raise (Txn_rt.Abort_requested (Printf.sprintf "%s: %s" name reason))
 
 let run ?(retries = 500) ?(on_retry = ignore) ~name ~self attempt =
   let my_priority = Txn_rt.priority self in
+  let waiting = ref false in
+  let enter_wait () =
+    if not !waiting then begin
+      waiting := true;
+      Obs.Gauge.incr g_waiting
+    end
+  in
+  let leave_wait () = if !waiting then Obs.Gauge.decr g_waiting in
+  Fun.protect ~finally:leave_wait @@ fun () ->
   let rec go n =
     match attempt () with
     | Ok v -> v
@@ -31,6 +46,7 @@ let run ?(retries = 500) ?(on_retry = ignore) ~name ~self attempt =
       end;
       (* Spin briefly, then poll on a short flat quantum: the expected
          wait is the holder's remaining transaction time. *)
+      enter_wait ();
       if n < 10 then Domain.cpu_relax () else Unix.sleepf 2e-5;
       Obs.Metrics.incr m_retries;
       on_retry ();

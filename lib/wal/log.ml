@@ -139,6 +139,7 @@ let m_bytes = Obs.Metrics.counter "wal.bytes"
 let m_fsyncs = Obs.Metrics.counter "wal.fsyncs"
 let m_checkpoints = Obs.Metrics.counter "wal.checkpoints"
 let m_rewrites = Obs.Metrics.counter "wal.rewrites"
+let h_fsync = Obs.Metrics.histogram "wal.fsync_latency"
 
 type txn_info = {
   mutable t_ops : (int * string * string) list; (* seq, obj, payload; newest first *)
@@ -325,7 +326,9 @@ let append t record =
 let sync t =
   with_lock t (fun () ->
       if t.dirty && t.fsync then begin
+        let t0 = Obs.Clock.now_ns () in
         Unix.fsync t.fd;
+        Obs.Metrics.observe h_fsync (Obs.Clock.ns_to_s (Obs.Clock.now_ns () - t0));
         Obs.Metrics.incr m_fsyncs;
         t.dirty <- false
       end)
@@ -344,3 +347,35 @@ let live t = with_lock t (fun () -> live_records t)
 
 let checkpoint_upto t obj =
   with_lock t (fun () -> Option.map fst (Hashtbl.find_opt t.ckpts obj))
+
+(* ------------------------------------------------------------------ *)
+(* Live introspection *)
+
+let stats_json t () =
+  with_lock t (fun () ->
+      Obs.Json.Obj
+        [
+          ("path", Obs.Json.String t.path);
+          ("file_records", Obs.Json.Int t.file_records);
+          ("file_bytes", Obs.Json.Int t.file_bytes);
+          ("live_records", Obs.Json.Int (live_records t));
+          ("objects", Obs.Json.Int (Hashtbl.length t.objs));
+          ("checkpoints", Obs.Json.Int (Hashtbl.length t.ckpts));
+          ("active_txns", Obs.Json.Int (Hashtbl.length t.active));
+          ("committed_retained", Obs.Json.Int (Hashtbl.length t.committed));
+          ("dirty", Obs.Json.Bool t.dirty);
+        ])
+
+let register_introspection t =
+  let name = Filename.basename t.path in
+  Obs.Registry.register_snapshot ~channel:"wal" ~name (stats_json t);
+  let labels = [ ("log", name) ] in
+  Obs.Gauge.callback ~labels "wal_file_bytes" (fun () ->
+      float_of_int (with_lock t (fun () -> t.file_bytes)));
+  Obs.Gauge.callback ~labels "wal_live_records" (fun () ->
+      float_of_int (with_lock t (fun () -> live_records t)));
+  (* Committed transactions whose records the compactor must still
+     retain because some touched object has not checkpointed past their
+     timestamp — the log's checkpoint lag. *)
+  Obs.Gauge.callback ~labels "wal_checkpoint_lag" (fun () ->
+      float_of_int (with_lock t (fun () -> Hashtbl.length t.committed)))

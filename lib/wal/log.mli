@@ -77,3 +77,14 @@ val live : t -> int
 
 val checkpoint_upto : t -> string -> int option
 (** The latest checkpointed horizon for an object, if any. *)
+
+val register_introspection : t -> unit
+(** Register this log with the live-introspection registry: a ["wal"]
+    snapshot channel provider (file/live record and byte counts,
+    checkpoint and active-transaction tallies, dirty flag) and callback
+    gauges [wal_file_bytes], [wal_live_records] and [wal_checkpoint_lag]
+    (committed transactions whose records the compactor must retain
+    because some touched object has not checkpointed past them), all
+    labelled by the log's file name.  Fsync latency is always recorded
+    in the [wal.fsync_latency] histogram; this call only adds the
+    level-style views. *)

@@ -1,0 +1,209 @@
+(* The shared JSON writer/reader, the Prometheus text exposition
+   renderer and its parser, and the Metrics quantile edge cases the
+   exposition depends on.  Everything here is in-process: the server
+   end-to-end tests live in test_obs_live.ml. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+let check_str = Alcotest.(check string)
+
+(* ---- Json: the one escaping discipline ---- *)
+
+let test_json_roundtrip () =
+  let doc =
+    Obs.Json.(
+      Obj
+        [
+          ("int", Int 42);
+          ("neg", Int (-7));
+          ("float", Float 1.5);
+          ("null", Null);
+          ("flags", List [ Bool true; Bool false ]);
+          ("nested", Obj [ ("empty_list", List []); ("empty_obj", Obj []) ]);
+          ("nasty", String "quote\" backslash\\ newline\n tab\t ctl\x01 hi\xc3\xa9");
+        ])
+  in
+  let s = Obs.Json.to_string doc in
+  (match Obs.Json.parse s with
+  | Ok doc' -> check_bool "document round-trips structurally" true (doc = doc')
+  | Error e -> Alcotest.failf "round-trip parse failed: %s" e);
+  (* escape is the primitive other exporters splice into hand-built
+     documents: its output must itself parse as a JSON string. *)
+  let raw = "a\"b\\c\nd\x00e" in
+  (match Obs.Json.parse (Obs.Json.escape raw) with
+  | Ok (Obs.Json.String s') -> check_str "escape parses back to the raw bytes" raw s'
+  | Ok _ -> Alcotest.fail "escape produced a non-string document"
+  | Error e -> Alcotest.failf "escape output does not parse: %s" e);
+  (* JSON has no NaN/Infinity literals; the writer clamps to null. *)
+  check_str "nan becomes null" "null" (Obs.Json.to_string (Obs.Json.Float Float.nan));
+  check_str "inf becomes null" "null"
+    (Obs.Json.to_string (Obs.Json.Float Float.infinity))
+
+let test_json_parse_errors () =
+  let is_err s =
+    match Obs.Json.parse s with Ok _ -> false | Error _ -> true
+  in
+  check_bool "unterminated object" true (is_err "{");
+  check_bool "unterminated string" true (is_err "\"abc");
+  check_bool "trailing bytes" true (is_err "1 2");
+  check_bool "bare word" true (is_err "nope");
+  (* liberties the reader documents: \u escapes decode as UTF-8 *)
+  match Obs.Json.parse "\"\\u0041\\u00e9\"" with
+  | Ok (Obs.Json.String s) -> check_str "unicode escapes decode" "A\xc3\xa9" s
+  | _ -> Alcotest.fail "\\u escape did not parse"
+
+let json_roundtrip_qcheck =
+  QCheck.Test.make ~count:500 ~name:"json string round-trip (arbitrary bytes)"
+    QCheck.string (fun s ->
+      match Obs.Json.parse (Obs.Json.to_string (Obs.Json.String s)) with
+      | Ok (Obs.Json.String s') -> s = s'
+      | _ -> false)
+
+(* ---- Metrics.quantile edge cases ---- *)
+
+let test_quantile_empty () =
+  let h = Obs.Metrics.histogram ~bounds:[| 1.; 2. |] "test.q.empty" in
+  check_float "empty histogram is 0" 0. (Obs.Metrics.quantile h 0.5);
+  check_float "empty histogram at q=1" 0. (Obs.Metrics.quantile h 1.0)
+
+let test_quantile_single_sample () =
+  Obs.Control.set_enabled true;
+  let h = Obs.Metrics.histogram ~bounds:[| 1.; 2. |] "test.q.single" in
+  Obs.Metrics.observe h 1.5;
+  check_int "one observation" 1 (Obs.Metrics.count h);
+  (* The single sample lands in (1, 2]; every quantile interpolates
+     linearly across that bucket. *)
+  check_float "q=0 is the bucket floor" 1.0 (Obs.Metrics.quantile h 0.0);
+  check_float "q=0.5 is the bucket midpoint" 1.5 (Obs.Metrics.quantile h 0.5);
+  check_float "q=1 is the bucket ceiling" 2.0 (Obs.Metrics.quantile h 1.0);
+  (* q is clamped, not an error *)
+  check_float "q above 1 clamps" 2.0 (Obs.Metrics.quantile h 7.0);
+  check_float "q below 0 clamps" 1.0 (Obs.Metrics.quantile h (-1.))
+
+let test_quantile_overflow_bucket () =
+  Obs.Control.set_enabled true;
+  let h = Obs.Metrics.histogram ~bounds:[| 1.; 2. |] "test.q.overflow" in
+  Obs.Metrics.observe h 99.;
+  (* a +inf-bucket sample resolves to the largest finite bound — a lower
+     bound on the true value, the honest direction for latency *)
+  check_float "overflow clamps to last bound" 2.0 (Obs.Metrics.quantile h 0.99)
+
+(* ---- exposition format ---- *)
+
+let render_parsed () =
+  match Obs.Expose.parse (Obs.Expose.render ()) with
+  | Ok series -> series
+  | Error e -> Alcotest.failf "rendered exposition does not parse: %s" e
+
+let find_exn ?labels name series =
+  match Obs.Expose.find ?labels name series with
+  | Some v -> v
+  | None -> Alcotest.failf "series %s not found in exposition" name
+
+let test_exposition_escaping () =
+  (* An interned op label as it really appears: constructor + quoted
+     payload + the odd control byte.  It must survive render -> parse. *)
+  let nasty = "Deq/Val \"x\\n\"\nsecond line" in
+  let g = Obs.Gauge.make ~labels:[ ("op", nasty) ] "test_expose_esc" in
+  Obs.Gauge.set g 7;
+  let series = render_parsed () in
+  check_float "nasty label value round-trips" 7.
+    (find_exn ~labels:[ ("op", nasty) ] "hcc_test_expose_esc" series)
+
+let test_exposition_families () =
+  Obs.Control.set_enabled true;
+  let c = Obs.Metrics.counter "test.expose.hits" in
+  Obs.Metrics.add c 3;
+  let h = Obs.Metrics.histogram ~bounds:[| 0.01; 0.1 |] "test.expose.lat" in
+  Obs.Metrics.observe h 0.005;
+  Obs.Metrics.observe h 0.05;
+  Obs.Metrics.observe h 5.0;
+  Obs.Metrics.annotate "test_expose_seed" "42";
+  let series = render_parsed () in
+  (* counter: sanitized name, _total suffix *)
+  check_float "counter gets _total and sanitized name" 3.
+    (find_exn "hcc_test_expose_hits_total" series);
+  (* histogram: cumulative buckets, _seconds unit, +Inf closes the family *)
+  check_float "le 0.01 bucket" 1.
+    (find_exn ~labels:[ ("le", "0.01") ] "hcc_test_expose_lat_seconds_bucket" series);
+  check_float "le 0.1 bucket is cumulative" 2.
+    (find_exn ~labels:[ ("le", "0.1") ] "hcc_test_expose_lat_seconds_bucket" series);
+  check_float "+Inf bucket counts everything" 3.
+    (find_exn ~labels:[ ("le", "+Inf") ] "hcc_test_expose_lat_seconds_bucket" series);
+  check_float "histogram count" 3. (find_exn "hcc_test_expose_lat_seconds_count" series);
+  check_float "histogram sum" 5.055 (find_exn "hcc_test_expose_lat_seconds_sum" series);
+  (* annotations ride as the run_info info-gauge *)
+  check_float "run_info carries annotations as labels" 1.
+    (find_exn ~labels:[ ("test_expose_seed", "42") ] "hcc_run_info" series)
+
+let test_exposition_drops_nan_callbacks () =
+  Obs.Gauge.callback ~labels:[ ("which", "good") ] "test_expose_cb" (fun () -> 5.);
+  Obs.Gauge.callback ~labels:[ ("which", "bad") ] "test_expose_cb" (fun () ->
+      failwith "boom");
+  let series = render_parsed () in
+  check_float "healthy callback exported" 5.
+    (find_exn ~labels:[ ("which", "good") ] "hcc_test_expose_cb" series);
+  check_bool "raising callback dropped, not NaN" true
+    (Obs.Expose.find ~labels:[ ("which", "bad") ] "hcc_test_expose_cb" series = None);
+  Obs.Gauge.remove_callback ~labels:[ ("which", "good") ] "test_expose_cb";
+  Obs.Gauge.remove_callback ~labels:[ ("which", "bad") ] "test_expose_cb"
+
+(* ---- registry snapshot channels ---- *)
+
+let test_registry_snapshot_channel () =
+  Obs.Registry.register_snapshot ~channel:"testchan" ~name:"good" (fun () ->
+      Obs.Json.Obj [ ("v", Obs.Json.Int 1) ]);
+  Obs.Registry.register_snapshot ~channel:"testchan" ~name:"bad" (fun () ->
+      failwith "provider boom");
+  (match Obs.Registry.snapshot "testchan" with
+  | Obs.Json.List [ bad; good ] ->
+    (* providers sort by name; a raising provider becomes an error
+       object instead of poisoning the whole snapshot *)
+    check_bool "raising provider isolated as error object" true
+      (Obs.Json.member "error" bad <> None);
+    check_bool "healthy provider value intact" true
+      (Obs.Json.member "v" good = Some (Obs.Json.Int 1))
+  | j -> Alcotest.failf "unexpected snapshot shape: %s" (Obs.Json.to_string j));
+  (* replace-on-name keeps long-running servers bounded *)
+  Obs.Registry.register_snapshot ~channel:"testchan" ~name:"bad" (fun () ->
+      Obs.Json.Int 2);
+  (match Obs.Registry.snapshot "testchan" with
+  | Obs.Json.List [ replaced; _ ] ->
+    check_bool "re-registering a name replaces the provider" true
+      (replaced = Obs.Json.Int 2)
+  | j -> Alcotest.failf "unexpected snapshot shape: %s" (Obs.Json.to_string j));
+  Obs.Registry.unregister_snapshot ~channel:"testchan" ~name:"good";
+  Obs.Registry.unregister_snapshot ~channel:"testchan" ~name:"bad";
+  check_bool "empty channel snapshots as []" true
+    (Obs.Registry.snapshot "testchan" = Obs.Json.List [])
+
+let () =
+  Alcotest.run "obs_expose"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          QCheck_alcotest.to_alcotest json_roundtrip_qcheck;
+        ] );
+      ( "quantile",
+        [
+          Alcotest.test_case "empty histogram" `Quick test_quantile_empty;
+          Alcotest.test_case "single sample" `Quick test_quantile_single_sample;
+          Alcotest.test_case "overflow bucket" `Quick test_quantile_overflow_bucket;
+        ] );
+      ( "exposition",
+        [
+          Alcotest.test_case "label escaping round-trip" `Quick
+            test_exposition_escaping;
+          Alcotest.test_case "counter/histogram/run_info families" `Quick
+            test_exposition_families;
+          Alcotest.test_case "NaN callbacks dropped" `Quick
+            test_exposition_drops_nan_callbacks;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "snapshot channel" `Quick test_registry_snapshot_channel;
+        ] );
+    ]

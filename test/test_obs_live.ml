@@ -1,0 +1,234 @@
+(* End-to-end tests for the live introspection stack: the background
+   auditor (Sampler), the replay-audit wiring on runtime objects, the
+   HTTP server, and the epoch-rotating Live workload with a seeded
+   atomicity violation.
+
+   Sampler verdict counters are process-global and deliberately never
+   reset (a violation must not be forgettable), so every assertion here
+   works on deltas, and the /health check asserts consistency with
+   [Sampler.healthy] rather than a fixed status. *)
+
+module Qobj = Runtime.Atomic_obj.Make (Adt.Fifo_queue)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+(* ---- Sampler verdict accounting ---- *)
+
+let test_sampler_verdicts () =
+  let before = Obs.Sampler.violations () in
+  let ran = ref 0 in
+  Obs.Sampler.register_audit ~name:"test/ok" (fun () ->
+      incr ran;
+      Ok ());
+  check_int "clean pass finds nothing" 0 (Obs.Sampler.run_once ());
+  check_int "closure ran" 1 !ran;
+  Obs.Sampler.register_audit ~name:"test/bad" (fun () -> Error "seeded failure");
+  check_int "failing closure is one violation" 1 (Obs.Sampler.run_once ());
+  check_int "total advanced" (before + 1) (Obs.Sampler.violations ());
+  check_bool "process no longer healthy" false (Obs.Sampler.healthy ());
+  check_bool "last_error carries the reason" true
+    (match Obs.Sampler.last_error () with
+    | Some e -> contains e "seeded failure"
+    | None -> false);
+  (* a closure that raises is a violation too, not a crash *)
+  Obs.Sampler.register_audit ~name:"test/bad" (fun () -> failwith "audit blew up");
+  check_int "raising closure counted" 1 (Obs.Sampler.run_once ());
+  Obs.Sampler.unregister_audit ~name:"test/bad";
+  check_int "unregistered closure gone" 0 (Obs.Sampler.run_once ());
+  Obs.Sampler.unregister_audit ~name:"test/ok"
+
+(* ---- replay audit on a real object: wrap-around is skipped, forgery
+   is caught ---- *)
+
+let test_replay_audit_skips_wrapped_window () =
+  let ring = Obs.Trace.create ~capacity:8 () in
+  let mgr = Runtime.Manager.create () in
+  let q =
+    Qobj.create ~name:"audit/wrapq" ~trace:ring
+      ~conflict:Adt.Fifo_queue.conflict_hybrid ~op_label:Adt.Fifo_queue.op_label ()
+  in
+  for v = 1 to 8 do
+    Runtime.Manager.run mgr (fun txn ->
+        ignore (Qobj.invoke q txn (Adt.Fifo_queue.Enq v)))
+  done;
+  check_bool "ring wrapped" true (Obs.Trace.dropped ring > 0);
+  let lost = Obs.Metrics.counter "audit.window_lost" in
+  let lost_before = Obs.Metrics.value lost in
+  let name = Qobj.register_audit q in
+  check_int "wrapped window is not a verdict" 0 (Obs.Sampler.run_once ());
+  check_bool "the skip is recorded" true (Obs.Metrics.value lost > lost_before);
+  Obs.Sampler.unregister_audit ~name
+
+let test_replay_audit_catches_forgery () =
+  let ring = Obs.Trace.create ~capacity:4096 () in
+  let mgr = Runtime.Manager.create () in
+  let q =
+    Qobj.create ~name:"audit/queue" ~trace:ring
+      ~conflict:Adt.Fifo_queue.conflict_hybrid ~op_label:Adt.Fifo_queue.op_label ()
+  in
+  Runtime.Manager.run mgr (fun txn ->
+      ignore (Qobj.invoke q txn (Adt.Fifo_queue.Enq 1));
+      ignore (Qobj.invoke q txn (Adt.Fifo_queue.Enq 2)));
+  let deq_tid = ref (-1) in
+  Runtime.Manager.run mgr (fun txn ->
+      deq_tid := Runtime.Txn_rt.id txn;
+      ignore (Qobj.invoke q txn Adt.Fifo_queue.Deq));
+  let name = Qobj.register_audit q in
+  check_str "default audit name derives from the object" "replay/audit/queue" name;
+  check_int "honest history passes" 0 (Obs.Sampler.run_once ());
+  (* Forge a double-dequeue exactly as [Sim.Live.inject_violation]
+     does: replay the committed dequeuer's operations under a ghost id,
+     committed with a far-future timestamp. *)
+  let obj = Qobj.key q in
+  let ops =
+    List.filter_map
+      (fun (en : Obs.Trace.entry) ->
+        if en.obj = obj && en.txn = !deq_tid then
+          match en.event with
+          | Obs.Trace.Invoke _ | Obs.Trace.Respond _ -> Some en.event
+          | _ -> None
+        else None)
+      (Obs.Trace.entries ring)
+  in
+  check_bool "found the dequeuer's trace window" true (ops <> []);
+  let ghost = 999_999 in
+  List.iter (fun ev -> Obs.Trace.emit ring ~obj ~txn:ghost ev) ops;
+  Obs.Trace.emit ring ~obj ~txn:ghost (Obs.Trace.Commit 1_073_741_823);
+  check_bool "forged double-dequeue is caught" true (Obs.Sampler.run_once () >= 1);
+  check_bool "reason names the object" true
+    (match Obs.Sampler.last_error () with
+    | Some e -> contains e "audit/queue"
+    | None -> false);
+  Obs.Sampler.unregister_audit ~name
+
+(* ---- HTTP server ---- *)
+
+let get_exn ~port path =
+  match Obs.Server.http_get ~port path with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "GET %s failed: %s" path e
+
+let test_server_endpoints () =
+  let srv = Obs.Server.start () in
+  let port = Obs.Server.port srv in
+  Fun.protect ~finally:(fun () -> Obs.Server.stop srv) @@ fun () ->
+  (* /metrics parses as text exposition *)
+  let status, body = get_exn ~port "/metrics" in
+  check_int "/metrics status" 200 status;
+  (match Obs.Expose.parse body with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "/metrics body does not parse: %s" e);
+  (* JSON endpoints parse as JSON *)
+  List.iter
+    (fun path ->
+      let status, body = get_exn ~port path in
+      check_int (path ^ " status") 200 status;
+      match Obs.Json.parse body with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%s body does not parse: %s" path e)
+    [ "/locks"; "/horizon"; "/waitfor" ];
+  (* /health tracks the process-global sampler verdicts *)
+  let status, _ = get_exn ~port "/health" in
+  check_int "/health consistent with Sampler.healthy"
+    (if Obs.Sampler.healthy () then 200 else 503)
+    status;
+  (* /control flips the live switch *)
+  Obs.Control.set_enabled true;
+  let status, body = get_exn ~port "/control?enabled=false" in
+  check_int "/control status" 200 status;
+  check_bool "/control reports the new state" true (contains body "false");
+  check_bool "switch actually off" false (Obs.Control.enabled ());
+  let _, body = get_exn ~port "/control?toggle=1" in
+  check_bool "/control?toggle flips back" true (contains body "true");
+  check_bool "switch back on" true (Obs.Control.enabled ());
+  (* unknown path *)
+  let status, _ = get_exn ~port "/nope" in
+  check_int "unknown path is 404" 404 status
+
+(* ---- the Live workload end to end ---- *)
+
+let test_live_injection_caught () =
+  let cfg =
+    { Sim.Live.default_config with domains = 2; think_us = 50.; epoch_capacity = 1 lsl 14 }
+  in
+  let live = Sim.Live.start cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Sim.Live.stop live;
+      (* the per-epoch registrations are process-global; drop them so
+         later samples in this binary do not re-run stale closures *)
+      List.iter
+        (fun name -> Obs.Sampler.unregister_audit ~name)
+        [ "waitfor/live"; "replay/live/queue"; "replay/live/semiq"; "replay/live/account" ])
+  @@ fun () ->
+  (* wait until some transaction has committed a dequeue, then forge *)
+  let rec inject n =
+    if n = 0 then false
+    else if Sim.Live.inject_violation live then true
+    else begin
+      Thread.delay 0.05;
+      inject (n - 1)
+    end
+  in
+  check_bool "violation injected" true (inject 200);
+  Sim.Live.stop live;
+  let before = Obs.Sampler.violations () in
+  (* two rotations: the forged epoch goes current -> draining ->
+     registered for replay audit *)
+  Sim.Live.rotate live;
+  Sim.Live.rotate live;
+  check_int "three epochs seen" 3 (Sim.Live.epochs live);
+  ignore (Obs.Sampler.run_once ~ring:(Sim.Live.current_ring live) ());
+  check_bool "auditor caught the forged epoch" true (Obs.Sampler.violations () > before);
+  check_bool "reason names the replay audit" true
+    (match Obs.Sampler.last_error () with
+    | Some e -> contains e "replay/live/queue"
+    | None -> false)
+
+let test_live_clean_run_stays_healthy () =
+  let cfg =
+    { Sim.Live.default_config with domains = 2; think_us = 50.; epoch_capacity = 1 lsl 14 }
+  in
+  let live = Sim.Live.start cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Sim.Live.stop live;
+      List.iter
+        (fun name -> Obs.Sampler.unregister_audit ~name)
+        [ "waitfor/live"; "replay/live/queue"; "replay/live/semiq"; "replay/live/account" ])
+  @@ fun () ->
+  Thread.delay 0.2;
+  Sim.Live.stop live;
+  let before = Obs.Sampler.violations () in
+  Sim.Live.rotate live;
+  Sim.Live.rotate live;
+  ignore (Obs.Sampler.run_once ~ring:(Sim.Live.current_ring live) ());
+  check_int "clean epochs audit clean" before (Obs.Sampler.violations ())
+
+let () =
+  Alcotest.run "obs_live"
+    [
+      ( "sampler",
+        [
+          Alcotest.test_case "verdict accounting" `Quick test_sampler_verdicts;
+          Alcotest.test_case "wrapped window skipped" `Quick
+            test_replay_audit_skips_wrapped_window;
+          Alcotest.test_case "forged history caught" `Quick
+            test_replay_audit_catches_forgery;
+        ] );
+      ("server", [ Alcotest.test_case "endpoints" `Quick test_server_endpoints ]);
+      ( "live",
+        [
+          Alcotest.test_case "clean run stays healthy" `Quick
+            test_live_clean_run_stays_healthy;
+          Alcotest.test_case "injected violation caught" `Quick
+            test_live_injection_caught;
+        ] );
+    ]
