@@ -75,7 +75,9 @@ let with_out_file file f =
       close_out oc)
     (fun () -> f ppf)
 
-let experiments_cmd id deterministic quick metrics seed wal_dir domains txns think_us =
+let experiments_cmd id deterministic quick metrics seed wal_dir group_commit domains txns
+    think_us =
+  Runtime.Backoff.set_seed seed;
   if deterministic then begin
     let tables =
       match id with
@@ -101,7 +103,7 @@ let experiments_cmd id deterministic quick metrics seed wal_dir domains txns thi
       Option.map
         (fun dir ->
           ensure_dir dir;
-          let w = Wal.Log.create (Filename.concat dir "experiments.wal") in
+          let w = Wal.Log.create ~group_commit (Filename.concat dir "experiments.wal") in
           Obs.Metrics.annotate "run.wal" (Wal.Log.path w);
           w)
         wal_dir
@@ -127,6 +129,7 @@ let experiments_cmd id deterministic quick metrics seed wal_dir domains txns thi
 
 let trace_cmd id quick conflicts waitfor chrome metrics_json seed domains txns think_us =
   Obs.Control.set_enabled true;
+  Runtime.Backoff.set_seed seed;
   let scale =
     if quick then Sim.Experiments.quick_scale else scale_of domains txns think_us
   in
@@ -238,29 +241,32 @@ let recover_cmd path =
   in
   if not all_ok then exit 1
 
-let crash_cmd quick seed dir domains txns think_us =
+let crash_cmd quick seed dir group_commit domains txns think_us =
+  Runtime.Backoff.set_seed seed;
   let scale =
     if quick then Sim.Experiments.quick_scale else scale_of domains txns think_us
   in
   ensure_dir dir;
   Obs.Metrics.annotate "run.seed" (string_of_int seed);
-  let runs = Sim.Crash_exp.all ~scale ~seed ~dir () in
+  let runs = Sim.Crash_exp.all ~scale ~seed ~group_commit ~dir () in
   List.iter (fun r -> Format.printf "%a@." Sim.Crash_exp.pp_run r) runs;
   if not (List.for_all Sim.Crash_exp.ok runs) then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* serve: long-running workload with the introspection server attached *)
 
-let serve_cmd quick port duration period_ms seed wal_dir domains think_us inject =
+let serve_cmd quick port duration period_ms seed wal_dir group_commit domains think_us
+    inject =
   Obs.Control.set_enabled true;
   ignore (Obs.Control.install_sigusr2 ());
+  Runtime.Backoff.set_seed seed;
   Obs.Metrics.annotate "run.seed" (string_of_int seed);
   Obs.Metrics.annotate "run.mode" "serve";
   let wal =
     Option.map
       (fun dir ->
         ensure_dir dir;
-        let w = Wal.Log.create (Filename.concat dir "live.wal") in
+        let w = Wal.Log.create ~group_commit (Filename.concat dir "live.wal") in
         Wal.Log.register_introspection w;
         Obs.Metrics.annotate "run.wal" (Wal.Log.path w);
         w)
@@ -529,6 +535,24 @@ let wal_arg =
            (commit records fsynced before commit events are distributed).  Verify it \
            afterwards with the $(b,recover) subcommand.")
 
+let group_commit_arg =
+  Arg.(
+    value
+    & vflag true
+        [
+          ( true,
+            info [ "group-commit" ]
+              ~doc:
+                "Batch commit-record fsyncs (the default): the first committer to reach \
+                 the sync barrier fsyncs once for every commit record appended so far; \
+                 concurrent committers wait for that barrier instead of issuing their \
+                 own." );
+          ( false,
+            info [ "no-group-commit" ]
+              ~doc:"Serialize fsyncs: every committer issues its own (the pre-batching \
+                    behaviour, kept as a baseline)." );
+        ])
+
 let figures_t =
   Cmd.v
     (Cmd.info "figures" ~doc:"Regenerate the paper's figures from the specifications")
@@ -539,7 +563,7 @@ let experiments_t =
     (Cmd.info "experiments" ~doc:"Run the measured concurrency experiments")
     Term.(
       const experiments_cmd $ id_arg $ deterministic_arg $ quick_arg $ metrics_arg
-      $ seed_arg $ wal_arg $ domains_arg $ txns_arg $ think_arg)
+      $ seed_arg $ wal_arg $ group_commit_arg $ domains_arg $ txns_arg $ think_arg)
 
 let conflicts_arg =
   Arg.(
@@ -630,8 +654,8 @@ let crash_t =
           (around each commit record, mid-append, torn tail).  Each crash image must \
           recover exactly its committed prefix.  Exits non-zero on any failure.")
     Term.(
-      const crash_cmd $ quick_arg $ seed_arg $ crash_dir_arg $ domains_arg $ txns_arg
-      $ think_arg)
+      const crash_cmd $ quick_arg $ seed_arg $ crash_dir_arg $ group_commit_arg
+      $ domains_arg $ txns_arg $ think_arg)
 
 let port_arg default =
   Arg.(
@@ -675,7 +699,7 @@ let serve_t =
           wait-for graph; any violation degrades /health and fails the exit code.")
     Term.(
       const serve_cmd $ quick_arg $ port_arg 9090 $ duration_arg $ period_arg $ seed_arg
-      $ wal_arg $ domains_arg $ think_arg $ inject_arg)
+      $ wal_arg $ group_commit_arg $ domains_arg $ think_arg $ inject_arg)
 
 let interval_arg =
   Arg.(

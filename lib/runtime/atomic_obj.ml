@@ -5,6 +5,50 @@ module Make (A : Spec.Adt_sig.S) = struct
 
   type op = A.inv * A.res
 
+  let equal_op (i, r) (i', r') = A.equal_inv i i' && A.equal_res r r'
+
+  (* Payload intern tables, keyed by the ADT's own equality (OCaml's
+     generic hash is consistent with it for the structural equalities
+     the shipped ADTs use).  The forward direction is a hashtable so a
+     long-running object with many distinct payloads (Sim.Live
+     deliberately enqueues unique values) interns in O(1), not
+     O(distinct payloads); decoding goes through a growable reverse
+     array indexed by code. *)
+  module InvTbl = Hashtbl.Make (struct
+    type t = A.inv
+
+    let equal = A.equal_inv
+    let hash = Hashtbl.hash
+  end)
+
+  module ResTbl = Hashtbl.Make (struct
+    type t = A.res
+
+    let equal = A.equal_res
+    let hash = Hashtbl.hash
+  end)
+
+  module OpTbl = Hashtbl.Make (struct
+    type t = op
+
+    let equal = equal_op
+    let hash = Hashtbl.hash
+  end)
+
+  (* Append [v] at index [n] (= current count), doubling on overflow. *)
+  let rev_push arr n v =
+    let cap = Array.length arr in
+    let arr =
+      if n < cap then arr
+      else begin
+        let bigger = Array.make (max 8 (2 * cap)) None in
+        Array.blit arr 0 bigger 0 cap;
+        bigger
+      end
+    in
+    arr.(n) <- Some v;
+    arr
+
   type stats = {
     invocations : int;
     conflicts : int;
@@ -41,15 +85,18 @@ module Make (A : Spec.Adt_sig.S) = struct
     (* Payload intern tables: trace entries carry invocations, responses
        and (for refusal attribution) whole operations as small codes
        assigned in order of first appearance.  Mutated only under the
-       mutex; the fast path allocates only on a payload's first
-       occurrence, which also registers the human-readable label with
+       mutex; the fast path is one hashtable probe, and a payload's
+       first occurrence also registers the human-readable label with
        the process-wide [Obs.Attrib] registry so reports and timeline
        exports can decode the codes after this object is gone. *)
-    mutable inv_codes : (A.inv * int) list;
+    inv_codes : int InvTbl.t;
+    mutable inv_rev : A.inv option array;
     mutable inv_next : int;
-    mutable res_codes : (A.res * int) list;
+    res_codes : int ResTbl.t;
+    mutable res_rev : A.res option array;
     mutable res_next : int;
-    mutable op_codes : (op * int) list;
+    op_codes : int OpTbl.t;
+    mutable op_rev : op option array;
     mutable op_next : int;
   }
 
@@ -80,11 +127,14 @@ module Make (A : Spec.Adt_sig.S) = struct
       trace;
       wal;
       op_label;
-      inv_codes = [];
+      inv_codes = InvTbl.create 16;
+      inv_rev = [||];
       inv_next = 0;
-      res_codes = [];
+      res_codes = ResTbl.create 16;
+      res_rev = [||];
       res_next = 0;
-      op_codes = [];
+      op_codes = OpTbl.create 16;
+      op_rev = [||];
       op_next = 0;
     }
 
@@ -182,53 +232,43 @@ module Make (A : Spec.Adt_sig.S) = struct
       if Obs.Control.enabled () then Obs.Trace.emit Obs.Trace.global ~obj:t.key ~txn ev
 
   let encode_inv t i =
-    let rec find = function
-      | [] ->
-        let c = t.inv_next in
-        t.inv_next <- c + 1;
-        t.inv_codes <- (i, c) :: t.inv_codes;
-        Obs.Attrib.register_label ~obj:t.key ~kind:Obs.Attrib.Inv ~code:c
-          (Format.asprintf "%a" A.pp_inv i);
-        c
-      | (i', c) :: rest -> if A.equal_inv i i' then c else find rest
-    in
-    find t.inv_codes
+    match InvTbl.find_opt t.inv_codes i with
+    | Some c -> c
+    | None ->
+      let c = t.inv_next in
+      t.inv_next <- c + 1;
+      InvTbl.replace t.inv_codes i c;
+      t.inv_rev <- rev_push t.inv_rev c i;
+      Obs.Attrib.register_label ~obj:t.key ~kind:Obs.Attrib.Inv ~code:c
+        (Format.asprintf "%a" A.pp_inv i);
+      c
 
   let encode_res t r =
-    let rec find = function
-      | [] ->
-        let c = t.res_next in
-        t.res_next <- c + 1;
-        t.res_codes <- (r, c) :: t.res_codes;
-        Obs.Attrib.register_label ~obj:t.key ~kind:Obs.Attrib.Res ~code:c
-          (Format.asprintf "%a" A.pp_res r);
-        c
-      | (r', c) :: rest -> if A.equal_res r r' then c else find rest
-    in
-    find t.res_codes
-
-  let equal_op (i, r) (i', r') = A.equal_inv i i' && A.equal_res r r'
+    match ResTbl.find_opt t.res_codes r with
+    | Some c -> c
+    | None ->
+      let c = t.res_next in
+      t.res_next <- c + 1;
+      ResTbl.replace t.res_codes r c;
+      t.res_rev <- rev_push t.res_rev c r;
+      Obs.Attrib.register_label ~obj:t.key ~kind:Obs.Attrib.Res ~code:c
+        (Format.asprintf "%a" A.pp_res r);
+      c
 
   let encode_op t o =
-    let rec find = function
-      | [] ->
-        let c = t.op_next in
-        t.op_next <- c + 1;
-        t.op_codes <- (o, c) :: t.op_codes;
-        Obs.Attrib.register_label ~obj:t.key ~kind:Obs.Attrib.Op ~code:c (t.op_label o);
-        c
-      | (o', c) :: rest -> if equal_op o o' then c else find rest
-    in
-    find t.op_codes
+    match OpTbl.find_opt t.op_codes o with
+    | Some c -> c
+    | None ->
+      let c = t.op_next in
+      t.op_next <- c + 1;
+      OpTbl.replace t.op_codes o c;
+      t.op_rev <- rev_push t.op_rev c o;
+      Obs.Attrib.register_label ~obj:t.key ~kind:Obs.Attrib.Op ~code:c (t.op_label o);
+      c
 
-  let decode_inv t c =
-    List.find_map (fun (i, c') -> if c = c' then Some i else None) t.inv_codes
-
-  let decode_res t c =
-    List.find_map (fun (r, c') -> if c = c' then Some r else None) t.res_codes
-
-  let decode_op_locked t c =
-    List.find_map (fun (o, c') -> if c = c' then Some o else None) t.op_codes
+  let decode_inv t c = if c >= 0 && c < t.inv_next then t.inv_rev.(c) else None
+  let decode_res t c = if c >= 0 && c < t.res_next then t.res_rev.(c) else None
+  let decode_op_locked t c = if c >= 0 && c < t.op_next then t.op_rev.(c) else None
 
   (* Transition helpers; all must run under the mutex.  The pure machine
      never refuses invoke/commit/abort events. *)

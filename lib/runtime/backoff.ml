@@ -1,0 +1,39 @@
+(* Seeded, jittered exponential backoff for the two retry sleeps in the
+   runtime (Retry's conflict quantum, Manager.run's restart delay).
+
+   Flat delays synchronize: under high contention every loser of a
+   conflict wakes on the same schedule, collides again, and the retry
+   storm self-sustains.  Jitter decorrelates the wake-ups and the
+   exponential ramp sheds load, capped at ~1ms so a transaction never
+   oversleeps a short-lived conflict by much.
+
+   The jitter is a pure hash of (seed, key, attempt) — the same
+   decorrelation scheme as Sim.Experiments.pseudo, no hidden RNG state —
+   so a run is reproducible given the seed: `experiments --seed N`
+   threads N here, and the deterministic simulator (Det_sim) never
+   sleeps for real and is unaffected. *)
+
+let seed = Atomic.make 0
+let set_seed s = Atomic.set seed s
+let current_seed () = Atomic.get seed
+
+(* Uniform-ish fraction in [0, 1), decorrelated across (seed, key,
+   attempt) by the repo's usual prime mix. *)
+let jitter ~key ~attempt =
+  let h =
+    ((Atomic.get seed * 15485863) + (key * 7919) + (attempt * 104729)) land 0x3fffffff
+  in
+  float_of_int (h land 0xffff) /. 65536.
+
+let cap = 1e-3
+
+let delay ~base ~key ~attempt =
+  (* Double up to the cap, then jitter into [d/2, d): the half-floor
+     keeps progress (a zero sleep would respin immediately), the spread
+     breaks lockstep. *)
+  let exponent = min attempt 8 in
+  let d = Float.min cap (base *. float_of_int (1 lsl exponent)) in
+  Float.min cap (d *. (0.5 +. (0.5 *. jitter ~key ~attempt)))
+
+let retry_delay ~key ~attempt = delay ~base:2e-5 ~key ~attempt
+let restart_delay ~key ~attempt = delay ~base:5e-5 ~key ~attempt

@@ -1,0 +1,28 @@
+(** Seeded, jittered exponential backoff for the runtime's retry sleeps.
+
+    High-contention profiles with flat retry delays synchronize their
+    retry storms: every refused transaction wakes on the same schedule
+    and collides again.  {!retry_delay} (Retry's conflict quantum, base
+    20us) and {!restart_delay} (Manager.run's post-abort delay, base
+    50us) double per attempt and add deterministic jitter, capped at
+    ~1ms.
+
+    The jitter is a pure hash of [(seed, key, attempt)] — no hidden RNG
+    state — so runs are reproducible given the seed.  [bin/main.exe]
+    threads [--seed] into {!set_seed}; the virtual-time simulator
+    ({!Sim.Det_sim}) performs no real sleeps and is unaffected. *)
+
+val set_seed : int -> unit
+(** Set the process-wide backoff seed (default 0). *)
+
+val current_seed : unit -> int
+
+val retry_delay : key:int -> attempt:int -> float
+(** Sleep duration (seconds) before retry number [attempt] of a refused
+    invocation; [key] decorrelates concurrent sleepers (use the
+    transaction id). *)
+
+val restart_delay : key:int -> attempt:int -> float
+(** Sleep duration (seconds) before restarting an aborted transaction
+    attempt; [key] should be stable across the restarts of one
+    transaction (use its priority). *)

@@ -11,10 +11,12 @@ type t = {
 }
 
 exception Too_many_attempts of string
+exception Durability_lost of string
 
 let m_attempts = Obs.Metrics.counter "txn.attempts"
 let m_commits = Obs.Metrics.counter "txn.commits"
 let m_aborts = Obs.Metrics.counter "txn.aborts"
+let m_durability_lost = Obs.Metrics.counter "txn.durability_lost"
 let h_attempt = Obs.Metrics.histogram "txn.attempt_latency"
 
 let create ?wal () =
@@ -40,15 +42,26 @@ let with_inflight t f =
    [stable_time] can never miss a drawn-but-undistributed commit.  The
    WAL commit record is appended inside the same critical section: the
    log's commit-record order is then exactly the commit-timestamp order,
-   i.e. the hybrid serialization order. *)
+   i.e. the hybrid serialization order.  Returns the commit record's
+   LSN alongside the timestamp — the handle [attempt_once] passes to
+   [Wal.Log.sync_upto], this transaction's durability point.
+
+   Exception-safe: a failing append retires the timestamp before
+   re-raising, so a full disk can never wedge [stable_time].  (A failed
+   append also means the commit record is not durably complete — the
+   frame's CRC cannot check out — so aborting afterwards is sound.) *)
 let begin_commit t txn =
   with_inflight t (fun () ->
       let ts = 1 + Atomic.fetch_and_add t.clock 1 in
       t.inflight <- ts :: t.inflight;
-      (match t.wal with
-      | Some w -> Wal.Log.append w (Wal.Log.Commit { txn = Txn_rt.id txn; ts })
-      | None -> ());
-      ts)
+      match t.wal with
+      | None -> (ts, None)
+      | Some w -> (
+        match Wal.Log.append_lsn w (Wal.Log.Commit { txn = Txn_rt.id txn; ts }) with
+        | lsn -> (ts, Some (w, lsn))
+        | exception e ->
+          t.inflight <- List.filter (fun x -> x <> ts) t.inflight;
+          raise e))
 
 let end_commit t ts =
   with_inflight t (fun () -> t.inflight <- List.filter (fun x -> x <> ts) t.inflight)
@@ -79,21 +92,54 @@ let attempt_once ?priority t body =
   in
   let txn = Txn_rt.fresh ?priority () in
   match body txn with
-  | v ->
+  | v -> (
     (* Draw the timestamp before any commit event becomes visible (see
        the interface comment), and keep it in the in-flight set until
        every participant has seen the commit so snapshot readers can
        wait for a stable watermark.  With a WAL attached the commit
        record is forced to stable storage before any commit event is
        distributed — the write-ahead rule: once any object acts on the
-       commit, a crash replays it. *)
-    let ts = begin_commit t txn in
-    Option.iter Wal.Log.sync t.wal;
-    Fun.protect ~finally:(fun () -> end_commit t ts) (fun () -> Txn_rt.commit txn ts);
-    Atomic.incr t.commits;
-    Obs.Metrics.incr m_commits;
-    observe ();
-    Ok (v, Txn_rt.priority txn)
+       commit, a crash replays it.
+
+       The durability point is explicit: this transaction is committed
+       iff [sync_upto] returned for its commit record's LSN.  Three
+       exits, [end_commit] on every one:
+       - append failed inside [begin_commit]: the record is not durably
+         complete, so the attempt aborts like any other failure;
+       - [sync_upto] failed: the record was appended and {e may} be on
+         disk, so neither commit nor abort can be reported — the
+         timestamp is retired and [Durability_lost] raised
+         (crash-equivalent: no commit/abort event is distributed, and
+         recovery decides the outcome from the log);
+       - sync returned: the commit is durable, distribute it
+         ([Fun.protect] retires the timestamp even if a participant's
+         [on_commit] raises). *)
+    match begin_commit t txn with
+    | exception e ->
+      Txn_rt.abort txn;
+      Atomic.incr t.failures;
+      Obs.Metrics.incr m_aborts;
+      raise e
+    | ts, lsn -> (
+      let durable =
+        match lsn with
+        | Some (w, l) -> ( try Ok (Wal.Log.sync_upto w l) with e -> Error e)
+        | None -> Ok ()
+      in
+      match durable with
+      | Error e ->
+        end_commit t ts;
+        Obs.Metrics.incr m_durability_lost;
+        raise
+          (Durability_lost
+             (Printf.sprintf "txn %d (ts %d): commit record appended but not synced: %s"
+                (Txn_rt.id txn) ts (Printexc.to_string e)))
+      | Ok () ->
+        Fun.protect ~finally:(fun () -> end_commit t ts) (fun () -> Txn_rt.commit txn ts);
+        Atomic.incr t.commits;
+        Obs.Metrics.incr m_commits;
+        observe ();
+        Ok (v, Txn_rt.priority txn)))
   | exception Txn_rt.Abort_requested reason ->
     log_abort t txn;
     Txn_rt.abort txn;
@@ -115,7 +161,10 @@ let run_once t body =
 
 let run ?(max_attempts = 1000) t body =
   (* A restarted transaction keeps its first attempt's priority:
-     wait-die's no-starvation argument needs seniority to be stable. *)
+     wait-die's no-starvation argument needs seniority to be stable.
+     The restart delay backs off exponentially with jitter keyed on
+     that stable priority, so the losers of one conflict spread out
+     instead of re-colliding in lockstep (see Backoff). *)
   let rec go attempt priority last_reason =
     if attempt >= max_attempts then
       raise
@@ -125,7 +174,7 @@ let run ?(max_attempts = 1000) t body =
       match attempt_once ?priority t body with
       | Ok (v, _) -> v
       | Error (reason, prio) ->
-        Unix.sleepf 5e-5;
+        Unix.sleepf (Backoff.restart_delay ~key:prio ~attempt);
         go (attempt + 1) (Some prio) reason
   in
   go 0 None "never attempted"

@@ -27,10 +27,11 @@ val create : ?wal:Wal.Log.t -> unit -> t
 (** With [wal], the manager runs the write-ahead commit rule: the commit
     record (transaction id + timestamp) is appended {e inside} the
     timestamp-draw critical section — so commit records appear in the
-    log in exact commit-timestamp order — and fsynced before any commit
-    event is distributed to participants.  Abort records are appended on
-    abort (without fsync; recovery discards uncommitted intentions
-    regardless). *)
+    log in exact commit-timestamp order — and made durable
+    ({!Wal.Log.sync_upto} the record's LSN, a group-commit batch under
+    concurrency) before any commit event is distributed to
+    participants.  Abort records are appended on abort (without fsync;
+    recovery discards uncommitted intentions regardless). *)
 
 val wal : t -> Wal.Log.t option
 
@@ -46,12 +47,28 @@ val stable_time : t -> Model.Timestamp.t
 
 exception Too_many_attempts of string
 
+exception Durability_lost of string
+(** The commit record reached the log but its sync failed: the record
+    may or may not be on stable storage, so the runtime can report
+    {e neither} commit nor abort for this transaction — an abort would
+    let recovery replay a transaction the runtime disowned.  The
+    transaction's in-flight timestamp is retired (so [stable_time]
+    cannot wedge) but no commit or abort event is distributed; treat
+    the condition as crash-equivalent — recovery from the log decides
+    the transaction's outcome.  Transactions whose sync {e returned}
+    before the failure are unaffected (they are durable), and
+    subsequent transactions may proceed if the log recovers. *)
+
 val run : ?max_attempts:int -> t -> (Txn_rt.t -> 'a) -> 'a
 (** Run a transaction to commit.  The body may raise
     {!Txn_rt.Abort_requested} (usually via {!Atomic_obj.Make.invoke}) to
     abort; any other exception aborts the transaction and propagates.
-    After [max_attempts] (default 1000) failed attempts raises
-    {!Too_many_attempts}. *)
+    Failed attempts restart after a seeded, jittered exponential
+    backoff ({!Backoff.restart_delay}).  After [max_attempts] (default
+    1000) failed attempts raises {!Too_many_attempts}.  With a WAL
+    attached, a post-append sync failure raises {!Durability_lost}
+    without retrying (the attempt's outcome is indeterminate, so a
+    retry could double-commit). *)
 
 val run_once : t -> (Txn_rt.t -> 'a) -> ('a, string) result
 (** Single attempt, no retry: [Error reason] when the body requested an

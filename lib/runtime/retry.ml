@@ -44,10 +44,13 @@ let run ?(retries = 500) ?(on_retry = ignore) ~name ~self attempt =
         Obs.Metrics.incr m_give_ups;
         die ~name (Printf.sprintf "giving up after %d attempts" n)
       end;
-      (* Spin briefly, then poll on a short flat quantum: the expected
-         wait is the holder's remaining transaction time. *)
+      (* Spin briefly (the holder is usually mid-operation), then sleep
+         on a jittered exponential quantum keyed on our transaction id:
+         a flat quantum makes every loser of a conflict wake in
+         lockstep and collide again (see Backoff). *)
       enter_wait ();
-      if n < 10 then Domain.cpu_relax () else Unix.sleepf 2e-5;
+      if n < 10 then Domain.cpu_relax ()
+      else Unix.sleepf (Backoff.retry_delay ~key:(Txn_rt.id self) ~attempt:(n - 10));
       Obs.Metrics.incr m_retries;
       on_retry ();
       go (n + 1)

@@ -26,9 +26,11 @@ val run :
   (unit -> ('a, [< failure ]) result) ->
   'a
 (** Attempt until [Ok].  Conflicts against a younger holder (or unknown
-    holder, or [`Blocked]) are retried on a short flat quantum at most
-    [retries] times (default 500) before dying; conflicts where wait-die
-    says "die" raise {!Txn_rt.Abort_requested} immediately.
+    holder, or [`Blocked]) are retried — a brief spin, then a seeded,
+    jittered exponential backoff ({!Backoff.retry_delay}, capped ~1ms)
+    — at most [retries] times (default 500) before dying; conflicts
+    where wait-die says "die" raise {!Txn_rt.Abort_requested}
+    immediately.
 
     [on_retry] is called just before each re-attempt — the object layer
     uses it to stamp a [Retry] trace event.  Retry volume, wait-die

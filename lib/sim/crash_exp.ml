@@ -39,9 +39,9 @@ module Make (D : Wal.Codec.DURABLE) = struct
      power loss is not what is under test — and the rewrite threshold is
      effectively infinite so the full record history survives for the
      reference replay. *)
-  let run ~id ~dir ~scale ~limit ~conflict ~seed_ops ~body =
+  let run ?(group_commit = true) ~id ~dir ~scale ~limit ~conflict ~seed_ops ~body () =
     let path = Filename.concat dir (id ^ ".wal") in
-    let w = Wal.Log.create ~fsync:false ~compact_threshold:max_int path in
+    let w = Wal.Log.create ~fsync:false ~group_commit ~compact_threshold:max_int path in
     let mgr = Runtime.Manager.create ~wal:w () in
     let o = O.create ~wal:(w, D.codec) ~conflict () in
     (match seed_ops with
@@ -117,11 +117,11 @@ module A = Make (Adt.Account)
 
 let default_limit = 400
 
-let queue ?(scale = Experiments.quick_scale) ?(seed = 0) ~dir () =
+let queue ?(scale = Experiments.quick_scale) ?(seed = 0) ?group_commit ~dir () =
   let ops = 3 in
   let consumer_domains = scale.Experiments.domains / 2 in
   let total_deqs = consumer_domains * scale.Experiments.txns * ops in
-  Q.run ~id:"queue" ~dir ~scale ~limit:default_limit
+  Q.run ?group_commit ~id:"queue" ~dir ~scale ~limit:default_limit
     ~conflict:Adt.Fifo_queue.conflict_hybrid
     ~seed_ops:
       ( total_deqs,
@@ -135,12 +135,13 @@ let queue ?(scale = Experiments.quick_scale) ?(seed = 0) ~dir () =
         else ignore (Q.O.invoke q txn Adt.Fifo_queue.Deq);
         Driver.think config
       done)
+    ()
 
-let semiqueue ?(scale = Experiments.quick_scale) ?(seed = 0) ~dir () =
+let semiqueue ?(scale = Experiments.quick_scale) ?(seed = 0) ?group_commit ~dir () =
   let ops = 3 in
   let consumer_domains = scale.Experiments.domains / 2 in
   let total_rems = consumer_domains * scale.Experiments.txns * ops in
-  S.run ~id:"semiqueue" ~dir ~scale ~limit:default_limit
+  S.run ?group_commit ~id:"semiqueue" ~dir ~scale ~limit:default_limit
     ~conflict:Adt.Semiqueue.conflict_hybrid
     ~seed_ops:
       ( total_rems,
@@ -154,10 +155,11 @@ let semiqueue ?(scale = Experiments.quick_scale) ?(seed = 0) ~dir () =
         else ignore (S.O.invoke sq txn Adt.Semiqueue.Rem);
         Driver.think config
       done)
+    ()
 
-let account ?(scale = Experiments.quick_scale) ?(seed = 0) ~dir () =
+let account ?(scale = Experiments.quick_scale) ?(seed = 0) ?group_commit ~dir () =
   let ops = 3 in
-  A.run ~id:"account" ~dir ~scale ~limit:default_limit
+  A.run ?group_commit ~id:"account" ~dir ~scale ~limit:default_limit
     ~conflict:Adt.Account.conflict_hybrid
     ~seed_ops:
       (1, fun acc txn _ -> ignore (A.O.invoke acc txn (Adt.Account.Credit 1_000_000)))
@@ -169,6 +171,11 @@ let account ?(scale = Experiments.quick_scale) ?(seed = 0) ~dir () =
          else ignore (A.O.invoke acc txn (Adt.Account.Debit amount)));
         Driver.think config
       done)
+    ()
 
-let all ?scale ?seed ~dir () =
-  [ queue ?scale ?seed ~dir (); semiqueue ?scale ?seed ~dir (); account ?scale ?seed ~dir () ]
+let all ?scale ?seed ?group_commit ~dir () =
+  [
+    queue ?scale ?seed ?group_commit ~dir ();
+    semiqueue ?scale ?seed ?group_commit ~dir ();
+    account ?scale ?seed ?group_commit ~dir ();
+  ]

@@ -1,0 +1,50 @@
+(** Group-commit measurement: durable commit cost vs committer count.
+
+    The commit path's dominant cost is the fsync that makes the commit
+    record durable before any commit event is distributed (the
+    write-ahead rule).  Group commit amortizes it: the first committer
+    to reach {!Wal.Log.sync_upto} becomes the batch leader and its one
+    barrier covers every commit record appended so far, so the expected
+    fsyncs per commit is [1/k] at [k] overlapping committers.  This
+    module measures that on a contention-free workload (concurrent
+    [Inc]s on one counter — no lock conflicts under the hybrid
+    relation, so the sync is the only serialization left). *)
+
+type row = {
+  g_label : string;
+  g_domains : int;
+  g_group_commit : bool;
+  g_committed : int;
+  g_fsyncs : int;  (** sync barriers the log ran ({!Wal.Log.fsyncs}) *)
+  g_wall : float;
+  g_throughput : float;  (** committed transactions per second *)
+  g_p50_us : float;  (** commit latency percentiles, microseconds *)
+  g_p99_us : float;
+}
+
+val fsyncs_per_commit : row -> float
+val pp_header : Format.formatter -> unit -> unit
+val pp_row : Format.formatter -> row -> unit
+
+val run :
+  ?fsync:bool ->
+  ?sync_sleep_us:float ->
+  ?txns:int ->
+  label:string ->
+  dir:string ->
+  domains:int ->
+  group_commit:bool ->
+  unit ->
+  row
+(** One cell: [domains] committers, [txns] single-[Inc] transactions
+    each, against a fresh log at [dir/label.wal].  [fsync] defaults to
+    [true] (real durability — this is a disk benchmark); pass [false]
+    in tests that only care about batch accounting.  [sync_sleep_us]
+    installs a sleeping {!Wal.Log.set_sync_hook}, modelling a disk whose
+    barrier takes that long — on a fast (or lying) disk, commits may
+    barely overlap, so assertions about batch formation should pin the
+    barrier cost rather than trust the hardware to be slow. *)
+
+val sweep : ?fsync:bool -> ?txns:int -> dir:string -> domains:int list -> unit -> row list
+(** For each domain count: the serialized-fsync baseline and the
+    group-commit run, in that order. *)

@@ -132,7 +132,7 @@ let read_file path =
 let read path = parse (read_file path)
 
 (* ------------------------------------------------------------------ *)
-(* Writer with checkpoint-driven truncation                            *)
+(* Writer with checkpoint-driven truncation and group commit           *)
 
 let m_appends = Obs.Metrics.counter "wal.appends"
 let m_bytes = Obs.Metrics.counter "wal.bytes"
@@ -140,6 +140,13 @@ let m_fsyncs = Obs.Metrics.counter "wal.fsyncs"
 let m_checkpoints = Obs.Metrics.counter "wal.checkpoints"
 let m_rewrites = Obs.Metrics.counter "wal.rewrites"
 let h_fsync = Obs.Metrics.histogram "wal.fsync_latency"
+
+(* Records made durable per sync round: the group-commit batch size.
+   Buckets are counts, not seconds. *)
+let h_batch =
+  Obs.Metrics.histogram
+    ~bounds:[| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256. |]
+    "wal.fsync_batch"
 
 type txn_info = {
   mutable t_ops : (int * string * string) list; (* seq, obj, payload; newest first *)
@@ -149,12 +156,17 @@ type txn_info = {
 type t = {
   path : string;
   fsync : bool;
+  group_commit : bool;
   compact_threshold : int;
   mutex : Mutex.t;
+  cond : Condition.t; (* durable_lsn advanced, or the sync leader changed *)
   mutable fd : Unix.file_descr;
   mutable closed : bool;
-  mutable dirty : bool;
-  mutable seq : int; (* appends ever (survives rewrites) *)
+  mutable seq : int; (* appends ever = the appended-LSN watermark *)
+  mutable durable_lsn : int; (* every record with LSN <= this is durable *)
+  mutable syncing : bool; (* a sync leader is running (fd must not be swapped) *)
+  mutable n_syncs : int; (* completed durability rounds (one fsync each) *)
+  mutable sync_hook : (unit -> unit) option; (* test fault injection *)
   mutable file_records : int; (* records in the current file *)
   mutable file_bytes : int;
   (* live-set bookkeeping: exactly the records a rewrite must retain *)
@@ -164,17 +176,22 @@ type t = {
   committed : (int, int * int * txn_info) Hashtbl.t; (* txn -> (seq, ts, info) *)
 }
 
-let create ?(fsync = true) ?(compact_threshold = 512) path =
+let create ?(fsync = true) ?(group_commit = true) ?(compact_threshold = 512) path =
   let fd = Unix.openfile path Unix.[ O_WRONLY; O_CREAT; O_TRUNC; O_CLOEXEC ] 0o644 in
   {
     path;
     fsync;
+    group_commit;
     compact_threshold;
     mutex = Mutex.create ();
+    cond = Condition.create ();
     fd;
     closed = false;
-    dirty = false;
     seq = 0;
+    durable_lsn = 0;
+    syncing = false;
+    n_syncs = 0;
+    sync_hook = None;
     file_records = 0;
     file_bytes = 0;
     objs = Hashtbl.create 8;
@@ -261,7 +278,9 @@ let account t seq = function
 (* Rewrite the file down to the live set: per-object declarations and
    latest checkpoints first, then the retained transaction records in
    their original append order.  Atomic via write-to-temp + rename, so a
-   crash during the rewrite leaves the previous log intact. *)
+   crash during the rewrite leaves the previous log intact.  Must not
+   run while a sync leader is fsyncing outside the mutex — the leader
+   holds the old fd. *)
 let rewrite_locked t =
   let buf = Buffer.create 4096 in
   let count = ref 0 in
@@ -301,42 +320,118 @@ let rewrite_locked t =
   if t.fsync then fsync_dir t.path;
   Unix.close t.fd;
   t.fd <- Unix.openfile t.path Unix.[ O_WRONLY; O_APPEND; O_CLOEXEC ] 0o644;
+  (* The whole live set was just written (and, when durability is on,
+     fsynced through the rename): every appended record is durable. *)
+  t.durable_lsn <- t.seq;
   t.file_records <- !count;
   t.file_bytes <- Buffer.length buf;
-  t.dirty <- false;
   Obs.Metrics.incr m_rewrites
 
-let append t record =
+let maybe_rewrite_locked t =
+  if
+    (not t.syncing)
+    && t.file_records - live_records t >= t.compact_threshold
+  then rewrite_locked t
+
+let append_lsn t record =
   with_lock t (fun () ->
       if t.closed then invalid_arg "Wal.Log.append: log closed";
       let buf = Buffer.create 64 in
       frame buf record;
       let s = Buffer.contents buf in
       write_all t.fd s;
-      t.dirty <- true;
       t.seq <- t.seq + 1;
       t.file_records <- t.file_records + 1;
       t.file_bytes <- t.file_bytes + String.length s;
       Obs.Metrics.incr m_appends;
       Obs.Metrics.add m_bytes (String.length s);
       account t t.seq record;
-      let live = live_records t in
-      if t.file_records - live >= t.compact_threshold then rewrite_locked t)
+      let lsn = t.seq in
+      maybe_rewrite_locked t;
+      lsn)
+
+let append t record = ignore (append_lsn t record : int)
+
+(* ---- the durability point ----
+
+   [sync_upto t lsn] returns only once every record with LSN <= [lsn]
+   is durable.  The first committer to arrive becomes the {e leader}:
+   it snapshots the appended watermark, releases the mutex (in group
+   commit mode) and runs one fsync covering every record appended so
+   far; committers arriving meanwhile wait on [t.cond], so one fsync
+   retires a whole batch.  In [group_commit = false] mode the fsync
+   runs while holding the mutex — appends (and hence commit-timestamp
+   draws) serialize behind it, which is the pre-group-commit baseline
+   the bench compares against.
+
+   A failing fsync wakes all waiters without advancing [durable_lsn];
+   each waiter re-enters leader election, so a transient fault retries
+   while a persistent one surfaces to every committer in the batch. *)
+
+let run_sync_barrier t =
+  (match t.sync_hook with Some f -> f () | None -> ());
+  if t.fsync then begin
+    let t0 = Obs.Clock.now_ns () in
+    Unix.fsync t.fd;
+    Obs.Metrics.observe h_fsync (Obs.Clock.ns_to_s (Obs.Clock.now_ns () - t0));
+    Obs.Metrics.incr m_fsyncs
+  end
+
+let rec sync_wait t lsn =
+  if t.closed then invalid_arg "Wal.Log.sync_upto: log closed";
+  if t.durable_lsn < lsn then
+    if t.syncing then begin
+      Condition.wait t.cond t.mutex;
+      sync_wait t lsn
+    end
+    else begin
+      (* Become the leader for everything appended so far. *)
+      t.syncing <- true;
+      let target = t.seq in
+      let prev = t.durable_lsn in
+      let result =
+        if t.group_commit then begin
+          (* fsync outside the mutex: later committers keep appending
+             (the next batch forms during this fsync).  [t.syncing]
+             pins [t.fd]: no rewrite may swap it underneath us. *)
+          Mutex.unlock t.mutex;
+          let r = try Ok (run_sync_barrier t) with e -> Error e in
+          Mutex.lock t.mutex;
+          r
+        end
+        else (try Ok (run_sync_barrier t) with e -> Error e)
+      in
+      t.syncing <- false;
+      (match result with
+      | Ok () ->
+        t.durable_lsn <- max t.durable_lsn target;
+        t.n_syncs <- t.n_syncs + 1;
+        Obs.Metrics.observe h_batch (float_of_int (target - prev));
+        (* A rewrite deferred because we were syncing can run now. *)
+        maybe_rewrite_locked t
+      | Error _ -> ());
+      Condition.broadcast t.cond;
+      match result with
+      | Ok () -> if t.durable_lsn < lsn then sync_wait t lsn
+      | Error e -> raise e
+    end
+
+let sync_upto t lsn = with_lock t (fun () -> sync_wait t lsn)
 
 let sync t =
-  with_lock t (fun () ->
-      if t.dirty && t.fsync then begin
-        let t0 = Obs.Clock.now_ns () in
-        Unix.fsync t.fd;
-        Obs.Metrics.observe h_fsync (Obs.Clock.ns_to_s (Obs.Clock.now_ns () - t0));
-        Obs.Metrics.incr m_fsyncs;
-        t.dirty <- false
-      end)
+  with_lock t (fun () -> if t.durable_lsn < t.seq then sync_wait t t.seq)
+
+let set_sync_hook t hook = with_lock t (fun () -> t.sync_hook <- Some hook)
+let clear_sync_hook t = with_lock t (fun () -> t.sync_hook <- None)
 
 let close t =
   with_lock t (fun () ->
+      (* Let any in-flight leader finish with the fd it holds. *)
+      while t.syncing do
+        Condition.wait t.cond t.mutex
+      done;
       if not t.closed then begin
-        if t.dirty && t.fsync then Unix.fsync t.fd;
+        if t.durable_lsn < t.seq && t.fsync then Unix.fsync t.fd;
         Unix.close t.fd;
         t.closed <- true
       end)
@@ -344,6 +439,10 @@ let close t =
 let file_records t = with_lock t (fun () -> t.file_records)
 let file_bytes t = with_lock t (fun () -> t.file_bytes)
 let live t = with_lock t (fun () -> live_records t)
+let appended_lsn t = with_lock t (fun () -> t.seq)
+let durable_lsn t = with_lock t (fun () -> t.durable_lsn)
+let fsyncs t = with_lock t (fun () -> t.n_syncs)
+let group_commit t = t.group_commit
 
 let checkpoint_upto t obj =
   with_lock t (fun () -> Option.map fst (Hashtbl.find_opt t.ckpts obj))
@@ -363,7 +462,11 @@ let stats_json t () =
           ("checkpoints", Obs.Json.Int (Hashtbl.length t.ckpts));
           ("active_txns", Obs.Json.Int (Hashtbl.length t.active));
           ("committed_retained", Obs.Json.Int (Hashtbl.length t.committed));
-          ("dirty", Obs.Json.Bool t.dirty);
+          ("appended_lsn", Obs.Json.Int t.seq);
+          ("durable_lsn", Obs.Json.Int t.durable_lsn);
+          ("fsyncs", Obs.Json.Int t.n_syncs);
+          ("group_commit", Obs.Json.Bool t.group_commit);
+          ("dirty", Obs.Json.Bool (t.durable_lsn < t.seq));
         ])
 
 let register_introspection t =
@@ -378,4 +481,9 @@ let register_introspection t =
      retain because some touched object has not checkpointed past their
      timestamp — the log's checkpoint lag. *)
   Obs.Gauge.callback ~labels "wal_checkpoint_lag" (fun () ->
-      float_of_int (with_lock t (fun () -> Hashtbl.length t.committed)))
+      float_of_int (with_lock t (fun () -> Hashtbl.length t.committed)));
+  (* Appended-but-not-yet-durable records: the durability analogue of
+     Theorem 24's compaction debt.  Under group commit it is bounded by
+     one batch; sustained growth means fsync is losing the race. *)
+  Obs.Gauge.callback ~labels "wal_durable_lag" (fun () ->
+      float_of_int (with_lock t (fun () -> t.seq - t.durable_lsn)))

@@ -24,7 +24,30 @@
     latest checkpoints, intentions not yet covered by every touched
     object's checkpoint) and rewrites the file down to that set once
     enough dead records accumulate — keeping the log O(live
-    transactions) instead of O(history). *)
+    transactions) instead of O(history).
+
+    {2 Durability: LSNs and group commit}
+
+    Every append is assigned a log sequence number (LSN, counting
+    appends ever, surviving rewrites).  Two watermarks define the
+    durability state: {!appended_lsn} (everything written to the OS) and
+    {!durable_lsn} (everything forced to stable storage).  The
+    {e durability point} of a record is the return of {!sync_upto} for
+    its LSN: the record — and every record appended before it — is then
+    on disk.
+
+    {!sync_upto} batches.  The first committer to need a sync becomes
+    the {e leader}: it snapshots [appended_lsn] and runs a single fsync
+    covering every record appended so far, while later committers wait
+    on a condition variable until [durable_lsn] passes their LSN — so N
+    concurrent commits share one fsync, and the fsync runs {e outside}
+    the log mutex, letting the next batch's appends (and hence the
+    manager's commit-timestamp draws) proceed meanwhile.  Batching never
+    reorders the file: appends stay strictly ordered by the log mutex,
+    so durable commit-record order remains commit-timestamp order.
+    With [group_commit = false] the fsync runs while holding the log
+    mutex (every committer pays a serialized fsync) — the
+    pre-group-commit baseline. *)
 
 type record =
   | Object of { obj : string; adt : string }
@@ -51,17 +74,43 @@ val read : string -> record list * tail
 
 type t
 
-val create : ?fsync:bool -> ?compact_threshold:int -> string -> t
+val create : ?fsync:bool -> ?group_commit:bool -> ?compact_threshold:int -> string -> t
 (** Open a fresh log at the given path (truncating any previous file).
-    [fsync:false] turns {!sync} into a no-op — for experiments where
-    durability across power loss is not under test.  A rewrite triggers
-    once [compact_threshold] (default 512) dead records accumulate. *)
+    [fsync:false] turns the durability barrier into bookkeeping only —
+    for experiments where durability across power loss is not under
+    test (the sync hook still runs, so fault injection works without
+    paying real fsyncs).  [group_commit] (default [true]) selects the
+    batched leader/follower sync; [false] restores the serialized
+    one-fsync-per-{!sync_upto} baseline.  A rewrite triggers once
+    [compact_threshold] (default 512) dead records accumulate. *)
 
 val append : t -> record -> unit
-(** Thread-safe; buffered by the OS until {!sync}. *)
+(** Thread-safe; buffered by the OS until a sync covers it. *)
+
+val append_lsn : t -> record -> int
+(** Like {!append} but returns the record's LSN — the value to hand to
+    {!sync_upto} to reach this record's durability point. *)
+
+val sync_upto : t -> int -> unit
+(** Block until every record with LSN at or below the argument is
+    durable (see the group-commit protocol above).  Raises whatever the
+    failing fsync (or an installed {!set_sync_hook} hook) raised; on
+    failure [durable_lsn] has {e not} advanced, and the records' fate on
+    stable storage is unknown — callers must treat this as
+    crash-equivalent for anything already appended (see
+    {!Runtime.Manager}'s [Durability_lost]). *)
 
 val sync : t -> unit
-(** fsync if there are unsynced appends (and [fsync] was not disabled). *)
+(** [sync_upto] to the current appended watermark, if anything is
+    outstanding. *)
+
+val set_sync_hook : t -> (unit -> unit) -> unit
+(** Install a hook that runs at every durability point, just before the
+    fsync (and even when [fsync:false]).  A raising hook makes the sync
+    fail exactly like a failing fsync — the regression tests inject
+    durability faults with this. *)
+
+val clear_sync_hook : t -> unit
 
 val close : t -> unit
 val path : t -> string
@@ -75,16 +124,34 @@ val live : t -> int
 (** Size of the live set a rewrite would retain — the O(live
     transactions) bound the acceptance criterion measures. *)
 
+val appended_lsn : t -> int
+(** LSN of the latest append (0 if none). *)
+
+val durable_lsn : t -> int
+(** Highest LSN known durable.  [appended_lsn - durable_lsn] is the
+    durable lag — the records a crash right now would tear off. *)
+
+val fsyncs : t -> int
+(** Completed durability rounds — with [fsync] enabled, exactly the
+    number of [Unix.fsync] calls the sync path has made.  The group
+    commit acceptance criterion is [fsyncs t < commits] under concurrent
+    committers. *)
+
+val group_commit : t -> bool
+
 val checkpoint_upto : t -> string -> int option
 (** The latest checkpointed horizon for an object, if any. *)
 
 val register_introspection : t -> unit
 (** Register this log with the live-introspection registry: a ["wal"]
-    snapshot channel provider (file/live record and byte counts,
-    checkpoint and active-transaction tallies, dirty flag) and callback
-    gauges [wal_file_bytes], [wal_live_records] and [wal_checkpoint_lag]
-    (committed transactions whose records the compactor must retain
-    because some touched object has not checkpointed past them), all
-    labelled by the log's file name.  Fsync latency is always recorded
-    in the [wal.fsync_latency] histogram; this call only adds the
-    level-style views. *)
+    snapshot channel provider (file/live record and byte counts, LSN
+    watermarks, checkpoint and active-transaction tallies, dirty flag)
+    and callback gauges [wal_file_bytes], [wal_live_records],
+    [wal_checkpoint_lag] (committed transactions whose records the
+    compactor must retain because some touched object has not
+    checkpointed past them) and [wal_durable_lag]
+    ([appended_lsn - durable_lsn], the durability analogue of
+    Theorem 24's compaction debt), all labelled by the log's file name.
+    Fsync latency is always recorded in the [wal.fsync_latency]
+    histogram and per-round batch sizes in [wal.fsync_batch]; this call
+    only adds the level-style views. *)
