@@ -349,6 +349,39 @@ let test_wal_overhead =
         (Staged.stage (durable ~group_commit:false ~fsync:true "fsync-serial"));
     ]
 
+(* Cell-locking cost: the same 4-key directory transaction through the
+   full runtime against a whole-object machine and a partitioned one.
+   Single-threaded, so this prices the partition plumbing itself — the
+   cell routing, the per-cell mutexes and lock machines, the fibonacci
+   key hash — not the concurrency it buys (that is EXP-DIRECTORY's
+   job).  The keys are fixed and distinct, so the partitioned run
+   touches 4 separate cells per transaction (the worst case for the
+   plumbing: 4 machines' views instead of 1). *)
+let test_partition_overhead =
+  let keys = [ 0; 1; 2; 3 ] in
+  let whole =
+    let mgr = Runtime.Manager.create () in
+    let module DObj = Runtime.Atomic_obj.Make (Adt.Directory) in
+    let d = DObj.create ~conflict:Adt.Directory.conflict_hybrid () in
+    fun () ->
+      Runtime.Manager.run mgr (fun txn ->
+          List.iter (fun k -> ignore (DObj.invoke d txn (Adt.Directory.Insert k))) keys;
+          List.iter (fun k -> ignore (DObj.invoke d txn (Adt.Directory.Remove k))) keys)
+  in
+  let celled =
+    let mgr = Runtime.Manager.create () in
+    let d = Part.Pdir.create ~cells:8 () in
+    fun () ->
+      Runtime.Manager.run mgr (fun txn ->
+          List.iter (fun k -> ignore (Part.Pdir.invoke d txn (Adt.Directory.Insert k))) keys;
+          List.iter (fun k -> ignore (Part.Pdir.invoke d txn (Adt.Directory.Remove k))) keys)
+  in
+  Test.make_grouped ~name:"partition-overhead-directory"
+    [
+      Test.make ~name:"whole-object" (Staged.stage whole);
+      Test.make ~name:"cell-locked-8" (Staged.stage celled);
+    ]
+
 (* Offline trace-analysis cost: folding a captured window into the
    conflict matrix / waits-for report and serializing it.  The window is
    synthetic (a contended retry/grant pattern) so the fold cost is
@@ -393,6 +426,7 @@ let all_tests =
       test_obs_overhead;
       test_live_exposition;
       test_wal_overhead;
+      test_partition_overhead;
       test_trace_analysis;
     ]
 

@@ -36,15 +36,18 @@ let figures_cmd id verbose =
 let scale_of domains txns think_us =
   { Sim.Experiments.domains; txns; think_us }
 
-let select_tables ~scale ~seed ?wal id =
+let select_tables ~scale ~seed ?(key_skew = 0.) ?(cells = 8) ?wal id =
   match id with
   | None -> Sim.Experiments.all ~scale ~seed ?wal ()
   | Some "queue" -> [ Sim.Experiments.exp_queue_enq ~scale ~seed ?wal () ]
   | Some "queue-mixed" -> [ Sim.Experiments.exp_queue_mixed ~scale ~seed ?wal () ]
   | Some "account" -> [ Sim.Experiments.exp_account ~scale ~seed ?wal () ]
   | Some "semiqueue" -> [ Sim.Experiments.exp_semiqueue ~scale ~seed ?wal () ]
+  | Some "directory" ->
+    [ Sim.Experiments.exp_directory ~scale ~seed ~key_skew ~cells ?wal () ]
   | Some other ->
-    Format.eprintf "unknown experiment id %S (use queue, queue-mixed, account, semiqueue)@."
+    Format.eprintf
+      "unknown experiment id %S (use queue, queue-mixed, account, semiqueue, directory)@."
       other;
     exit 2
 
@@ -75,9 +78,31 @@ let with_out_file file f =
       close_out oc)
     (fun () -> f ppf)
 
+(* The gate needs enough concurrent overlap to make the cell-blind
+   machine's refusal mass statistically solid, so it pins its own scale
+   (overriding --quick and the size options) and forces observability on
+   — fired-conflict mass comes from the trace window. *)
+let gate_scale = { Sim.Experiments.domains = 4; txns = 150; think_us = 20. }
+
+let partition_gate_exit tables =
+  match List.find_opt (fun t -> t.Sim.Experiments.id = "EXP-DIRECTORY") tables with
+  | None ->
+    Format.eprintf "--partition-gate needs the directory experiment (use --id directory)@.";
+    exit 2
+  | Some t -> (
+    match Sim.Experiments.partition_gate t with
+    | Ok (blind, celled) ->
+      Format.printf
+        "partition gate: cell-blind fired-conflict mass %d >= 5x cell-locked %d — OK@."
+        blind celled
+    | Error e ->
+      Format.eprintf "%s@." e;
+      exit 1)
+
 let experiments_cmd id deterministic quick metrics seed wal_dir group_commit domains txns
-    think_us =
+    think_us key_skew cells gate =
   Runtime.Backoff.set_seed seed;
+  if gate then Obs.Control.set_enabled true;
   if deterministic then begin
     let tables =
       match id with
@@ -96,7 +121,9 @@ let experiments_cmd id deterministic quick metrics seed wal_dir group_commit dom
   end
   else begin
     let scale =
-      if quick then Sim.Experiments.quick_scale else scale_of domains txns think_us
+      if gate then gate_scale
+      else if quick then Sim.Experiments.quick_scale
+      else scale_of domains txns think_us
     in
     Obs.Metrics.annotate "run.seed" (string_of_int seed);
     let wal =
@@ -108,7 +135,7 @@ let experiments_cmd id deterministic quick metrics seed wal_dir group_commit dom
           w)
         wal_dir
     in
-    let tables = select_tables ~scale ~seed ?wal id in
+    let tables = select_tables ~scale ~seed ~key_skew ~cells ?wal id in
     (match wal with
     | Some w ->
       Wal.Log.close w;
@@ -124,17 +151,19 @@ let experiments_cmd id deterministic quick metrics seed wal_dir group_commit dom
         (List.length (Obs.Trace.entries tr))
         (Obs.Trace.dropped tr)
     end;
-    audit_exit tables
+    audit_exit tables;
+    if gate then partition_gate_exit tables
   end
 
-let trace_cmd id quick conflicts waitfor chrome metrics_json seed domains txns think_us =
+let trace_cmd id quick conflicts waitfor chrome metrics_json seed domains txns think_us
+    key_skew cells =
   Obs.Control.set_enabled true;
   Runtime.Backoff.set_seed seed;
   let scale =
     if quick then Sim.Experiments.quick_scale else scale_of domains txns think_us
   in
   Obs.Metrics.annotate "run.seed" (string_of_int seed);
-  let tables = select_tables ~scale ~seed id in
+  let tables = select_tables ~scale ~seed ~key_skew ~cells id in
   List.iter (fun t -> Format.printf "%a@." Sim.Experiments.pp_table t) tables;
   if conflicts then
     List.iter (fun t -> Format.printf "%a@." Sim.Experiments.pp_conflicts t) tables;
@@ -553,6 +582,32 @@ let group_commit_arg =
                     behaviour, kept as a baseline)." );
         ])
 
+let key_skew_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "key-skew" ] ~docv:"S"
+        ~doc:
+          "Zipf skew of the cell-key draw in the directory experiment: 0 is uniform \
+           (fully partitionable traffic), larger values concentrate operations on key 0 \
+           (contended-single-key traffic).  Seeded from $(b,--seed).")
+
+let cells_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "cells" ] ~docv:"N"
+        ~doc:"Cell count of the cell-locked machine in the directory experiment.")
+
+let partition_gate_arg =
+  Arg.(
+    value & flag
+    & info [ "partition-gate" ]
+        ~doc:
+          "Assert the cell-locking claim and exit non-zero if it fails: on the directory \
+           experiment's table, the key-blind whole-object machine must fire at least 5x \
+           the conflict mass of the cell-locked machine.  Forces observability on and \
+           pins the run to the gate scale (4 domains x 150 txns, think 20us), overriding \
+           the size options.")
+
 let figures_t =
   Cmd.v
     (Cmd.info "figures" ~doc:"Regenerate the paper's figures from the specifications")
@@ -563,7 +618,8 @@ let experiments_t =
     (Cmd.info "experiments" ~doc:"Run the measured concurrency experiments")
     Term.(
       const experiments_cmd $ id_arg $ deterministic_arg $ quick_arg $ metrics_arg
-      $ seed_arg $ wal_arg $ group_commit_arg $ domains_arg $ txns_arg $ think_arg)
+      $ seed_arg $ wal_arg $ group_commit_arg $ domains_arg $ txns_arg $ think_arg
+      $ key_skew_arg $ cells_arg $ partition_gate_arg)
 
 let conflicts_arg =
   Arg.(
@@ -608,7 +664,8 @@ let trace_t =
           non-zero on an atomicity violation or a waits-for cycle.")
     Term.(
       const trace_cmd $ id_arg $ quick_arg $ conflicts_arg $ waitfor_arg $ chrome_arg
-      $ metrics_json_arg $ seed_arg $ domains_arg $ txns_arg $ think_arg)
+      $ metrics_json_arg $ seed_arg $ domains_arg $ txns_arg $ think_arg $ key_skew_arg
+      $ cells_arg)
 
 let history_t =
   Cmd.v

@@ -48,6 +48,15 @@ let op_label = function
 let op_values = function
   | (Credit n | Post n | Debit n), _ -> [ n ]
 
+(* A naive "partition by amount" cell assignment.  It is UNSOUND — all
+   amounts drain one shared balance, so a Debit(2) in one cell can
+   invalidate a Debit(3) response in another — and is kept only as the
+   required negative example: the partition tests check that
+   Spec.Partition rejects it with a concrete counterexample.  The
+   shipped partitioned account (Part.Paccount) uses escrow sub-balances
+   instead. *)
+let cell_of_amount = function Credit n | Post n | Debit n -> Some n
+
 let dependency_fig_4_5 q p =
   match (q, p) with
   | (Debit _, Ok), (Debit _, Ok) -> true

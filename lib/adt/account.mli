@@ -46,6 +46,14 @@ val dependency_fig_4_5 : op -> op -> bool
     Debit depends on successful Debits; an Overdraft depends on Credits
     and Posts. *)
 
+val cell_of_amount : inv -> int option
+(** A naive by-amount cell assignment — {e unsound}, kept as the
+    required negative example for {!Spec.Partition}: all amounts drain
+    one shared balance, so the cell restriction drops load-bearing
+    Debit/Debit pairs and the tests retrieve the Definition-3
+    counterexample.  The shipped partitioned account ([Part.Paccount])
+    uses escrow sub-balances instead. *)
+
 val conflict_hybrid : op -> op -> bool
 (** Symmetric closure of {!dependency_fig_4_5} — the conflict relation
     installed by the appendix's [account] constructor:

@@ -77,6 +77,11 @@ let op_values = function (Insert k | Remove k | Member k), _ -> [ k ]
 
 let key_of = function (Insert k | Remove k | Member k), _ -> k
 
+(* The natural cell partition: one cell per key.  Every operation
+   addresses exactly one key, so nothing falls back to the whole-object
+   cell and the cell-restricted relation equals dependency_hybrid. *)
+let cell_of_inv = function Insert k | Remove k | Member k -> Some k
+
 (* Presence/absence requirements drive the dependencies: an operation
    whose response requires the key to be absent is invalidated by a
    successful Insert of that key, and one requiring presence by a
@@ -99,6 +104,21 @@ let dependency_hybrid q p =
 
 let symmetric rel p q = rel p q || rel q p
 let conflict_hybrid = symmetric dependency_hybrid
+
+(* dependency_hybrid with the same-key restriction erased: the relation
+   an object-granularity lock manager must install when it cannot see
+   keys (it has to assume any Insert may invalidate any absence
+   requirement).  A superset of a dependency relation is still a
+   dependency relation, so this is sound — just needlessly coarse.  It
+   is the whole-object baseline the cell-locking experiments compare
+   against. *)
+let dependency_whole_object q p =
+  match p with
+  | Insert _, Ok -> requires_absence q
+  | Remove _, Ok -> requires_presence q
+  | (Insert _ | Remove _ | Member _), _ -> false
+
+let conflict_whole_object = symmetric dependency_whole_object
 
 (* For the Directory, failure-to-commute happens to coincide with the
    symmetric closure of the minimal dependency relation (asserted by the

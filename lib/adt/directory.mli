@@ -44,6 +44,20 @@ val conflict_commutativity : op -> op -> bool
 val conflict_rw : op -> op -> bool
 (** [Member] is the only reader. *)
 
+val key_of : op -> int
+(** The key an operation addresses. *)
+
+val cell_of_inv : inv -> int option
+(** One cell per key ({!Spec.Partition.SPEC}): always [Some key], so no
+    operation falls back to the whole-object cell and the
+    cell-restricted relation coincides with {!dependency_hybrid}. *)
+
+val conflict_whole_object : op -> op -> bool
+(** {!conflict_hybrid} with the same-key restriction erased — what an
+    object-granularity lock manager blind to keys must install.  Sound
+    (a superset of a dependency relation is one) but coarse; the
+    whole-object baseline of the cell-locking experiments. *)
+
 val codec : (inv, res, state) Wal.Codec.t
 (** Byte (de)serializers for the durability layer; together with the
     serial specification this module satisfies {!Wal.Codec.DURABLE}.

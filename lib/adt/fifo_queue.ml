@@ -43,6 +43,15 @@ let op_values = function
   | Deq, Val v -> [ v ]
   | Deq, Ok -> []
 
+(* Head/tail lock striping: Deq works at the head, Enq at the tail.
+   Under Figure 4-3 the restriction drops nothing (Enq/Deq never
+   conflict there), so striping is sound; under Figure 4-2 it would
+   drop the Deq-depends-on-Enq pairs and is provably unsound — the
+   partition tests exhibit the counterexample. *)
+let cell_head = 0
+let cell_tail = 1
+let cell_of_inv = function Enq _ -> Some cell_tail | Deq -> Some cell_head
+
 let dependency_fig_4_2 q p =
   match (q, p) with
   | (Deq, Val v), (Enq v', Ok) -> v <> v'

@@ -36,6 +36,17 @@ val deq : int -> op
 val dependency_fig_4_2 : op -> op -> bool
 val dependency_fig_4_3 : op -> op -> bool
 
+val cell_head : int
+val cell_tail : int
+
+val cell_of_inv : inv -> int option
+(** Head/tail lock striping ({!Spec.Partition.SPEC}): [Deq] addresses
+    {!cell_head}, [Enq] {!cell_tail}.  Sound for {!dependency_fig_4_3}
+    (whose Enq/Deq pairs never conflict, so the restriction drops
+    nothing) and provably unsound for {!dependency_fig_4_2} (the
+    restriction drops Deq-depends-on-Enq; the partition tests retrieve
+    the Definition-3 counterexample). *)
+
 val conflict_hybrid : op -> op -> bool
 (** Symmetric closure of {!dependency_fig_4_2} — allows concurrent
     enqueues.  This is the relation showcased by the paper's protocol. *)

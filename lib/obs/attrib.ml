@@ -5,6 +5,10 @@ type kind = Inv | Res | Op
    is off the per-operation fast path (first occurrence only). *)
 let labels : (int * kind * int, string) Hashtbl.t = Hashtbl.create 256
 let object_names : (int, string) Hashtbl.t = Hashtbl.create 32
+
+(* obj key -> cell key, for objects that are one cell of a partitioned
+   logical object; absent for whole-object-granularity objects. *)
+let object_cells : (int, int) Hashtbl.t = Hashtbl.create 32
 let registry_mutex = Mutex.create ()
 
 let with_registry f =
@@ -16,9 +20,14 @@ let register_label ~obj ~kind ~code l =
       if not (Hashtbl.mem labels (obj, kind, code)) then
         Hashtbl.add labels (obj, kind, code) l)
 
-let register_object ~obj name =
+let register_object ~obj ?cell name =
   with_registry (fun () ->
-      if not (Hashtbl.mem object_names obj) then Hashtbl.add object_names obj name)
+      if not (Hashtbl.mem object_names obj) then Hashtbl.add object_names obj name;
+      match cell with
+      | Some c when not (Hashtbl.mem object_cells obj) -> Hashtbl.add object_cells obj c
+      | _ -> ())
+
+let object_cell ~obj = with_registry (fun () -> Hashtbl.find_opt object_cells obj)
 
 let fallback kind code =
   let prefix = match kind with Inv -> "inv" | Res -> "res" | Op -> "op" in

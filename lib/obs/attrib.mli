@@ -30,8 +30,14 @@ type kind = Inv | Res | Op
 val register_label : obj:int -> kind:kind -> code:int -> string -> unit
 (** Record the label for a code; first registration wins.  Thread-safe. *)
 
-val register_object : obj:int -> string -> unit
-(** Record an object's display name (used by reports and {!Export}). *)
+val register_object : obj:int -> ?cell:int -> string -> unit
+(** Record an object's display name (used by reports and {!Export}).
+    [cell] additionally marks the object as one cell of a partitioned
+    logical object ({!Spec.Partition}); matrix rows for such objects are
+    per-cell rows, and {!object_cell} recovers the grouping. *)
+
+val object_cell : obj:int -> int option
+(** The cell key registered for an object, if it is a partition cell. *)
 
 val label : obj:int -> kind:kind -> int -> string
 (** The registered label, or ["op#N"]/["inv#N"]/["res#N"] when none. *)

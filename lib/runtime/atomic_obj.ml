@@ -70,6 +70,7 @@ module Make (A : Spec.Adt_sig.S) = struct
   type t = {
     name : string;
     key : int; (* process-unique, for participant registration *)
+    cell : int option; (* cell of a partitioned logical object, if any *)
     mutex : Mutex.t;
     mutable machine : C.t;
     mutable invocations : int;
@@ -102,19 +103,20 @@ module Make (A : Spec.Adt_sig.S) = struct
 
   let default_op_label (i, r) = Format.asprintf "%a/%a" A.pp_inv i A.pp_res r
 
-  let create ?name ?(record = false) ?trace ?wal ?(op_label = default_op_label) ~conflict
-      () =
+  let create ?name ?cell ?(record = false) ?trace ?wal ?(op_label = default_op_label)
+      ~conflict () =
     let key = Txn_rt.fresh_object_key () in
     let name = match name with Some n -> n | None -> Printf.sprintf "%s#%d" A.name key in
-    Obs.Attrib.register_object ~obj:key name;
+    Obs.Attrib.register_object ~obj:key ?cell name;
     (* Declare the object up front so recovery can dispatch this log's
        records to the right DURABLE implementation by ADT name. *)
     (match wal with
-    | Some (w, _) -> Wal.Log.append w (Wal.Log.Object { obj = name; adt = A.name })
+    | Some (w, _) -> Wal.Log.append w (Wal.Log.Object { obj = name; adt = A.name; cell })
     | None -> ());
     {
       name;
       key;
+      cell;
       mutex = Mutex.create ();
       machine = C.create ~conflict;
       invocations = 0;
@@ -140,6 +142,7 @@ module Make (A : Spec.Adt_sig.S) = struct
 
   let name t = t.name
   let key t = t.key
+  let cell t = t.cell
 
   let with_lock t f =
     Mutex.lock t.mutex;
@@ -168,13 +171,18 @@ module Make (A : Spec.Adt_sig.S) = struct
             (C.active t.machine)
         in
         Obs.Json.Obj
-          [
-            ("object", Obs.Json.String t.name);
-            ("key", Obs.Json.Int t.key);
-            ("active", Obs.Json.List rows);
-            ("conflicts", Obs.Json.Int t.conflicts);
-            ("blocked", Obs.Json.Int t.blocked);
-          ])
+          ([
+             ("object", Obs.Json.String t.name);
+             ("key", Obs.Json.Int t.key);
+           ]
+          @ (match t.cell with
+            | Some c -> [ ("cell", Obs.Json.Int c) ]
+            | None -> [])
+          @ [
+              ("active", Obs.Json.List rows);
+              ("conflicts", Obs.Json.Int t.conflicts);
+              ("blocked", Obs.Json.Int t.blocked);
+            ]))
 
   let horizon_json t () =
     with_lock t (fun () ->
@@ -308,7 +316,7 @@ module Make (A : Spec.Adt_sig.S) = struct
         match (t.wal, after.C.s_folded_upto) with
         | Some (w, codec), Hybrid.Xts.Fin upto ->
           let payload = Wal.Codec.encode_states codec (C.version_states t.machine) in
-          Wal.Log.append w (Wal.Log.Checkpoint { obj = t.name; upto; payload })
+          Wal.Log.append w (Wal.Log.Checkpoint { obj = t.name; upto; payload; cell = t.cell })
         | _ -> ()
       end
     end
@@ -371,7 +379,12 @@ module Make (A : Spec.Adt_sig.S) = struct
             | Some (w, codec) ->
               Wal.Log.append w
                 (Wal.Log.Intention
-                   { obj = t.name; txn = qid; payload = Wal.Codec.encode_op codec (i, r) })
+                   {
+                     obj = t.name;
+                     txn = qid;
+                     payload = Wal.Codec.encode_op codec (i, r);
+                     cell = t.cell;
+                   })
             | None -> ());
             push_event t (H.Respond (q, r));
             emit t ~txn:qid (Obs.Trace.Respond (encode_res t r));

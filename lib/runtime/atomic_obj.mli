@@ -30,6 +30,7 @@ module Make (A : Spec.Adt_sig.S) : sig
 
   val create :
     ?name:string ->
+    ?cell:int ->
     ?record:bool ->
     ?trace:Obs.Trace.t ->
     ?wal:Wal.Log.t * (A.inv, A.res, A.state) Wal.Codec.t ->
@@ -37,7 +38,13 @@ module Make (A : Spec.Adt_sig.S) : sig
     conflict:(op -> op -> bool) ->
     unit ->
     t
-  (** [record] keeps the object-local event history for offline
+  (** [cell] marks this object as one cell of a partitioned logical
+      object (see {!Spec.Partition} and [Part.Cells]): the key is
+      carried by the object's WAL [Object]/[Intention]/[Checkpoint]
+      records, surfaced as a ["cell"] field in the ["locks"] snapshot
+      row, and attached to the object's {!Obs.Attrib} registration so
+      attribution reports can group per-cell rows under their logical
+      object.  [record] keeps the object-local event history for offline
       atomicity checking (tests); off by default.  [trace] attaches an
       explicit trace ring as this object's event sink, bypassing the
       {!Obs.Control} switch; without it events go to {!Obs.Trace.global}
@@ -59,6 +66,10 @@ module Make (A : Spec.Adt_sig.S) : sig
   val key : t -> int
   (** The process-unique object key tagging this object's trace
       entries. *)
+
+  val cell : t -> int option
+  (** The cell key supplied at creation, if this object is one cell of a
+      partitioned logical object. *)
 
   val try_invoke : t -> Txn_rt.t -> A.inv -> (A.res, Retry.failure) result
   (** One protocol attempt.  [`Conflict h]: every legal response needs a

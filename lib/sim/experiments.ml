@@ -138,6 +138,7 @@ let params_of ?(seed = 0) scale ops =
 module Qobj = Runtime.Atomic_obj.Make (Adt.Fifo_queue)
 module Sobj = Runtime.Atomic_obj.Make (Adt.Semiqueue)
 module Aobj = Runtime.Atomic_obj.Make (Adt.Account)
+module Dobj = Runtime.Atomic_obj.Make (Adt.Directory)
 
 (* Pair the manager's log (if any) with the object's codec, the shape
    [Atomic_obj.create ?wal] wants. *)
@@ -145,6 +146,7 @@ let durable mgr codec = Option.map (fun w -> (w, codec)) (Runtime.Manager.wal mg
 module Qprof = Conflict_profile.Make (Adt.Fifo_queue)
 module Sprof = Conflict_profile.Make (Adt.Semiqueue)
 module Aprof = Conflict_profile.Make (Adt.Account)
+module Dprof = Conflict_profile.Make (Adt.Directory)
 
 (* Run one relation variant of a workload and collect its row.  [stats]
    extracts the object counters after the run and [replay] replay-checks
@@ -455,10 +457,105 @@ let exp_semiqueue ?(scale = default_scale) ?(seed = 0) ?wal () =
     rows;
   }
 
+(* ------------------------------------------------------------------ *)
+(* EXP-DIRECTORY: locking granularity on a key-partitioned Directory   *)
+
+(* ~40% Insert / 30% Remove / 30% Member over a Zipf-drawn key.  The
+   offset in the mix hash decorrelates it from the key draw. *)
+let directory_mix ~seed ~keys ~domain ~seq k =
+  let key = Conflict_profile.Keys.draw keys ~seed ~domain ~seq ~k in
+  match pseudo ~seed domain seq (k + 11) mod 10 with
+  | 0 | 1 | 2 | 3 -> Adt.Directory.Insert key
+  | 4 | 5 | 6 -> Adt.Directory.Remove key
+  | _ -> Adt.Directory.Member key
+
+let exp_directory ?(scale = default_scale) ?(seed = 0) ?(key_skew = 0.) ?(keys = 64)
+    ?(cells = 8) ?wal () =
+  let ops = 4 in
+  let kt = Conflict_profile.Keys.make ~skew:key_skew ~n:keys in
+  (* The cell-blind machine fires on label pairs regardless of key; the
+     key-aware rows additionally need the two draws to collide, so their
+     analytic probability is the blind one scaled by Σp². *)
+  let blind_prob =
+    Dprof.op_conflict_probability ~weights:Dprof.uniform Adt.Directory.conflict_whole_object
+  in
+  let keyed_prob = Conflict_profile.Keys.collision kt *. blind_prob in
+  let body invoke config ~domain ~seq txn =
+    for k = 0 to ops - 1 do
+      invoke txn (directory_mix ~seed ~keys:kt ~domain ~seq k);
+      Driver.think config
+    done
+  in
+  let whole_row label conflict prob =
+    measure ?wal ~label ~conflict_prob:prob ~scale
+      ~setup:(fun mgr ->
+        let d =
+          Dobj.create
+            ?wal:(durable mgr Adt.Directory.codec)
+            ~conflict ~op_label:Adt.Directory.op_label ()
+        in
+        let stats () =
+          let s = Dobj.stats d in
+          (s.Dobj.conflicts, s.Dobj.blocked)
+        in
+        (body (fun txn i -> ignore (Dobj.invoke d txn i)), stats,
+         fun () -> Dobj.replay_check d))
+      ()
+  in
+  let celled_row label =
+    measure ?wal ~label ~conflict_prob:keyed_prob ~scale
+      ~setup:(fun mgr ->
+        let d = Part.Pdir.create ?wal:(durable mgr Adt.Directory.codec) ~cells () in
+        let stats () =
+          let s = Part.Pdir.stats d in
+          (s.Part.Pdir.O.conflicts, s.Part.Pdir.O.blocked)
+        in
+        (body (fun txn i -> ignore (Part.Pdir.invoke d txn i)), stats,
+         fun () -> Part.Pdir.replay_check d))
+      ()
+  in
+  let rows =
+    [
+      whole_row "whole-object (cell-blind)" Adt.Directory.conflict_whole_object blind_prob;
+      whole_row "whole-object (key-aware)" Adt.Directory.conflict_hybrid keyed_prob;
+      celled_row (Printf.sprintf "cell-locked (%d cells)" cells);
+    ]
+  in
+  {
+    id = "EXP-DIRECTORY";
+    title = "locking granularity: cell-blind vs key-aware vs cell-locked Directory";
+    params =
+      Printf.sprintf "%s, %d keys, skew %.2f, %d cells" (params_of ~seed scale ops) keys
+        key_skew cells;
+    rows;
+  }
+
+(* The CI assertion behind the cell-locking claim: a lock manager blind
+   to keys must fire at least [factor] times the conflict mass of the
+   cell-locked machine on partitionable (low-skew) traffic.  Requires
+   observability (fired-conflict mass comes from the trace window). *)
+let partition_gate ?(factor = 5) t =
+  let find sub = List.find_opt (fun r -> label_contains r sub) t.rows in
+  match (find "cell-blind", find "cell-locked") with
+  | Some blind, Some celled -> (
+    match (fired_mass blind, fired_mass celled) with
+    | Some bm, Some cm ->
+      if bm > 0 && bm >= factor * max 1 cm then Ok (bm, cm)
+      else
+        Error
+          (Printf.sprintf
+             "partition gate failed: cell-blind fired-conflict mass %d is not >= %dx \
+              cell-locked mass %d"
+             bm factor cm)
+    | _ ->
+      Error "partition gate: fired-conflict mass unavailable (enable observability)")
+  | _ -> Error "partition gate: table lacks cell-blind / cell-locked rows"
+
 let all ?(scale = default_scale) ?(seed = 0) ?wal () =
   [
     exp_queue_enq ~scale ~seed ?wal ();
     exp_queue_mixed ~scale ~seed ?wal ();
     exp_account ~scale ~seed ?wal ();
     exp_semiqueue ~scale ~seed ?wal ();
+    exp_directory ~scale ~seed ?wal ();
   ]

@@ -103,4 +103,29 @@ val exp_semiqueue : ?scale:scale -> ?seed:int -> ?wal:Wal.Log.t -> unit -> table
 (** EXP-SEMIQ: the producer/consumer workload on a SemiQueue vs. a FIFO
     queue. *)
 
+val exp_directory :
+  ?scale:scale ->
+  ?seed:int ->
+  ?key_skew:float ->
+  ?keys:int ->
+  ?cells:int ->
+  ?wal:Wal.Log.t ->
+  unit ->
+  table
+(** EXP-DIRECTORY: the same Zipf([key_skew])-keyed insert/remove/member
+    mix (default uniform over [keys = 64]) through three lock
+    granularities on a Directory — a whole-object machine that is blind
+    to keys ({!Adt.Directory.conflict_whole_object}), a whole-object
+    machine with the key-aware relation, and a {!Part.Pdir} machine of
+    [cells] independently locked cells.  The analytic [conflict_prob]
+    of the key-aware rows is the blind probability scaled by the Zipf
+    collision factor Σp² ({!Conflict_profile.Keys.collision}). *)
+
+val partition_gate : ?factor:int -> table -> (int * int, string) result
+(** The CI assertion on an {!exp_directory} table run with observability
+    on: the cell-blind row's fired-conflict mass must be positive and at
+    least [factor] (default [5]) times the cell-locked row's.  [Ok
+    (blind, celled)] carries both masses; [Error] explains which side
+    fell short (including observability being off). *)
+
 val all : ?scale:scale -> ?seed:int -> ?wal:Wal.Log.t -> unit -> table list

@@ -1,0 +1,48 @@
+module type SPEC = sig
+  include Adt_sig.BOUNDED
+
+  val cell_of_inv : inv -> int option
+end
+
+module Make (P : SPEC) = struct
+  module D = Dependency.Make (P)
+
+  type op = P.inv * P.res
+
+  let cell_of_op ((i, _) : op) = P.cell_of_inv i
+
+  let same_cell p q =
+    match (cell_of_op p, cell_of_op q) with
+    | Some a, Some b -> a = b
+    (* A whole-object operation shares every cell: it must stay ordered
+       against everything, so the restriction never weakens it. *)
+    | None, _ | _, None -> true
+
+  let restrict rel p q = same_cell p q && rel p q
+
+  let cells () =
+    List.filter_map (fun o -> cell_of_op o) P.universe |> List.sort_uniq compare
+
+  let partitions_universe () =
+    List.exists (fun o -> Option.is_some (cell_of_op o)) P.universe
+    && List.length (cells ()) > 1
+
+  let invalidated_by_cell ~depth = restrict (Relation.pred (D.invalidated_by ~depth))
+
+  let dropped_pairs ~depth =
+    Relation.pairs (D.invalidated_by ~depth)
+    |> List.filter (fun (q, p) -> not (same_cell q p))
+
+  let sound ~depth rel = D.is_dependency_relation ~depth (restrict rel)
+  let counterexample ~depth rel = D.find_counterexample ~depth (restrict rel)
+  let is_sound ~depth = sound ~depth (Relation.pred (D.invalidated_by ~depth))
+
+  let check ~depth rel =
+    match counterexample ~depth rel with
+    | None -> Ok ()
+    | Some cx ->
+      Error
+        (Format.asprintf
+           "%s: cell-restricted relation is not a dependency relation: %a" P.name
+           D.pp_counterexample cx)
+end

@@ -1,0 +1,87 @@
+(** Cell partitioning of a serial specification.
+
+    Fine-grained locking à la Malta & Martinez (tuple-based ADTs, full
+    parallelism): the state of an object is split into {e cells} that
+    are locked independently, so operations addressing different cells
+    never wait on each other.  In this codebase the cell of an operation
+    is derived from its invocation alone ([cell_of_inv]) — the key of a
+    [Directory] operation, the head/tail end of a queue operation —
+    with [None] meaning the operation is not partitionable and must run
+    at whole-object granularity (it conflicts with every cell).
+
+    The soundness obligation is the paper's own: the conflict relation
+    installed per cell must still be a {e dependency relation}
+    (Definition 3), because Theorem 10's invalidated-by and the LOCK
+    protocol's correctness argument only need that property.  Restricting
+    a relation to same-cell pairs — [restrict rel p q = same_cell p q &&
+    rel p q] — {e weakens} it, and a weaker relation is not automatically
+    a dependency relation: dropping a cross-cell pair is sound only if no
+    operation sequence can use the dropped pair to invalidate a response.
+    [Directory] by key passes (an [Insert k] can never change the legal
+    responses at key [k' <> k]); a by-amount split of [Account] fails —
+    two [Debit]s of different amounts drain the same shared balance, and
+    {!Make.counterexample} exhibits the violating schedule.  Every
+    partition shipped here is checked with
+    {!Dependency.Make.is_dependency_relation}, and the failing ones are
+    kept in the test suite as required negative cases. *)
+
+(** A bounded specification with a cell assignment. *)
+module type SPEC = sig
+  include Adt_sig.BOUNDED
+
+  val cell_of_inv : inv -> int option
+  (** The cell an invocation addresses; [None] for whole-object
+      operations.  Must be a function of the invocation only — the
+      protocol needs the cell before any response is chosen. *)
+end
+
+module Make (P : SPEC) : sig
+  module D : module type of Dependency.Make (P)
+
+  type op = P.inv * P.res
+
+  val cell_of_op : op -> int option
+  (** {!SPEC.cell_of_inv} of the operation's invocation. *)
+
+  val same_cell : op -> op -> bool
+  (** Two operations share a cell iff their cells are equal, or either
+      is a whole-object operation ([None] acts as a wildcard). *)
+
+  val restrict : (op -> op -> bool) -> op -> op -> bool
+  (** [restrict rel] relates [p q] iff they share a cell {e and} [rel]
+      relates them — the per-cell projection of a conflict relation.
+      This is exactly the relation a keyed table of per-cell lock
+      machines implements: operations in different cells are handled by
+      different machines and never tested against each other. *)
+
+  val cells : unit -> int list
+  (** The distinct cell keys appearing in the operation universe. *)
+
+  val partitions_universe : unit -> bool
+  (** At least one operation is partitionable and at least two cells
+      exist — i.e. the partition is not degenerate. *)
+
+  val invalidated_by_cell : depth:int -> op -> op -> bool
+  (** The derived invalidated-by relation (Definition 9) restricted to
+      same-cell pairs — the candidate per-cell locking relation. *)
+
+  val dropped_pairs : depth:int -> (op * op) list
+  (** The cross-cell pairs of invalidated-by that the restriction drops
+      — the concurrency the partition claims to gain.  Empty iff the
+      derived relation was already cell-diagonal (as for [Directory]). *)
+
+  val sound : depth:int -> (op -> op -> bool) -> bool
+  (** [sound ~depth rel] — is [restrict rel] still a dependency relation
+      (checked exactly up to context length [depth])? *)
+
+  val counterexample : depth:int -> (op -> op -> bool) -> D.counterexample option
+  (** The Definition-3 violation witnessing [sound = false], if any:
+      a schedule where an operation of a supposedly independent cell
+      invalidates a response the protocol already returned. *)
+
+  val is_sound : depth:int -> bool
+  (** {!sound} applied to the derived invalidated-by relation itself. *)
+
+  val check : depth:int -> (op -> op -> bool) -> (unit, string) result
+  (** {!counterexample} rendered as a human-readable error. *)
+end

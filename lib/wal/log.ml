@@ -1,22 +1,28 @@
 module B = Util.Binio
 
 type record =
-  | Object of { obj : string; adt : string }
-  | Intention of { obj : string; txn : int; payload : string }
+  | Object of { obj : string; adt : string; cell : int option }
+  | Intention of { obj : string; txn : int; payload : string; cell : int option }
   | Commit of { txn : int; ts : int }
   | Abort of { txn : int }
-  | Checkpoint of { obj : string; upto : int; payload : string }
+  | Checkpoint of { obj : string; upto : int; payload : string; cell : int option }
 
 let equal_record (a : record) b = a = b
 
+let pp_cell ppf = function
+  | None -> ()
+  | Some c -> Format.fprintf ppf ", cell=%d" c
+
 let pp_record ppf = function
-  | Object { obj; adt } -> Format.fprintf ppf "Object(%s:%s)" obj adt
-  | Intention { obj; txn; payload } ->
-    Format.fprintf ppf "Intention(%s, T%d, %d bytes)" obj txn (String.length payload)
+  | Object { obj; adt; cell } -> Format.fprintf ppf "Object(%s:%s%a)" obj adt pp_cell cell
+  | Intention { obj; txn; payload; cell } ->
+    Format.fprintf ppf "Intention(%s, T%d, %d bytes%a)" obj txn (String.length payload)
+      pp_cell cell
   | Commit { txn; ts } -> Format.fprintf ppf "Commit(T%d, ts=%d)" txn ts
   | Abort { txn } -> Format.fprintf ppf "Abort(T%d)" txn
-  | Checkpoint { obj; upto; payload } ->
-    Format.fprintf ppf "Checkpoint(%s, upto=%d, %d bytes)" obj upto (String.length payload)
+  | Checkpoint { obj; upto; payload; cell } ->
+    Format.fprintf ppf "Checkpoint(%s, upto=%d, %d bytes%a)" obj upto (String.length payload)
+      pp_cell cell
 
 (* ---- record payload encoding (inside the frame) ---- *)
 
@@ -26,16 +32,27 @@ let tag_commit = 3
 let tag_abort = 4
 let tag_checkpoint = 5
 
+(* Cell keys are non-negative; -1 on the wire means "whole object". *)
+let w_cell buf = function None -> B.w_int buf (-1) | Some c -> B.w_int buf c
+
+let r_cell r =
+  match B.r_int r with
+  | -1 -> None
+  | c when c >= 0 -> Some c
+  | c -> raise (B.Corrupt (Printf.sprintf "bad cell key %d" c))
+
 let encode_record buf = function
-  | Object { obj; adt } ->
+  | Object { obj; adt; cell } ->
     B.w_tag buf tag_object;
     B.w_string buf obj;
-    B.w_string buf adt
-  | Intention { obj; txn; payload } ->
+    B.w_string buf adt;
+    w_cell buf cell
+  | Intention { obj; txn; payload; cell } ->
     B.w_tag buf tag_intention;
     B.w_string buf obj;
     B.w_int buf txn;
-    B.w_string buf payload
+    B.w_string buf payload;
+    w_cell buf cell
   | Commit { txn; ts } ->
     B.w_tag buf tag_commit;
     B.w_int buf txn;
@@ -43,11 +60,12 @@ let encode_record buf = function
   | Abort { txn } ->
     B.w_tag buf tag_abort;
     B.w_int buf txn
-  | Checkpoint { obj; upto; payload } ->
+  | Checkpoint { obj; upto; payload; cell } ->
     B.w_tag buf tag_checkpoint;
     B.w_string buf obj;
     B.w_int buf upto;
-    B.w_string buf payload
+    B.w_string buf payload;
+    w_cell buf cell
 
 let decode_record s =
   let r = B.reader s in
@@ -56,12 +74,14 @@ let decode_record s =
     | 1 ->
       let obj = B.r_string r in
       let adt = B.r_string r in
-      Object { obj; adt }
+      let cell = r_cell r in
+      Object { obj; adt; cell }
     | 2 ->
       let obj = B.r_string r in
       let txn = B.r_int r in
       let payload = B.r_string r in
-      Intention { obj; txn; payload }
+      let cell = r_cell r in
+      Intention { obj; txn; payload; cell }
     | 3 ->
       let txn = B.r_int r in
       let ts = B.r_int r in
@@ -71,7 +91,8 @@ let decode_record s =
       let obj = B.r_string r in
       let upto = B.r_int r in
       let payload = B.r_string r in
-      Checkpoint { obj; upto; payload }
+      let cell = r_cell r in
+      Checkpoint { obj; upto; payload; cell }
     | t -> raise (B.Corrupt (Printf.sprintf "unknown record tag %d" t))
   in
   if not (B.eof r) then raise (B.Corrupt "trailing bytes in record");
@@ -149,7 +170,8 @@ let h_batch =
     "wal.fsync_batch"
 
 type txn_info = {
-  mutable t_ops : (int * string * string) list; (* seq, obj, payload; newest first *)
+  mutable t_ops : (int * string * string * int option) list;
+      (* seq, obj, payload, cell; newest first *)
   mutable t_objs : string list; (* objects touched, no duplicates *)
 }
 
@@ -170,8 +192,8 @@ type t = {
   mutable file_records : int; (* records in the current file *)
   mutable file_bytes : int;
   (* live-set bookkeeping: exactly the records a rewrite must retain *)
-  objs : (string, string) Hashtbl.t; (* obj -> adt *)
-  ckpts : (string, int * string) Hashtbl.t; (* obj -> (upto, payload) *)
+  objs : (string, string * int option) Hashtbl.t; (* obj -> (adt, cell) *)
+  ckpts : (string, int * string * int option) Hashtbl.t; (* obj -> (upto, payload, cell) *)
   active : (int, txn_info) Hashtbl.t; (* txns with ops, not yet completed *)
   committed : (int, int * int * txn_info) Hashtbl.t; (* txn -> (seq, ts, info) *)
 }
@@ -239,7 +261,7 @@ let covered t ts info =
   List.for_all
     (fun obj ->
       match Hashtbl.find_opt t.ckpts obj with
-      | Some (upto, _) -> ts <= upto
+      | Some (upto, _, _) -> ts <= upto
       | None -> false)
     info.t_objs
 
@@ -253,10 +275,10 @@ let drop_covered t =
 
 (* Track the live set under an appended record. *)
 let account t seq = function
-  | Object { obj; adt } -> Hashtbl.replace t.objs obj adt
-  | Intention { obj; txn; payload } ->
+  | Object { obj; adt; cell } -> Hashtbl.replace t.objs obj (adt, cell)
+  | Intention { obj; txn; payload; cell } ->
     let info = find_active t txn in
-    info.t_ops <- (seq, obj, payload) :: info.t_ops;
+    info.t_ops <- (seq, obj, payload, cell) :: info.t_ops;
     if not (List.mem obj info.t_objs) then info.t_objs <- obj :: info.t_objs
   | Commit { txn; ts } -> (
     match Hashtbl.find_opt t.active txn with
@@ -268,11 +290,11 @@ let account t seq = function
     (* Recovery discards uncommitted intentions anyway, so an aborted
        transaction's records need not be retained at all. *)
     Hashtbl.remove t.active txn
-  | Checkpoint { obj; upto; payload } ->
+  | Checkpoint { obj; upto; payload; cell } ->
     Obs.Metrics.incr m_checkpoints;
     (match Hashtbl.find_opt t.ckpts obj with
-    | Some (prev, _) when prev > upto -> () (* never regress a checkpoint *)
-    | Some _ | None -> Hashtbl.replace t.ckpts obj (upto, payload));
+    | Some (prev, _, _) when prev > upto -> () (* never regress a checkpoint *)
+    | Some _ | None -> Hashtbl.replace t.ckpts obj (upto, payload, cell));
     drop_covered t
 
 (* Rewrite the file down to the live set: per-object declarations and
@@ -288,21 +310,25 @@ let rewrite_locked t =
     frame buf r;
     incr count
   in
-  Hashtbl.fold (fun obj adt acc -> (obj, adt) :: acc) t.objs []
+  Hashtbl.fold (fun obj (adt, cell) acc -> (obj, adt, cell) :: acc) t.objs []
   |> List.sort compare
-  |> List.iter (fun (obj, adt) -> emit (Object { obj; adt }));
-  Hashtbl.fold (fun obj (upto, payload) acc -> (obj, upto, payload) :: acc) t.ckpts []
+  |> List.iter (fun (obj, adt, cell) -> emit (Object { obj; adt; cell }));
+  Hashtbl.fold (fun obj (upto, payload, cell) acc -> (obj, upto, payload, cell) :: acc) t.ckpts []
   |> List.sort compare
-  |> List.iter (fun (obj, upto, payload) -> emit (Checkpoint { obj; upto; payload }));
+  |> List.iter (fun (obj, upto, payload, cell) -> emit (Checkpoint { obj; upto; payload; cell }));
   let tail = ref [] in
   let add seq r = tail := (seq, r) :: !tail in
   Hashtbl.iter
     (fun txn info ->
-      List.iter (fun (seq, obj, payload) -> add seq (Intention { obj; txn; payload })) info.t_ops)
+      List.iter
+        (fun (seq, obj, payload, cell) -> add seq (Intention { obj; txn; payload; cell }))
+        info.t_ops)
     t.active;
   Hashtbl.iter
     (fun txn (seq, ts, info) ->
-      List.iter (fun (s, obj, payload) -> add s (Intention { obj; txn; payload })) info.t_ops;
+      List.iter
+        (fun (s, obj, payload, cell) -> add s (Intention { obj; txn; payload; cell }))
+        info.t_ops;
       add seq (Commit { txn; ts }))
     t.committed;
   List.sort (fun (a, _) (b, _) -> compare a b) !tail
@@ -445,7 +471,8 @@ let fsyncs t = with_lock t (fun () -> t.n_syncs)
 let group_commit t = t.group_commit
 
 let checkpoint_upto t obj =
-  with_lock t (fun () -> Option.map fst (Hashtbl.find_opt t.ckpts obj))
+  with_lock t (fun () ->
+      Option.map (fun (upto, _, _) -> upto) (Hashtbl.find_opt t.ckpts obj))
 
 (* ------------------------------------------------------------------ *)
 (* Live introspection *)

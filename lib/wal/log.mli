@@ -16,6 +16,18 @@
       the common prefix grows monotonically — is what makes the
       checkpoint a sound truncation point: no later event can un-fold it.
 
+    [Object], [Intention] and [Checkpoint] carry an optional [cell] key:
+    when an ADT is partitioned into independently locked cells
+    ({!Spec.Partition}, [Part.Cells]), each cell is a sub-object with its
+    own intentions list and horizon, and its records identify which cell
+    of the logical object they belong to.  [None] means the record is at
+    whole-object granularity (the seed behaviour; also the fallback cell
+    for non-partitionable operations).  Because each cell has a distinct
+    [obj] name, recovery needs no cell-specific logic — per-cell redo in
+    commit-timestamp order is exactly per-object redo — but the key is
+    persisted so a recovered image can be re-aggregated and audited
+    cell-by-cell.
+
     Framing is [length:u32][crc32:u32][payload].  {!parse} stops at the
     first bad frame and reports it as a torn tail, which is the expected
     shape after [kill -9] mid-append.
@@ -50,11 +62,11 @@
     pre-group-commit baseline. *)
 
 type record =
-  | Object of { obj : string; adt : string }
-  | Intention of { obj : string; txn : int; payload : string }
+  | Object of { obj : string; adt : string; cell : int option }
+  | Intention of { obj : string; txn : int; payload : string; cell : int option }
   | Commit of { txn : int; ts : int }
   | Abort of { txn : int }
-  | Checkpoint of { obj : string; upto : int; payload : string }
+  | Checkpoint of { obj : string; upto : int; payload : string; cell : int option }
 
 val equal_record : record -> record -> bool
 val pp_record : Format.formatter -> record -> unit

@@ -1,7 +1,7 @@
 let h_recover = Obs.Metrics.histogram "wal.recovery_s"
 
 let objects records =
-  List.filter_map (function Log.Object { obj; adt } -> Some (obj, adt) | _ -> None) records
+  List.filter_map (function Log.Object { obj; adt; _ } -> Some (obj, adt) | _ -> None) records
   |> List.fold_left (fun acc (o, a) -> if List.mem_assoc o acc then acc else (o, a) :: acc) []
   |> List.rev
 
@@ -34,7 +34,7 @@ module Make (D : Codec.DURABLE) = struct
     match
       List.iter
         (function
-          | Log.Intention { obj = o; txn; payload } when String.equal o obj -> (
+          | Log.Intention { obj = o; txn; payload; _ } when String.equal o obj -> (
             match Codec.decode_op D.codec payload with
             | op ->
               (match Hashtbl.find_opt tbl txn with
@@ -65,7 +65,7 @@ module Make (D : Codec.DURABLE) = struct
         List.fold_left
           (fun acc r ->
             match r with
-            | Log.Checkpoint { obj = o; upto; payload } when String.equal o obj -> (
+            | Log.Checkpoint { obj = o; upto; payload; _ } when String.equal o obj -> (
               match acc with
               | Some (prev, _) when prev >= upto -> acc
               | _ -> Some (upto, payload))

@@ -1,0 +1,411 @@
+(* Tests for the cell-partitioning layer (Spec.Partition and Part).
+
+   Two halves, matching the two obligations of fine-grained locking:
+
+   - SOUNDNESS of the per-cell relation.  Restricting a conflict
+     relation to same-cell pairs weakens it, and a weaker relation is
+     not automatically a dependency relation (Definition 3).  The matrix
+     here pins all three shipped verdicts: Directory by key is sound
+     (the derived relation is already cell-diagonal), head/tail striping
+     of the queue is sound under Figure 4-3 but UNSOUND under Figure 4-2
+     (the restriction drops the Deq-depends-on-Enq pairs), and the naive
+     by-amount Account split is UNSOUND (all amounts drain one balance).
+     Every failing relation must fail with a retrievable Definition-3
+     counterexample, and qcheck drives the sound <-> no-counterexample
+     equivalence over random relations.
+
+   - EQUIVALENCE of the partitioned machines.  Deterministically
+     interleaved schedules run against a whole-object seed object and
+     the cell-locked implementation simultaneously, sharing transaction
+     handles so aborts synchronize; every doubly-successful response
+     must agree, the final committed states must agree, and both runs
+     must pass the trace-replay atomicity auditor.  Concurrent smoke
+     tests then re-check the auditor under real domain parallelism. *)
+
+module Dir = Adt.Directory
+module Q = Adt.Fifo_queue
+module Acc = Adt.Account
+module PD = Spec.Partition.Make (Adt.Directory)
+module PQ = Spec.Partition.Make (Adt.Fifo_queue)
+
+(* The required negative example: Account split by operation amount. *)
+module Acc_by_amount = struct
+  include Adt.Account
+
+  let cell_of_inv = Adt.Account.cell_of_amount
+end
+
+module PA = Spec.Partition.Make (Acc_by_amount)
+module Dobj = Runtime.Atomic_obj.Make (Adt.Directory)
+module Qobj = Runtime.Atomic_obj.Make (Adt.Fifo_queue)
+module Aobj = Runtime.Atomic_obj.Make (Adt.Account)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------------- soundness matrix ---------------- *)
+
+let test_directory_sound () =
+  check_bool "partitions the universe" true (PD.partitions_universe ());
+  check_bool "by-key restriction is a dependency relation" true (PD.is_sound ~depth:2);
+  check_int "restriction drops nothing (already cell-diagonal)" 0
+    (List.length (PD.dropped_pairs ~depth:2));
+  check_bool "check renders Ok" true
+    (PD.check ~depth:2 (Spec.Relation.pred (PD.D.invalidated_by ~depth:2)) = Ok ())
+
+let test_fifo_fig_4_3_sound () =
+  check_bool "head/tail partitions the universe" true (PQ.partitions_universe ());
+  (match Part.Pfifo.validate ~depth:3 Q.conflict_fig_4_3 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "fig 4-3 striping should be sound: %s" e);
+  check_bool "fig 4-3 drops nothing" true
+    (List.for_all
+       (fun (p, q) -> not (Q.conflict_fig_4_3 p q))
+       (PQ.dropped_pairs ~depth:3))
+
+let test_fifo_fig_4_2_unsound () =
+  (* Figure 4-2 relates Deq to Enq across the head/tail split; dropping
+     that pair lets an unlocked Enq invalidate a returned Deq. *)
+  check_bool "restriction drops cross-cell pairs" true (PQ.dropped_pairs ~depth:3 <> []);
+  check_bool "fig 4-2 striping is not sound" false (PQ.sound ~depth:3 Q.conflict_hybrid);
+  (match PQ.counterexample ~depth:3 Q.conflict_hybrid with
+  | Some _ -> ()
+  | None -> Alcotest.fail "unsound relation must yield a counterexample");
+  match Part.Pfifo.validate ~depth:3 Q.conflict_hybrid with
+  | Error e -> check_bool "error renders the schedule" true (String.length e > 0)
+  | Ok () -> Alcotest.fail "validate must reject fig 4-2 striping"
+
+let test_account_by_amount_unsound () =
+  check_bool "by-amount partitions the universe" true (PA.partitions_universe ());
+  check_bool "by-amount split is not sound" false (PA.is_sound ~depth:3);
+  match PA.counterexample ~depth:3 (Spec.Relation.pred (PA.D.invalidated_by ~depth:3)) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "by-amount split must yield a counterexample"
+
+(* ---------------- qcheck: soundness properties ---------------- *)
+
+(* Dependency relations are upward closed, and Directory's derived
+   relation is cell-diagonal, so any random widening of it must stay
+   sound under the by-key restriction. *)
+let prop_directory_widening_sound =
+  QCheck2.Test.make ~name:"directory: widened per-cell relations stay dependency relations"
+    ~count:20
+    QCheck2.Gen.(list_size (0 -- 8) (pair (oneofl Dir.universe) (oneofl Dir.universe)))
+    (fun extra ->
+      let base = Spec.Relation.pred (PD.D.invalidated_by ~depth:2) in
+      PD.sound ~depth:2 (fun p q -> base p q || List.mem (p, q) extra))
+
+(* The negative side of the contract: whenever a random relation fails
+   the per-cell soundness check it must fail via a retrievable
+   Definition-3 counterexample, and vice versa. *)
+let prop_sound_iff_no_counterexample =
+  QCheck2.Test.make ~name:"queue: sound <-> no counterexample, over random relations"
+    ~count:30
+    QCheck2.Gen.(list_size (0 -- 10) (pair (oneofl Q.universe) (oneofl Q.universe)))
+    (fun pairs ->
+      let rel p q = List.mem (p, q) pairs in
+      PQ.sound ~depth:2 rel = (PQ.counterexample ~depth:2 rel = None))
+
+(* ---------------- equivalence harness ---------------- *)
+
+(* Run [scripts] (one invocation list per transaction) against two
+   implementations at once, interleaved per [schedule].  Both
+   implementations share each transaction's handle, so aborting on a
+   refusal in either rolls both back; doubly-successful responses are
+   compared by [equal_res].  Returns which transactions committed. *)
+let run_twin ~equal_res ~pp_inv ~invoke_a ~invoke_b scripts schedule =
+  let n = Array.length scripts in
+  let scripts = Array.map Array.of_list scripts in
+  let pos = Array.make n 0 in
+  let dead = Array.make n false in
+  let committed = Array.make n false in
+  let txns = Array.init n (fun _ -> Runtime.Txn_rt.fresh ()) in
+  let ts = ref 0 in
+  let commit i =
+    incr ts;
+    Runtime.Txn_rt.commit txns.(i) !ts;
+    committed.(i) <- true
+  in
+  let step i =
+    if (not dead.(i)) && not committed.(i) then
+      if pos.(i) >= Array.length scripts.(i) then commit i
+      else begin
+        let inv = scripts.(i).(pos.(i)) in
+        pos.(i) <- pos.(i) + 1;
+        let ra = invoke_a txns.(i) inv in
+        let rb = invoke_b txns.(i) inv in
+        (match (ra, rb) with
+        | Ok a, Ok b ->
+          if not (equal_res a b) then
+            QCheck2.Test.fail_reportf "response mismatch on txn %d, %a" i pp_inv inv
+        | _ ->
+          (* A refusal in either implementation (conflict or blocked):
+             the granularities legitimately disagree on which, so the
+             only synchronized outcome is aborting both. *)
+          dead.(i) <- true;
+          Runtime.Txn_rt.abort txns.(i));
+        if (not dead.(i)) && pos.(i) = Array.length scripts.(i) then commit i
+      end
+  in
+  List.iter (fun j -> step (j mod n)) schedule;
+  for i = 0 to n - 1 do
+    while (not dead.(i)) && not committed.(i) do
+      step i
+    done
+  done;
+  Array.to_list committed
+
+let require_ok what = function
+  | Ok () -> true
+  | Error e -> QCheck2.Test.fail_reportf "%s replay audit failed: %s" what e
+
+let gen_dir_inv =
+  QCheck2.Gen.(
+    map2
+      (fun which key ->
+        match which with 0 -> Dir.Insert key | 1 -> Dir.Remove key | _ -> Dir.Member key)
+      (0 -- 2) (0 -- 5))
+
+let gen_twin_input gen_inv =
+  QCheck2.Gen.(
+    pair
+      (array_size (2 -- 3) (list_size (1 -- 6) gen_inv))
+      (list_size (5 -- 40) (0 -- 2)))
+
+let prop_directory_equivalence =
+  QCheck2.Test.make
+    ~name:"directory: cell-locked equals whole-object under interleaved schedules"
+    ~count:60
+    (gen_twin_input gen_dir_inv)
+    (fun (scripts, schedule) ->
+      let ta = Obs.Trace.create ~capacity:(1 lsl 14) () in
+      let tb = Obs.Trace.create ~capacity:(1 lsl 14) () in
+      let whole =
+        Dobj.create ~record:true ~trace:ta ~conflict:Dir.conflict_whole_object
+          ~op_label:Dir.op_label ()
+      in
+      let part = Part.Pdir.create ~record:true ~trace:tb ~cells:3 () in
+      ignore
+        (run_twin ~equal_res:Dir.equal_res ~pp_inv:Dir.pp_inv
+           ~invoke_a:(fun txn i -> Dobj.try_invoke whole txn i)
+           ~invoke_b:(fun txn i -> Part.Pdir.try_invoke part txn i)
+           scripts schedule);
+      let whole_keys =
+        match Dobj.committed_states whole with
+        | [ s ] -> s
+        | _ -> QCheck2.Test.fail_reportf "whole-object directory not deterministic"
+      in
+      whole_keys = Part.Pdir.committed_keys part
+      && require_ok "whole-object" (Dobj.replay_check whole)
+      && require_ok "cell-locked" (Part.Pdir.replay_check part))
+
+let gen_queue_inv =
+  QCheck2.Gen.(
+    map2
+      (fun which v -> if which = 0 then Q.Deq else Q.Enq v)
+      (0 -- 2) (1 -- 2))
+
+let prop_fifo_equivalence =
+  QCheck2.Test.make
+    ~name:"queue: head/tail striping equals whole-object under interleaved schedules"
+    ~count:60
+    (gen_twin_input gen_queue_inv)
+    (fun (scripts, schedule) ->
+      let ta = Obs.Trace.create ~capacity:(1 lsl 14) () in
+      let tb = Obs.Trace.create ~capacity:(1 lsl 14) () in
+      let whole =
+        Qobj.create ~record:true ~trace:ta ~conflict:Q.conflict_fig_4_3
+          ~op_label:Q.op_label ()
+      in
+      let striped = Part.Pfifo.create ~record:true ~trace:tb () in
+      ignore
+        (run_twin ~equal_res:Q.equal_res ~pp_inv:Q.pp_inv
+           ~invoke_a:(fun txn i -> Qobj.try_invoke whole txn i)
+           ~invoke_b:(fun txn i -> Part.Pfifo.try_invoke striped txn i)
+           scripts schedule);
+      List.equal Q.equal_state
+        (Qobj.committed_states whole)
+        (Part.Pfifo.committed_states striped)
+      && require_ok "whole-object" (Qobj.replay_check whole)
+      && require_ok "striped" (Part.Pfifo.replay_check striped))
+
+let gen_acc_inv =
+  QCheck2.Gen.(
+    map2
+      (fun which v ->
+        match which with
+        | 0 | 1 | 2 -> Acc.Credit v
+        | 3 | 4 -> Acc.Debit (3 * v)
+        | _ -> Acc.Post 1)
+      (0 -- 5) (1 -- 6))
+
+(* Sequential equivalence for the escrow account: each transaction runs
+   to completion, so the sweep's cross-cell locking never waits on a
+   stalled holder (single-threaded), and the comparison isolates the
+   escrow decomposition itself — fast-path debits, draining sweeps with
+   compensation, broadcast posts — from scheduling. *)
+let prop_account_equivalence =
+  QCheck2.Test.make
+    ~name:"account: escrow cells equal whole-object under sequential transactions"
+    ~count:60
+    QCheck2.Gen.(array_size (1 -- 4) (list_size (1 -- 5) gen_acc_inv))
+    (fun scripts ->
+      let ta = Obs.Trace.create ~capacity:(1 lsl 14) () in
+      let tb = Obs.Trace.create ~capacity:(1 lsl 14) () in
+      let whole =
+        Aobj.create ~record:true ~trace:ta ~conflict:Acc.conflict_hybrid
+          ~op_label:Acc.op_label ()
+      in
+      let part = Part.Paccount.create ~record:true ~trace:tb ~cells:3 () in
+      let ts = ref 0 in
+      let run_txn body =
+        let txn = Runtime.Txn_rt.fresh () in
+        body txn;
+        incr ts;
+        Runtime.Txn_rt.commit txn !ts
+      in
+      run_txn (fun txn ->
+          ignore (Aobj.invoke whole txn (Acc.Credit 20));
+          ignore (Part.Paccount.invoke part txn (Acc.Credit 20)));
+      Array.iter
+        (fun script ->
+          run_txn (fun txn ->
+              List.iter
+                (fun inv ->
+                  let ra = Aobj.invoke whole txn inv in
+                  let rb = Part.Paccount.invoke part txn inv in
+                  if not (Acc.equal_res ra rb) then
+                    QCheck2.Test.fail_reportf "response mismatch on %a" Acc.pp_inv inv)
+                script))
+        scripts;
+      let whole_balance =
+        match Aobj.committed_states whole with
+        | [ b ] -> b
+        | _ -> QCheck2.Test.fail_reportf "whole-object account not deterministic"
+      in
+      whole_balance = Part.Paccount.committed_balance part
+      && require_ok "whole-object" (Aobj.replay_check whole)
+      && require_ok "escrow" (Part.Paccount.replay_check part))
+
+(* ---------------- concurrent smoke ---------------- *)
+
+let test_pdir_concurrent () =
+  let mgr = Runtime.Manager.create () in
+  let tr = Obs.Trace.create ~capacity:(1 lsl 16) () in
+  let d = Part.Pdir.create ~record:true ~trace:tr ~cells:4 () in
+  let worker dom =
+    Domain.spawn (fun () ->
+        for s = 0 to 24 do
+          Runtime.Manager.run mgr (fun txn ->
+              for k = 0 to 2 do
+                let key = ((dom * 7) + (s * 3) + k) mod 16 in
+                let inv =
+                  match (s + k) mod 3 with
+                  | 0 -> Dir.Insert key
+                  | 1 -> Dir.Remove key
+                  | _ -> Dir.Member key
+                in
+                ignore (Part.Pdir.invoke d txn inv)
+              done)
+        done)
+  in
+  List.iter Domain.join (List.init 4 worker);
+  (match Part.Pdir.replay_check d with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "per-cell replay audit: %s" e);
+  check_bool "cells materialized" true
+    (List.length (Part.Pdir.C.created (Part.Pdir.cells d)) > 1)
+
+let test_paccount_concurrent () =
+  let mgr = Runtime.Manager.create () in
+  let tr = Obs.Trace.create ~capacity:(1 lsl 16) () in
+  let a = Part.Paccount.create ~record:true ~trace:tr ~cells:3 () in
+  Runtime.Manager.run mgr (fun txn -> ignore (Part.Paccount.invoke a txn (Acc.Credit 1000)));
+  let net = Atomic.make 0 in
+  let worker dom =
+    Domain.spawn (fun () ->
+        for s = 0 to 19 do
+          let delta =
+            Runtime.Manager.run mgr (fun txn ->
+                let amount = 1 + (((dom * 13) + (s * 7)) mod 9) in
+                if (dom + s) mod 2 = 0 then begin
+                  ignore (Part.Paccount.invoke a txn (Acc.Credit amount));
+                  amount
+                end
+                else
+                  match Part.Paccount.invoke a txn (Acc.Debit amount) with
+                  | Acc.Ok -> -amount
+                  | Acc.Overdraft -> 0)
+          in
+          ignore (Atomic.fetch_and_add net delta)
+        done)
+  in
+  List.iter Domain.join (List.init 4 worker);
+  check_int "escrow balance equals committed net" (1000 + Atomic.get net)
+    (Part.Paccount.committed_balance a);
+  match Part.Paccount.replay_check a with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "per-cell replay audit: %s" e
+
+(* ---------------- Zipfian key selection ---------------- *)
+
+module Keys = Sim.Conflict_profile.Keys
+
+let test_keys_uniform () =
+  let t = Keys.make ~skew:0. ~n:16 in
+  for i = 0 to 15 do
+    check_bool "uniform weight" true (abs_float (Keys.weight t i -. (1. /. 16.)) < 1e-9)
+  done;
+  check_bool "uniform collision = 1/n" true (abs_float (Keys.collision t -. (1. /. 16.)) < 1e-9)
+
+let test_keys_skewed () =
+  let u = Keys.make ~skew:0. ~n:16 in
+  let t = Keys.make ~skew:1.2 ~n:16 in
+  check_bool "skew concentrates on key 0" true (Keys.weight t 0 > Keys.weight t 15);
+  check_bool "skew raises collision probability" true (Keys.collision t > Keys.collision u)
+
+let test_keys_draw_deterministic () =
+  let t = Keys.make ~skew:0.8 ~n:32 in
+  let all_in_range = ref true and differs = ref false in
+  for seq = 0 to 99 do
+    let a = Keys.draw t ~seed:1 ~domain:0 ~seq ~k:0 in
+    let b = Keys.draw t ~seed:1 ~domain:0 ~seq ~k:0 in
+    let c = Keys.draw t ~seed:2 ~domain:0 ~seq ~k:0 in
+    if a < 0 || a >= 32 then all_in_range := false;
+    if a <> b then Alcotest.fail "same inputs must draw the same key";
+    if a <> c then differs := true
+  done;
+  check_bool "draws in range" true !all_in_range;
+  check_bool "seed changes the sequence" true !differs
+
+let () =
+  Alcotest.run "partition"
+    [
+      ( "soundness",
+        [
+          Alcotest.test_case "directory by key is sound" `Quick test_directory_sound;
+          Alcotest.test_case "fifo fig 4-3 striping is sound" `Slow test_fifo_fig_4_3_sound;
+          Alcotest.test_case "fifo fig 4-2 striping is unsound" `Slow
+            test_fifo_fig_4_2_unsound;
+          Alcotest.test_case "account by-amount is unsound" `Slow
+            test_account_by_amount_unsound;
+        ] );
+      ( "soundness-properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_directory_widening_sound; prop_sound_iff_no_counterexample ] );
+      ( "equivalence",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_directory_equivalence; prop_fifo_equivalence; prop_account_equivalence ]
+      );
+      ( "concurrent",
+        [
+          Alcotest.test_case "pdir 4 domains" `Slow test_pdir_concurrent;
+          Alcotest.test_case "paccount 4 domains" `Slow test_paccount_concurrent;
+        ] );
+      ( "keys",
+        [
+          Alcotest.test_case "uniform" `Quick test_keys_uniform;
+          Alcotest.test_case "skewed" `Quick test_keys_skewed;
+          Alcotest.test_case "deterministic draws" `Quick test_keys_draw_deterministic;
+        ] );
+    ]

@@ -36,11 +36,14 @@ let binio_string_list_roundtrip =
 
 let sample_records =
   [
-    Wal.Log.Object { obj = "q#1"; adt = "FIFO-Queue" };
-    Wal.Log.Intention { obj = "q#1"; txn = 7; payload = "\x01\x02payload" };
+    Wal.Log.Object { obj = "q#1"; adt = "FIFO-Queue"; cell = None };
+    Wal.Log.Intention { obj = "q#1"; txn = 7; payload = "\x01\x02payload"; cell = None };
     Wal.Log.Commit { txn = 7; ts = 1 };
     Wal.Log.Abort { txn = 9 };
-    Wal.Log.Checkpoint { obj = "q#1"; upto = 1; payload = "" };
+    Wal.Log.Checkpoint { obj = "q#1"; upto = 1; payload = ""; cell = None };
+    Wal.Log.Object { obj = "d#2/cell3"; adt = "Directory"; cell = Some 3 };
+    Wal.Log.Intention { obj = "d#2/cell3"; txn = 8; payload = "\x03"; cell = Some 3 };
+    Wal.Log.Checkpoint { obj = "d#2/cell3"; upto = 2; payload = "\x00"; cell = Some 3 };
   ]
 
 let frame_all records =
