@@ -463,12 +463,68 @@ let run_group_commit () =
   Format.printf "batched sync assertion: %.3f fsyncs/commit at 4 committers (< 1): OK@."
     fpc
 
+(* EXP-SHARD scaling sweep: durable sharded throughput vs shard count
+   at 0% and 10% cross-shard traffic (not a Bechamel shape either — it
+   needs real domains and real WALs).  Reports the fsyncs/commit
+   accounting: per-shard group commit amortizes the local durability
+   point, while every cross-shard commit additionally pays the
+   coordinator's forced decision and the participants' forced prepares,
+   so fsyncs/commit is the honest price tag of the 2PC mix.  The
+   cross-shard audit verdict of every cell is asserted — a sharded run
+   whose stitched trace violates hybrid atomicity fails the bench. *)
+let run_shard_scaling () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hybrid-cc-bench-shard-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  print_endline "";
+  print_endline
+    "shard scaling (durable account transfers, per-shard WAL + decision log, real fsync):";
+  let scale = { Sim.Experiments.domains = 4; txns = 120; think_us = 0. } in
+  Printf.printf "  %-6s %7s %9s %12s %8s %9s %13s  %s\n" "shards" "cross" "committed"
+    "txn/s" "fsyncs" "fs/commit" "cross(c/a)" "audit";
+  List.iter
+    (fun (shards, cross_pct) ->
+      let o =
+        Sim.Shard_exp.run_one ~scale ~wal_dir:dir
+          ~prefix:(Printf.sprintf "sc-n%d-c%.0f-" shards cross_pct)
+          ~fsync:true ~group_commit:true ~shards ~cross_pct ()
+      in
+      let r = o.Sim.Shard_exp.row in
+      let fpc =
+        float_of_int o.Sim.Shard_exp.o_fsyncs
+        /. float_of_int (max 1 r.Sim.Experiments.committed)
+      in
+      let audit =
+        match r.Sim.Experiments.atomic with
+        | Some (Ok ()) -> "ok"
+        | Some (Error e) -> "FAIL: " ^ e
+        | None -> "-"
+      in
+      Printf.printf "  %-6d %6.0f%% %9d %12.0f %8d %9.3f %9d/%-3d  %s\n" shards cross_pct
+        r.Sim.Experiments.committed r.Sim.Experiments.throughput o.Sim.Shard_exp.o_fsyncs
+        fpc o.Sim.Shard_exp.o_cross_commits o.Sim.Shard_exp.o_cross_aborts audit;
+      if (match r.Sim.Experiments.atomic with Some (Ok ()) -> false | _ -> true) then begin
+        Format.eprintf "FAIL: shard-scaling cell shards=%d cross=%.0f%% audit: %s@." shards
+          cross_pct audit;
+        exit 1
+      end)
+    (List.concat_map
+       (fun n -> if n = 1 then [ (n, 0.) ] else [ (n, 0.); (n, 10.) ])
+       (Sim.Shard_exp.shard_counts 8));
+  print_endline "shard-scaling audit assertion: every cell hybrid-atomic: OK"
+
 let () =
-  (* `--group-commit-only` skips the Bechamel groups: the CI assertion
-     needs the group-commit section's exit code, not 30s of
-     microbenchmarks. *)
+  (* `--group-commit-only` / `--shard-scaling-only` skip the Bechamel
+     groups: the CI assertions need those sections' exit codes, not 30s
+     of microbenchmarks. *)
   if Array.exists (String.equal "--group-commit-only") Sys.argv then begin
     run_group_commit ();
+    exit 0
+  end;
+  if Array.exists (String.equal "--shard-scaling-only") Sys.argv then begin
+    run_shard_scaling ();
     exit 0
   end;
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
@@ -504,6 +560,7 @@ let () =
         Printf.printf "  %-53s %d\n" name v)
     (Obs.Metrics.counters ());
   run_group_commit ();
+  run_shard_scaling ();
   print_endline "";
   print_endline
     "note: multicore contention experiments (throughput per conflict relation)";

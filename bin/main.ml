@@ -36,7 +36,8 @@ let figures_cmd id verbose =
 let scale_of domains txns think_us =
   { Sim.Experiments.domains; txns; think_us }
 
-let select_tables ~scale ~seed ?(key_skew = 0.) ?(cells = 8) ?wal id =
+let select_tables ~scale ~seed ?(key_skew = 0.) ?(cells = 8) ?(shards = 1)
+    ?(cross_pct = 10.) ?wal_dir ?(group_commit = true) ?wal id =
   match id with
   | None -> Sim.Experiments.all ~scale ~seed ?wal ()
   | Some "queue" -> [ Sim.Experiments.exp_queue_enq ~scale ~seed ?wal () ]
@@ -45,9 +46,19 @@ let select_tables ~scale ~seed ?(key_skew = 0.) ?(cells = 8) ?wal id =
   | Some "semiqueue" -> [ Sim.Experiments.exp_semiqueue ~scale ~seed ?wal () ]
   | Some "directory" ->
     [ Sim.Experiments.exp_directory ~scale ~seed ~key_skew ~cells ?wal () ]
+  | Some "shard" ->
+    (* Sharded managers run their own per-shard WALs (plus the decision
+       log) under prefixed names — the shared experiments.wal does not
+       apply. *)
+    let shards = if shards > 1 then shards else 4 in
+    [
+      Sim.Shard_exp.exp_shard ~scale ~seed ~shards ~cross_pct ?wal_dir
+        ~fsync:(Option.is_some wal_dir) ~group_commit ();
+    ]
   | Some other ->
     Format.eprintf
-      "unknown experiment id %S (use queue, queue-mixed, account, semiqueue, directory)@."
+      "unknown experiment id %S (use queue, queue-mixed, account, semiqueue, directory, \
+       shard)@."
       other;
     exit 2
 
@@ -100,7 +111,7 @@ let partition_gate_exit tables =
       exit 1)
 
 let experiments_cmd id deterministic quick metrics seed wal_dir group_commit domains txns
-    think_us key_skew cells gate =
+    think_us key_skew cells gate shards cross_pct =
   Runtime.Backoff.set_seed seed;
   if gate then Obs.Control.set_enabled true;
   if deterministic then begin
@@ -126,16 +137,23 @@ let experiments_cmd id deterministic quick metrics seed wal_dir group_commit dom
       else scale_of domains txns think_us
     in
     Obs.Metrics.annotate "run.seed" (string_of_int seed);
+    let sharded = id = Some "shard" in
+    if sharded then Option.iter ensure_dir wal_dir;
     let wal =
-      Option.map
-        (fun dir ->
-          ensure_dir dir;
-          let w = Wal.Log.create ~group_commit (Filename.concat dir "experiments.wal") in
-          Obs.Metrics.annotate "run.wal" (Wal.Log.path w);
-          w)
-        wal_dir
+      if sharded then None
+      else
+        Option.map
+          (fun dir ->
+            ensure_dir dir;
+            let w = Wal.Log.create ~group_commit (Filename.concat dir "experiments.wal") in
+            Obs.Metrics.annotate "run.wal" (Wal.Log.path w);
+            w)
+          wal_dir
     in
-    let tables = select_tables ~scale ~seed ~key_skew ~cells ?wal id in
+    let tables =
+      select_tables ~scale ~seed ~key_skew ~cells ~shards ~cross_pct ?wal_dir
+        ~group_commit ?wal id
+    in
     (match wal with
     | Some w ->
       Wal.Log.close w;
@@ -259,32 +277,138 @@ let recover_cmd path =
     Format.eprintf "no .wal files under %s@." path;
     exit 2
   end;
+  (* Coordinator decision logs hold no objects; they resolve the other
+     logs' in-doubt 2PC branches (commit at the decided timestamp,
+     presumed abort otherwise). *)
+  let dlogs, wals =
+    List.partition (fun f -> Filename.check_suffix f "decisions.wal") files
+  in
+  let decisions = List.concat_map Dist.Decision_log.read dlogs in
+  List.iter
+    (fun f ->
+      Format.printf "== decision log %s: %d retained decision(s) ==@." f
+        (List.length (Dist.Decision_log.read f)))
+    dlogs;
+  let decided = if dlogs = [] then None else Some (fun g -> List.assoc_opt g decisions) in
   let all_ok =
     List.fold_left
       (fun acc file ->
         Format.printf "== recover %s ==@." file;
-        let report = Sim.Durable.verify_file file in
+        let report = Sim.Durable.verify_file ?decided file in
         Format.printf "%a@." Sim.Durable.pp_report report;
         acc && Sim.Durable.ok report)
-      true files
+      true wals
   in
   if not all_ok then exit 1
 
-let crash_cmd quick seed dir group_commit domains txns think_us =
+let crash_cmd quick seed dir group_commit domains txns think_us shards cross_pct =
   Runtime.Backoff.set_seed seed;
   let scale =
     if quick then Sim.Experiments.quick_scale else scale_of domains txns think_us
   in
   ensure_dir dir;
   Obs.Metrics.annotate "run.seed" (string_of_int seed);
-  let runs = Sim.Crash_exp.all ~scale ~seed ~group_commit ~dir () in
-  List.iter (fun r -> Format.printf "%a@." Sim.Crash_exp.pp_run r) runs;
-  if not (List.for_all Sim.Crash_exp.ok runs) then exit 1
+  if shards > 1 then begin
+    (* The sharded mode runs the 2PC kill-point matrix instead: a
+       coordinator crash at every protocol milestone, in both
+       group-commit modes, recovery checked against the decision log. *)
+    let m = Sim.Shard_crash.run ~shards ~cross_pct ~dir () in
+    Format.printf "%a@." Sim.Shard_crash.pp m;
+    if not (Sim.Shard_crash.ok m) then exit 1
+  end
+  else begin
+    let runs = Sim.Crash_exp.all ~scale ~seed ~group_commit ~dir () in
+    List.iter (fun r -> Format.printf "%a@." Sim.Crash_exp.pp_run r) runs;
+    if not (List.for_all Sim.Crash_exp.ok runs) then exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* serve: long-running workload with the introspection server attached *)
 
-let serve_cmd quick port duration period_ms seed wal_dir group_commit domains think_us
+(* Sharded serve: N managers on disjoint timestamp stripes, the 2PC
+   coordinator between them, and the sampler continuously re-running the
+   cross-shard audit over the live per-shard rings (sound on partial
+   windows, so no epoch rotation is needed).  /metrics, /locks and
+   /horizon aggregate every shard's instruments under shard labels. *)
+let serve_sharded quick port duration period_ms seed wal_dir group_commit domains think_us
+    inject shards cross_pct =
+  Obs.Control.set_enabled true;
+  ignore (Obs.Control.install_sigusr2 ());
+  Runtime.Backoff.set_seed seed;
+  Obs.Metrics.annotate "run.seed" (string_of_int seed);
+  Obs.Metrics.annotate "run.mode" "serve-sharded";
+  Obs.Metrics.annotate "run.shards" (string_of_int shards);
+  Option.iter ensure_dir wal_dir;
+  let config =
+    {
+      Sim.Shard_live.default_config with
+      shards;
+      cross_pct;
+      seed;
+      domains = (if quick then 2 else domains);
+      think_us = (if quick then 50. else think_us);
+    }
+  in
+  let duration = if quick && duration = 0. then 10. else duration in
+  let live = Sim.Shard_live.start ?wal_dir ~group_commit config in
+  let sampler = Obs.Sampler.start ~period_ms:(max 50 (period_ms / 4)) () in
+  let routes =
+    ( "/waitfor",
+      fun _ ->
+        Obs.Server.respond_json
+          (Obs.Waitfor.to_json (Obs.Waitfor.analyze (Sim.Shard_live.stitched live))) )
+    :: Obs.Server.default_routes ()
+  in
+  let server = Obs.Server.start ~port ~routes () in
+  Format.printf
+    "hcc: serving sharded introspection on http://127.0.0.1:%d@.  endpoints: /metrics \
+     /locks /horizon /waitfor /health /control (per-shard, shard-labelled)@.  workload: \
+     %d shards, %d domains, %.0f%% cross-shard, think %.0fus%s@.%!"
+    (Obs.Server.port server) shards config.Sim.Shard_live.domains cross_pct
+    config.Sim.Shard_live.think_us
+    (if duration > 0. then Printf.sprintf ", running %.0fs" duration
+     else " (Ctrl-C to stop)");
+  let stop_requested = Atomic.make false in
+  (try
+     Sys.set_signal Sys.sigint
+       (Sys.Signal_handle (fun _ -> Atomic.set stop_requested true))
+   with Invalid_argument _ | Sys_error _ -> ());
+  let deadline = if duration > 0. then Some (Unix.gettimeofday () +. duration) else None in
+  let injected = ref false in
+  let finished () =
+    Atomic.get stop_requested
+    || match deadline with Some d -> Unix.gettimeofday () > d | None -> false
+  in
+  while not (finished ()) do
+    Unix.sleepf (float_of_int period_ms /. 1000.);
+    if inject && not !injected then begin
+      injected := Sim.Shard_live.inject_violation live;
+      if !injected then
+        Format.printf
+          "hcc: injected a decided-abort commit forgery into shard 0's trace@.%!"
+    end
+  done;
+  Sim.Shard_live.stop live;
+  (* One last audit pass over the final (now quiescent) windows. *)
+  ignore (Obs.Sampler.run_once ());
+  Obs.Sampler.stop sampler;
+  Obs.Server.stop server;
+  let stats = Sim.Shard_live.stats live in
+  Sim.Shard_live.close live;
+  Format.printf
+    "hcc: %d shards served %d committed (%d cross-shard 2PC), %d aborted attempts, %d \
+     cross aborts, %d give-ups@."
+    shards stats.Sim.Shard_live.s_committed stats.Sim.Shard_live.s_cross_commits
+    stats.Sim.Shard_live.s_aborted stats.Sim.Shard_live.s_cross_aborts
+    stats.Sim.Shard_live.s_give_ups;
+  if Obs.Sampler.healthy () then Format.printf "audit: clean (0 violations)@."
+  else begin
+    Format.eprintf "audit: %d violation(s); last: %s@." (Obs.Sampler.violations ())
+      (Option.value ~default:"unknown" (Obs.Sampler.last_error ()));
+    exit 1
+  end
+
+let serve_single quick port duration period_ms seed wal_dir group_commit domains think_us
     inject =
   Obs.Control.set_enabled true;
   ignore (Obs.Control.install_sigusr2 ());
@@ -366,6 +490,15 @@ let serve_cmd quick port duration period_ms seed wal_dir group_commit domains th
       (Option.value ~default:"unknown" (Obs.Sampler.last_error ()));
     exit 1
   end
+
+let serve_cmd quick port duration period_ms seed wal_dir group_commit domains think_us
+    inject shards cross_pct =
+  if shards > 1 then
+    serve_sharded quick port duration period_ms seed wal_dir group_commit domains think_us
+      inject shards cross_pct
+  else
+    serve_single quick port duration period_ms seed wal_dir group_commit domains think_us
+      inject
 
 (* ------------------------------------------------------------------ *)
 (* top: terminal dashboard polling a serve process                     *)
@@ -582,6 +715,26 @@ let group_commit_arg =
                     behaviour, kept as a baseline)." );
         ])
 
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Shard the system into $(docv) managers on disjoint timestamp stripes, with \
+           cross-shard transactions running presumed-abort two-phase commit through the \
+           coordinator.  1 (the default) keeps the single-manager paths; \
+           $(b,experiments --id shard) defaults to 4; $(b,serve)/$(b,crash) switch to \
+           their sharded modes when $(docv) > 1.")
+
+let cross_pct_arg =
+  Arg.(
+    value & opt float 10.
+    & info [ "cross-shard-pct" ] ~docv:"P"
+        ~doc:
+          "Percentage of transactions spanning two shards (a coordinator transfer \
+           between a home and a partner account).  Only meaningful with \
+           $(b,--shards) > 1.")
+
 let key_skew_arg =
   Arg.(
     value & opt float 0.
@@ -619,7 +772,7 @@ let experiments_t =
     Term.(
       const experiments_cmd $ id_arg $ deterministic_arg $ quick_arg $ metrics_arg
       $ seed_arg $ wal_arg $ group_commit_arg $ domains_arg $ txns_arg $ think_arg
-      $ key_skew_arg $ cells_arg $ partition_gate_arg)
+      $ key_skew_arg $ cells_arg $ partition_gate_arg $ shards_arg $ cross_pct_arg)
 
 let conflicts_arg =
   Arg.(
@@ -709,10 +862,14 @@ let crash_t =
          "Run the crash-recovery experiments: concurrent durable workloads, then a \
           simulated kill -9 at every deterministic kill point of the finished log \
           (around each commit record, mid-append, torn tail).  Each crash image must \
-          recover exactly its committed prefix.  Exits non-zero on any failure.")
+          recover exactly its committed prefix.  With $(b,--shards) > 1, runs the 2PC \
+          kill-point matrix instead: a coordinator crash at every protocol milestone \
+          (before prepare, each vote, decision durable, each ack) in both group-commit \
+          modes, with recovery checked against the decision log.  Exits non-zero on any \
+          failure.")
     Term.(
       const crash_cmd $ quick_arg $ seed_arg $ crash_dir_arg $ group_commit_arg
-      $ domains_arg $ txns_arg $ think_arg)
+      $ domains_arg $ txns_arg $ think_arg $ shards_arg $ cross_pct_arg)
 
 let port_arg default =
   Arg.(
@@ -753,10 +910,15 @@ let serve_t =
           hybrid relations) with the live-introspection HTTP server attached: \
           Prometheus /metrics, JSON /locks /horizon /waitfor, /health, /control.  An \
           always-on sampler replay-checks each retired workload epoch and audits the \
-          wait-for graph; any violation degrades /health and fails the exit code.")
+          wait-for graph; any violation degrades /health and fails the exit code.  With \
+          $(b,--shards) > 1 the workload runs sharded (per-shard managers, WALs and \
+          shard-labelled instruments; cross-shard 2PC transfers at \
+          $(b,--cross-shard-pct)) and the sampler runs the cross-shard atomicity audit \
+          continuously.")
     Term.(
       const serve_cmd $ quick_arg $ port_arg 9090 $ duration_arg $ period_arg $ seed_arg
-      $ wal_arg $ group_commit_arg $ domains_arg $ think_arg $ inject_arg)
+      $ wal_arg $ group_commit_arg $ domains_arg $ think_arg $ inject_arg $ shards_arg
+      $ cross_pct_arg)
 
 let interval_arg =
   Arg.(

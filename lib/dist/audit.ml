@@ -1,0 +1,174 @@
+(* Cross-shard atomicity audit over stitched per-shard trace windows.
+
+   The paper's local-property argument (Theorem 1) reduces global
+   hybrid atomicity to per-object checks plus one global fact: all
+   objects see the same commit timestamps, drawn from one total order.
+   Per-object checks are already continuous ([Obs.Sampler] replays each
+   object's window through the Section 3 checkers); what this module
+   adds is the global fact for a sharded system, where "same timestamp
+   everywhere" is exactly what 2PC must deliver:
+
+   - completion agreement: a global transaction id must not commit on
+     one shard and abort on another, and every shard must commit it at
+     the same (decided) timestamp;
+   - decision agreement: observed outcomes match the coordinator's
+     verdict — in particular, a shard that commits a decided-abort
+     transaction is caught here (the negative control);
+   - timestamp/precedes order: within each object's window, a committed
+     transaction that invokes after another's commit event must carry a
+     larger timestamp (precedes ⊆ TS, observed directly; the
+     cross-shard legs follow by transitivity through the Lamport
+     merges). *)
+
+type completion = {
+  mutable commits : (int * int) list; (* (shard, ts), newest first *)
+  mutable aborts : int list; (* shards *)
+}
+
+type report = {
+  a_entries : int;
+  a_txns : int; (* transactions with a completion event in some window *)
+  a_cross : int; (* completing on more than one shard *)
+  a_errors : string list;
+}
+
+let ok r = r.a_errors = []
+
+let pp ppf r =
+  Format.fprintf ppf "cross-shard audit: %d entries, %d txns (%d cross-shard): %s" r.a_entries
+    r.a_txns r.a_cross
+    (if ok r then "ok" else String.concat "; " r.a_errors)
+
+let uniq l = List.sort_uniq compare l
+
+(* One forged far-future commit makes every later honest transaction at
+   that object trip the order check, so the error list is capped: the
+   first [max_errors] are kept verbatim, the rest only counted.  A
+   nonempty list is the verdict; the tail adds nothing. *)
+let max_errors = 32
+
+let analyze ?(outcome = fun _ -> None) (windows : Obs.Trace.entry list array) =
+  let errors = ref [] and n_errors = ref 0 in
+  let err fmt =
+    Printf.ksprintf
+      (fun s ->
+        incr n_errors;
+        if !n_errors <= max_errors then errors := s :: !errors)
+      fmt
+  in
+  let entries = Array.fold_left (fun acc w -> acc + List.length w) 0 windows in
+  (* 1. Gather completions per transaction id across all shards. *)
+  let completions : (int, completion) Hashtbl.t = Hashtbl.create 256 in
+  let completion txn =
+    match Hashtbl.find_opt completions txn with
+    | Some c -> c
+    | None ->
+      let c = { commits = []; aborts = [] } in
+      Hashtbl.replace completions txn c;
+      c
+  in
+  Array.iteri
+    (fun si window ->
+      List.iter
+        (fun (e : Obs.Trace.entry) ->
+          match e.event with
+          | Obs.Trace.Commit ts ->
+            let c = completion e.txn in
+            if not (List.mem (si, ts) c.commits) then c.commits <- (si, ts) :: c.commits
+          | Obs.Trace.Abort ->
+            let c = completion e.txn in
+            if not (List.mem si c.aborts) then c.aborts <- si :: c.aborts
+          | _ -> ())
+        window)
+    windows;
+  (* 2. Agreement checks; collect the agreed timestamp of cleanly
+     committed transactions for the order check below. *)
+  let final_ts : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let cross = ref 0 in
+  Hashtbl.iter
+    (fun txn c ->
+      let commit_shards = uniq (List.map fst c.commits) in
+      let tss = uniq (List.map snd c.commits) in
+      let shards_touched = uniq (commit_shards @ c.aborts) in
+      if List.length shards_touched > 1 then incr cross;
+      (match (c.commits, c.aborts) with
+      | _ :: _, a :: _ ->
+        err "T%d committed on shard(s) %s but aborted on shard %d" txn
+          (String.concat "," (List.map string_of_int commit_shards))
+          a
+      | _ -> ());
+      (match tss with
+      | [] | [ _ ] -> ()
+      | _ ->
+        err "T%d committed with disagreeing timestamps {%s}" txn
+          (String.concat "," (List.map string_of_int tss)));
+      (match (outcome txn, tss, c.aborts) with
+      | Some `Abort, _ :: _, _ ->
+        err "T%d: coordinator decided abort, but shard(s) %s committed it" txn
+          (String.concat "," (List.map string_of_int commit_shards))
+      | Some (`Commit dts), [ ts ], _ when ts <> dts ->
+        err "T%d committed at ts=%d but the decision log says ts=%d" txn ts dts
+      | Some (`Commit _), [], _ :: _ ->
+        err "T%d: coordinator decided commit, but shard %d aborted it" txn (List.hd c.aborts)
+      | _ -> ());
+      match tss with [ ts ] when c.aborts = [] -> Hashtbl.replace final_ts txn ts | _ -> ())
+    completions;
+  (* 3. Per-object order check: scanning each object's window in emission
+     order (faithful per object — emissions happen under the object's
+     mutex), a committed transaction invoking after some transaction's
+     commit event must carry a larger final timestamp.  This is
+     precedes ⊆ TS read off the trace; a decided timestamp smaller than
+     something its transaction observed would trip it. *)
+  Array.iter
+    (fun window ->
+      let max_commit : (int, int) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun (e : Obs.Trace.entry) ->
+          match e.event with
+          | Obs.Trace.Commit ts ->
+            let prev = Option.value ~default:min_int (Hashtbl.find_opt max_commit e.obj) in
+            if ts > prev then Hashtbl.replace max_commit e.obj ts
+          | Obs.Trace.Invoke _ -> (
+            match Hashtbl.find_opt final_ts e.txn with
+            | None -> ()
+            | Some ts ->
+              let seen =
+                Option.value ~default:min_int (Hashtbl.find_opt max_commit e.obj)
+              in
+              if seen >= ts then
+                err
+                  "T%d (ts=%d) invoked at object %d after a commit at ts=%d: precedes ⊄ TS"
+                  e.txn ts e.obj seen)
+          | _ -> ())
+        window)
+    windows;
+  let suppressed = !n_errors - min !n_errors max_errors in
+  if suppressed > 0 then
+    errors := Printf.sprintf "... and %d more violation(s)" suppressed :: !errors;
+  {
+    a_entries = entries;
+    a_txns = Hashtbl.length completions;
+    a_cross = !cross;
+    a_errors = List.rev !errors;
+  }
+
+let check ?outcome windows =
+  let r = analyze ?outcome windows in
+  if ok r then Ok () else Error (String.concat "; " r.a_errors)
+
+(* Merge per-shard windows into one timeline.  Entry times come from the
+   shared process-wide monotonic clock, so sorting by time (stably, with
+   shard and sequence breaking ties) yields a global order consistent
+   with every per-shard order. *)
+let stitch (windows : Obs.Trace.entry list array) =
+  let tagged = ref [] in
+  Array.iteri
+    (fun si w -> List.iter (fun (e : Obs.Trace.entry) -> tagged := (si, e) :: !tagged) w)
+    windows;
+  List.sort
+    (fun ((sa, a) : int * Obs.Trace.entry) (sb, b) ->
+      match compare a.time b.time with
+      | 0 -> ( match compare sa sb with 0 -> compare a.seq b.seq | c -> c)
+      | c -> c)
+    !tagged
+  |> List.map snd

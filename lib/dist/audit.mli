@@ -1,0 +1,41 @@
+(** Cross-shard atomicity audit: stitch per-shard trace windows by
+    global transaction id and re-verify the merged history.
+
+    Complements the per-object replay audits (which already run the
+    Section 3 checkers continuously per shard) with the global facts
+    only the coordinator can break: every shard completes a global
+    transaction the same way, at the same decided timestamp, matching
+    the coordinator's verdict, and no committed transaction's timestamp
+    contradicts an observation order (precedes ⊆ TS read directly off
+    each object's window; cross-shard legs follow by transitivity
+    through the decided-timestamp Lamport merges).
+
+    The checks are sound on partial windows (ring wrap loses edges,
+    never invents them): a reported violation is real; a wrapped-out
+    entry can only mask one. *)
+
+type report = {
+  a_entries : int;
+  a_txns : int;  (** transactions completing in some window *)
+  a_cross : int;  (** the subset completing on more than one shard *)
+  a_errors : string list;
+}
+
+val ok : report -> bool
+val pp : Format.formatter -> report -> unit
+
+val analyze :
+  ?outcome:(int -> Decision_log.outcome option) -> Obs.Trace.entry list array -> report
+(** [windows.(i)] is shard [i]'s window ({!Obs.Trace.entries}).
+    [outcome] is the coordinator's verdict function
+    ({!Coordinator.outcome}); without it the decision-agreement check is
+    skipped (completion and order checks still run). *)
+
+val check :
+  ?outcome:(int -> Decision_log.outcome option) ->
+  Obs.Trace.entry list array ->
+  (unit, string) result
+
+val stitch : Obs.Trace.entry list array -> Obs.Trace.entry list
+(** One merged timeline (by emission time, shard/seq tie-break) — for
+    export and offline inspection. *)

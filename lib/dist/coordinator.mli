@@ -1,0 +1,96 @@
+(** The cross-shard transaction coordinator: presumed-abort two-phase
+    commit over hybrid timestamps.
+
+    A global transaction body receives a {!ctx} and opens a {!branch}
+    per shard it touches; all branches share one global transaction id
+    and priority, so per-shard traces stitch by id and wait-die treats
+    the branches as one transaction.  At commit:
+
+    - {e single-shard} transactions take the ordinary local commit path
+      (no votes, no decision record — 2PC costs nothing until a
+      transaction actually spans shards);
+    - {e cross-shard} transactions run 2PC: every participant
+      {!Runtime.Manager.prepare}s (drawing its shard's hybrid timestamp
+      and forcing its vote), the coordinator decides
+      [commit_ts = max(prepared timestamps)] and forces it to the
+      decision log (the global commit point), then every participant
+      {!Runtime.Manager.decide_commit}s at the decided timestamp.  Once
+      all acks are in, the decision is forgotten.
+
+    Why max-of-prepares is a valid hybrid timestamp: each prepared
+    timestamp exceeds everything its branch observed at its shard, the
+    max exceeds all of them, and [decide_commit] Lamport-merges the
+    decided value into every participant's clock — so any transaction
+    that later observes this commit draws a larger timestamp at
+    whichever shard it looks.  [precedes ⊆ TS] holds across shards with
+    no shared clock.  Uniqueness comes from timestamp striping: the max
+    {e is} one shard's prepared draw, issued exactly once system-wide.
+
+    Presumed abort: aborts write nothing to the decision log.  An
+    in-doubt participant (Prepare with no local outcome record) resolves
+    against the decision log on restart — commit at the decided
+    timestamp if present, abort otherwise ({!Wal.Recover.resolve}). *)
+
+type t
+
+type ctx
+(** One global transaction attempt. *)
+
+(** Protocol milestones, in order: after the body ran; after each
+    participant's vote; after the decision became durable; after each
+    participant applied and durably logged the decision.  A {!step} hook
+    that raises models a coordinator crash at exactly that point — the
+    coordinator performs {e no} cleanup, leaving participants prepared /
+    undecided / partially acked for recovery to resolve (the kill-point
+    matrix drives this). *)
+type step =
+  | Executed
+  | Prepared of int  (** shard index *)
+  | Decided of Model.Timestamp.t
+  | Acked of int  (** shard index *)
+
+val create : ?dlog:Decision_log.t -> Router.t -> t
+(** Without [dlog] the coordinator still runs 2PC in memory (prepares,
+    max decision, decided commits) but nothing survives a crash — for
+    non-durable experiments only. *)
+
+val router : t -> Router.t
+
+val id : ctx -> int
+(** The global transaction id (shared by every branch). *)
+
+val branch : ctx -> Shard.t -> Runtime.Txn_rt.t
+(** The transaction's branch at a shard (created on first use).  Pass it
+    to objects created on that shard, exactly like a local handle. *)
+
+val run : ?max_attempts:int -> t -> (ctx -> 'a) -> 'a
+(** Run a global transaction to commit, with the same abort-and-retry
+    contract as {!Runtime.Manager.run}: {!Runtime.Txn_rt.Abort_requested}
+    aborts every branch (presumed abort — no decision-log write) and
+    retries after backoff, preserving priority.  Raises
+    {!Runtime.Manager.Durability_lost} when the decision record's fate
+    is unknown (crash-equivalent: branches stay prepared and pinned;
+    recovery resolves them). *)
+
+val run_once : t -> (ctx -> 'a) -> ('a, string) result
+(** Single attempt, no retry. *)
+
+val outcome : t -> int -> Decision_log.outcome option
+(** The coordinator's verdict on a global transaction id, for the
+    cross-shard audit.  [None] = unknown to this coordinator (purely
+    local transaction), not presumed abort. *)
+
+val set_step_hook : t -> (step -> unit) -> unit
+val clear_step_hook : t -> unit
+
+type stats = {
+  c_attempts : int;
+  c_commits : int;  (** committed global transactions, any width *)
+  c_cross_commits : int;  (** the subset that ran 2PC *)
+  c_aborts : int;
+  c_ack_failures : int;
+      (** decided commits whose participant ack failed — their decisions
+          are retained, never forgotten *)
+}
+
+val stats : t -> stats

@@ -1,0 +1,88 @@
+(* The coordinator's presumed-abort decision log.
+
+   Only commit decisions are written: the durability point of the
+   [Decide] record is the global commit point of a cross-shard
+   transaction.  An in-doubt participant that finds no decision presumes
+   abort — which is why abort needs no forced record, no record at all.
+
+   Alongside the durable log the writer keeps a bounded in-memory
+   outcome table (commit decisions and session-scoped abort verdicts):
+   the cross-shard audit ([Dist.Audit]) checks observed trace outcomes
+   against it, which is what catches a shard committing a decided-abort
+   transaction.  The abort side is deliberately memory-only — recovery
+   must rely on the presumption, not on it. *)
+
+type outcome = [ `Commit of int | `Abort ]
+
+type t = {
+  log : Wal.Log.t;
+  mutex : Mutex.t;
+  cap : int;
+  (* two-generation eviction: lookups check both tables, so the table
+     remembers at least [cap] and at most [2*cap] recent outcomes —
+     plenty for any audit window, bounded for long-lived servers *)
+  mutable cur : (int, outcome) Hashtbl.t;
+  mutable prev : (int, outcome) Hashtbl.t;
+}
+
+let create ?(fsync = true) ?(group_commit = true) ?(outcome_cap = 1 lsl 16) path =
+  {
+    log = Wal.Log.create ~fsync ~group_commit path;
+    mutex = Mutex.create ();
+    cap = outcome_cap;
+    cur = Hashtbl.create 1024;
+    prev = Hashtbl.create 1;
+  }
+
+let path t = Wal.Log.path t.log
+let log t = t.log
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let note t gtxn o =
+  with_lock t (fun () ->
+      if Hashtbl.length t.cur >= t.cap then begin
+        t.prev <- t.cur;
+        t.cur <- Hashtbl.create 1024
+      end;
+      Hashtbl.replace t.cur gtxn o)
+
+(* Force the decision: returning means every participant may now learn
+   the outcome.  The in-memory note happens only after the sync — a
+   failed sync leaves the decision un-taken for the audit too. *)
+let decide t ~gtxn ~ts =
+  let lsn = Wal.Log.append_lsn t.log (Wal.Log.Decide { gtxn; ts }) in
+  Wal.Log.sync_upto t.log lsn;
+  note t gtxn (`Commit ts)
+
+let forget t ~gtxn = Wal.Log.append t.log (Wal.Log.Forget { gtxn })
+let note_abort t ~gtxn = note t gtxn `Abort
+
+let outcome t gtxn =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.cur gtxn with
+      | Some o -> Some o
+      | None -> Hashtbl.find_opt t.prev gtxn)
+
+let decided t gtxn =
+  match outcome t gtxn with Some (`Commit ts) -> Some ts | Some `Abort | None -> None
+
+let close t = Wal.Log.close t.log
+
+(* Recovery side: the surviving commit decisions in a decision-log file.
+   [Wal.Recover.decisions] on the parsed records — last write wins per
+   gtxn (decisions are immutable, so duplicates only arise from
+   rewrites), minus anything a later [Forget] covered. *)
+let read path =
+  let records, _tail = Wal.Log.read path in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (function
+      | Wal.Log.Decide { gtxn; ts } -> Hashtbl.replace tbl gtxn ts
+      | Wal.Log.Forget { gtxn } -> Hashtbl.remove tbl gtxn
+      | _ -> ())
+    records;
+  Hashtbl.fold (fun gtxn ts acc -> (gtxn, ts) :: acc) tbl []
+  |> List.sort compare

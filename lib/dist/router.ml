@@ -1,0 +1,27 @@
+type t = { shards : Shard.t array }
+
+let make ?wal_dir ?prefix ?fsync ?group_commit ?compact_threshold ?ring_capacity ~count () =
+  if count < 1 then invalid_arg "Router.make: count must be positive";
+  {
+    shards =
+      Array.init count (fun index ->
+          Shard.create ?wal_dir ?prefix ?fsync ?group_commit ?compact_threshold
+            ?ring_capacity ~index ~count ());
+  }
+
+let of_shards shards =
+  if Array.length shards = 0 then invalid_arg "Router.of_shards: empty";
+  { shards }
+
+let count t = Array.length t.shards
+let shard t i = t.shards.(i)
+
+(* Fibonacci hashing spreads sequential keys; any deterministic map
+   would do — placement is policy, correctness comes from the
+   coordinator. *)
+let shard_of_key t k = t.shards.(k * 0x9E3779B1 land max_int mod Array.length t.shards)
+
+let iter f t = Array.iter f t.shards
+let rings t = Array.map Shard.ring t.shards
+let register_introspection t = Array.iter Shard.register_introspection t.shards
+let close t = Array.iter Shard.close t.shards

@@ -1,0 +1,29 @@
+(** The shard set and key placement. *)
+
+type t
+
+val make :
+  ?wal_dir:string ->
+  ?prefix:string ->
+  ?fsync:bool ->
+  ?group_commit:bool ->
+  ?compact_threshold:int ->
+  ?ring_capacity:int ->
+  count:int ->
+  unit ->
+  t
+(** [count] fresh shards (see {!Shard.create}). *)
+
+val of_shards : Shard.t array -> t
+
+val count : t -> int
+val shard : t -> int -> Shard.t
+
+val shard_of_key : t -> int -> Shard.t
+(** Deterministic key placement (Fibonacci hash mod shard count). *)
+
+val iter : (Shard.t -> unit) -> t -> unit
+val rings : t -> Obs.Trace.t array
+
+val register_introspection : t -> unit
+val close : t -> unit

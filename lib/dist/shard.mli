@@ -1,0 +1,56 @@
+(** One shard of a sharded system: a {!Runtime.Manager} on timestamp
+    stripe [(index, count)], optionally its own WAL, and its own trace
+    ring.
+
+    Shards share {e nothing}: lock tables live in the objects created
+    against the shard, timestamps come from disjoint residue classes,
+    and traces go to the per-shard ring.  The only coupling is the
+    coordinator ({!Coordinator}) and its decision log. *)
+
+type t
+
+val create :
+  ?wal_dir:string ->
+  ?prefix:string ->
+  ?fsync:bool ->
+  ?group_commit:bool ->
+  ?compact_threshold:int ->
+  ?ring_capacity:int ->
+  index:int ->
+  count:int ->
+  unit ->
+  t
+(** Shard [index] of [count].  With [wal_dir] the shard opens its own
+    log at [<wal_dir>/<prefix>shard-<index>.wal] ([fsync],
+    [group_commit], [compact_threshold] as in {!Wal.Log.create}). *)
+
+val index : t -> int
+val count : t -> int
+
+val name : t -> string
+(** ["shard<i>"] — the manager's introspection name. *)
+
+val mgr : t -> Runtime.Manager.t
+val wal : t -> Wal.Log.t option
+
+val ring : t -> Obs.Trace.t
+(** This shard's trace sink: pass it as [?trace] to every object created
+    on the shard, so per-shard windows stitch cleanly ({!Audit}). *)
+
+val obj_name : t -> string -> string
+(** ["s<i>/<base>"] — shard-qualified object naming, so lock and horizon
+    snapshots (and WAL object records) carry shard identity. *)
+
+val register_introspection : t -> unit
+(** Manager snapshot under the shard's name, WAL introspection if any,
+    and gauges [shard_clock], [shard_stable_time], [shard_commits],
+    [shard_aborts] labelled [shard=<index>] — the per-shard labels
+    /metrics aggregates over. *)
+
+val close : t -> unit
+(** Close the shard's WAL (the manager itself holds no resources). *)
+
+val wal_file : ?prefix:string -> dir:string -> int -> string
+val decision_file : ?prefix:string -> string -> string
+(** The on-disk layout ([<prefix>shard-<i>.wal], [<prefix>decisions.wal])
+    — shared with the recovery CLI. *)

@@ -1,7 +1,9 @@
 type outcome_stats = { started : int; committed : int; aborted : int }
 
 type t = {
-  clock : int Atomic.t; (* last issued timestamp *)
+  clock : int Atomic.t; (* last issued or observed timestamp *)
+  stripe_index : int; (* this manager draws ts ≡ stripe_index (mod stripe_count) *)
+  stripe_count : int;
   attempts : int Atomic.t;
   commits : int Atomic.t;
   failures : int Atomic.t;
@@ -19,9 +21,14 @@ let m_aborts = Obs.Metrics.counter "txn.aborts"
 let m_durability_lost = Obs.Metrics.counter "txn.durability_lost"
 let h_attempt = Obs.Metrics.histogram "txn.attempt_latency"
 
-let create ?wal () =
+let create ?wal ?(stripe = (0, 1)) () =
+  let stripe_index, stripe_count = stripe in
+  if stripe_count < 1 || stripe_index < 0 || stripe_index >= stripe_count then
+    invalid_arg "Manager.create: stripe must satisfy 0 <= index < count";
   {
     clock = Atomic.make 0;
+    stripe_index;
+    stripe_count;
     attempts = Atomic.make 0;
     commits = Atomic.make 0;
     failures = Atomic.make 0;
@@ -38,11 +45,34 @@ let with_inflight t f =
   Mutex.lock t.inflight_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.inflight_mutex) f
 
+(* Timestamps come from the manager's stripe: the smallest value above
+   the clock congruent to [stripe_index] mod [stripe_count].  With the
+   default (0, 1) stripe this is exactly clock+1 (the single-manager
+   behaviour); shard [i] of [N] draws only from its own residue class,
+   so timestamps are process-unique across shards without any shared
+   state — which is what lets a cross-shard decision adopt one shard's
+   prepared timestamp (the max) knowing no other shard can ever issue
+   it locally.  Callers hold the in-flight mutex; the clock stays an
+   atomic so [current_time] reads without the lock. *)
+let draw_locked t =
+  let c = Atomic.get t.clock in
+  let r = ((t.stripe_index - c) mod t.stripe_count + t.stripe_count) mod t.stripe_count in
+  let ts = c + if r = 0 then t.stripe_count else r in
+  Atomic.set t.clock ts;
+  ts
+
+(* Lamport merge: adopting a foreign timestamp pushes the local clock
+   past it, so every later local draw exceeds it — the transitive leg of
+   precedes ⊆ TS across shards. *)
+let observe_locked t ts = if ts > Atomic.get t.clock then Atomic.set t.clock ts
+
 (* Draw a timestamp and mark it in flight in one critical section, so
    [stable_time] can never miss a drawn-but-undistributed commit.  The
    WAL commit record is appended inside the same critical section: the
    log's commit-record order is then exactly the commit-timestamp order,
-   i.e. the hybrid serialization order.  Returns the commit record's
+   i.e. the hybrid serialization order (decided cross-shard commits are
+   the one exception — see [decide_commit]; recovery sorts by timestamp
+   and never relies on record order).  Returns the commit record's
    LSN alongside the timestamp — the handle [attempt_once] passes to
    [Wal.Log.sync_upto], this transaction's durability point.
 
@@ -52,7 +82,7 @@ let with_inflight t f =
    frame's CRC cannot check out — so aborting afterwards is sound.) *)
 let begin_commit t txn =
   with_inflight t (fun () ->
-      let ts = 1 + Atomic.fetch_and_add t.clock 1 in
+      let ts = draw_locked t in
       t.inflight <- ts :: t.inflight;
       match t.wal with
       | None -> (ts, None)
@@ -80,6 +110,129 @@ let log_abort t txn =
   | Some w -> Wal.Log.append w (Wal.Log.Abort { txn = Txn_rt.id txn })
   | None -> ()
 
+(* The full local commit path for an externally managed handle (the
+   bodies of [attempt_once] and the coordinator's single-shard fast
+   path).  Three exits, in-flight timestamp retired on every one:
+   - append failed inside [begin_commit]: the record is not durably
+     complete, so the attempt aborts like any other failure;
+   - [sync_upto] failed: the record was appended and {e may} be on
+     disk, so neither commit nor abort can be reported — the timestamp
+     is retired and [Durability_lost] raised (crash-equivalent: no
+     commit/abort event is distributed, and recovery decides the
+     outcome from the log);
+   - sync returned: the commit is durable, distribute it ([Fun.protect]
+     retires the timestamp even if a participant's [on_commit]
+     raises). *)
+let commit_txn t txn =
+  match begin_commit t txn with
+  | exception e ->
+    Txn_rt.abort txn;
+    Atomic.incr t.failures;
+    Obs.Metrics.incr m_aborts;
+    raise e
+  | ts, lsn -> (
+    let durable =
+      match lsn with
+      | Some (w, l) -> ( try Ok (Wal.Log.sync_upto w l) with e -> Error e)
+      | None -> Ok ()
+    in
+    match durable with
+    | Error e ->
+      end_commit t ts;
+      Obs.Metrics.incr m_durability_lost;
+      raise
+        (Durability_lost
+           (Printf.sprintf "txn %d (ts %d): commit record appended but not synced: %s"
+              (Txn_rt.id txn) ts (Printexc.to_string e)))
+    | Ok () ->
+      Fun.protect ~finally:(fun () -> end_commit t ts) (fun () -> Txn_rt.commit txn ts);
+      Atomic.incr t.commits;
+      Obs.Metrics.incr m_commits;
+      ts)
+
+let abort_txn t txn =
+  log_abort t txn;
+  Txn_rt.abort txn;
+  Atomic.incr t.failures;
+  Obs.Metrics.incr m_aborts
+
+(* ---- two-phase commit participant entry points (see Dist) ---- *)
+
+(* Phase 1: draw this shard's hybrid timestamp for global transaction
+   [gtxn] and force the vote.  The prepared timestamp joins the
+   in-flight set and stays there until the decision: [stable_time] — and
+   with it every object horizon and checkpoint — cannot advance past a
+   prepared-but-undecided transaction.  That is the cross-shard
+   stability rule: the decided timestamp is at least the local prepared
+   one, so nothing this shard folds or serves as stable can be
+   invalidated by the eventual commit. *)
+let prepare t txn ~gtxn =
+  let ts, lsn =
+    with_inflight t (fun () ->
+        let ts = draw_locked t in
+        t.inflight <- ts :: t.inflight;
+        match t.wal with
+        | None -> (ts, None)
+        | Some w -> (
+          match Wal.Log.append_lsn w (Wal.Log.Prepare { txn = Txn_rt.id txn; gtxn; ts }) with
+          | lsn -> (ts, Some (w, lsn))
+          | exception e ->
+            t.inflight <- List.filter (fun x -> x <> ts) t.inflight;
+            raise e))
+  in
+  (match lsn with
+  | Some (w, l) -> (
+    try Wal.Log.sync_upto w l
+    with e ->
+      (* The vote may or may not be on disk; either way this shard never
+         acked, the coordinator will not decide commit, and recovery
+         presumes abort — so retiring the timestamp and failing the
+         prepare is sound. *)
+      end_commit t ts;
+      raise e)
+  | None -> ());
+  ts
+
+(* Phase 2, commit: adopt the decided timestamp (max over all
+   participants' prepares).  Inside one critical section the clock is
+   pushed past it, the in-flight reservation moves from the prepared to
+   the decided timestamp (the stability pin transfers without a gap),
+   and the commit record is appended — possibly out of local record
+   order, which recovery's sort-by-timestamp absorbs.  The record is
+   forced before returning, so a return is the durable ack the
+   coordinator needs before it may forget the decision; a sync failure
+   raises only {e after} the commit events are distributed, because the
+   global decision is already durable at the coordinator and cannot be
+   un-taken. *)
+let decide_commit t txn ~prepared ~ts =
+  let logged =
+    with_inflight t (fun () ->
+        observe_locked t ts;
+        t.inflight <- ts :: List.filter (fun x -> x <> prepared) t.inflight;
+        match t.wal with
+        | None -> Ok None
+        | Some w -> (
+          try Ok (Some (w, Wal.Log.append_lsn w (Wal.Log.Commit { txn = Txn_rt.id txn; ts })))
+          with e -> Error e))
+  in
+  Fun.protect ~finally:(fun () -> end_commit t ts) (fun () -> Txn_rt.commit txn ts);
+  Atomic.incr t.commits;
+  Obs.Metrics.incr m_commits;
+  match logged with
+  | Ok None -> ()
+  | Ok (Some (w, l)) -> Wal.Log.sync_upto w l
+  | Error e -> raise e
+
+(* Phase 2, abort: presumed abort — release the prepared reservation and
+   notify participants; the Abort record is an unforced courtesy to the
+   compactor, exactly as in the single-shard path. *)
+let decide_abort t txn ~prepared =
+  log_abort t txn;
+  Txn_rt.abort txn;
+  end_commit t prepared;
+  Atomic.incr t.failures;
+  Obs.Metrics.incr m_aborts
+
 let attempt_once ?priority t body =
   Atomic.incr t.attempts;
   Obs.Metrics.incr m_attempts;
@@ -92,66 +245,25 @@ let attempt_once ?priority t body =
   in
   let txn = Txn_rt.fresh ?priority () in
   match body txn with
-  | v -> (
+  | v ->
     (* Draw the timestamp before any commit event becomes visible (see
        the interface comment), and keep it in the in-flight set until
        every participant has seen the commit so snapshot readers can
        wait for a stable watermark.  With a WAL attached the commit
        record is forced to stable storage before any commit event is
        distributed — the write-ahead rule: once any object acts on the
-       commit, a crash replays it.
-
-       The durability point is explicit: this transaction is committed
-       iff [sync_upto] returned for its commit record's LSN.  Three
-       exits, [end_commit] on every one:
-       - append failed inside [begin_commit]: the record is not durably
-         complete, so the attempt aborts like any other failure;
-       - [sync_upto] failed: the record was appended and {e may} be on
-         disk, so neither commit nor abort can be reported — the
-         timestamp is retired and [Durability_lost] raised
-         (crash-equivalent: no commit/abort event is distributed, and
-         recovery decides the outcome from the log);
-       - sync returned: the commit is durable, distribute it
-         ([Fun.protect] retires the timestamp even if a participant's
-         [on_commit] raises). *)
-    match begin_commit t txn with
-    | exception e ->
-      Txn_rt.abort txn;
-      Atomic.incr t.failures;
-      Obs.Metrics.incr m_aborts;
-      raise e
-    | ts, lsn -> (
-      let durable =
-        match lsn with
-        | Some (w, l) -> ( try Ok (Wal.Log.sync_upto w l) with e -> Error e)
-        | None -> Ok ()
-      in
-      match durable with
-      | Error e ->
-        end_commit t ts;
-        Obs.Metrics.incr m_durability_lost;
-        raise
-          (Durability_lost
-             (Printf.sprintf "txn %d (ts %d): commit record appended but not synced: %s"
-                (Txn_rt.id txn) ts (Printexc.to_string e)))
-      | Ok () ->
-        Fun.protect ~finally:(fun () -> end_commit t ts) (fun () -> Txn_rt.commit txn ts);
-        Atomic.incr t.commits;
-        Obs.Metrics.incr m_commits;
-        observe ();
-        Ok (v, Txn_rt.priority txn)))
+       commit, a crash replays it.  The durability point is explicit:
+       this transaction is committed iff [commit_txn] returned (see its
+       exit analysis above). *)
+    let _ts : int = commit_txn t txn in
+    observe ();
+    Ok (v, Txn_rt.priority txn)
   | exception Txn_rt.Abort_requested reason ->
-    log_abort t txn;
-    Txn_rt.abort txn;
-    Atomic.incr t.failures;
-    Obs.Metrics.incr m_aborts;
+    abort_txn t txn;
     observe ();
     Error (reason, Txn_rt.priority txn)
   | exception e ->
-    log_abort t txn;
-    Txn_rt.abort txn;
-    Atomic.incr t.failures;
-    Obs.Metrics.incr m_aborts;
+    abort_txn t txn;
     raise e
 
 let run_once t body =

@@ -23,7 +23,7 @@ type outcome_stats = {
   aborted : int;  (** aborted attempts (each may be retried) *)
 }
 
-val create : ?wal:Wal.Log.t -> unit -> t
+val create : ?wal:Wal.Log.t -> ?stripe:int * int -> unit -> t
 (** With [wal], the manager runs the write-ahead commit rule: the commit
     record (transaction id + timestamp) is appended {e inside} the
     timestamp-draw critical section — so commit records appear in the
@@ -31,7 +31,15 @@ val create : ?wal:Wal.Log.t -> unit -> t
     ({!Wal.Log.sync_upto} the record's LSN, a group-commit batch under
     concurrency) before any commit event is distributed to
     participants.  Abort records are appended on abort (without fsync;
-    recovery discards uncommitted intentions regardless). *)
+    recovery discards uncommitted intentions regardless).
+
+    [stripe = (i, n)] (default [(0, 1)]) restricts this manager's
+    timestamp draws to the residue class [i mod n]: shard [i] of [n]
+    managers in one process (or one system) then issues timestamps from
+    disjoint sets with no shared state, which is what makes the
+    cross-shard decided timestamp (max over prepares, see {!prepare})
+    globally unique.  The default stripe is the single-manager seed
+    behaviour (successive integers from 1). *)
 
 val wal : t -> Wal.Log.t option
 
@@ -76,6 +84,54 @@ val run_once : t -> (Txn_rt.t -> 'a) -> ('a, string) result
 
 val abort_in : ?reason:string -> unit -> 'a
 (** Convenience for transaction bodies: raise {!Txn_rt.Abort_requested}. *)
+
+(** {1 Externally driven transactions}
+
+    A distributed coordinator ({!Dist.Coordinator}) runs transaction
+    bodies itself and drives each shard's manager through the commit
+    protocol directly: {!commit_txn}/{!abort_txn} for single-shard
+    transactions, {!prepare} + {!decide_commit}/{!decide_abort} for
+    cross-shard ones. *)
+
+val commit_txn : t -> Txn_rt.t -> Model.Timestamp.t
+(** Commit an externally executed handle through the full local path —
+    timestamp draw, write-ahead commit record, durability point, commit
+    distribution — returning the commit timestamp.  Raises
+    {!Durability_lost} exactly like {!run}. *)
+
+val abort_txn : t -> Txn_rt.t -> unit
+(** Abort an externally executed handle: abort record (unforced), abort
+    events to its participants, failure accounting. *)
+
+val prepare : t -> Txn_rt.t -> gtxn:int -> Model.Timestamp.t
+(** 2PC phase 1 at a participant shard: draw this shard's hybrid
+    timestamp for global transaction [gtxn], force a [Prepare] record
+    (the vote's durability point), and return the timestamp.  The
+    prepared timestamp stays in flight — pinning {!stable_time}, and
+    with it every horizon and checkpoint, below it — until
+    {!decide_commit} or {!decide_abort}: a shard's horizon may not
+    advance past a prepared-but-undecided transaction.  On failure the
+    timestamp is retired and the exception propagates; the coordinator
+    must then abort the global transaction (the un-acked vote is
+    presumed aborted by recovery). *)
+
+val decide_commit : t -> Txn_rt.t -> prepared:Model.Timestamp.t -> ts:Model.Timestamp.t -> unit
+(** 2PC phase 2 at a participant shard, commit decision: adopt decided
+    timestamp [ts] (= max over all participants' prepared timestamps;
+    Lamport-merges into this shard's clock so every later local draw
+    exceeds it), move the in-flight pin from [prepared] to [ts], append
+    the commit record, distribute commit events, and force the record —
+    return is the durable ack after which the coordinator may forget
+    the decision.  A late failure (append/sync) raises only after the
+    commit is applied in memory: the decision is already durable at the
+    coordinator and recovery re-derives this shard's commit from it, so
+    the caller must treat the transaction as committed but must {e not}
+    forget the decision. *)
+
+val decide_abort : t -> Txn_rt.t -> prepared:Model.Timestamp.t -> unit
+(** 2PC phase 2 at a participant shard, abort decision (or presumed
+    abort after a failed prepare elsewhere): release the prepared
+    reservation and abort the local branch. *)
 
 val stats : t -> outcome_stats
 

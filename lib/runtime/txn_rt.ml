@@ -20,23 +20,33 @@ let object_key_counter = Atomic.make 0
 let fresh_object_key () = Atomic.fetch_and_add object_key_counter 1
 
 (* Registry of live transactions' priorities, readable by any domain
-   (objects resolve lock holders by id). *)
+   (objects resolve lock holders by id).  Entries are refcounted: the
+   shard branches of one global transaction share its id, and the id
+   must stay resolvable until the {e last} branch completes — wait-die
+   reads [None] as "holder finished", which would be wrong while a
+   sibling branch still holds locks. *)
 let registry_mutex = Mutex.create ()
-let registry : (int, int) Hashtbl.t = Hashtbl.create 64
+let registry : (int, int * int) Hashtbl.t = Hashtbl.create 64 (* id -> (priority, refs) *)
 
 let with_registry f =
   Mutex.lock registry_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
 
-let fresh ?priority () =
-  let id = Atomic.fetch_and_add counter 1 in
+let fresh_id () = Atomic.fetch_and_add counter 1
+
+let fresh ?id ?priority () =
+  let id = match id with Some id -> id | None -> fresh_id () in
   let priority = Option.value ~default:id priority in
-  with_registry (fun () -> Hashtbl.replace registry id priority);
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry id with
+      | Some (p, refs) -> Hashtbl.replace registry id (p, refs + 1)
+      | None -> Hashtbl.replace registry id (priority, 1));
   { id; priority; status = Active; participants = [] }
 
 let id t = t.id
 let priority t = t.priority
-let priority_of_id id = with_registry (fun () -> Hashtbl.find_opt registry id)
+let priority_of_id id =
+  with_registry (fun () -> Option.map fst (Hashtbl.find_opt registry id))
 let model_txn t = Model.Txn.make t.id
 
 let status t =
@@ -51,7 +61,13 @@ let add_participant t ~key p =
 
 let participant_count t = List.length t.participants
 
-let deregister t = with_registry (fun () -> Hashtbl.remove registry t.id)
+let deregister t =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry t.id with
+      | Some (_, refs) when refs > 1 ->
+        Hashtbl.replace registry t.id (fst (Hashtbl.find registry t.id), refs - 1)
+      | Some _ -> Hashtbl.remove registry t.id
+      | None -> ())
 
 let commit t ts =
   match t.status with

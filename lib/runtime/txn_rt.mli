@@ -26,12 +26,23 @@ exception Abort_requested of string
     exhausted its conflict retries) to abort the transaction; the manager
     catches it, sends aborts, and may retry the body. *)
 
-val fresh : ?priority:int -> unit -> t
+val fresh : ?id:int -> ?priority:int -> unit -> t
 (** A handle with a process-unique id, in state [`Active].  [priority]
     is the wait-die seniority (smaller = older = wins conflicts); it
     defaults to the fresh id and is preserved by the manager across
     abort-and-retry so a restarted transaction eventually becomes the
-    oldest in the system and cannot starve. *)
+    oldest in the system and cannot starve.
+
+    [id] lets a distributed coordinator give every shard branch of one
+    global transaction the {e same} id (drawn once with {!fresh_id}):
+    per-shard traces then stitch by transaction id, and wait-die treats
+    all branches as one transaction.  The priority registry refcounts
+    shared ids — an id resolves until its last branch completes. *)
+
+val fresh_id : unit -> int
+(** Draw a process-unique transaction id without creating a handle —
+    the global transaction id a coordinator passes to each branch's
+    [fresh ~id]. *)
 
 val id : t -> int
 val priority : t -> int

@@ -28,6 +28,8 @@ type report = {
   r_tail : Wal.Log.tail;
   r_committed : int;
   r_aborted : int;
+  r_resolved : Wal.Recover.resolution list;
+      (* in-doubt 2PC branches patched against the decision log *)
   r_verdicts : verdict list;
 }
 
@@ -85,16 +87,28 @@ let verify_object ~reference records (name, adt) =
         v_result = result;
       })
 
-let verify ?(reference = false) (records, tail) =
+(* With [decided] (the coordinator's decision-log lookup), in-doubt 2PC
+   branches — a surviving [Prepare] with no local outcome — are resolved
+   first: commit at the decided timestamp, presumed abort otherwise.
+   Both verification paths (checkpointed recovery and reference replay)
+   then run on the patched record list, so the verdicts cover the
+   resolved transactions too. *)
+let verify ?(reference = false) ?decided (records, tail) =
+  let records, resolved =
+    match decided with
+    | None -> (records, [])
+    | Some decided -> Wal.Recover.resolve ~decided records
+  in
   {
     r_records = List.length records;
     r_tail = tail;
     r_committed = List.length (Wal.Recover.committed records);
     r_aborted = List.length (Wal.Recover.aborted records);
+    r_resolved = resolved;
     r_verdicts = List.map (verify_object ~reference records) (Wal.Recover.objects records);
   }
 
-let verify_file ?reference path = verify ?reference (Wal.Log.read path)
+let verify_file ?reference ?decided path = verify ?reference ?decided (Wal.Log.read path)
 
 let pp_tail ppf = function
   | Wal.Log.Clean -> Format.pp_print_string ppf "clean"
@@ -110,5 +124,8 @@ let pp_verdict ppf v =
 let pp_report ppf r =
   Format.fprintf ppf "log: %d records, tail %a, %d committed, %d aborted@." r.r_records
     pp_tail r.r_tail r.r_committed r.r_aborted;
+  List.iter
+    (fun res -> Format.fprintf ppf "   resolved in-doubt: %a@." Wal.Recover.pp_resolution res)
+    r.r_resolved;
   List.iter (pp_verdict ppf) r.r_verdicts;
   Format.fprintf ppf "recovery: %s@." (if ok r then "OK" else "FAILED")

@@ -23,16 +23,22 @@ type verdict = {
 }
 
 type report = {
-  r_records : int;
+  r_records : int;  (** after in-doubt resolution, when [decided] is given *)
   r_tail : Wal.Log.tail;
   r_committed : int;
   r_aborted : int;
+  r_resolved : Wal.Recover.resolution list;
+      (** in-doubt 2PC branches patched against the decision log *)
   r_verdicts : verdict list;
 }
 
 val ok : report -> bool
 
-val verify : ?reference:bool -> Wal.Log.record list * Wal.Log.tail -> report
+val verify :
+  ?reference:bool ->
+  ?decided:(int -> int option) ->
+  Wal.Log.record list * Wal.Log.tail ->
+  report
 (** Recover every declared object through its latest checkpoint: a
     verdict fails on a corrupt payload, an illegal redo, or an
     unregistered ADT.  With [reference] (default [false]) each object is
@@ -41,9 +47,14 @@ val verify : ?reference:bool -> Wal.Log.record list * Wal.Log.tail -> report
     checkpoint truncation (Theorem 24) loses nothing.  Only sound when
     the log retains its full record history (compaction rewrites
     legitimately drop covered intentions), so leave it off for logs
-    produced with rewriting enabled. *)
+    produced with rewriting enabled.
 
-val verify_file : ?reference:bool -> string -> report
+    [decided] is the coordinator's decision-log lookup
+    ({!Wal.Recover.resolve}): in-doubt 2PC branches are resolved —
+    commit at the decided timestamp, presumed abort otherwise — before
+    either verification path runs. *)
+
+val verify_file : ?reference:bool -> ?decided:(int -> int option) -> string -> report
 (** {!verify} on {!Wal.Log.read} of the file; a torn tail is reported,
     not an error (that is the expected shape after a crash). *)
 

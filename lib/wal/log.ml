@@ -6,6 +6,9 @@ type record =
   | Commit of { txn : int; ts : int }
   | Abort of { txn : int }
   | Checkpoint of { obj : string; upto : int; payload : string; cell : int option }
+  | Prepare of { txn : int; gtxn : int; ts : int }
+  | Decide of { gtxn : int; ts : int }
+  | Forget of { gtxn : int }
 
 let equal_record (a : record) b = a = b
 
@@ -23,6 +26,9 @@ let pp_record ppf = function
   | Checkpoint { obj; upto; payload; cell } ->
     Format.fprintf ppf "Checkpoint(%s, upto=%d, %d bytes%a)" obj upto (String.length payload)
       pp_cell cell
+  | Prepare { txn; gtxn; ts } -> Format.fprintf ppf "Prepare(T%d, G%d, ts=%d)" txn gtxn ts
+  | Decide { gtxn; ts } -> Format.fprintf ppf "Decide(G%d, ts=%d)" gtxn ts
+  | Forget { gtxn } -> Format.fprintf ppf "Forget(G%d)" gtxn
 
 (* ---- record payload encoding (inside the frame) ---- *)
 
@@ -31,6 +37,9 @@ let tag_intention = 2
 let tag_commit = 3
 let tag_abort = 4
 let tag_checkpoint = 5
+let tag_prepare = 6
+let tag_decide = 7
+let tag_forget = 8
 
 (* Cell keys are non-negative; -1 on the wire means "whole object". *)
 let w_cell buf = function None -> B.w_int buf (-1) | Some c -> B.w_int buf c
@@ -66,6 +75,18 @@ let encode_record buf = function
     B.w_int buf upto;
     B.w_string buf payload;
     w_cell buf cell
+  | Prepare { txn; gtxn; ts } ->
+    B.w_tag buf tag_prepare;
+    B.w_int buf txn;
+    B.w_int buf gtxn;
+    B.w_int buf ts
+  | Decide { gtxn; ts } ->
+    B.w_tag buf tag_decide;
+    B.w_int buf gtxn;
+    B.w_int buf ts
+  | Forget { gtxn } ->
+    B.w_tag buf tag_forget;
+    B.w_int buf gtxn
 
 let decode_record s =
   let r = B.reader s in
@@ -93,6 +114,16 @@ let decode_record s =
       let payload = B.r_string r in
       let cell = r_cell r in
       Checkpoint { obj; upto; payload; cell }
+    | 6 ->
+      let txn = B.r_int r in
+      let gtxn = B.r_int r in
+      let ts = B.r_int r in
+      Prepare { txn; gtxn; ts }
+    | 7 ->
+      let gtxn = B.r_int r in
+      let ts = B.r_int r in
+      Decide { gtxn; ts }
+    | 8 -> Forget { gtxn = B.r_int r }
     | t -> raise (B.Corrupt (Printf.sprintf "unknown record tag %d" t))
   in
   if not (B.eof r) then raise (B.Corrupt "trailing bytes in record");
@@ -196,6 +227,13 @@ type t = {
   ckpts : (string, int * string * int option) Hashtbl.t; (* obj -> (upto, payload, cell) *)
   active : (int, txn_info) Hashtbl.t; (* txns with ops, not yet completed *)
   committed : (int, int * int * txn_info) Hashtbl.t; (* txn -> (seq, ts, info) *)
+  prepared : (int, int * int * int) Hashtbl.t;
+      (* in-doubt 2PC participants: txn -> (seq, gtxn, prepared ts);
+         retained until the transaction's Commit or Abort record *)
+  decisions : (int, int * int) Hashtbl.t;
+      (* coordinator commit decisions: gtxn -> (seq, decided ts);
+         retained until the Forget record (presumed abort: an absent
+         decision means abort, so only commits ever need retaining) *)
 }
 
 let create ?(fsync = true) ?(group_commit = true) ?(compact_threshold = 512) path =
@@ -220,6 +258,8 @@ let create ?(fsync = true) ?(group_commit = true) ?(compact_threshold = 512) pat
     ckpts = Hashtbl.create 8;
     active = Hashtbl.create 32;
     committed = Hashtbl.create 32;
+    prepared = Hashtbl.create 8;
+    decisions = Hashtbl.create 8;
   }
 
 let path t = t.path
@@ -244,6 +284,7 @@ let live_records t =
   Hashtbl.length t.objs + Hashtbl.length t.ckpts
   + Hashtbl.fold (fun _ info acc -> acc + List.length info.t_ops) t.active 0
   + Hashtbl.fold (fun _ (_, _, info) acc -> acc + List.length info.t_ops + 1) t.committed 0
+  + Hashtbl.length t.prepared + Hashtbl.length t.decisions
 
 let find_active t txn =
   match Hashtbl.find_opt t.active txn with
@@ -281,6 +322,7 @@ let account t seq = function
     info.t_ops <- (seq, obj, payload, cell) :: info.t_ops;
     if not (List.mem obj info.t_objs) then info.t_objs <- obj :: info.t_objs
   | Commit { txn; ts } -> (
+    Hashtbl.remove t.prepared txn;
     match Hashtbl.find_opt t.active txn with
     | None -> () (* read-only or no-op transaction: nothing to redo *)
     | Some info ->
@@ -289,7 +331,17 @@ let account t seq = function
   | Abort { txn } ->
     (* Recovery discards uncommitted intentions anyway, so an aborted
        transaction's records need not be retained at all. *)
+    Hashtbl.remove t.prepared txn;
     Hashtbl.remove t.active txn
+  | Prepare { txn; gtxn; ts } ->
+    (* An in-doubt vote must survive rewrites until the decision lands:
+       recovery keys its decision-log lookup on it. *)
+    Hashtbl.replace t.prepared txn (seq, gtxn, ts)
+  | Decide { gtxn; ts } -> Hashtbl.replace t.decisions gtxn (seq, ts)
+  | Forget { gtxn } ->
+    (* Written only after every participant durably committed, so no
+       recovery will ever ask about this decision again. *)
+    Hashtbl.remove t.decisions gtxn
   | Checkpoint { obj; upto; payload; cell } ->
     Obs.Metrics.incr m_checkpoints;
     (match Hashtbl.find_opt t.ckpts obj with
@@ -331,6 +383,8 @@ let rewrite_locked t =
         info.t_ops;
       add seq (Commit { txn; ts }))
     t.committed;
+  Hashtbl.iter (fun txn (seq, gtxn, ts) -> add seq (Prepare { txn; gtxn; ts })) t.prepared;
+  Hashtbl.iter (fun gtxn (seq, ts) -> add seq (Decide { gtxn; ts })) t.decisions;
   List.sort (fun (a, _) (b, _) -> compare a b) !tail
   |> List.iter (fun (_, r) -> emit r);
   let tmp = t.path ^ ".rewrite" in
@@ -489,6 +543,8 @@ let stats_json t () =
           ("checkpoints", Obs.Json.Int (Hashtbl.length t.ckpts));
           ("active_txns", Obs.Json.Int (Hashtbl.length t.active));
           ("committed_retained", Obs.Json.Int (Hashtbl.length t.committed));
+          ("prepared", Obs.Json.Int (Hashtbl.length t.prepared));
+          ("decisions_retained", Obs.Json.Int (Hashtbl.length t.decisions));
           ("appended_lsn", Obs.Json.Int t.seq);
           ("durable_lsn", Obs.Json.Int t.durable_lsn);
           ("fsyncs", Obs.Json.Int t.n_syncs);

@@ -16,6 +16,23 @@
       the common prefix grows monotonically — is what makes the
       checkpoint a sound truncation point: no later event can un-fold it.
 
+    Three records implement presumed-abort two-phase commit across
+    shards (see [Dist]):
+    - [Prepare]: a participant shard's forced vote for global
+      transaction [gtxn]: local branch [txn] holds its locks, [ts] is
+      the hybrid timestamp drawn at this shard.  A [Prepare] not
+      followed by this transaction's [Commit]/[Abort] is {e in doubt}
+      and resolves against the coordinator's decision log on recovery;
+    - [Decide]: the coordinator's forced commit decision — [ts] is
+      [max] over the participants' prepared timestamps.  Written only
+      to the coordinator's decision log; its durability point {e is}
+      the global commit point.  Presumed abort: abort decisions are
+      never logged, so an in-doubt participant finding no [Decide]
+      aborts;
+    - [Forget]: the coordinator may drop the decision once every
+      participant has acknowledged a durable commit record — nobody
+      will ever ask about [gtxn] again.
+
     [Object], [Intention] and [Checkpoint] carry an optional [cell] key:
     when an ADT is partitioned into independently locked cells
     ({!Spec.Partition}, [Part.Cells]), each cell is a sub-object with its
@@ -67,6 +84,9 @@ type record =
   | Commit of { txn : int; ts : int }
   | Abort of { txn : int }
   | Checkpoint of { obj : string; upto : int; payload : string; cell : int option }
+  | Prepare of { txn : int; gtxn : int; ts : int }
+  | Decide of { gtxn : int; ts : int }
+  | Forget of { gtxn : int }
 
 val equal_record : record -> record -> bool
 val pp_record : Format.formatter -> record -> unit

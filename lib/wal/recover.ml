@@ -12,6 +12,59 @@ let committed records =
 let aborted records =
   List.filter_map (function Log.Abort { txn } -> Some txn | _ -> None) records
 
+let prepared records =
+  List.filter_map
+    (function Log.Prepare { txn; gtxn; ts } -> Some (txn, gtxn, ts) | _ -> None)
+    records
+
+let decisions records =
+  List.filter_map (function Log.Decide { gtxn; ts } -> Some (gtxn, ts) | _ -> None) records
+
+(* Prepared votes whose local transaction never reached a Commit or
+   Abort record: the crash hit between prepare and decision-ack, and the
+   participant cannot decide alone. *)
+let in_doubt records =
+  let completed = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Log.Commit { txn; _ } | Log.Abort { txn } -> Hashtbl.replace completed txn ()
+      | _ -> ())
+    records;
+  List.filter (fun (txn, _, _) -> not (Hashtbl.mem completed txn)) (prepared records)
+
+type resolution = { r_txn : int; r_gtxn : int; r_outcome : [ `Commit of int | `Abort ] }
+
+let pp_resolution ppf r =
+  match r.r_outcome with
+  | `Commit ts -> Format.fprintf ppf "T%d (G%d): commit at ts=%d" r.r_txn r.r_gtxn ts
+  | `Abort -> Format.fprintf ppf "T%d (G%d): presumed abort" r.r_txn r.r_gtxn
+
+(* Resolve a participant log against the coordinator's decision log:
+   synthesize the Commit (at the decided timestamp) or Abort record the
+   crash prevented, after which ordinary single-shard redo applies
+   unchanged.  Presumed abort: [decided] returning [None] is an abort
+   verdict, not an unknown. *)
+let resolve ~decided records =
+  let doubts = in_doubt records in
+  let resolutions =
+    List.map
+      (fun (txn, gtxn, _ts) ->
+        match decided gtxn with
+        | Some ts -> { r_txn = txn; r_gtxn = gtxn; r_outcome = `Commit ts }
+        | None -> { r_txn = txn; r_gtxn = gtxn; r_outcome = `Abort })
+      doubts
+  in
+  let patched =
+    records
+    @ List.map
+        (fun r ->
+          match r.r_outcome with
+          | `Commit ts -> Log.Commit { txn = r.r_txn; ts }
+          | `Abort -> Log.Abort { txn = r.r_txn })
+        resolutions
+  in
+  (patched, resolutions)
+
 module Make (D : Codec.DURABLE) = struct
   module Seq = Spec.Sequences.Make (D)
 

@@ -17,6 +17,34 @@ val committed : Log.record list -> (int * int) list
 
 val aborted : Log.record list -> int list
 
+val prepared : Log.record list -> (int * int * int) list
+(** (local txn, global txn, prepared timestamp) of every surviving
+    [Prepare] record. *)
+
+val decisions : Log.record list -> (int * int) list
+(** (global txn, decided timestamp) of every surviving [Decide]
+    record — what a coordinator's decision log contributes to
+    participant resolution. *)
+
+val in_doubt : Log.record list -> (int * int * int) list
+(** {!prepared} votes with no subsequent [Commit]/[Abort] for the local
+    transaction: the participant crashed holding locks and must ask the
+    decision log. *)
+
+type resolution = { r_txn : int; r_gtxn : int; r_outcome : [ `Commit of int | `Abort ] }
+
+val pp_resolution : Format.formatter -> resolution -> unit
+
+val resolve :
+  decided:(int -> int option) -> Log.record list -> Log.record list * resolution list
+(** Patch a participant log's in-doubt transactions against the
+    coordinator's decision log: a decided global transaction gets the
+    [Commit] record (at the {e decided} timestamp — max over all
+    participants' prepares) its shard never wrote; an undecided one gets
+    an [Abort] (presumed abort).  The patched record list then recovers
+    with the ordinary single-shard {!Make.recover}/{!Make.reference}
+    path. *)
+
 module Make (D : Codec.DURABLE) : sig
   type outcome = {
     states : D.state list;  (** the recovered committed state set *)
