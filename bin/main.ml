@@ -323,6 +323,63 @@ let crash_cmd quick seed dir group_commit domains txns think_us shards cross_pct
   end
 
 (* ------------------------------------------------------------------ *)
+(* profile: span-profiling run — flight recorder on, SLO verdicts out  *)
+
+let profile_cmd quick seed wal_dir group_commit domains txns think_us shards cross_pct
+    detail out report_file slo_specs chrome =
+  Obs.Control.set_enabled true;
+  Runtime.Backoff.set_seed seed;
+  let targets =
+    match Obs.Profile.targets_of_specs slo_specs with
+    | Ok ts -> ts
+    | Error e ->
+      Format.eprintf "hcc profile: %s@." e;
+      exit 2
+  in
+  let scale =
+    if quick then Sim.Experiments.quick_scale else scale_of domains txns think_us
+  in
+  Option.iter ensure_dir wal_dir;
+  (match Filename.dirname out with "" | "." -> () | d -> ensure_dir d);
+  (* Cross-shard spans need shards to cross; profile defaults to 3. *)
+  let shards = if shards > 1 then shards else 3 in
+  let r =
+    Sim.Profile_run.run ~scale ~seed ?wal_dir ~fsync:(Option.is_some wal_dir)
+      ~group_commit ~detail ~shards ~cross_pct ~path:out ()
+  in
+  Format.printf
+    "profiled %d txns (%d cross-shard 2PC) across %d shards in %.2fs@.recorder: %d \
+     records emitted, %d lost, file %s@.@."
+    r.Sim.Profile_run.p_committed r.Sim.Profile_run.p_cross_commits shards
+    r.Sim.Profile_run.p_wall r.Sim.Profile_run.p_emitted r.Sim.Profile_run.p_lost out;
+  (* The printed report comes from the offline decode of the file just
+     written — one invocation exercises the whole emit → flush → decode
+     → report pipeline, which is what CI's profile-smoke job keys on. *)
+  let agg, records, meta, tail = Sim.Profile_run.decode_file out in
+  (match tail with
+  | Obs.Flight.Clean -> ()
+  | Obs.Flight.Torn off -> Format.printf "note: torn tail at byte %d (ignored)@." off);
+  let report = Obs.Profile.report agg in
+  Format.printf "%a@." Obs.Profile.pp_report report;
+  Option.iter
+    (fun file ->
+      with_out_file file (fun ppf -> Obs.Profile.pp_report ppf report);
+      Format.printf "wrote report to %s@." file)
+    report_file;
+  (match chrome with
+  | Some file ->
+    with_out_file file (fun ppf ->
+        Obs.Export.chrome_spans ppf
+          (Obs.Profile.chrome_slices ~lookup:(Obs.Profile.meta_lookup meta) records));
+    Format.printf "wrote span timeline to %s (open in ui.perfetto.dev)@." file
+  | None -> ());
+  if targets <> [] then begin
+    let verdicts = Obs.Profile.check report targets in
+    Format.printf "%a@." Obs.Profile.pp_verdicts verdicts;
+    if Obs.Profile.breached verdicts then exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* serve: long-running workload with the introspection server attached *)
 
 (* Sharded serve: N managers on disjoint timestamp stripes, the 2PC
@@ -352,18 +409,22 @@ let serve_sharded quick port duration period_ms seed wal_dir group_commit domain
   let duration = if quick && duration = 0. then 10. else duration in
   let live = Sim.Shard_live.start ?wal_dir ~group_commit config in
   let sampler = Obs.Sampler.start ~period_ms:(max 50 (period_ms / 4)) () in
+  (* Flight recorder at the always-on tier (span marks only); its
+     flusher feeds the online span aggregator behind /slo. *)
+  let slo_agg = Obs.Profile.create () in
+  let flight = Obs.Flight.start ~observer:(Obs.Profile.feed slo_agg) () in
   let routes =
     ( "/waitfor",
       fun _ ->
         Obs.Server.respond_json
           (Obs.Waitfor.to_json (Obs.Waitfor.analyze (Sim.Shard_live.stitched live))) )
-    :: Obs.Server.default_routes ()
+    :: Obs.Server.default_routes ~slo:(fun () -> Obs.Profile.to_json slo_agg) ()
   in
   let server = Obs.Server.start ~port ~routes () in
   Format.printf
     "hcc: serving sharded introspection on http://127.0.0.1:%d@.  endpoints: /metrics \
-     /locks /horizon /waitfor /health /control (per-shard, shard-labelled)@.  workload: \
-     %d shards, %d domains, %.0f%% cross-shard, think %.0fus%s@.%!"
+     /locks /horizon /waitfor /slo /health /control (per-shard, shard-labelled)@.  \
+     workload: %d shards, %d domains, %.0f%% cross-shard, think %.0fus%s@.%!"
     (Obs.Server.port server) shards config.Sim.Shard_live.domains cross_pct
     config.Sim.Shard_live.think_us
     (if duration > 0. then Printf.sprintf ", running %.0fs" duration
@@ -392,6 +453,7 @@ let serve_sharded quick port duration period_ms seed wal_dir group_commit domain
   (* One last audit pass over the final (now quiescent) windows. *)
   ignore (Obs.Sampler.run_once ());
   Obs.Sampler.stop sampler;
+  Obs.Flight.stop flight;
   Obs.Server.stop server;
   let stats = Sim.Shard_live.stats live in
   Sim.Shard_live.close live;
@@ -434,19 +496,21 @@ let serve_single quick port duration period_ms seed wal_dir group_commit domains
   (* Audit several times per rotation so every epoch's replay audit runs
      before the next rotation replaces it. *)
   let sampler = Obs.Sampler.start ~period_ms:(max 50 (period_ms / 4)) () in
+  let slo_agg = Obs.Profile.create () in
+  let flight = Obs.Flight.start ~observer:(Obs.Profile.feed slo_agg) () in
   let routes =
     ( "/waitfor",
       fun _ ->
         Obs.Server.respond_json
           (Obs.Waitfor.to_json
              (Obs.Waitfor.analyze (Obs.Trace.entries (Sim.Live.current_ring live)))) )
-    :: Obs.Server.default_routes ()
+    :: Obs.Server.default_routes ~slo:(fun () -> Obs.Profile.to_json slo_agg) ()
   in
   let server = Obs.Server.start ~port ~routes () in
   Format.printf
     "hcc: serving introspection on http://127.0.0.1:%d@.  endpoints: /metrics /locks \
-     /horizon /waitfor /health /control@.  workload: %d domains, think %.0fus, epoch \
-     rotation every %dms%s@.%!"
+     /horizon /waitfor /slo /health /control@.  workload: %d domains, think %.0fus, \
+     epoch rotation every %dms%s@.%!"
     (Obs.Server.port server) config.Sim.Live.domains config.Sim.Live.think_us period_ms
     (if duration > 0. then Printf.sprintf ", running %.0fs" duration else " (Ctrl-C to stop)");
   let stop_requested = Atomic.make false in
@@ -477,6 +541,7 @@ let serve_single quick port duration period_ms seed wal_dir group_commit domains
   Sim.Live.rotate live;
   ignore (Obs.Sampler.run_once ());
   Obs.Sampler.stop sampler;
+  Obs.Flight.stop flight;
   Obs.Server.stop server;
   Option.iter Wal.Log.close wal;
   let stats = Runtime.Manager.stats (Sim.Live.manager live) in
@@ -547,11 +612,67 @@ let top_tick ~port ~prev_commits ~dt =
     (metric series "hcc_retry_retries_total")
     (metric series "hcc_retry_waiting");
   Format.printf
-    "audit: passes %.0f   violations %.0f   cycles %.0f   windows lost %.0f@."
+    "audit: passes %.0f   violations %.0f   cycles %.0f   windows lost %.0f   lag %.2fs \
+     (ring lost %.0f)@."
     (metric series "hcc_audit_passes_total")
     (metric series "hcc_audit_violations_total")
     (metric series "hcc_audit_cycles_total")
-    (metric series "hcc_audit_window_lost_total");
+    (metric series "hcc_audit_window_lost_total")
+    (metric series "hcc_audit_lag_seconds")
+    (metric series "hcc_trace_window_lost");
+  Format.printf "flight: emitted %.0f   lost %.0f@."
+    (metric series "hcc_flight_emitted_records")
+    (metric series "hcc_flight_lost_records");
+  (* Phase pane, fed by /slo (absent on pre-recorder servers: skipped). *)
+  (match Obs.Server.http_get ~port "/slo" with
+  | Ok (200, body) -> (
+    match Obs.Json.parse body with
+    | Error _ -> ()
+    | Ok slo ->
+      let stat_of name j =
+        Option.bind (Obs.Json.member name j) (fun s ->
+            match
+              ( Option.bind (Obs.Json.member "count" s) Obs.Json.to_int,
+                Option.bind (Obs.Json.member "p99_s" s) Obs.Json.to_float )
+            with
+            | Some count, Some p99 -> Some (count, p99)
+            | _ -> None)
+      in
+      let local = stat_of "local" slo and cross = stat_of "cross" slo in
+      let pair = function
+        | Some (count, p99) when count > 0 -> Printf.sprintf "%.2fms (n=%d)" (p99 *. 1e3) count
+        | _ -> "-"
+      in
+      Format.printf "spans: local p99 %s   cross p99 %s   open %d   aborted %d@."
+        (pair local) (pair cross)
+        (Option.value ~default:0 (Option.bind (Obs.Json.member "open" slo) Obs.Json.to_int))
+        (Option.value ~default:0
+           (Option.bind (Obs.Json.member "aborts" slo) Obs.Json.to_int));
+      (* Share of the end-to-end p99 each phase accounts for: where a
+         slow tail lives (lock waits vs the fsync barrier vs execution). *)
+      let total_p99 =
+        let v = function Some (c, p) when c > 0 -> p | _ -> 0. in
+        Float.max (v local) (v cross)
+      in
+      (match Obs.Json.member "phases" slo with
+      | Some (Obs.Json.Obj phases) when total_p99 > 0. ->
+        let cells =
+          List.filter_map
+            (fun (name, st) ->
+              match
+                ( Option.bind (Obs.Json.member "count" st) Obs.Json.to_int,
+                  Option.bind (Obs.Json.member "p99_s" st) Obs.Json.to_float )
+              with
+              | Some c, Some p99 when c > 0 && p99 > 0. ->
+                Some
+                  (Printf.sprintf "%s %.0f%% (%.2fms)" name
+                     (100. *. p99 /. total_p99) (p99 *. 1e3))
+              | _ -> None)
+            phases
+        in
+        if cells <> [] then Format.printf "phase p99: %s@." (String.concat "   " cells)
+      | _ -> ()))
+  | Ok _ | Error _ -> ());
   let int_member name j = Option.bind (Obs.Json.member name j) Obs.Json.to_int in
   (match Obs.Json.to_list horizon with
   | Some rows when rows <> [] ->
@@ -871,6 +992,60 @@ let crash_t =
       const crash_cmd $ quick_arg $ seed_arg $ crash_dir_arg $ group_commit_arg
       $ domains_arg $ txns_arg $ think_arg $ shards_arg $ cross_pct_arg)
 
+let profile_detail_arg =
+  Arg.(
+    value
+    & vflag true
+        [
+          ( true,
+            info [ "detail" ]
+              ~doc:
+                "Record per-ADT-op detail (level 2, the default here): adds the \
+                 per-operation latency rows to the report." );
+          ( false,
+            info [ "marks-only" ]
+              ~doc:
+                "Record span phase marks only (level 1, the always-on deployment tier \
+                 whose throughput cost the flight-overhead bench gates at < 5%)." );
+        ])
+
+let profile_out_arg =
+  Arg.(
+    value
+    & opt string "_profile/flight.bin"
+    & info [ "out" ] ~docv:"FILE" ~doc:"Flight-recorder output file.")
+
+let profile_report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE" ~doc:"Also write the latency report to $(docv).")
+
+let slo_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "slo" ] ~docv:"METRIC:QUANTILE:LIMIT"
+        ~doc:
+          "SLO target, repeatable: $(docv) is e.g. $(b,local:p99:5ms), \
+           $(b,cross:p999:50ms) or $(b,lock_wait:p90:800us).  Metrics are $(b,local), \
+           $(b,cross) or a phase name; quantiles p50/p90/p99/p999/max; limits take \
+           us/ms/s suffixes.  Any breached target makes the exit code non-zero.")
+
+let profile_t =
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Profile transaction spans under the binary flight recorder: run the sharded \
+          workload (local credit/debit plus cross-shard 2PC transfers) with per-domain \
+          ring recording on, then decode the flight file offline and report per-phase \
+          and per-ADT-op latency quantiles (p50/p99/p999) for single- and cross-shard \
+          transactions.  $(b,--slo) targets turn the tail into a gate: any breach exits \
+          non-zero.  $(b,--chrome) exports a phase-nested span timeline.")
+    Term.(
+      const profile_cmd $ quick_arg $ seed_arg $ wal_arg $ group_commit_arg $ domains_arg
+      $ txns_arg $ think_arg $ shards_arg $ cross_pct_arg $ profile_detail_arg
+      $ profile_out_arg $ profile_report_arg $ slo_arg $ chrome_arg)
+
 let port_arg default =
   Arg.(
     value & opt int default
@@ -939,9 +1114,11 @@ let top_t =
     (Cmd.info "top"
        ~doc:
          "Terminal dashboard for a running $(b,serve) process: polls /metrics, /locks, \
-          /horizon and /health over HTTP, parses its own exposition format, and shows \
-          throughput, audit verdicts, per-object horizon lag and lock tables.  Exits \
-          non-zero if an endpoint is unreachable or fails to parse.")
+          /horizon, /slo and /health over HTTP, parses its own exposition format, and \
+          shows throughput, audit verdicts, the span phase breakdown (share of the p99 \
+          each phase accounts for), per-object horizon lag and lock tables.  Exits \
+          non-zero if a required endpoint is unreachable or fails to parse (/slo is \
+          optional: servers without the flight recorder skip that pane).")
     Term.(const top_cmd $ port_arg 9090 $ interval_arg $ iterations_arg)
 
 let main =
@@ -958,6 +1135,7 @@ let main =
       derive_t;
       recover_t;
       crash_t;
+      profile_t;
       serve_t;
       top_t;
     ]

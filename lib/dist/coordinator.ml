@@ -113,9 +113,14 @@ let phase1 t ctx parts prepared =
   go parts
 
 let two_phase t ctx parts =
+  (* From here the span is cross-shard: every branch carries the global
+     id, so the per-shard prepare/decide marks emitted by the managers
+     stitch into this one flight span. *)
+  if Obs.Span.enabled () then Obs.Span.cross_begin ~txn:ctx.gid;
   let prepared = ref [] in
   match phase1 t ctx parts prepared with
   | Some e ->
+    if Obs.Span.enabled () then Obs.Span.cross_abort ~txn:ctx.gid;
     record_abort t ctx.gid;
     raise e
   | None -> (
@@ -144,6 +149,8 @@ let two_phase t ctx parts =
            (Printf.sprintf "gtxn %d (ts %d): decision appended but not synced: %s" ctx.gid
               ts (Printexc.to_string e)))
     | Ok () ->
+      (* The forced Decide record is the global commit point. *)
+      if Obs.Span.enabled () then Obs.Span.decide ~txn:ctx.gid ~ts;
       t.on_step (Decided ts);
       let ack_failed = ref false in
       List.iter
@@ -161,15 +168,22 @@ let two_phase t ctx parts =
       if not !ack_failed then Option.iter (fun d -> Decision_log.forget d ~gtxn:ctx.gid) t.dlog;
       Atomic.incr t.commits;
       Atomic.incr t.cross_commits;
-      Obs.Metrics.incr m_cross_commits)
+      Obs.Metrics.incr m_cross_commits;
+      if Obs.Span.enabled () then Obs.Span.cross_commit ~txn:ctx.gid ~ts)
 
 let attempt_once ?priority t body =
   Atomic.incr t.attempts;
   let gid = Txn_rt.fresh_id () in
   let prio = Option.value ~default:gid priority in
   let ctx = { coord = t; gid; prio; branches = [] } in
+  (* 0xffff: no single home stripe — this is a coordinator-side span.
+     Each branch's marks (all carrying [gid]) fill in the shards. *)
+  if Obs.Span.enabled () then Obs.Span.txn_begin ~txn:gid ~shard:0xffff;
   let abort_all () =
     List.iter (fun (si, b) -> Manager.abort_txn (mgr_of t si) b) ctx.branches;
+    (* Branch aborts already closed the span when branches exist; this
+       covers a body that failed before touching any shard. *)
+    if Obs.Span.enabled () then Obs.Span.cross_abort ~txn:gid;
     record_abort t gid
   in
   match body ctx with
@@ -189,6 +203,8 @@ let attempt_once ?priority t body =
     List.iter (fun (_, b) -> Txn_rt.abort b) empties;
     match parts with
     | [] ->
+      (* Read-nothing transaction: no timestamp was ever drawn. *)
+      if Obs.Span.enabled () then Obs.Span.txn_commit ~txn:gid ~ts:0;
       Atomic.incr t.commits;
       Ok (v, prio)
     | [ (si, b) ] ->
@@ -216,7 +232,10 @@ let run ?(max_attempts = 1000) t body =
       match attempt_once ?priority t body with
       | Ok (v, _) -> v
       | Error (reason, prio) ->
-        Unix.sleepf (Runtime.Backoff.restart_delay ~key:prio ~attempt);
+        let delay = Runtime.Backoff.restart_delay ~key:prio ~attempt in
+        if Obs.Span.enabled () then
+          Obs.Span.backoff ~txn:prio ~sleep_ns:(int_of_float (delay *. 1e9));
+        Unix.sleepf delay;
         go (attempt + 1) (Some prio) reason
   in
   go 0 None "never attempted"

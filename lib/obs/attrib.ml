@@ -43,6 +43,19 @@ let object_name ~obj =
   | Some n -> n
   | None -> Printf.sprintf "obj#%d" obj
 
+(* Snapshots for the flight recorder's metadata chunk: an offline
+   decoder runs in a fresh process, so the label tables must travel with
+   the file. *)
+let export_objects () =
+  with_registry (fun () ->
+      Hashtbl.fold (fun obj name acc -> (obj, name) :: acc) object_names [])
+  |> List.sort compare
+
+let export_labels () =
+  with_registry (fun () ->
+      Hashtbl.fold (fun (obj, kind, code) l acc -> (obj, kind, code, l) :: acc) labels [])
+  |> List.sort compare
+
 (* ---- matrices ---- *)
 
 type cell = { refusals : int; blocked_ns : int }

@@ -45,6 +45,13 @@ val label : obj:int -> kind:kind -> int -> string
 val object_name : obj:int -> string
 (** The registered object name, or ["obj#N"]. *)
 
+val export_objects : unit -> (int * string) list
+(** Every registered (object key, name), sorted — the flight recorder's
+    metadata chunk, so offline decoders can resolve keys. *)
+
+val export_labels : unit -> (int * kind * int * string) list
+(** Every registered label as [(obj, kind, code, label)], sorted. *)
+
 (** {1 Conflict matrices} *)
 
 type cell = { refusals : int; blocked_ns : int }

@@ -154,4 +154,80 @@ let chrome_trace ppf (entries : Trace.entry list) =
   emit (List.rev !events);
   Format.fprintf ppf "]@."
 
+(* ---- span slices --------------------------------------------------
+
+   The flight-recorder exporter ({!Profile.chrome_slices}) builds these
+   generic slices; rendering lives here so the trace-event framing and
+   escaping discipline stay in one module.  One track per transaction
+   under a "spans" process: the whole span is the longest slice and each
+   phase window a shorter one — Chrome nests overlapping same-track
+   complete-spans automatically, giving the phase-nested view. *)
+
+let span_pid = 3
+
+type slice = {
+  sl_name : string;
+  sl_cat : string;
+  sl_tid : int;
+  sl_ts_ns : int;
+  sl_dur_ns : int;
+  sl_args : (string * string) list;
+}
+
+let chrome_spans ppf slices =
+  let t0 =
+    List.fold_left (fun acc s -> min acc s.sl_ts_ns) max_int slices
+  in
+  let t0 = if t0 = max_int then 0 else t0 in
+  let us t = float_of_int (t - t0) /. 1e3 in
+  let events = ref [] in
+  let push e = events := e :: !events in
+  let tids : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace tids s.sl_tid ();
+      let args =
+        match s.sl_args with
+        | [] -> ""
+        | kvs ->
+          Printf.sprintf {|,"args":{%s}|}
+            (String.concat ","
+               (List.map
+                  (fun (k, v) -> Printf.sprintf "%s:%s" (json_string k) (json_string v))
+                  kvs))
+      in
+      if s.sl_dur_ns = 0 then
+        push
+          (Printf.sprintf
+             {|{"name":%s,"cat":"%s","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%.3f%s}|}
+             (json_string s.sl_name) s.sl_cat span_pid s.sl_tid (us s.sl_ts_ns) args)
+      else
+        push
+          (Printf.sprintf
+             {|{"name":%s,"cat":"%s","ph":"X","pid":%d,"tid":%d,"ts":%.3f,"dur":%.3f%s}|}
+             (json_string s.sl_name) s.sl_cat span_pid s.sl_tid (us s.sl_ts_ns)
+             (Float.max 0.001 (float_of_int s.sl_dur_ns /. 1e3))
+             args))
+    slices;
+  push
+    (Printf.sprintf {|{"name":"process_name","ph":"M","pid":%d,"args":{"name":"spans"}}|}
+       span_pid);
+  Hashtbl.iter
+    (fun tid () ->
+      push
+        (Printf.sprintf
+           {|{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"T%d"}}|}
+           span_pid tid tid))
+    tids;
+  Format.fprintf ppf "[@.";
+  let rec emit = function
+    | [] -> ()
+    | [ last ] -> Format.fprintf ppf "%s@." last
+    | e :: rest ->
+      Format.fprintf ppf "%s,@." e;
+      emit rest
+  in
+  emit (List.rev !events);
+  Format.fprintf ppf "]@."
+
 let metrics_json = Metrics.dump_json

@@ -29,4 +29,24 @@
 val chrome_trace : Format.formatter -> Trace.entry list -> unit
 (** Write the window (oldest first) as a self-contained JSON array. *)
 
+(** {1 Flight-recorder span slices}
+
+    {!Profile.chrome_slices} reduces a decoded flight file to these
+    generic slices; {!chrome_spans} renders them under a ["spans"]
+    process with one thread per transaction.  A slice with
+    [sl_dur_ns = 0] becomes an instant event.  Overlapping slices on
+    one track nest in the viewer, so emitting the whole span plus each
+    phase window yields the phase-nested timeline. *)
+
+type slice = {
+  sl_name : string;
+  sl_cat : string;
+  sl_tid : int;  (** transaction id *)
+  sl_ts_ns : int;
+  sl_dur_ns : int;
+  sl_args : (string * string) list;
+}
+
+val chrome_spans : Format.formatter -> slice list -> unit
+
 val metrics_json : Format.formatter -> unit -> unit

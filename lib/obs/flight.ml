@@ -1,0 +1,388 @@
+module B = Util.Binio
+
+(* Fixed-width 32-byte records, preassigned event codes, one cursor bump
+   per event, no allocation on the emit path (the manticore log-gen
+   idiom).  Each domain owns a private ring of [capacity] records; the
+   cursor is the count of records ever written, published with a release
+   store after the record bytes land, so the flusher (the only reader)
+   never sees a half-written record it keeps. *)
+
+let rec_bytes = 32
+
+type record = {
+  dom : int; (* flusher/decoder-assigned: the emitting domain *)
+  code : int;
+  aux16 : int;
+  aux32 : int;
+  txn : int;
+  time : int; (* Clock.now_ns at emit *)
+  arg : int;
+}
+
+(* ---- recording switch --------------------------------------------- *)
+
+(* 0 = off, 1 = span marks (the always-on tier), 2 = + per-op detail.
+   Gated on Control.enabled as well, so the operator's one switch still
+   silences everything. *)
+let level = Atomic.make 0
+
+let set_level n = Atomic.set level (max 0 (min 2 n))
+let recording () = Atomic.get level >= 1 && Control.enabled ()
+let detailed () = Atomic.get level >= 2 && Control.enabled ()
+
+(* ---- per-domain buffers ------------------------------------------- *)
+
+type buffer = {
+  data : Bytes.t;
+  capacity : int; (* records *)
+  cursor : int Atomic.t; (* records ever written by this domain *)
+  mutable flushed : int; (* flusher-private watermark *)
+  b_dom : int;
+}
+
+let default_capacity = ref (1 lsl 14)
+let buffers : buffer list ref = ref []
+let buffers_mu = Mutex.create ()
+
+let make_buffer () =
+  let cap = !default_capacity in
+  let b =
+    {
+      data = Bytes.create (cap * rec_bytes);
+      capacity = cap;
+      cursor = Atomic.make 0;
+      flushed = 0;
+      b_dom = (Domain.self () :> int);
+    }
+  in
+  Mutex.protect buffers_mu (fun () -> buffers := b :: !buffers);
+  b
+
+let key = Domain.DLS.new_key make_buffer
+
+(* Rounded up to a power of two: the emit path masks instead of
+   dividing. *)
+let set_capacity cap =
+  let cap = max 64 cap in
+  let rec pow2 n = if n >= cap then n else pow2 (n * 2) in
+  default_capacity := pow2 64
+
+(* A 63-bit OCaml int as four 16-bit halfword stores: no Int64 boxing on
+   the emit path.  Values are non-negative in practice (ids, monotonic
+   times, durations); the decoder reconstructs them as such. *)
+let set_i64 d off v =
+  Bytes.set_uint16_le d off (v land 0xffff);
+  Bytes.set_uint16_le d (off + 2) ((v lsr 16) land 0xffff);
+  Bytes.set_uint16_le d (off + 4) ((v lsr 32) land 0xffff);
+  Bytes.set_uint16_le d (off + 6) ((v lsr 48) land 0x7fff)
+
+let get_i64 s off =
+  B.r_u32_at s off
+  lor (Char.code s.[off + 4] lsl 32)
+  lor (Char.code s.[off + 5] lsl 40)
+  lor (Char.code s.[off + 6] lsl 48)
+  lor ((Char.code s.[off + 7] land 0x7f) lsl 56)
+
+let emit ~code ~aux16 ~aux32 ~txn ~arg =
+  if recording () then begin
+    let b = Domain.DLS.get key in
+    let n = Atomic.get b.cursor in
+    let off = n land (b.capacity - 1) * rec_bytes in
+    let d = b.data in
+    Bytes.unsafe_set d off (Char.unsafe_chr (code land 0xff));
+    Bytes.unsafe_set d (off + 1) '\000';
+    Bytes.set_uint16_le d (off + 2) (aux16 land 0xffff);
+    Bytes.set_uint16_le d (off + 4) (aux32 land 0xffff);
+    Bytes.set_uint16_le d (off + 6) ((aux32 lsr 16) land 0xffff);
+    set_i64 d (off + 8) txn;
+    set_i64 d (off + 16) (Clock.now_ns ());
+    set_i64 d (off + 24) arg;
+    (* Release: the record is published only once its bytes are down. *)
+    Atomic.set b.cursor (n + 1)
+  end
+
+let decode_at ~dom s off =
+  {
+    dom;
+    code = Char.code s.[off];
+    aux16 = Char.code s.[off + 2] lor (Char.code s.[off + 3] lsl 8);
+    aux32 = B.r_u32_at s (off + 4);
+    txn = get_i64 s (off + 8);
+    time = get_i64 s (off + 16);
+    arg = get_i64 s (off + 24);
+  }
+
+let emitted () =
+  Mutex.protect buffers_mu (fun () ->
+      List.fold_left (fun acc b -> acc + Atomic.get b.cursor) 0 !buffers)
+
+let lost_count = Atomic.make 0
+let lost () = Atomic.get lost_count
+
+(* ---- draining ------------------------------------------------------
+
+   Copy the unflushed window out of the ring, then re-read the cursor:
+   any slot the writer may have re-entered during the copy (index below
+   the writer's new tail, including the slot of the one record it may be
+   mid-writing) is dropped and counted as lost rather than surfaced
+   torn.  The flusher is the only mutator of [flushed]; [drain_mu]
+   serializes it against explicit [flush_now] calls. *)
+
+let drain_mu = Mutex.create ()
+
+let drain_buffer b f =
+  let cur = Atomic.get b.cursor in
+  let lo = max b.flushed (cur - b.capacity) in
+  let overwritten = lo - b.flushed in
+  let n = cur - lo in
+  let kept =
+    if n = 0 then 0
+    else begin
+      (* The window is at most two contiguous ring segments. *)
+      let tmp = Bytes.create (n * rec_bytes) in
+      let start = lo land (b.capacity - 1) in
+      let first = min n (b.capacity - start) in
+      Bytes.blit b.data (start * rec_bytes) tmp 0 (first * rec_bytes);
+      if first < n then
+        Bytes.blit b.data 0 tmp (first * rec_bytes) ((n - first) * rec_bytes);
+      let cur2 = Atomic.get b.cursor in
+      (* Record cur2 is unpublished but its slot may already be dirty. *)
+      let lo2 = max lo (cur2 + 1 - b.capacity) in
+      let skip = min n (lo2 - lo) in
+      if skip < n then
+        f (Bytes.sub_string tmp (skip * rec_bytes) ((n - skip) * rec_bytes));
+      ignore (Atomic.fetch_and_add lost_count (overwritten + skip) : int);
+      n - skip
+    end
+  in
+  b.flushed <- cur;
+  kept
+
+(* ---- file format ---------------------------------------------------
+
+   [file]  ::= "HCCFLT01" chunk*
+   [chunk] ::= magic:u32  kind:u8 0:u8 dom:u16  len:u32  crc32(payload):u32
+               payload (len bytes)
+   kind 1: payload is len/32 records from domain [dom];
+   kind 2: payload is the label metadata table (Attrib export).
+
+   Mirrors the WAL's torn-tail discipline: the first framing or CRC
+   failure ends the parse, everything after it is the torn tail a
+   crashed writer leaves behind. *)
+
+let file_magic = "HCCFLT01"
+let chunk_magic = 0x464C5443 (* "CTLF" little-endian *)
+let chunk_header_bytes = 16
+
+let frame_chunk buf ~kind ~dom payload =
+  B.w_u32 buf chunk_magic;
+  Buffer.add_char buf (Char.chr kind);
+  Buffer.add_char buf '\000';
+  Buffer.add_char buf (Char.chr (dom land 0xff));
+  Buffer.add_char buf (Char.chr ((dom lsr 8) land 0xff));
+  B.w_u32 buf (String.length payload);
+  B.w_u32 buf (B.crc32 payload);
+  Buffer.add_string buf payload
+
+let encode_meta () =
+  let buf = Buffer.create 256 in
+  let objects = Attrib.export_objects () in
+  let labels = Attrib.export_labels () in
+  B.w_int buf (List.length objects);
+  List.iter
+    (fun (obj, name) ->
+      B.w_int buf obj;
+      B.w_string buf name)
+    objects;
+  B.w_int buf (List.length labels);
+  List.iter
+    (fun (obj, kind, code, l) ->
+      B.w_int buf obj;
+      B.w_tag buf
+        (match kind with Attrib.Inv -> 0 | Attrib.Res -> 1 | Attrib.Op -> 2);
+      B.w_int buf code;
+      B.w_string buf l)
+    labels;
+  Buffer.contents buf
+
+type meta = {
+  m_objects : (int * string) list;
+  m_labels : (int * int * int) list * (int * int * int -> string option);
+}
+
+let decode_meta s =
+  let r = B.reader s in
+  let objects = ref [] in
+  let n = B.r_int r in
+  for _ = 1 to n do
+    let obj = B.r_int r in
+    let name = B.r_string r in
+    objects := (obj, name) :: !objects
+  done;
+  let tbl = Hashtbl.create 64 in
+  let keys = ref [] in
+  let n = B.r_int r in
+  for _ = 1 to n do
+    let obj = B.r_int r in
+    let kind = B.r_tag r in
+    let code = B.r_int r in
+    let l = B.r_string r in
+    let k = (obj, kind, code) in
+    keys := k :: !keys;
+    Hashtbl.replace tbl k l
+  done;
+  { m_objects = List.rev !objects; m_labels = (List.rev !keys, Hashtbl.find_opt tbl) }
+
+let empty_meta = { m_objects = []; m_labels = ([], fun _ -> None) }
+
+let meta_object_name meta obj =
+  match List.assoc_opt obj meta.m_objects with
+  | Some n -> n
+  | None -> Printf.sprintf "obj#%d" obj
+
+let meta_label meta ~obj ~kind code =
+  match (snd meta.m_labels) (obj, kind, code) with
+  | Some l -> l
+  | None -> Printf.sprintf "op#%d" code
+
+type tail = Clean | Torn of int
+
+let parse s =
+  let n = String.length s in
+  let hn = String.length file_magic in
+  if n < hn || String.sub s 0 hn <> file_magic then ([], empty_meta, Torn 0)
+  else begin
+    let records = ref [] in
+    let meta = ref empty_meta in
+    let rec go off =
+      if off = n then Clean
+      else if n - off < chunk_header_bytes then Torn off
+      else if B.r_u32_at s off <> chunk_magic then Torn off
+      else
+        let kind = Char.code s.[off + 4] in
+        let dom = Char.code s.[off + 6] lor (Char.code s.[off + 7] lsl 8) in
+        let len = B.r_u32_at s (off + 8) in
+        let crc = B.r_u32_at s (off + 12) in
+        let start = off + chunk_header_bytes in
+        if len < 0 || start + len > n then Torn off
+        else if B.crc32 ~pos:start ~len s <> crc then Torn off
+        else begin
+          (match kind with
+          | 1 ->
+            if len mod rec_bytes <> 0 then raise Exit;
+            for i = 0 to (len / rec_bytes) - 1 do
+              records := decode_at ~dom s (start + (i * rec_bytes)) :: !records
+            done
+          | 2 -> (
+            match decode_meta (String.sub s start len) with
+            | m -> meta := m
+            | exception B.Corrupt _ -> raise Exit)
+          | _ -> raise Exit);
+          go (start + len)
+        end
+    in
+    let tail = try go hn with Exit -> Torn n in
+    (List.rev !records, !meta, tail)
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      parse (really_input_string ic n))
+
+(* ---- background flusher ------------------------------------------- *)
+
+type sink = {
+  mutable oc : out_channel option;
+  mutable observer : (record -> unit) option;
+}
+
+let sink = { oc = None; observer = None }
+
+let flush_once () =
+  Mutex.protect drain_mu (fun () ->
+      let bufs = Mutex.protect buffers_mu (fun () -> !buffers) in
+      List.iter
+        (fun b ->
+          ignore
+            (drain_buffer b (fun payload ->
+                 (match sink.oc with
+                 | Some oc ->
+                   let chunk = Buffer.create (String.length payload + 32) in
+                   frame_chunk chunk ~kind:1 ~dom:b.b_dom payload;
+                   Buffer.output_buffer oc chunk
+                 | None -> ());
+                 match sink.observer with
+                 | None -> ()
+                 | Some f ->
+                   let n = String.length payload / rec_bytes in
+                   for i = 0 to n - 1 do
+                     f (decode_at ~dom:b.b_dom payload (i * rec_bytes))
+                   done)
+              : int))
+        bufs;
+      match sink.oc with Some oc -> flush oc | None -> ())
+
+let write_meta_chunk () =
+  match sink.oc with
+  | None -> ()
+  | Some oc ->
+    let chunk = Buffer.create 256 in
+    frame_chunk chunk ~kind:2 ~dom:0 (encode_meta ());
+    Buffer.output_buffer oc chunk;
+    flush oc
+
+type t = { thread : Thread.t; stopping : bool Atomic.t }
+
+let start ?(period_ms = 50) ?path ?observer () =
+  Mutex.protect drain_mu (fun () ->
+      sink.oc <-
+        Option.map
+          (fun p ->
+            let oc = open_out_bin p in
+            output_string oc file_magic;
+            oc)
+          path;
+      sink.observer <- observer);
+  if Atomic.get level = 0 then set_level 1;
+  (* Recorder self-telemetry for /metrics and top: emission volume and
+     how much the flusher failed to keep up with. *)
+  Gauge.callback "flight_emitted_records" (fun () -> float_of_int (emitted ()));
+  Gauge.callback "flight_lost_records" (fun () -> float_of_int (lost ()));
+  let stopping = Atomic.make false in
+  let period_s = float_of_int (max 1 period_ms) /. 1000. in
+  let loop () =
+    while not (Atomic.get stopping) do
+      flush_once ();
+      Thread.delay period_s
+    done
+  in
+  { thread = Thread.create loop (); stopping }
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    Thread.join t.thread;
+    flush_once ();
+    (* The label tables are interned lazily, so the close-time export is
+       the most complete one; the decoder takes the last table seen. *)
+    Mutex.protect drain_mu (fun () ->
+        write_meta_chunk ();
+        (match sink.oc with Some oc -> close_out oc | None -> ());
+        sink.oc <- None;
+        sink.observer <- None)
+  end
+
+(* Test support: forget every buffer and counter.  Only sound when no
+   domain is emitting and no flusher is running. *)
+let reset_for_tests () =
+  Mutex.protect drain_mu (fun () ->
+      Mutex.protect buffers_mu (fun () ->
+          List.iter
+            (fun b ->
+              Atomic.set b.cursor 0;
+              b.flushed <- 0)
+            !buffers);
+      Atomic.set lost_count 0)

@@ -1,0 +1,104 @@
+(** Always-on binary flight recorder.
+
+    The manticore [log-gen] idiom: preassigned event codes, fixed-width
+    32-byte records, one cursor bump per event, and {e no allocation on
+    the emit path}.  Each domain writes into its own fixed-size ring
+    (single writer — transactions execute on exactly one domain thread
+    at a time); a background flusher copies unflushed windows out,
+    appends them as CRC-framed chunks to [flight.bin], and optionally
+    feeds an online observer (the {!Profile} aggregator behind the
+    [/slo] endpoint).  Records the writer laps before the flusher gets
+    there are counted in {!lost}, never silently dropped.
+
+    Two recording tiers keep the always-on bar honest: level 1 emits
+    span phase marks only (two records for a WAL-off transaction —
+    the [flight-overhead] bench gates this tier's throughput cost at
+    < 5%); level 2 adds a per-operation record for per-ADT-op latency
+    attribution during dedicated profiling runs. *)
+
+type record = {
+  dom : int;  (** emitting domain (chunk metadata, not stored per record) *)
+  code : int;  (** event code ({!Span}) *)
+  aux16 : int;  (** shard stripe or interned invocation code *)
+  aux32 : int;  (** object key *)
+  txn : int;  (** transaction id (global id for cross-shard branches) *)
+  time : int;  (** {!Clock.now_ns} at emit *)
+  arg : int;  (** code-specific: ts, LSN, or duration in ns *)
+}
+
+val rec_bytes : int
+
+(** {1 Recording switch} *)
+
+val set_level : int -> unit
+(** 0 = off, 1 = span marks (the always-on tier), 2 = marks + per-op
+    detail.  Emission is additionally gated on {!Control.enabled}. *)
+
+val recording : unit -> bool
+val detailed : unit -> bool
+
+val set_capacity : int -> unit
+(** Per-domain ring capacity in records for buffers created after the
+    call, rounded up to a power of two (default 16384; 512 KiB per
+    domain). *)
+
+(** {1 Emission} *)
+
+val emit : code:int -> aux16:int -> aux32:int -> txn:int -> arg:int -> unit
+(** Stamp one record into the calling domain's ring.  No-op unless
+    {!recording}.  Reads the monotonic clock once; performs no
+    allocation. *)
+
+val emitted : unit -> int
+(** Records ever emitted, summed over every domain ring. *)
+
+val lost : unit -> int
+(** Records overwritten before the flusher could copy them out. *)
+
+(** {1 Flusher} *)
+
+type t
+
+val start :
+  ?period_ms:int -> ?path:string -> ?observer:(record -> unit) -> unit -> t
+(** Start the background flusher.  With [path] every drained window is
+    appended to the file as a CRC-framed chunk (the file is created,
+    truncated, and stamped with the format magic); with [observer] each
+    drained record is also handed to the callback in emit order per
+    domain.  Arms the recorder at level 1 if it was off. *)
+
+val stop : t -> unit
+(** Final drain, append the {!Attrib} label-table metadata chunk, and
+    close the file. *)
+
+val flush_once : unit -> unit
+(** One synchronous drain of every ring (tests, and the flusher's own
+    loop body). *)
+
+(** {1 Offline decoding} *)
+
+type meta = {
+  m_objects : (int * string) list;
+  m_labels : (int * int * int) list * (int * int * int -> string option);
+      (** keys (obj, kind, code) — kind 0=inv 1=res 2=op — and lookup *)
+}
+
+val empty_meta : meta
+val meta_object_name : meta -> int -> string
+val meta_label : meta -> obj:int -> kind:int -> int -> string
+
+type tail = Clean | Torn of int
+
+val parse : string -> record list * meta * tail
+(** Decode a flight file image.  Records come back in file order (per
+    domain chunk, emit order).  The first framing or CRC failure ends
+    the parse; everything at or after that offset is the torn tail a
+    killed writer leaves behind. *)
+
+val read_file : string -> record list * meta * tail
+
+(** {1 Test support} *)
+
+val reset_for_tests : unit -> unit
+(** Zero every ring cursor and the lost counter.  Only sound while no
+    domain is emitting and no flusher runs. *)

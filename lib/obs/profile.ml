@@ -1,0 +1,573 @@
+(* Turn flight-recorder records into per-phase and per-ADT-op latency
+   histograms with p50/p99/p999, check them against SLO targets, and
+   render the result as text, JSON (the [/slo] endpoint) or Chrome
+   trace slices. *)
+
+(* ---- nanosecond histograms ----------------------------------------
+
+   Geometric buckets, ratio 2^(1/4) (~19% resolution per bucket) from
+   1us to ~14s — enough headroom that a p999 read is a bucket
+   interpolation, not a +Inf clamp.  Private to the aggregator: the
+   process-wide {!Metrics} registry keeps coarse operational buckets,
+   the profiler wants tail resolution. *)
+
+let n_buckets = 96
+let base_ns = 1e3
+let log_ratio = Float.log 2. /. 4.
+let ratio = Float.exp log_ratio
+
+let upper i = base_ns *. (ratio ** float_of_int (i + 1))
+
+let bucket_of_ns ns =
+  if ns <= base_ns then 0
+  else min (n_buckets - 1) (1 + int_of_float (Float.log (ns /. base_ns) /. log_ratio))
+
+type hist = {
+  counts : int array;
+  mutable n : int;
+  mutable sum : float; (* ns *)
+  mutable max_ns : int;
+}
+
+let h_create () = { counts = Array.make n_buckets 0; n = 0; sum = 0.; max_ns = 0 }
+
+let h_observe h ns =
+  let ns = max 0 ns in
+  h.counts.(bucket_of_ns (float_of_int ns)) <- h.counts.(bucket_of_ns (float_of_int ns)) + 1;
+  h.n <- h.n + 1;
+  h.sum <- h.sum +. float_of_int ns;
+  if ns > h.max_ns then h.max_ns <- ns
+
+let h_quantile h q =
+  if h.n = 0 then 0.
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let target = q *. float_of_int h.n in
+    let rec go i cum =
+      if i >= n_buckets then float_of_int h.max_ns
+      else
+        let cum' = cum +. float_of_int h.counts.(i) in
+        if cum' >= target && h.counts.(i) > 0 then begin
+          let lo = if i = 0 then 0. else upper (i - 1) in
+          let hi = Float.min (upper i) (float_of_int h.max_ns) in
+          let frac = (target -. cum) /. float_of_int h.counts.(i) in
+          lo +. (Float.max 0. (hi -. lo) *. Float.max 0. (Float.min 1. frac))
+        end
+        else go (i + 1) cum'
+    in
+    go 0 0.
+  end
+
+type stat = {
+  st_count : int;
+  st_mean : float; (* seconds *)
+  st_p50 : float;
+  st_p99 : float;
+  st_p999 : float;
+  st_max : float;
+}
+
+let stat_of h =
+  let s ns = ns /. 1e9 in
+  {
+    st_count = h.n;
+    st_mean = (if h.n = 0 then 0. else s (h.sum /. float_of_int h.n));
+    st_p50 = s (h_quantile h 0.5);
+    st_p99 = s (h_quantile h 0.99);
+    st_p999 = s (h_quantile h 0.999);
+    st_max = s (float_of_int h.max_ns);
+  }
+
+(* ---- span reassembly ----------------------------------------------
+
+   Records of one transaction all come from the domain that ran it (the
+   coordinator drives every 2PC leg from the caller's thread), so per
+   transaction the feed order is emit order; grouping on the id is all
+   the stitching a cross-shard span needs. *)
+
+type open_span = {
+  mutable s_begin : int;
+  mutable s_cross : bool;
+  mutable wait_open : int; (* -1 = no open lock-wait window *)
+  mutable wait_ns : int;
+  mutable sync_open : int;
+  mutable sync_ns : int;
+  mutable append_t : int; (* -1 = no WAL append seen *)
+  mutable prep_first : int;
+  mutable prep_last : int;
+  mutable decide_t : int;
+}
+
+let phase_names =
+  [ "lock_wait"; "execute"; "commit"; "sync_wait"; "prepare"; "decide"; "backoff"; "fsync" ]
+
+type t = {
+  mu : Mutex.t;
+  opens : (int, open_span) Hashtbl.t;
+  h_local : hist;
+  h_cross : hist;
+  phases : (string, hist) Hashtbl.t;
+  ops : (string * string, hist) Hashtbl.t;
+  lookup : obj:int -> inv:int -> string * string;
+  mutable spans : int;
+  mutable aborts : int;
+  mutable last_time : int;
+}
+
+let max_ops = 64
+let max_open = 1 lsl 16
+
+(* Per-ADT-op keys use the invocation's constructor family ("Credit 5"
+   or "Credit(5)" -> "Credit"): payload-carrying labels are unbounded,
+   families are the ADT's signature. *)
+let family label =
+  let cut c acc = match String.index_opt label c with
+    | Some i -> min i acc
+    | None -> acc
+  in
+  let stop = cut ' ' (cut '(' (String.length label)) in
+  if stop = String.length label then label else String.sub label 0 stop
+
+let attrib_lookup ~obj ~inv =
+  (Attrib.object_name ~obj, family (Attrib.label ~obj ~kind:Attrib.Inv inv))
+
+let meta_lookup meta ~obj ~inv =
+  (Flight.meta_object_name meta obj, family (Flight.meta_label meta ~obj ~kind:0 inv))
+
+let create ?(lookup = attrib_lookup) () =
+  let phases = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace phases p (h_create ())) phase_names;
+  {
+    mu = Mutex.create ();
+    opens = Hashtbl.create 1024;
+    h_local = h_create ();
+    h_cross = h_create ();
+    phases;
+    ops = Hashtbl.create 64;
+    lookup;
+    spans = 0;
+    aborts = 0;
+    last_time = 0;
+  }
+
+let phase t p = Hashtbl.find t.phases p
+
+let op_hist t key =
+  match Hashtbl.find_opt t.ops key with
+  | Some h -> h
+  | None ->
+    let key = if Hashtbl.length t.ops >= max_ops then ("other", "other") else key in
+    (match Hashtbl.find_opt t.ops key with
+    | Some h -> h
+    | None ->
+      let h = h_create () in
+      Hashtbl.replace t.ops key h;
+      h)
+
+let fresh_span time =
+  {
+    s_begin = time;
+    s_cross = false;
+    wait_open = -1;
+    wait_ns = 0;
+    sync_open = -1;
+    sync_ns = 0;
+    append_t = -1;
+    prep_first = -1;
+    prep_last = -1;
+    decide_t = -1;
+  }
+
+let open_span t txn time =
+  let s = fresh_span time in
+  Hashtbl.replace t.opens txn s;
+  s
+
+let find_span t txn =
+  match Hashtbl.find_opt t.opens txn with
+  | Some s -> Some s
+  | None -> None
+
+(* A burst of spans that never close (a killed run's torn tail, or ids
+   we joined mid-flight) must not leak: drop windows older than 60s of
+   record time once the table is big. *)
+let prune_locked t =
+  if Hashtbl.length t.opens > max_open then begin
+    let cutoff = t.last_time - 60_000_000_000 in
+    let stale =
+      Hashtbl.fold (fun k s acc -> if s.s_begin < cutoff then k :: acc else acc) t.opens []
+    in
+    List.iter (Hashtbl.remove t.opens) stale
+  end
+
+let close_span t s time aborted =
+  if aborted then t.aborts <- t.aborts + 1
+  else begin
+    t.spans <- t.spans + 1;
+    let total = max 0 (time - s.s_begin) in
+    (* An unclosed wait window (a wait-die death mid-wait that still
+       committed elsewhere cannot happen; this is belt and braces) is
+       charged up to the close. *)
+    if s.wait_open >= 0 then begin
+      s.wait_ns <- s.wait_ns + max 0 (time - s.wait_open);
+      s.wait_open <- -1
+    end;
+    if s.sync_open >= 0 then begin
+      s.sync_ns <- s.sync_ns + max 0 (time - s.sync_open);
+      s.sync_open <- -1
+    end;
+    let cross = s.s_cross || s.prep_first >= 0 in
+    h_observe (if cross then t.h_cross else t.h_local) total;
+    h_observe (phase t "lock_wait") s.wait_ns;
+    h_observe (phase t "sync_wait") s.sync_ns;
+    if cross then begin
+      let exec_end = if s.prep_first >= 0 then s.prep_first else time in
+      h_observe (phase t "execute") (max 0 (exec_end - s.s_begin - s.wait_ns));
+      if s.prep_first >= 0 then begin
+        let prep_end = if s.prep_last >= 0 then s.prep_last else s.prep_first in
+        h_observe (phase t "prepare") (max 0 (prep_end - s.prep_first));
+        h_observe (phase t "decide") (max 0 (time - prep_end))
+      end
+    end
+    else begin
+      let exec_end = if s.append_t >= 0 then s.append_t else time in
+      h_observe (phase t "execute") (max 0 (exec_end - s.s_begin - s.wait_ns));
+      if s.append_t >= 0 then h_observe (phase t "commit") (max 0 (time - s.append_t))
+    end
+  end
+
+let feed_locked t (r : Flight.record) =
+  t.last_time <- max t.last_time r.time;
+  let c = r.code in
+  if c = Span.c_begin then ignore (open_span t r.txn r.time : open_span)
+  else if c = Span.c_cross_begin then begin
+    (* The coordinator opens the span with a plain [begin] and emits
+       [cross_begin] on entering 2PC — don't reset the start time. *)
+    match find_span t r.txn with
+    | Some s -> s.s_cross <- true
+    | None ->
+      let s = open_span t r.txn r.time in
+      s.s_cross <- true
+  end
+  else if c = Span.c_backoff then h_observe (phase t "backoff") r.arg
+  else if c = Span.c_fsync then h_observe (phase t "fsync") r.arg
+  else if c = Span.c_op then begin
+    let key = t.lookup ~obj:r.aux32 ~inv:r.aux16 in
+    h_observe (op_hist t key) r.arg
+  end
+  else
+    match find_span t r.txn with
+    | None -> () (* joined mid-span: ignore the orphan marks *)
+    | Some s ->
+      if c = Span.c_lock_wait then begin
+        if s.wait_open < 0 then s.wait_open <- r.time
+      end
+      else if c = Span.c_lock_resume then begin
+        if s.wait_open >= 0 then begin
+          s.wait_ns <- s.wait_ns + max 0 (r.time - s.wait_open);
+          s.wait_open <- -1
+        end
+      end
+      else if c = Span.c_append then begin
+        if s.append_t < 0 then s.append_t <- r.time
+      end
+      else if c = Span.c_sync_wait then s.sync_open <- r.time
+      else if c = Span.c_sync_done then begin
+        if s.sync_open >= 0 then begin
+          s.sync_ns <- s.sync_ns + max 0 (r.time - s.sync_open);
+          s.sync_open <- -1
+        end
+      end
+      else if c = Span.c_prepare then begin
+        s.s_cross <- true;
+        if s.prep_first < 0 then s.prep_first <- r.time
+      end
+      else if c = Span.c_prepared then s.prep_last <- r.time
+      else if c = Span.c_decide then s.decide_t <- r.time
+      else if c = Span.c_commit || c = Span.c_cross_commit then begin
+        Hashtbl.remove t.opens r.txn;
+        close_span t s r.time false
+      end
+      else if c = Span.c_abort || c = Span.c_cross_abort then begin
+        Hashtbl.remove t.opens r.txn;
+        close_span t s r.time true
+      end
+      else ();
+      prune_locked t
+
+let feed t r = Mutex.protect t.mu (fun () -> feed_locked t r)
+let feed_all t rs = Mutex.protect t.mu (fun () -> List.iter (feed_locked t) rs)
+
+(* ---- reports ------------------------------------------------------- *)
+
+type report = {
+  r_local : stat;
+  r_cross : stat;
+  r_phases : (string * stat) list;
+  r_ops : ((string * string) * stat) list;
+  r_spans : int;
+  r_aborts : int;
+  r_open : int;
+  r_lost : int;
+  r_emitted : int;
+}
+
+let report t =
+  Mutex.protect t.mu (fun () ->
+      {
+        r_local = stat_of t.h_local;
+        r_cross = stat_of t.h_cross;
+        r_phases = List.map (fun p -> (p, stat_of (phase t p))) phase_names;
+        r_ops =
+          Hashtbl.fold (fun k h acc -> ((k, stat_of h) :: acc)) t.ops []
+          |> List.sort (fun ((a, _), _) ((b, _), _) -> compare a b);
+        r_spans = t.spans;
+        r_aborts = t.aborts;
+        r_open = Hashtbl.length t.opens;
+        r_lost = Flight.lost ();
+        r_emitted = Flight.emitted ();
+      })
+
+(* ---- SLO targets --------------------------------------------------- *)
+
+type target = { t_metric : string; t_quantile : float; t_limit_s : float }
+
+let metric_names = "local" :: "cross" :: phase_names
+
+let quantile_of_string = function
+  | "p50" -> Some 0.5
+  | "p90" -> Some 0.9
+  | "p99" -> Some 0.99
+  | "p999" -> Some 0.999
+  | "max" -> Some 1.
+  | _ -> None
+
+let duration_of_string s =
+  let num k n = Option.map (fun f -> f *. k) (float_of_string_opt n) in
+  let strip suffix =
+    if String.length s > String.length suffix
+       && Filename.check_suffix s suffix
+       (* "s" also suffixes "ms"/"us": try longest first at the call site *)
+    then Some (String.sub s 0 (String.length s - String.length suffix))
+    else None
+  in
+  match strip "ms" with
+  | Some n -> num 1e-3 n
+  | None -> (
+    match strip "us" with
+    | Some n -> num 1e-6 n
+    | None -> (
+      match strip "s" with
+      | Some n -> num 1. n
+      | None -> num 1. s))
+
+let target_of_spec spec =
+  match String.split_on_char ':' spec with
+  | [ metric; q; limit ] -> (
+    if not (List.mem metric metric_names) then
+      Error (Printf.sprintf "unknown SLO metric %S (one of %s)" metric
+               (String.concat ", " metric_names))
+    else
+      match (quantile_of_string q, duration_of_string limit) with
+      | Some tq, Some tl -> Ok { t_metric = metric; t_quantile = tq; t_limit_s = tl }
+      | None, _ -> Error (Printf.sprintf "unknown quantile %S (p50/p90/p99/p999/max)" q)
+      | _, None -> Error (Printf.sprintf "bad duration %S (e.g. 5ms, 800us, 1.5s)" limit))
+  | _ -> Error (Printf.sprintf "bad SLO spec %S (want metric:quantile:limit)" spec)
+
+let targets_of_specs specs =
+  List.fold_left
+    (fun acc spec ->
+      match (acc, target_of_spec spec) with
+      | Error e, _ -> Error e
+      | Ok l, Ok t -> Ok (t :: l)
+      | Ok _, Error e -> Error e)
+    (Ok []) specs
+  |> Result.map List.rev
+
+let stat_quantile st q =
+  if q >= 1. then st.st_max
+  else if q >= 0.999 then st.st_p999
+  else if q >= 0.99 then st.st_p99
+  else if q >= 0.9 then st.st_p99 (* p90 reads conservatively from p99 *)
+  else st.st_p50
+
+type verdict = { v_target : target; v_actual : float; v_ok : bool }
+
+let check report targets =
+  List.map
+    (fun tgt ->
+      let st =
+        if tgt.t_metric = "local" then report.r_local
+        else if tgt.t_metric = "cross" then report.r_cross
+        else List.assoc tgt.t_metric report.r_phases
+      in
+      let actual = stat_quantile st tgt.t_quantile in
+      { v_target = tgt; v_actual = actual; v_ok = actual <= tgt.t_limit_s })
+    targets
+
+let breached verdicts = List.exists (fun v -> not v.v_ok) verdicts
+
+(* ---- rendering ----------------------------------------------------- *)
+
+let pp_quantile ppf q =
+  if q >= 1. then Format.pp_print_string ppf "max"
+  else Format.fprintf ppf "p%g" (q *. 1000. /. 10.)
+
+let dur_string s =
+  if s >= 1. then Printf.sprintf "%.2fs" s
+  else if s >= 1e-3 then Printf.sprintf "%.2fms" (s *. 1e3)
+  else Printf.sprintf "%.1fus" (s *. 1e6)
+
+let pp_dur ppf s = Format.pp_print_string ppf (dur_string s)
+
+let pp_stat_row ppf (name, st) =
+  if st.st_count > 0 then
+    Format.fprintf ppf "  %-24s %8d  p50 %8s  p99 %8s  p999 %8s  max %8s@." name
+      st.st_count (dur_string st.st_p50) (dur_string st.st_p99) (dur_string st.st_p999)
+      (dur_string st.st_max)
+
+let pp_report ppf r =
+  Format.fprintf ppf "spans: %d committed, %d aborted, %d still open@." r.r_spans
+    r.r_aborts r.r_open;
+  Format.fprintf ppf "recorder: %d records emitted, %d lost to ring wrap@." r.r_emitted
+    r.r_lost;
+  Format.fprintf ppf "transaction totals:@.";
+  pp_stat_row ppf ("local", r.r_local);
+  pp_stat_row ppf ("cross-shard", r.r_cross);
+  Format.fprintf ppf "phases:@.";
+  List.iter (pp_stat_row ppf) r.r_phases;
+  if r.r_ops <> [] then begin
+    Format.fprintf ppf "per-ADT-op:@.";
+    List.iter (fun ((o, f), st) -> pp_stat_row ppf (o ^ "." ^ f, st)) r.r_ops
+  end
+
+let pp_verdicts ppf vs =
+  List.iter
+    (fun v ->
+      Format.fprintf ppf "  %-12s %a <= %a: measured %a  [%s]@." v.v_target.t_metric
+        pp_quantile v.v_target.t_quantile pp_dur v.v_target.t_limit_s pp_dur v.v_actual
+        (if v.v_ok then "ok" else "BREACH"))
+    vs
+
+let stat_json st =
+  Json.Obj
+    [
+      ("count", Json.Int st.st_count);
+      ("mean_s", Json.Float st.st_mean);
+      ("p50_s", Json.Float st.st_p50);
+      ("p99_s", Json.Float st.st_p99);
+      ("p999_s", Json.Float st.st_p999);
+      ("max_s", Json.Float st.st_max);
+    ]
+
+let to_json ?(targets = []) t =
+  let r = report t in
+  let verdicts = check r targets in
+  Json.Obj
+    [
+      ("spans", Json.Int r.r_spans);
+      ("aborts", Json.Int r.r_aborts);
+      ("open", Json.Int r.r_open);
+      ("emitted", Json.Int r.r_emitted);
+      ("lost", Json.Int r.r_lost);
+      ("local", stat_json r.r_local);
+      ("cross", stat_json r.r_cross);
+      ( "phases",
+        Json.Obj (List.map (fun (p, st) -> (p, stat_json st)) r.r_phases) );
+      ( "ops",
+        Json.List
+          (List.map
+             (fun ((o, f), st) ->
+               Json.Obj
+                 [ ("object", Json.String o); ("op", Json.String f); ("stat", stat_json st) ])
+             r.r_ops) );
+      ( "slo",
+        Json.List
+          (List.map
+             (fun v ->
+               Json.Obj
+                 [
+                   ("metric", Json.String v.v_target.t_metric);
+                   ("quantile", Json.Float v.v_target.t_quantile);
+                   ("limit_s", Json.Float v.v_target.t_limit_s);
+                   ("actual_s", Json.Float v.v_actual);
+                   ("ok", Json.Bool v.v_ok);
+                 ])
+             verdicts) );
+      ("healthy", Json.Bool (not (breached verdicts)));
+    ]
+
+(* ---- Chrome trace slices -------------------------------------------
+
+   Phase-nested spans: one track per transaction, the whole span as an
+   X event with each phase window as a shorter X event inside it —
+   Chrome nests same-track overlapping slices automatically. *)
+
+let chrome_slices ?(lookup = attrib_lookup) records =
+  let slices = ref [] in
+  let push sl = slices := sl :: !slices in
+  let x ~name ~cat ~tid ~t0 ~t1 ~args =
+    if t1 > t0 then
+      push { Export.sl_name = name; sl_cat = cat; sl_tid = tid; sl_ts_ns = t0;
+             sl_dur_ns = t1 - t0; sl_args = args }
+  in
+  let opens : (int, int * bool) Hashtbl.t = Hashtbl.create 256 in
+  let waits : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let syncs : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let preps : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Flight.record) ->
+      let c = r.Flight.code in
+      if c = Span.c_begin then Hashtbl.replace opens r.txn (r.time, false)
+      else if c = Span.c_cross_begin then (
+        match Hashtbl.find_opt opens r.txn with
+        | Some (t0, _) -> Hashtbl.replace opens r.txn (t0, true)
+        | None -> Hashtbl.replace opens r.txn (r.time, true))
+      else if c = Span.c_lock_wait then Hashtbl.replace waits r.txn r.time
+      else if c = Span.c_lock_resume then (
+        match Hashtbl.find_opt waits r.txn with
+        | Some t0 ->
+          Hashtbl.remove waits r.txn;
+          x ~name:"lock wait" ~cat:"phase" ~tid:r.txn ~t0 ~t1:r.time
+            ~args:[ ("object", Attrib.object_name ~obj:r.aux32) ]
+        | None -> ())
+      else if c = Span.c_sync_wait then Hashtbl.replace syncs r.txn r.time
+      else if c = Span.c_sync_done then (
+        match Hashtbl.find_opt syncs r.txn with
+        | Some t0 ->
+          Hashtbl.remove syncs r.txn;
+          x ~name:"fsync wait" ~cat:"phase" ~tid:r.txn ~t0 ~t1:r.time ~args:[]
+        | None -> ())
+      else if c = Span.c_op then
+        let obj, fam = lookup ~obj:r.aux32 ~inv:r.aux16 in
+        x ~name:(obj ^ "." ^ fam) ~cat:"op" ~tid:r.txn ~t0:(r.time - r.arg) ~t1:r.time
+          ~args:[]
+      else if c = Span.c_prepare then Hashtbl.replace preps (r.txn, r.aux16) r.time
+      else if c = Span.c_prepared then (
+        match Hashtbl.find_opt preps (r.txn, r.aux16) with
+        | Some t0 ->
+          Hashtbl.remove preps (r.txn, r.aux16);
+          x ~name:(Printf.sprintf "prepare s%d" r.aux16) ~cat:"2pc" ~tid:r.txn ~t0
+            ~t1:r.time
+            ~args:[ ("ts", string_of_int r.arg) ]
+        | None -> ())
+      else if c = Span.c_decide then
+        push { Export.sl_name = Printf.sprintf "decide@%d" r.arg; sl_cat = "2pc";
+               sl_tid = r.txn; sl_ts_ns = r.time; sl_dur_ns = 0; sl_args = [] }
+      else if c = Span.c_commit || c = Span.c_cross_commit || c = Span.c_abort
+              || c = Span.c_cross_abort then (
+        match Hashtbl.find_opt opens r.txn with
+        | Some (t0, cross) ->
+          Hashtbl.remove opens r.txn;
+          let outcome =
+            if c = Span.c_commit || c = Span.c_cross_commit then "commit" else "abort"
+          in
+          x
+            ~name:(Printf.sprintf "T%d %s" r.txn outcome)
+            ~cat:(if cross then "span.cross" else "span.local")
+            ~tid:r.txn ~t0 ~t1:r.time
+            ~args:(if outcome = "commit" then [ ("ts", string_of_int r.arg) ] else [])
+        | None -> ())
+      else ())
+    records;
+  List.rev !slices

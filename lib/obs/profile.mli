@@ -1,0 +1,99 @@
+(** Span profiling: flight records in, latency quantiles and SLO
+    verdicts out.
+
+    The aggregator reassembles {!Flight} records into transaction spans
+    (keyed on the transaction id; cross-shard branches share the global
+    id, so 2PC legs stitch into one span) and accumulates per-phase and
+    per-ADT-op nanosecond histograms.  It runs in two places: online as
+    the flusher's observer (feeding the [/slo] endpoint and [top]'s
+    phase pane), and offline over a decoded [flight.bin] (the [profile]
+    subcommand and CI's [profile-smoke] job).
+
+    Phase derivation, all from mark timestamp pairs — no extra clock
+    reads on the hot path:
+    - [lock_wait]: sum of [lock_wait]→[lock_resume] windows (the retry
+      loop around a refused Conflict-relation check, paper Sec. 3);
+    - [execute]: begin→(first WAL append | first prepare | end) minus
+      lock waits;
+    - [commit]: WAL append→end (local spans; includes the group-commit
+      barrier);
+    - [sync_wait]: sum of [sync_wait]→[sync_done] windows (the
+      durability point, [sync_upto]);
+    - [prepare]/[decide]: first-prepare→last-prepared and
+      last-prepared→end (cross-shard spans; decide covers the forced
+      Decision-log write — the global commit point);
+    - [backoff] and [fsync] carry their duration in the record. *)
+
+type stat = {
+  st_count : int;
+  st_mean : float;  (** seconds *)
+  st_p50 : float;
+  st_p99 : float;
+  st_p999 : float;
+  st_max : float;
+}
+
+type t
+
+val create : ?lookup:(obj:int -> inv:int -> string * string) -> unit -> t
+(** [lookup] resolves a per-op record to an (object name, op family)
+    histogram key; the default reads the live {!Attrib} registry.
+    Thread-safe: feed from the flusher, report from a server thread. *)
+
+val attrib_lookup : obj:int -> inv:int -> string * string
+val meta_lookup : Flight.meta -> obj:int -> inv:int -> string * string
+(** Lookup against a decoded file's metadata chunk, for offline use. *)
+
+val feed : t -> Flight.record -> unit
+val feed_all : t -> Flight.record list -> unit
+
+type report = {
+  r_local : stat;  (** whole-span latency, single-shard commits *)
+  r_cross : stat;  (** whole-span latency, cross-shard commits *)
+  r_phases : (string * stat) list;
+  r_ops : ((string * string) * stat) list;  (** (object, op family) *)
+  r_spans : int;  (** committed spans closed *)
+  r_aborts : int;
+  r_open : int;  (** spans begun but not yet closed *)
+  r_lost : int;  (** {!Flight.lost} at report time *)
+  r_emitted : int;
+}
+
+val report : t -> report
+
+val phase_names : string list
+
+(** {1 SLO targets} *)
+
+type target = { t_metric : string; t_quantile : float; t_limit_s : float }
+
+val target_of_spec : string -> (target, string) result
+(** Parse ["metric:quantile:limit"], e.g. ["local:p99:5ms"],
+    ["cross:p999:50ms"], ["lock_wait:p90:800us"].  Metrics are [local],
+    [cross], or a phase name; quantiles [p50]/[p90]/[p99]/[p999]/[max];
+    limits take [us]/[ms]/[s] suffixes (bare numbers are seconds). *)
+
+val targets_of_specs : string list -> (target list, string) result
+
+type verdict = { v_target : target; v_actual : float; v_ok : bool }
+
+val check : report -> target list -> verdict list
+val breached : verdict list -> bool
+(** True when any target is violated — the [profile] subcommand's
+    non-zero exit, so a CI job can gate on the tail. *)
+
+(** {1 Rendering} *)
+
+val pp_report : Format.formatter -> report -> unit
+val pp_verdicts : Format.formatter -> verdict list -> unit
+
+val to_json : ?targets:target list -> t -> Json.t
+(** The [/slo] endpoint body: span counts, per-phase stats, per-op
+    stats, and a verdict per target. *)
+
+val chrome_slices :
+  ?lookup:(obj:int -> inv:int -> string * string) ->
+  Flight.record list ->
+  Export.slice list
+(** Reduce decoded records to phase-nested trace slices for
+    {!Export.chrome_spans}. *)

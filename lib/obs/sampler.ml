@@ -69,11 +69,26 @@ type t = {
   tick_count : int Atomic.t;
 }
 
+(* Monotonic time of the last completed audit pass.  The audit-lag
+   gauge derives from it at scrape time: a sampler wedged inside a
+   slow replay check (or starved of the domain lock) shows up as a
+   growing lag long before /health notices anything. *)
+let last_tick_ns = Atomic.make 0
+
+let audit_lag_s () =
+  let t = Atomic.get last_tick_ns in
+  if t = 0 then 0. else Clock.ns_to_s (Clock.now_ns () - t)
+
 let start ?(period_ms = 250) ?(ring = Trace.global) () =
   let stopping = Atomic.make false in
   let tick_count = Atomic.make 0 in
   let period_s = float_of_int (max 1 period_ms) /. 1000. in
   let last_cursor = ref (-1) in
+  Atomic.set last_tick_ns (Clock.now_ns ());
+  Gauge.callback "audit_lag_seconds" audit_lag_s;
+  (* Entries the watched ring overwrote before any sampler tick could
+     read them — the live counterpart of the window_lost skip count. *)
+  Gauge.callback "trace_window_lost" (fun () -> float_of_int (Trace.dropped ring));
   let loop () =
     while not (Atomic.get stopping) do
       let bad = run_audits () in
@@ -87,6 +102,7 @@ let start ?(period_ms = 250) ?(ring = Trace.global) () =
       in
       ignore bad;
       Atomic.incr tick_count;
+      Atomic.set last_tick_ns (Clock.now_ns ());
       Thread.delay period_s
     done
   in

@@ -54,7 +54,17 @@ type t
 val start : ?period_ms:int -> ?ring:Trace.t -> unit -> t
 (** Spawn the auditor thread; {!run_once} every [period_ms] (default
     250) until {!stop}.  The cycle check is incremental: a tick where
-    the ring cursor did not move skips the window scan. *)
+    the ring cursor did not move skips the window scan.
+
+    Also registers two callback gauges for [/metrics] and the [top]
+    dashboard: [audit_lag_seconds] (time since the last completed
+    audit pass — a wedged or starved sampler shows as growing lag) and
+    [trace_window_lost] (entries the watched ring overwrote before a
+    tick could read them, {!Trace.dropped}). *)
+
+val audit_lag_s : unit -> float
+(** Seconds since the last completed audit pass ([0.] before the first
+    {!start}). *)
 
 val stop : t -> unit
 (** Signal and join the auditor thread.  Idempotent. *)

@@ -129,9 +129,20 @@ let render_response { status; content_type; body } =
     "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
     status (status_text status) content_type (String.length body) body
 
+(* Self-telemetry: the introspection server shows up in its own
+   [/metrics].  Latency histograms are per endpoint but only for paths
+   the route table actually serves — route tables are small and fixed,
+   so the name set stays bounded; everything else lands on "other". *)
+let m_requests = Metrics.counter "server.requests"
+let g_open_connections = Gauge.make "server_open_connections"
+
+let endpoint_hist path = Metrics.histogram ("server.latency" ^ path)
+
 let handle routes fd =
   Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
   Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0;
+  let t0 = Clock.now_ns () in
+  let endpoint = ref "/other" in
   let resp =
     match parse_request (read_request fd) with
     | Error e -> respond ~status:400 (e ^ "\n")
@@ -139,10 +150,13 @@ let handle routes fd =
       match List.assoc_opt req.path routes with
       | None -> respond ~status:404 "not found\n"
       | Some handler -> (
+        endpoint := req.path;
         try handler req
         with exn -> respond ~status:500 (Printexc.to_string exn ^ "\n")))
   in
-  write_all fd (render_response resp)
+  write_all fd (render_response resp);
+  Metrics.incr m_requests;
+  Metrics.observe (endpoint_hist !endpoint) (Clock.ns_to_s (Clock.now_ns () - t0))
 
 (* ------------------------------------------------------------------ *)
 (* Default routes                                                      *)
@@ -173,7 +187,7 @@ let health_route _req =
       (Printf.sprintf "degraded: %d audit violation(s); last: %s\n"
          (Sampler.violations ()) detail)
 
-let default_routes ?(ring = Trace.global) () =
+let default_routes ?(ring = Trace.global) ?slo () =
   [
     ("/metrics", fun _ ->
         respond ~content_type:"text/plain; version=0.0.4; charset=utf-8"
@@ -184,6 +198,10 @@ let default_routes ?(ring = Trace.global) () =
     ("/health", health_route);
     ("/control", control_route);
   ]
+  @
+  match slo with
+  | Some provider -> [ ("/slo", fun _ -> respond_json (provider ())) ]
+  | None -> []
 
 (* ------------------------------------------------------------------ *)
 (* Server lifecycle                                                    *)
@@ -215,8 +233,10 @@ let start ?(port = 0) ?routes () =
     while not (Atomic.get stopping) do
       match Unix.accept sock with
       | fd, _addr ->
+        Gauge.incr g_open_connections;
         (try handle routes fd with _ -> ());
-        (try Unix.close fd with _ -> ())
+        (try Unix.close fd with _ -> ());
+        Gauge.decr g_open_connections
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       | exception Unix.Unix_error _ ->
         (* The listen socket was closed under us: that is how {!stop}

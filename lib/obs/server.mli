@@ -18,10 +18,18 @@
     - [/control] — observability switch: [GET /control] reports it,
       [/control?enabled=true|false] sets it, [/control?toggle=1] flips
       it; responds [{"enabled": bool}]
+    - [/slo] — only when an [slo] provider is given: the span
+      profiler's JSON report with SLO verdicts ({!Profile.to_json})
 
     The accept loop runs on one {!Thread}; handlers run inline on it.
     Handler exceptions become [500] responses rather than killing the
-    loop. *)
+    loop.
+
+    The server meters itself: [server.requests] (counter),
+    [server.latency<path>] (per-endpoint request-latency histogram,
+    one per served route plus ["/other"] for misses) and the
+    [server_open_connections] gauge all appear in its own
+    [/metrics]. *)
 
 type request = { path : string; query : (string * string) list }
 
@@ -32,8 +40,14 @@ val respond : ?status:int -> ?content_type:string -> string -> response
 
 val respond_json : ?status:int -> Json.t -> response
 
-val default_routes : ?ring:Trace.t -> unit -> (string * (request -> response)) list
-(** [ring] (default {!Trace.global}) feeds [/waitfor]. *)
+val default_routes :
+  ?ring:Trace.t ->
+  ?slo:(unit -> Json.t) ->
+  unit ->
+  (string * (request -> response)) list
+(** [ring] (default {!Trace.global}) feeds [/waitfor]; [slo] (none by
+    default) provides the [/slo] body — pass
+    [fun () -> Profile.to_json ~targets agg]. *)
 
 type t
 

@@ -418,7 +418,23 @@ module Make (A : Spec.Adt_sig.S) = struct
 
   let invoke ?retries t txn i =
     let on_retry () = emit t ~txn:(Txn_rt.id txn) Obs.Trace.Retry in
-    Retry.run ?retries ~on_retry ~name:t.name ~self:txn (fun () -> try_invoke t txn i)
+    (* Per-op flight records only at the detail tier: two extra clock
+       reads per invocation would eat the always-on recorder's < 5%
+       throughput budget. *)
+    if not (Obs.Span.detailed ()) then
+      Retry.run ?retries ~on_retry ~obj:t.key ~name:t.name ~self:txn (fun () ->
+          try_invoke t txn i)
+    else begin
+      let t0 = Obs.Clock.now_ns () in
+      let r =
+        Retry.run ?retries ~on_retry ~obj:t.key ~name:t.name ~self:txn (fun () ->
+            try_invoke t txn i)
+      in
+      let inv = with_lock t (fun () -> encode_inv t i) in
+      Obs.Span.op ~txn:(Txn_rt.id txn) ~obj:t.key ~inv
+        ~dur_ns:(Obs.Clock.now_ns () - t0);
+      r
+    end
 
   let committed_states t =
     with_lock t (fun () ->

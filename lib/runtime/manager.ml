@@ -126,6 +126,7 @@ let log_abort t txn =
 let commit_txn t txn =
   match begin_commit t txn with
   | exception e ->
+    if Obs.Span.enabled () then Obs.Span.txn_abort ~txn:(Txn_rt.id txn);
     Txn_rt.abort txn;
     Atomic.incr t.failures;
     Obs.Metrics.incr m_aborts;
@@ -133,7 +134,18 @@ let commit_txn t txn =
   | ts, lsn -> (
     let durable =
       match lsn with
-      | Some (w, l) -> ( try Ok (Wal.Log.sync_upto w l) with e -> Error e)
+      | Some (w, l) ->
+        (* Append and sync-wait marks bracket the group-commit barrier:
+           the flight span's commit phase starts at the append, and the
+           sync window isolates time spent waiting on the durability
+           point ([sync_upto]) from the rest of the commit path. *)
+        if Obs.Span.enabled () then begin
+          Obs.Span.append ~txn:(Txn_rt.id txn) ~lsn:l;
+          Obs.Span.sync_wait ~txn:(Txn_rt.id txn) ~lsn:l
+        end;
+        let r = try Ok (Wal.Log.sync_upto w l) with e -> Error e in
+        if Obs.Span.enabled () then Obs.Span.sync_done ~txn:(Txn_rt.id txn);
+        r
       | None -> Ok ()
     in
     match durable with
@@ -148,10 +160,12 @@ let commit_txn t txn =
       Fun.protect ~finally:(fun () -> end_commit t ts) (fun () -> Txn_rt.commit txn ts);
       Atomic.incr t.commits;
       Obs.Metrics.incr m_commits;
+      if Obs.Span.enabled () then Obs.Span.txn_commit ~txn:(Txn_rt.id txn) ~ts;
       ts)
 
 let abort_txn t txn =
   log_abort t txn;
+  if Obs.Span.enabled () then Obs.Span.txn_abort ~txn:(Txn_rt.id txn);
   Txn_rt.abort txn;
   Atomic.incr t.failures;
   Obs.Metrics.incr m_aborts
@@ -167,6 +181,8 @@ let abort_txn t txn =
    one, so nothing this shard folds or serves as stable can be
    invalidated by the eventual commit. *)
 let prepare t txn ~gtxn =
+  if Obs.Span.enabled () then
+    Obs.Span.prepare ~txn:(Txn_rt.id txn) ~shard:t.stripe_index;
   let ts, lsn =
     with_inflight t (fun () ->
         let ts = draw_locked t in
@@ -191,6 +207,8 @@ let prepare t txn ~gtxn =
       end_commit t ts;
       raise e)
   | None -> ());
+  if Obs.Span.enabled () then
+    Obs.Span.prepared ~txn:(Txn_rt.id txn) ~shard:t.stripe_index ~ts;
   ts
 
 (* Phase 2, commit: adopt the decided timestamp (max over all
@@ -215,6 +233,8 @@ let decide_commit t txn ~prepared ~ts =
           try Ok (Some (w, Wal.Log.append_lsn w (Wal.Log.Commit { txn = Txn_rt.id txn; ts })))
           with e -> Error e))
   in
+  if Obs.Span.enabled () then
+    Obs.Span.decide_commit ~txn:(Txn_rt.id txn) ~shard:t.stripe_index ~ts;
   Fun.protect ~finally:(fun () -> end_commit t ts) (fun () -> Txn_rt.commit txn ts);
   Atomic.incr t.commits;
   Obs.Metrics.incr m_commits;
@@ -227,6 +247,8 @@ let decide_commit t txn ~prepared ~ts =
    notify participants; the Abort record is an unforced courtesy to the
    compactor, exactly as in the single-shard path. *)
 let decide_abort t txn ~prepared =
+  if Obs.Span.enabled () then
+    Obs.Span.decide_abort ~txn:(Txn_rt.id txn) ~shard:t.stripe_index;
   log_abort t txn;
   Txn_rt.abort txn;
   end_commit t prepared;
@@ -244,6 +266,8 @@ let attempt_once ?priority t body =
       Obs.Metrics.observe h_attempt (Obs.Clock.ns_to_s (Obs.Clock.now_ns () - t0))
   in
   let txn = Txn_rt.fresh ?priority () in
+  if Obs.Span.enabled () then
+    Obs.Span.txn_begin ~txn:(Txn_rt.id txn) ~shard:t.stripe_index;
   match body txn with
   | v ->
     (* Draw the timestamp before any commit event becomes visible (see
@@ -286,7 +310,13 @@ let run ?(max_attempts = 1000) t body =
       match attempt_once ?priority t body with
       | Ok (v, _) -> v
       | Error (reason, prio) ->
-        Unix.sleepf (Backoff.restart_delay ~key:prio ~attempt);
+        let delay = Backoff.restart_delay ~key:prio ~attempt in
+        (* The restarted attempt gets a fresh transaction id, so the
+           backoff record is keyed on the stable priority — the one id
+           every attempt of this transaction shares. *)
+        if Obs.Span.enabled () then
+          Obs.Span.backoff ~txn:prio ~sleep_ns:(int_of_float (delay *. 1e9));
+        Unix.sleepf delay;
         go (attempt + 1) (Some prio) reason
   in
   go 0 None "never attempted"

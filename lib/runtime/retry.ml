@@ -13,16 +13,25 @@ let g_waiting = Obs.Gauge.make "retry_waiting"
 let die ~name reason =
   raise (Txn_rt.Abort_requested (Printf.sprintf "%s: %s" name reason))
 
-let run ?(retries = 500) ?(on_retry = ignore) ~name ~self attempt =
+let run ?(retries = 500) ?(on_retry = ignore) ?(obj = 0) ~name ~self attempt =
   let my_priority = Txn_rt.priority self in
   let waiting = ref false in
   let enter_wait () =
     if not !waiting then begin
       waiting := true;
-      Obs.Gauge.incr g_waiting
+      Obs.Gauge.incr g_waiting;
+      (* One lock-wait window per stalled invocation, however many
+         retries it takes: the flight span charges wait→resume, not
+         individual poll iterations. *)
+      if Obs.Span.enabled () then Obs.Span.lock_wait ~txn:(Txn_rt.id self) ~obj
     end
   in
-  let leave_wait () = if !waiting then Obs.Gauge.decr g_waiting in
+  let leave_wait () =
+    if !waiting then begin
+      Obs.Gauge.decr g_waiting;
+      if Obs.Span.enabled () then Obs.Span.lock_resume ~txn:(Txn_rt.id self) ~obj
+    end
+  in
   Fun.protect ~finally:leave_wait @@ fun () ->
   let rec go n =
     match attempt () with

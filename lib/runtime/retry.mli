@@ -21,6 +21,7 @@ type failure = [ `Blocked | `Conflict of int option ]
 val run :
   ?retries:int ->
   ?on_retry:(unit -> unit) ->
+  ?obj:int ->
   name:string ->
   self:Txn_rt.t ->
   (unit -> ('a, [< failure ]) result) ->
@@ -33,6 +34,8 @@ val run :
     immediately.
 
     [on_retry] is called just before each re-attempt — the object layer
-    uses it to stamp a [Retry] trace event.  Retry volume, wait-die
+    uses it to stamp a [Retry] trace event.  [obj] names the contended
+    object in the flight recorder's lock-wait span marks (one
+    wait/resume pair per stalled invocation).  Retry volume, wait-die
     deaths and give-ups are also counted in the {!Obs.Metrics} registry
     ([retry.retries], [retry.wait_die_deaths], [retry.give_ups]). *)

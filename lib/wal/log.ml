@@ -453,8 +453,12 @@ let run_sync_barrier t =
   if t.fsync then begin
     let t0 = Obs.Clock.now_ns () in
     Unix.fsync t.fd;
-    Obs.Metrics.observe h_fsync (Obs.Clock.ns_to_s (Obs.Clock.now_ns () - t0));
-    Obs.Metrics.incr m_fsyncs
+    let dur_ns = Obs.Clock.now_ns () - t0 in
+    Obs.Metrics.observe h_fsync (Obs.Clock.ns_to_s dur_ns);
+    Obs.Metrics.incr m_fsyncs;
+    (* Device-level flight record: one per physical fsync (the leader's),
+       as opposed to the per-transaction sync-wait window. *)
+    if Obs.Span.enabled () then Obs.Span.fsync ~dur_ns
   end
 
 let rec sync_wait t lsn =

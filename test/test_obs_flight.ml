@@ -1,0 +1,218 @@
+(* The binary flight recorder: fixed-width record encode/decode for
+   every span code (and arbitrary field values, via qcheck), ring wrap
+   with honest lost accounting, the CRC-framed file format's torn-tail
+   tolerance, and a multi-domain interleave reassembling into
+   well-nested spans through the Profile aggregator. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tmp name =
+  let f = Filename.temp_file ("hcc-flight-" ^ name) ".bin" in
+  at_exit (fun () -> try Sys.remove f with Sys_error _ -> ());
+  f
+
+(* Arm the recorder for one test body, disarm and reset after.  Each
+   test owns the process-global recorder state (rings, sink, lost
+   counter); Alcotest runs cases sequentially, so this is sound. *)
+let recording ?(level = 1) f () =
+  Obs.Control.set_enabled true;
+  Obs.Flight.reset_for_tests ();
+  Obs.Flight.set_level level;
+  Fun.protect ~finally:(fun () -> Obs.Flight.set_level 0) f
+
+let read_whole path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ---- every span code round-trips through the file ---- *)
+
+let test_all_codes_roundtrip =
+  recording (fun () ->
+      let path = tmp "codes" in
+      let seen = ref [] in
+      let flight =
+        Obs.Flight.start ~period_ms:10_000 ~path
+          ~observer:(fun r -> seen := r :: !seen)
+          ()
+      in
+      List.iteri
+        (fun i code ->
+          Obs.Flight.emit ~code ~aux16:(i * 3) ~aux32:(0xbeef + i)
+            ~txn:(1_000_000 + i) ~arg:(i * 1_000_000_007))
+        Obs.Span.all_codes;
+      Obs.Flight.stop flight;
+      let records, _meta, tail = Obs.Flight.read_file path in
+      check_bool "tail clean" true (tail = Obs.Flight.Clean);
+      check_int "one record per code" (List.length Obs.Span.all_codes)
+        (List.length records);
+      check_int "observer saw the same records" (List.length records)
+        (List.length !seen);
+      List.iteri
+        (fun i (r : Obs.Flight.record) ->
+          let code = List.nth Obs.Span.all_codes i in
+          check_int (Obs.Span.name code ^ ": code") code r.code;
+          check_int (Obs.Span.name code ^ ": aux16") (i * 3) r.aux16;
+          check_int (Obs.Span.name code ^ ": aux32") (0xbeef + i) r.aux32;
+          check_int (Obs.Span.name code ^ ": txn") (1_000_000 + i) r.txn;
+          check_int (Obs.Span.name code ^ ": arg") (i * 1_000_000_007) r.arg;
+          check_bool (Obs.Span.name code ^ ": time stamped") true (r.time > 0))
+        records)
+
+(* Arbitrary field values survive the 32-byte encoding: aux16 is 16-bit,
+   aux32 32-bit, txn/arg any non-negative OCaml int (63-bit). *)
+let qcheck_field_roundtrip =
+  let gen =
+    QCheck.make
+      ~print:(fun l ->
+        String.concat ";"
+          (List.map (fun (c, a16, a32, t, a) -> Printf.sprintf "(%d,%d,%d,%d,%d)" c a16 a32 t a) l))
+      QCheck.Gen.(
+        list_size (int_range 1 50)
+          (map
+             (fun (c, a16, a32, t, a) -> (c, a16, a32, t land max_int, a land max_int))
+             (tup5 (int_range 1 255) (int_range 0 0xffff) (int_range 0 0xffffffff) int int)))
+  in
+  QCheck.Test.make ~count:30 ~name:"flight record field round-trip" gen (fun recs ->
+      (recording (fun () ->
+           let path = tmp "qcheck" in
+           let flight = Obs.Flight.start ~period_ms:10_000 ~path () in
+           List.iter
+             (fun (code, aux16, aux32, txn, arg) ->
+               Obs.Flight.emit ~code ~aux16 ~aux32 ~txn ~arg)
+             recs;
+           Obs.Flight.stop flight;
+           let got, _meta, tail = Obs.Flight.read_file path in
+           tail = Obs.Flight.Clean
+           && List.map
+                (fun (r : Obs.Flight.record) -> (r.code, r.aux16, r.aux32, r.txn, r.arg))
+                got
+              = recs))
+        ())
+
+(* ---- ring wrap: newest window survives, the rest is counted lost ---- *)
+
+let test_wrap_lost =
+  recording (fun () ->
+      Obs.Flight.set_capacity 64;
+      Fun.protect
+        ~finally:(fun () -> Obs.Flight.set_capacity (1 lsl 14))
+        (fun () ->
+          (* A fresh domain gets a fresh ring at the small capacity. *)
+          let d =
+            Domain.spawn (fun () ->
+                for i = 0 to 199 do
+                  Obs.Flight.emit ~code:Obs.Span.c_op ~aux16:0 ~aux32:0 ~txn:i ~arg:i
+                done)
+          in
+          Domain.join d;
+          let seen = ref [] in
+          let flight =
+            Obs.Flight.start ~period_ms:10_000
+              ~observer:(fun r -> seen := r :: !seen)
+              ()
+          in
+          Obs.Flight.stop flight;
+          let kept =
+            List.rev !seen
+            |> List.filter (fun (r : Obs.Flight.record) -> r.code = Obs.Span.c_op)
+          in
+          (* The drain conservatively also drops the record whose slot
+             the writer's next (still unpublished) record may be
+             dirtying, so a lapped ring surfaces capacity - 1. *)
+          check_int "ring keeps the newest capacity-1 records" 63 (List.length kept);
+          check_bool "survivors are the newest window, in emit order" true
+            (List.map (fun (r : Obs.Flight.record) -> r.txn) kept
+            = List.init 63 (fun i -> 137 + i));
+          check_int "every dropped record is counted lost" 137 (Obs.Flight.lost ())))
+
+(* ---- torn tails: decode survives truncation and corruption ---- *)
+
+let test_torn_tail =
+  recording (fun () ->
+      let path = tmp "torn" in
+      let flight = Obs.Flight.start ~period_ms:10_000 ~path () in
+      for i = 0 to 9 do
+        Obs.Flight.emit ~code:Obs.Span.c_begin ~aux16:0 ~aux32:0 ~txn:i ~arg:0
+      done;
+      (* Force the records into their own chunk ahead of the metadata
+         chunk [stop] appends. *)
+      Obs.Flight.flush_once ();
+      Obs.Flight.stop flight;
+      let whole = read_whole path in
+      let clean, _, tail = Obs.Flight.parse whole in
+      check_bool "intact file parses clean" true (tail = Obs.Flight.Clean);
+      check_int "intact file has all records" 10 (List.length clean);
+      (* Flip one byte inside the final (metadata) chunk: its CRC fails,
+         the records chunk before it survives. *)
+      let corrupted = Bytes.of_string whole in
+      let p = String.length whole - 3 in
+      Bytes.set corrupted p (Char.chr (Char.code whole.[p] lxor 0xff));
+      let records, _, tail = Obs.Flight.parse (Bytes.to_string corrupted) in
+      check_int "records before the corrupt chunk survive" 10 (List.length records);
+      check_bool "corruption is reported as a torn tail" true
+        (match tail with Obs.Flight.Torn _ -> true | Obs.Flight.Clean -> false);
+      (* Truncation mid-chunk (what kill -9 leaves): same discipline. *)
+      let records, _, tail =
+        Obs.Flight.parse (String.sub whole 0 (String.length whole - 7))
+      in
+      check_int "records before the truncated chunk survive" 10 (List.length records);
+      check_bool "truncation is a torn tail" true
+        (match tail with Obs.Flight.Torn _ -> true | Obs.Flight.Clean -> false);
+      (* Header-only and garbage images. *)
+      let none, _, tail = Obs.Flight.parse "HCCFLT01" in
+      check_bool "bare header is clean and empty" true
+        (none = [] && tail = Obs.Flight.Clean);
+      let none, _, tail = Obs.Flight.parse "not a flight file" in
+      check_bool "garbage is torn at offset 0" true
+        (none = [] && tail = Obs.Flight.Torn 0))
+
+(* ---- multi-domain interleave reassembles into well-nested spans ---- *)
+
+let test_multidomain_spans =
+  recording (fun () ->
+      let agg = Obs.Profile.create () in
+      let flight = Obs.Flight.start ~period_ms:5 ~observer:(Obs.Profile.feed agg) () in
+      let worker d () =
+        for i = 0 to 49 do
+          let txn = (d * 1000) + i in
+          Obs.Span.txn_begin ~txn ~shard:d;
+          Obs.Span.lock_wait ~txn ~obj:0;
+          Obs.Span.lock_resume ~txn ~obj:0;
+          if i mod 10 = 9 then Obs.Span.txn_abort ~txn
+          else Obs.Span.txn_commit ~txn ~ts:i
+        done
+      in
+      let doms = Array.init 4 (fun d -> Domain.spawn (worker d)) in
+      Array.iter Domain.join doms;
+      Obs.Flight.stop flight;
+      let r = Obs.Profile.report agg in
+      check_int "every committed span closed" 180 r.Obs.Profile.r_spans;
+      check_int "every aborted span closed" 20 r.Obs.Profile.r_aborts;
+      check_int "no dangling spans" 0 r.Obs.Profile.r_open;
+      check_int "no records lost" 0 r.Obs.Profile.r_lost;
+      let lock_wait = List.assoc "lock_wait" r.Obs.Profile.r_phases in
+      check_int "one lock-wait observation per committed span" 180
+        lock_wait.Obs.Profile.st_count)
+
+let () =
+  Alcotest.run "obs_flight"
+    [
+      ( "encoding",
+        [
+          Alcotest.test_case "every span code round-trips" `Quick
+            test_all_codes_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_field_roundtrip;
+        ] );
+      ( "ring",
+        [ Alcotest.test_case "wrap keeps newest, counts lost" `Quick test_wrap_lost ] );
+      ( "file",
+        [ Alcotest.test_case "torn-tail tolerance" `Quick test_torn_tail ] );
+      ( "spans",
+        [
+          Alcotest.test_case "multi-domain interleave well-nested" `Quick
+            test_multidomain_spans;
+        ] );
+    ]

@@ -1,0 +1,314 @@
+(* The span profiler: exact phase math over hand-built record streams
+   (local and cross-shard spans), abort and orphan handling, per-op
+   histogram keying and overflow, SLO target parsing and verdicts, and
+   a live 3-shard run whose 2PC legs stitch into cross spans — with a
+   coordinator kill point leaving the in-doubt span open. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_s = Alcotest.(check (float 1e-12))
+
+(* A hand-built flight record; [dom] is chunk metadata the feed ignores. *)
+let r ?(aux16 = 0) ?(aux32 = 0) ?(arg = 0) ~code ~txn ~time () =
+  { Obs.Flight.dom = 0; code; aux16; aux32; txn; time; arg }
+
+let phase_stat rep name = List.assoc name rep.Obs.Profile.r_phases
+
+(* ---- local span phase math ---- *)
+
+(* begin 1us, lock wait 2us->42us, WAL append 100us, group-commit sync
+   101us->131us, commit 201us.  Every phase is determined exactly:
+   total=200us, lock_wait=40us, execute=append-begin-wait=59us,
+   commit=end-append=101us, sync_wait=30us.  st_max and st_mean are
+   exact (quantiles interpolate buckets), so single-span assertions
+   check those. *)
+let local_span_records =
+  [
+    r ~code:Obs.Span.c_begin ~txn:7 ~time:1_000 ();
+    r ~code:Obs.Span.c_lock_wait ~txn:7 ~time:2_000 ();
+    r ~code:Obs.Span.c_lock_resume ~txn:7 ~time:42_000 ();
+    r ~code:Obs.Span.c_append ~txn:7 ~time:100_000 ~arg:3 ();
+    r ~code:Obs.Span.c_sync_wait ~txn:7 ~time:101_000 ~arg:3 ();
+    r ~code:Obs.Span.c_sync_done ~txn:7 ~time:131_000 ();
+    r ~code:Obs.Span.c_commit ~txn:7 ~time:201_000 ~arg:11 ();
+  ]
+
+let local_agg () =
+  let agg = Obs.Profile.create () in
+  Obs.Profile.feed_all agg local_span_records;
+  agg
+
+let test_local_phase_math () =
+  let rep = Obs.Profile.report (local_agg ()) in
+  check_int "one committed span" 1 rep.Obs.Profile.r_spans;
+  check_int "no aborts" 0 rep.Obs.Profile.r_aborts;
+  check_int "nothing left open" 0 rep.Obs.Profile.r_open;
+  check_int "classified local" 1 rep.Obs.Profile.r_local.Obs.Profile.st_count;
+  check_int "not cross" 0 rep.Obs.Profile.r_cross.Obs.Profile.st_count;
+  check_s "total latency" 2e-4 rep.Obs.Profile.r_local.Obs.Profile.st_max;
+  check_s "total mean = max for one span" 2e-4
+    rep.Obs.Profile.r_local.Obs.Profile.st_mean;
+  check_s "lock_wait window" 4e-5 (phase_stat rep "lock_wait").Obs.Profile.st_max;
+  check_s "sync_wait window" 3e-5 (phase_stat rep "sync_wait").Obs.Profile.st_max;
+  check_s "execute = append - begin - lock waits" 5.9e-5
+    (phase_stat rep "execute").Obs.Profile.st_max;
+  check_s "commit = end - append" 1.01e-4 (phase_stat rep "commit").Obs.Profile.st_max;
+  check_int "no prepare phase on a local span" 0
+    (phase_stat rep "prepare").Obs.Profile.st_count;
+  check_int "no decide phase on a local span" 0
+    (phase_stat rep "decide").Obs.Profile.st_count
+
+(* ---- cross span phase math ---- *)
+
+(* begin 10us, cross_begin 15us (must not reset the start), lock wait
+   30us->40us, prepares from 60us, last prepared 80us, decide mark 90us,
+   per-shard decide_commit marks (ignored by the feed), cross_commit
+   110us.  total=100us, execute=prep_first-begin-wait=40us,
+   prepare=prep_last-prep_first=20us, decide=end-prep_last=30us. *)
+let test_cross_phase_math () =
+  let agg = Obs.Profile.create () in
+  Obs.Profile.feed_all agg
+    [
+      r ~code:Obs.Span.c_begin ~txn:9 ~time:10_000 ();
+      r ~code:Obs.Span.c_cross_begin ~txn:9 ~time:15_000 ();
+      r ~code:Obs.Span.c_lock_wait ~txn:9 ~time:30_000 ();
+      r ~code:Obs.Span.c_lock_resume ~txn:9 ~time:40_000 ();
+      r ~code:Obs.Span.c_prepare ~txn:9 ~time:60_000 ~aux16:0 ();
+      r ~code:Obs.Span.c_prepared ~txn:9 ~time:70_000 ~aux16:0 ~arg:41 ();
+      r ~code:Obs.Span.c_prepare ~txn:9 ~time:65_000 ~aux16:1 ();
+      r ~code:Obs.Span.c_prepared ~txn:9 ~time:80_000 ~aux16:1 ~arg:43 ();
+      r ~code:Obs.Span.c_decide ~txn:9 ~time:90_000 ~arg:43 ();
+      r ~code:Obs.Span.c_decide_commit ~txn:9 ~time:92_000 ~aux16:0 ~arg:43 ();
+      r ~code:Obs.Span.c_decide_commit ~txn:9 ~time:93_000 ~aux16:1 ~arg:43 ();
+      r ~code:Obs.Span.c_cross_commit ~txn:9 ~time:110_000 ~arg:43 ();
+    ];
+  let rep = Obs.Profile.report agg in
+  check_int "one committed span" 1 rep.Obs.Profile.r_spans;
+  check_int "classified cross" 1 rep.Obs.Profile.r_cross.Obs.Profile.st_count;
+  check_int "not local" 0 rep.Obs.Profile.r_local.Obs.Profile.st_count;
+  check_s "total latency (cross_begin kept the original start)" 1e-4
+    rep.Obs.Profile.r_cross.Obs.Profile.st_max;
+  check_s "execute = first prepare - begin - lock waits" 4e-5
+    (phase_stat rep "execute").Obs.Profile.st_max;
+  check_s "prepare = first prepare -> last prepared" 2e-5
+    (phase_stat rep "prepare").Obs.Profile.st_max;
+  check_s "decide = last prepared -> end" 3e-5
+    (phase_stat rep "decide").Obs.Profile.st_max;
+  check_s "lock_wait window" 1e-5 (phase_stat rep "lock_wait").Obs.Profile.st_max
+
+(* ---- aborts, orphans, standalone marks ---- *)
+
+let test_abort_and_orphans () =
+  let agg = Obs.Profile.create () in
+  Obs.Profile.feed_all agg
+    [
+      r ~code:Obs.Span.c_begin ~txn:3 ~time:1_000 ();
+      r ~code:Obs.Span.c_abort ~txn:3 ~time:5_000 ();
+      (* The span is closed: a duplicate abort is an orphan, ignored. *)
+      r ~code:Obs.Span.c_abort ~txn:3 ~time:6_000 ();
+      (* Marks for an id we never saw begin: joined mid-span, ignored. *)
+      r ~code:Obs.Span.c_lock_wait ~txn:99 ~time:7_000 ();
+      r ~code:Obs.Span.c_commit ~txn:99 ~time:8_000 ();
+    ];
+  let rep = Obs.Profile.report agg in
+  check_int "one abort" 1 rep.Obs.Profile.r_aborts;
+  check_int "no commits" 0 rep.Obs.Profile.r_spans;
+  check_int "nothing open" 0 rep.Obs.Profile.r_open;
+  check_int "aborted spans contribute no phase samples" 0
+    (phase_stat rep "lock_wait").Obs.Profile.st_count
+
+let test_standalone_marks () =
+  let agg = Obs.Profile.create () in
+  Obs.Profile.feed_all agg
+    [
+      (* backoff/fsync carry their duration in [arg], no open span needed *)
+      r ~code:Obs.Span.c_backoff ~txn:5 ~time:1_000 ~arg:7_000 ();
+      r ~code:Obs.Span.c_fsync ~txn:0 ~time:2_000 ~arg:12_000 ();
+    ];
+  let rep = Obs.Profile.report agg in
+  check_s "backoff duration from the record" 7e-6
+    (phase_stat rep "backoff").Obs.Profile.st_max;
+  check_s "fsync duration from the record" 1.2e-5
+    (phase_stat rep "fsync").Obs.Profile.st_max
+
+(* ---- per-op histograms: keying, family cut, overflow ---- *)
+
+let test_op_keying () =
+  let lookup ~obj ~inv = (Printf.sprintf "obj%d" obj, Printf.sprintf "inv%d" inv) in
+  let agg = Obs.Profile.create ~lookup () in
+  Obs.Profile.feed agg (r ~code:Obs.Span.c_op ~txn:1 ~time:1_000 ~aux32:5 ~aux16:2 ~arg:5_000 ());
+  Obs.Profile.feed agg (r ~code:Obs.Span.c_op ~txn:1 ~time:2_000 ~aux32:5 ~aux16:2 ~arg:9_000 ());
+  let rep = Obs.Profile.report agg in
+  (match rep.Obs.Profile.r_ops with
+  | [ ((o, f), st) ] ->
+    check_bool "lookup names the key" true (o = "obj5" && f = "inv2");
+    check_int "both samples on one key" 2 st.Obs.Profile.st_count;
+    check_s "max duration from the record" 9e-6 st.Obs.Profile.st_max
+  | l -> Alcotest.fail (Printf.sprintf "expected one op key, saw %d" (List.length l)))
+
+let test_op_overflow () =
+  (* Distinct keys beyond the cap collapse onto ("other","other"). *)
+  let lookup ~obj ~inv:_ = (Printf.sprintf "o%d" obj, "f") in
+  let agg = Obs.Profile.create ~lookup () in
+  for i = 0 to 69 do
+    Obs.Profile.feed agg
+      (r ~code:Obs.Span.c_op ~txn:1 ~time:(1_000 * (i + 1)) ~aux32:i ~arg:1_000 ())
+  done;
+  let rep = Obs.Profile.report agg in
+  check_int "cap plus the overflow key" 65 (List.length rep.Obs.Profile.r_ops);
+  let other = List.assoc ("other", "other") rep.Obs.Profile.r_ops in
+  check_int "overflow samples pool on other" 6 other.Obs.Profile.st_count
+
+(* ---- SLO target parsing and verdicts ---- *)
+
+let test_target_parsing () =
+  let ok spec metric q limit =
+    match Obs.Profile.target_of_spec spec with
+    | Ok t ->
+      check_bool (spec ^ ": metric") true (t.Obs.Profile.t_metric = metric);
+      check_s (spec ^ ": quantile") q t.Obs.Profile.t_quantile;
+      check_s (spec ^ ": limit") limit t.Obs.Profile.t_limit_s
+    | Error e -> Alcotest.fail (spec ^ " should parse: " ^ e)
+  in
+  ok "local:p99:5ms" "local" 0.99 0.005;
+  ok "cross:p999:50ms" "cross" 0.999 0.05;
+  ok "lock_wait:p90:800us" "lock_wait" 0.9 0.0008;
+  ok "local:max:2s" "local" 1.0 2.0;
+  ok "local:p50:2" "local" 0.5 2.0;
+  let err spec =
+    check_bool (spec ^ " rejected") true
+      (Result.is_error (Obs.Profile.target_of_spec spec))
+  in
+  err "nope";
+  err "bogus:p99:1ms";
+  err "local:p42:1ms";
+  err "local:p99:abc";
+  check_bool "targets_of_specs propagates the first error" true
+    (Result.is_error (Obs.Profile.targets_of_specs [ "local:p99:1ms"; "nope" ]));
+  check_bool "targets_of_specs collects all" true
+    (match Obs.Profile.targets_of_specs [ "local:p99:1ms"; "cross:max:1s" ] with
+    | Ok [ _; _ ] -> true
+    | _ -> false)
+
+let test_verdicts () =
+  let rep = Obs.Profile.report (local_agg ()) in
+  let t spec =
+    match Obs.Profile.target_of_spec spec with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  let vs = Obs.Profile.check rep [ t "local:max:1s"; t "local:max:1us" ] in
+  (match vs with
+  | [ generous; tight ] ->
+    check_bool "1s budget holds" true generous.Obs.Profile.v_ok;
+    check_bool "1us budget breached" false tight.Obs.Profile.v_ok;
+    check_s "actual is the span max" 2e-4 generous.Obs.Profile.v_actual;
+    check_bool "breached iff any verdict failed" true (Obs.Profile.breached vs);
+    check_bool "all-ok is not breached" false (Obs.Profile.breached [ generous ])
+  | _ -> Alcotest.fail "expected two verdicts");
+  (* p90 has no dedicated histogram rail; the check reads p99 so the
+     verdict errs conservative, never optimistic. *)
+  (match Obs.Profile.check rep [ t "lock_wait:p90:1s" ] with
+  | [ v ] ->
+    check_s "p90 conservatively reads p99" (phase_stat rep "lock_wait").Obs.Profile.st_p99
+      v.Obs.Profile.v_actual
+  | _ -> Alcotest.fail "expected one verdict")
+
+(* ---- live 3-shard stitch with a coordinator kill point ---- *)
+
+let test_three_shard_stitch_and_kill () =
+  Obs.Control.set_enabled true;
+  Obs.Flight.reset_for_tests ();
+  (* Build the shards before arming the recorder: account seeding runs
+     its own transactions, and this test counts spans. *)
+  let s = Sim.Shard_exp.make_setup ~shards:3 () in
+  Obs.Flight.set_level 1;
+  Fun.protect ~finally:(fun () -> Obs.Flight.set_level 0) @@ fun () ->
+  let path = Filename.temp_file "hcc-profile-stitch" ".bin" in
+  at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+  let agg = Obs.Profile.create () in
+  let flight = Obs.Flight.start ~period_ms:5 ~path ~observer:(Obs.Profile.feed agg) () in
+  let shard i = Dist.Router.shard s.Sim.Shard_exp.router i in
+  let acct i = s.Sim.Shard_exp.accounts.(i) in
+  (* Five committed three-way transfers: every 2PC leg carries the
+     global id, so each stitches into one cross span. *)
+  for _ = 1 to 5 do
+    Dist.Coordinator.run s.Sim.Shard_exp.coord (fun ctx ->
+        let b0 = Dist.Coordinator.branch ctx (shard 0) in
+        let b1 = Dist.Coordinator.branch ctx (shard 1) in
+        let b2 = Dist.Coordinator.branch ctx (shard 2) in
+        ignore (Sim.Shard_exp.Aobj.invoke (acct 0) b0 (Adt.Account.Debit 2));
+        ignore (Sim.Shard_exp.Aobj.invoke (acct 1) b1 (Adt.Account.Credit 1));
+        ignore (Sim.Shard_exp.Aobj.invoke (acct 2) b2 (Adt.Account.Credit 1)))
+  done;
+  (* One single-shard transaction rides the fast path: a local span. *)
+  Dist.Coordinator.run s.Sim.Shard_exp.coord (fun ctx ->
+      let b = Dist.Coordinator.branch ctx (shard 0) in
+      ignore (Sim.Shard_exp.Aobj.invoke (acct 0) b (Adt.Account.Credit 3)));
+  (* Kill the coordinator after the decision is durable: no cleanup
+     runs, so the span never closes — it must show up as open, not
+     committed and not aborted. *)
+  Dist.Coordinator.set_step_hook s.Sim.Shard_exp.coord (function
+    | Dist.Coordinator.Decided _ -> failwith "coordinator crash at decide"
+    | _ -> ());
+  (try
+     ignore
+       (Dist.Coordinator.run_once s.Sim.Shard_exp.coord (fun ctx ->
+            let b0 = Dist.Coordinator.branch ctx (shard 0) in
+            let b1 = Dist.Coordinator.branch ctx (shard 1) in
+            ignore (Sim.Shard_exp.Aobj.invoke (acct 0) b0 (Adt.Account.Debit 1));
+            ignore (Sim.Shard_exp.Aobj.invoke (acct 1) b1 (Adt.Account.Credit 1)))
+         : (unit, string) result);
+     Alcotest.fail "kill point did not fire"
+   with Failure _ -> ());
+  Dist.Coordinator.clear_step_hook s.Sim.Shard_exp.coord;
+  Obs.Flight.stop flight;
+  let rep = Obs.Profile.report agg in
+  check_int "five cross spans stitched" 5
+    rep.Obs.Profile.r_cross.Obs.Profile.st_count;
+  check_int "one local span (single-shard fast path)" 1
+    rep.Obs.Profile.r_local.Obs.Profile.st_count;
+  check_int "six committed spans" 6 rep.Obs.Profile.r_spans;
+  check_int "no aborts" 0 rep.Obs.Profile.r_aborts;
+  check_int "the killed transaction's span is still open" 1 rep.Obs.Profile.r_open;
+  check_int "five prepare legs" 5 (phase_stat rep "prepare").Obs.Profile.st_count;
+  check_int "five decide legs" 5 (phase_stat rep "decide").Obs.Profile.st_count;
+  check_int "no ring overruns" 0 rep.Obs.Profile.r_lost;
+  (* The offline pipeline over the file agrees with the online feed. *)
+  let off_agg, records, _meta, tail = Sim.Profile_run.decode_file path in
+  check_bool "file tail clean" true (tail = Obs.Flight.Clean);
+  check_bool "file holds records" true (records <> []);
+  let off = Obs.Profile.report off_agg in
+  check_int "offline spans agree" rep.Obs.Profile.r_spans off.Obs.Profile.r_spans;
+  check_int "offline cross agree" rep.Obs.Profile.r_cross.Obs.Profile.st_count
+    off.Obs.Profile.r_cross.Obs.Profile.st_count;
+  check_int "offline open agree" rep.Obs.Profile.r_open off.Obs.Profile.r_open;
+  Sim.Shard_exp.close_setup s
+
+let () =
+  Alcotest.run "profile"
+    [
+      ( "phases",
+        [
+          Alcotest.test_case "local span phase math" `Quick test_local_phase_math;
+          Alcotest.test_case "cross span phase math" `Quick test_cross_phase_math;
+          Alcotest.test_case "aborts and orphan marks" `Quick test_abort_and_orphans;
+          Alcotest.test_case "standalone backoff/fsync marks" `Quick
+            test_standalone_marks;
+        ] );
+      ( "ops",
+        [
+          Alcotest.test_case "per-op keying" `Quick test_op_keying;
+          Alcotest.test_case "overflow pools on other" `Quick test_op_overflow;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "target parsing" `Quick test_target_parsing;
+          Alcotest.test_case "verdicts and breach" `Quick test_verdicts;
+        ] );
+      ( "stitch",
+        [
+          Alcotest.test_case "3-shard 2PC stitch with coordinator kill" `Quick
+            test_three_shard_stitch_and_kill;
+        ] );
+    ]
