@@ -30,6 +30,9 @@ val c_cross_begin : int
 val c_cross_commit : int
 val c_cross_abort : int
 val c_fsync : int
+val c_park : int
+val c_unpark : int
+val c_steal : int
 
 val all_codes : int list
 val name : int -> string
@@ -60,3 +63,16 @@ val cross_begin : txn:int -> unit
 val cross_commit : txn:int -> ts:int -> unit
 val cross_abort : txn:int -> unit
 val fsync : dur_ns:int -> unit
+
+val park : txn:int -> obj:int -> timeout_ns:int -> unit
+(** The retry scheduler parked [txn] waiting on [obj] with the given
+    timeout backstop (see {!Runtime.Sched}). *)
+
+val unpark : txn:int -> woken:bool -> unit
+(** The parked transaction resumed: [woken] when a release signalled it,
+    false when the timeout backstop expired.  The park→unpark interval
+    sits inside the span's lock_wait window. *)
+
+val steal : txn:int -> obj:int -> unit
+(** A helping domain stole [txn]'s pending wake-up from another domain's
+    ring and delivered it (work-stealing re-dispatch). *)

@@ -67,19 +67,31 @@ module Make (A : Spec.Adt_sig.S) = struct
   let m_aborts = Obs.Metrics.counter "obj.aborts"
   let m_forgotten = Obs.Metrics.counter "obj.forgotten"
 
+  (* The machine is an atomic reference to an immutable value: the
+     uncontended path publishes a transition with one compare-and-swap
+     and never touches the mutex.  The mutex survives as the slow path's
+     serializer — for contenders that just lost a CAS, and for every
+     configuration whose side effects must stay in machine order (trace
+     emission, WAL appends, event recording).  Even under the mutex the
+     machine field itself is only ever updated by CAS ([transition]), so
+     the two paths compose: a fast-path publish racing a slow-path
+     holder costs the holder one CAS retry, never a lost update.
+     CAS on the machine is ABA-free: every transition allocates a fresh
+     immutable value, and OCaml's compare-and-set is physical equality
+     on pointers that cannot be recycled while m0 is still reachable. *)
   type t = {
     name : string;
     key : int; (* process-unique, for participant registration *)
     cell : int option; (* cell of a partitioned logical object, if any *)
     mutex : Mutex.t;
-    mutable machine : C.t;
-    mutable invocations : int;
-    mutable conflicts : int;
-    mutable blocked : int;
-    mutable commits : int;
-    mutable aborts : int;
+    machine : C.t Atomic.t;
+    invocations : int Atomic.t;
+    conflicts : int Atomic.t;
+    blocked : int Atomic.t;
+    commits : int Atomic.t;
+    aborts : int Atomic.t;
     record : bool;
-    mutable events : H.event list; (* newest first *)
+    mutable events : H.event list; (* newest first; only when [record] *)
     trace : Obs.Trace.t option; (* explicit sink; overrides the global one *)
     wal : (Wal.Log.t * (A.inv, A.res, A.state) Wal.Codec.t) option;
     op_label : op -> string;
@@ -118,12 +130,12 @@ module Make (A : Spec.Adt_sig.S) = struct
       key;
       cell;
       mutex = Mutex.create ();
-      machine = C.create ~conflict;
-      invocations = 0;
-      conflicts = 0;
-      blocked = 0;
-      commits = 0;
-      aborts = 0;
+      machine = Atomic.make (C.create ~conflict);
+      invocations = Atomic.make 0;
+      conflicts = Atomic.make 0;
+      blocked = Atomic.make 0;
+      commits = Atomic.make 0;
+      aborts = Atomic.make 0;
       record;
       events = [];
       trace;
@@ -145,93 +157,30 @@ module Make (A : Spec.Adt_sig.S) = struct
   let cell t = t.cell
 
   let with_lock t f =
+    Lockstat.count_obj ();
     Mutex.lock t.mutex;
     Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-  (* ---- introspection (snapshot channels + gauges) ----
-
-     Providers and callback gauges are keyed by the object's name, so a
-     long-lived server that recreates objects under stable names keeps a
-     bounded provider set (both registries replace on key).  Opt-in via
-     an explicit {!register_introspection} call because short-lived
-     benchmark objects with generated names would otherwise accumulate
-     registrations for the life of the process. *)
-
-  let xts_json = function
-    | Hybrid.Xts.Fin ts -> Obs.Json.Int ts
-    | Hybrid.Xts.Neg_inf -> Obs.Json.Null
-
-  let locks_json t () =
-    with_lock t (fun () ->
-        let rows =
-          List.map
-            (fun (q, n) ->
-              Obs.Json.Obj
-                [ ("txn", Obs.Json.Int (Model.Txn.id q)); ("intentions", Obs.Json.Int n) ])
-            (C.active t.machine)
-        in
-        Obs.Json.Obj
-          ([
-             ("object", Obs.Json.String t.name);
-             ("key", Obs.Json.Int t.key);
-           ]
-          @ (match t.cell with
-            | Some c -> [ ("cell", Obs.Json.Int c) ]
-            | None -> [])
-          @ [
-              ("active", Obs.Json.List rows);
-              ("conflicts", Obs.Json.Int t.conflicts);
-              ("blocked", Obs.Json.Int t.blocked);
-            ]))
-
-  let horizon_json t () =
-    with_lock t (fun () ->
-        let m = t.machine in
-        let s = C.summary m in
-        let lag =
-          match (C.clock m, s.C.s_folded_upto) with
-          | Hybrid.Xts.Fin c, Hybrid.Xts.Fin f -> Obs.Json.Int (c - f)
-          | Hybrid.Xts.Fin c, Hybrid.Xts.Neg_inf -> Obs.Json.Int c
-          | Hybrid.Xts.Neg_inf, _ -> Obs.Json.Int 0
-        in
-        Obs.Json.Obj
-          [
-            ("object", Obs.Json.String t.name);
-            ("key", Obs.Json.Int t.key);
-            ("horizon", xts_json (C.horizon m));
-            ("folded_upto", xts_json s.C.s_folded_upto);
-            ("clock", xts_json (C.clock m));
-            ("clock_lag", lag);
-            ("forgotten", Obs.Json.Int s.C.s_forgotten);
-            ("remembered", Obs.Json.Int s.C.s_remembered);
-            ("live_ops", Obs.Json.Int s.C.s_live_ops);
-          ])
-
-  let register_introspection t =
-    Obs.Registry.register_snapshot ~channel:"locks" ~name:t.name (locks_json t);
-    Obs.Registry.register_snapshot ~channel:"horizon" ~name:t.name (horizon_json t);
-    let labels = [ ("obj", t.name) ] in
-    Obs.Gauge.callback ~labels "obj_live_ops" (fun () ->
-        float_of_int (with_lock t (fun () -> C.live_ops t.machine)));
-    (* Remembered committed transactions = the Theorem 24 compaction
-       debt: commits the horizon has not yet let this object fold. *)
-    Obs.Gauge.callback ~labels "obj_compaction_debt" (fun () ->
-        float_of_int (with_lock t (fun () -> C.remembered t.machine)))
-
-  let unregister_introspection t =
-    Obs.Registry.unregister_snapshot ~channel:"locks" ~name:t.name;
-    Obs.Registry.unregister_snapshot ~channel:"horizon" ~name:t.name;
-    let labels = [ ("obj", t.name) ] in
-    Obs.Gauge.remove_callback ~labels "obj_live_ops";
-    Obs.Gauge.remove_callback ~labels "obj_compaction_debt"
-
-  let push_event t e = if t.record then t.events <- e :: t.events
-
-  (* ---- trace emission (all sites run under the object's mutex, so the
-     ring window restricted to this object is a faithful suffix of the
-     machine's event order) ---- *)
+  (* ---- trace emission (all emitting sites run under the object's
+     mutex, so the ring window restricted to this object is a faithful
+     suffix of the machine's event order) ---- *)
 
   let tracing t = Option.is_some t.trace || Obs.Control.enabled ()
+
+  (* The mutex-free invocation path is sound only when an invocation has
+     no per-object side effects beyond the machine CAS itself: no trace
+     emission, no WAL append, no event recording, and Lockstat's forced
+     slow mode off.  [trace]/[wal]/[record] are fixed at creation; the
+     global trace switch and forced-slow flag are dynamic, so a toggle
+     mid-run routes new invocations back through the mutex (in-flight
+     fast-path CAS publishes stay linearizable either way — see
+     [transition]). *)
+  let fast_path t =
+    Option.is_none t.wal
+    && (not t.record)
+    && Option.is_none t.trace
+    && (not (Obs.Control.enabled ()))
+    && not (Lockstat.force_slow ())
 
   let emit t ~txn ev =
     match t.trace with
@@ -278,14 +227,109 @@ module Make (A : Spec.Adt_sig.S) = struct
   let decode_res t c = if c >= 0 && c < t.res_next then t.res_rev.(c) else None
   let decode_op_locked t c = if c >= 0 && c < t.op_next then t.op_rev.(c) else None
 
-  (* Transition helpers; all must run under the mutex.  The pure machine
-     never refuses invoke/commit/abort events. *)
+  (* ---- introspection (snapshot channels + gauges) ----
+
+     Providers and callback gauges are keyed by the object's name, so a
+     long-lived server that recreates objects under stable names keeps a
+     bounded provider set (both registries replace on key).  Opt-in via
+     an explicit {!register_introspection} call because short-lived
+     benchmark objects with generated names would otherwise accumulate
+     registrations for the life of the process.
+
+     All providers read one [Atomic.get] of the machine — a consistent
+     immutable snapshot — so live introspection never takes the object
+     mutex and cannot perturb the lock-free hot path it is watching. *)
+
+  let xts_json = function
+    | Hybrid.Xts.Fin ts -> Obs.Json.Int ts
+    | Hybrid.Xts.Neg_inf -> Obs.Json.Null
+
+  let locks_json t () =
+    let m = Atomic.get t.machine in
+    let rows =
+      List.map
+        (fun (q, n) ->
+          Obs.Json.Obj
+            [ ("txn", Obs.Json.Int (Model.Txn.id q)); ("intentions", Obs.Json.Int n) ])
+        (C.active m)
+    in
+    Obs.Json.Obj
+      ([
+         ("object", Obs.Json.String t.name);
+         ("key", Obs.Json.Int t.key);
+       ]
+      @ (match t.cell with
+        | Some c -> [ ("cell", Obs.Json.Int c) ]
+        | None -> [])
+      @ [
+          ("active", Obs.Json.List rows);
+          ("conflicts", Obs.Json.Int (Atomic.get t.conflicts));
+          ("blocked", Obs.Json.Int (Atomic.get t.blocked));
+        ])
+
+  let horizon_json t () =
+    let m = Atomic.get t.machine in
+    let s = C.summary m in
+    let lag =
+      match (C.clock m, s.C.s_folded_upto) with
+      | Hybrid.Xts.Fin c, Hybrid.Xts.Fin f -> Obs.Json.Int (c - f)
+      | Hybrid.Xts.Fin c, Hybrid.Xts.Neg_inf -> Obs.Json.Int c
+      | Hybrid.Xts.Neg_inf, _ -> Obs.Json.Int 0
+    in
+    Obs.Json.Obj
+      [
+        ("object", Obs.Json.String t.name);
+        ("key", Obs.Json.Int t.key);
+        ("horizon", xts_json (C.horizon m));
+        ("folded_upto", xts_json s.C.s_folded_upto);
+        ("clock", xts_json (C.clock m));
+        ("clock_lag", lag);
+        ("forgotten", Obs.Json.Int s.C.s_forgotten);
+        ("remembered", Obs.Json.Int s.C.s_remembered);
+        ("live_ops", Obs.Json.Int s.C.s_live_ops);
+      ]
+
+  let register_introspection t =
+    Obs.Registry.register_snapshot ~channel:"locks" ~name:t.name (locks_json t);
+    Obs.Registry.register_snapshot ~channel:"horizon" ~name:t.name (horizon_json t);
+    let labels = [ ("obj", t.name) ] in
+    Obs.Gauge.callback ~labels "obj_live_ops" (fun () ->
+        float_of_int (C.live_ops (Atomic.get t.machine)));
+    (* Remembered committed transactions = the Theorem 24 compaction
+       debt: commits the horizon has not yet let this object fold. *)
+    Obs.Gauge.callback ~labels "obj_compaction_debt" (fun () ->
+        float_of_int (C.remembered (Atomic.get t.machine)))
+
+  let unregister_introspection t =
+    Obs.Registry.unregister_snapshot ~channel:"locks" ~name:t.name;
+    Obs.Registry.unregister_snapshot ~channel:"horizon" ~name:t.name;
+    let labels = [ ("obj", t.name) ] in
+    Obs.Gauge.remove_callback ~labels "obj_live_ops";
+    Obs.Gauge.remove_callback ~labels "obj_compaction_debt"
+
+  let push_event t e = if t.record then t.events <- e :: t.events
+
+  (* Every machine update — fast path or slow — lands through this CAS
+     loop.  [f] must be pure in the machine: compute the successor and
+     an outcome, no side effects (those belong after the transition
+     lands, under the mutex if they must stay in machine order).  The
+     pure machine is immutable, so a failed CAS just recomputes against
+     the fresher value; physical equality short-circuits no-op
+     transitions. *)
+  let rec transition t f =
+    let m0 = Atomic.get t.machine in
+    let m1, out = f m0 in
+    if m1 == m0 || Atomic.compare_and_set t.machine m0 m1 then out
+    else begin
+      Domain.cpu_relax ();
+      transition t f
+    end
+
+  (* The pure machine never refuses invoke/commit/abort events. *)
   let apply_input t event =
-    match C.step t.machine event with
-    | Ok m ->
-      t.machine <- m;
-      push_event t event
-    | Error _ -> assert false
+    transition t (fun m ->
+        match C.step m event with Ok m' -> (m', ()) | Error _ -> assert false);
+    push_event t event
 
   (* Any accepted event (and an unpin) may advance the horizon and fold
      committed transactions into the version; diff the compaction
@@ -300,11 +344,11 @@ module Make (A : Spec.Adt_sig.S) = struct
      past its timestamp becomes dead weight the log compactor may
      drop. *)
   let with_fold_events t ~txn f =
-    if not (tracing t) && Option.is_none t.wal then f ()
+    if (not (tracing t)) && Option.is_none t.wal then f ()
     else begin
-      let before = C.summary t.machine in
+      let before = C.summary (Atomic.get t.machine) in
       f ();
-      let after = C.summary t.machine in
+      let after = C.summary (Atomic.get t.machine) in
       if after.C.s_forgotten > before.C.s_forgotten then begin
         if tracing t then begin
           (match after.C.s_folded_upto with
@@ -315,7 +359,9 @@ module Make (A : Spec.Adt_sig.S) = struct
         Obs.Metrics.add m_forgotten (after.C.s_forgotten - before.C.s_forgotten);
         match (t.wal, after.C.s_folded_upto) with
         | Some (w, codec), Hybrid.Xts.Fin upto ->
-          let payload = Wal.Codec.encode_states codec (C.version_states t.machine) in
+          let payload =
+            Wal.Codec.encode_states codec (C.version_states (Atomic.get t.machine))
+          in
           Wal.Log.append w (Wal.Log.Checkpoint { obj = t.name; upto; payload; cell = t.cell })
         | _ -> ()
       end
@@ -328,19 +374,47 @@ module Make (A : Spec.Adt_sig.S) = struct
       Txn_rt.name = t.name;
       on_commit =
         (fun ts ->
-          with_lock t (fun () ->
-              emit t ~txn:qid (Obs.Trace.Commit ts);
-              with_fold_events t ~txn:qid (fun () -> apply_input t (H.Commit (q, ts)));
-              t.commits <- t.commits + 1;
-              Obs.Metrics.incr m_commits));
+          (if fast_path t then begin
+             apply_input t (H.Commit (q, ts));
+             Atomic.incr t.commits;
+             Obs.Metrics.incr m_commits
+           end
+           else
+             with_lock t (fun () ->
+                 emit t ~txn:qid (Obs.Trace.Commit ts);
+                 with_fold_events t ~txn:qid (fun () -> apply_input t (H.Commit (q, ts)));
+                 Atomic.incr t.commits;
+                 Obs.Metrics.incr m_commits));
+          (* The commit released this transaction's locks here: hand any
+             parked waiters back to the retry scheduler.  After the
+             machine publish (CAS or mutex release), so a woken waiter's
+             re-attempt observes the release. *)
+          Sched.notify ~obj:t.key);
       on_abort =
         (fun () ->
-          with_lock t (fun () ->
-              emit t ~txn:qid Obs.Trace.Abort;
-              with_fold_events t ~txn:qid (fun () -> apply_input t (H.Abort q));
-              t.aborts <- t.aborts + 1;
-              Obs.Metrics.incr m_aborts));
+          (if fast_path t then begin
+             apply_input t (H.Abort q);
+             Atomic.incr t.aborts;
+             Obs.Metrics.incr m_aborts
+           end
+           else
+             with_lock t (fun () ->
+                 emit t ~txn:qid Obs.Trace.Abort;
+                 with_fold_events t ~txn:qid (fun () -> apply_input t (H.Abort q));
+                 Atomic.incr t.aborts;
+                 Obs.Metrics.incr m_aborts));
+          Sched.notify ~obj:t.key);
     }
+
+  (* The wait-die priority travels with the refusal: resolve the
+     holder's priority {e now}, while the conflict is current, never
+     later by id (ids recycle — see {!Retry.conflict}). *)
+  let capture_conflict info =
+    Option.map
+      (fun ci ->
+        let holder = Model.Txn.id ci.C.c_holder in
+        { Retry.holder; holder_priority = Txn_rt.priority_of_id holder })
+      info
 
   let try_invoke t txn i =
     (* Orphan detection (the paper's Section 2 allows aborted
@@ -355,59 +429,112 @@ module Make (A : Spec.Adt_sig.S) = struct
     | `Committed _ -> invalid_arg "Atomic_obj.try_invoke: transaction already committed");
     let q = Txn_rt.model_txn txn in
     let qid = Txn_rt.id txn in
-    let result =
-      with_lock t (fun () ->
-          (* A refused attempt leaves the invocation pending (the paper
-             retries the response, not the invocation), so only record a
-             fresh invoke event when none is pending. *)
-          (match C.pending t.machine q with
-          | Some i' when A.equal_inv i i' -> ()
-          | Some _ | None ->
-            emit t ~txn:qid (Obs.Trace.Invoke (encode_inv t i));
-            with_fold_events t ~txn:qid (fun () -> apply_input t (H.Invoke (q, i))));
-          match C.choose_response t.machine q with
-          | Ok (r, m) ->
-            t.machine <- m;
-            t.invocations <- t.invocations + 1;
+    (* Uncontended fast path: read the machine once, run the pure
+       invoke-and-choose against that snapshot, publish with a single
+       CAS.  A lost CAS means real contention on this object — fall
+       through to the mutex rather than spin (the slow path also
+       serializes the conflict bookkeeping that usually follows).  A
+       refusal publishes the pending invocation (the machine's timestamp
+       lower bound for this transaction) the same way, but a lost CAS
+       there just leaves it to the next retry. *)
+    let fast =
+      if fast_path t then begin
+        let m0 = Atomic.get t.machine in
+        let m1 =
+          match C.pending m0 q with
+          | Some i' when A.equal_inv i i' -> m0
+          | Some _ | None -> (
+            match C.step m0 (H.Invoke (q, i)) with
+            | Ok m -> m
+            | Error _ -> assert false)
+        in
+        match C.choose_response m1 q with
+        | Ok (r, m2) ->
+          if Atomic.compare_and_set t.machine m0 m2 then begin
+            Atomic.incr t.invocations;
             Obs.Metrics.incr m_invocations;
-            (* Write-ahead intention: the operation joins the
-               transaction's intentions list in the log the moment it is
-               chosen, under the object mutex — so intentions for one
-               object appear in the log in execution order, and a commit
-               record can only follow every intention it covers. *)
-            (match t.wal with
-            | Some (w, codec) ->
-              Wal.Log.append w
-                (Wal.Log.Intention
-                   {
-                     obj = t.name;
-                     txn = qid;
-                     payload = Wal.Codec.encode_op codec (i, r);
-                     cell = t.cell;
-                   })
-            | None -> ());
-            push_event t (H.Respond (q, r));
-            emit t ~txn:qid (Obs.Trace.Respond (encode_res t r));
-            emit t ~txn:qid Obs.Trace.Lock_granted;
-            Ok r
-          | Error `Blocked ->
-            t.blocked <- t.blocked + 1;
-            Obs.Metrics.incr m_blocked;
-            emit t ~txn:qid Obs.Trace.Blocked;
-            Error `Blocked
-          | Error (`Conflict info) ->
-            let holder_id = Option.map (fun ci -> Model.Txn.id ci.C.c_holder) info in
-            t.conflicts <- t.conflicts + 1;
-            Obs.Metrics.incr m_conflicts;
-            (if tracing t then
-               let requested, held =
-                 match info with
-                 | Some ci -> (encode_op t ci.C.c_requested, encode_op t ci.C.c_held)
-                 | None -> (Obs.Trace.no_op, Obs.Trace.no_op)
-               in
-               emit t ~txn:qid
-                 (Obs.Trace.Lock_refused { holder = holder_id; requested; held }));
-            Error (`Conflict holder_id))
+            Some (Ok r)
+          end
+          else None
+        | Error `Blocked ->
+          ignore (m1 == m0 || Atomic.compare_and_set t.machine m0 m1 : bool);
+          Atomic.incr t.blocked;
+          Obs.Metrics.incr m_blocked;
+          Some (Error `Blocked)
+        | Error (`Conflict info) ->
+          ignore (m1 == m0 || Atomic.compare_and_set t.machine m0 m1 : bool);
+          Atomic.incr t.conflicts;
+          Obs.Metrics.incr m_conflicts;
+          Some (Error (`Conflict (capture_conflict info)))
+      end
+      else None
+    in
+    let result =
+      match fast with
+      | Some r -> r
+      | None ->
+        with_lock t (fun () ->
+            (* A refused attempt leaves the invocation pending (the paper
+               retries the response, not the invocation), so only record a
+               fresh invoke event when none is pending. *)
+            (match C.pending (Atomic.get t.machine) q with
+            | Some i' when A.equal_inv i i' -> ()
+            | Some _ | None ->
+              emit t ~txn:qid (Obs.Trace.Invoke (encode_inv t i));
+              with_fold_events t ~txn:qid (fun () -> apply_input t (H.Invoke (q, i))));
+            let chosen =
+              transition t (fun m ->
+                  match C.choose_response m q with
+                  | Ok (r, m') -> (m', Ok r)
+                  | Error e -> (m, Error e))
+            in
+            match chosen with
+            | Ok r ->
+              Atomic.incr t.invocations;
+              Obs.Metrics.incr m_invocations;
+              (* Write-ahead intention: the operation joins the
+                 transaction's intentions list in the log the moment it is
+                 chosen, under the object mutex — so intentions for one
+                 object appear in the log in execution order, and a commit
+                 record can only follow every intention it covers. *)
+              (match t.wal with
+              | Some (w, codec) ->
+                Wal.Log.append w
+                  (Wal.Log.Intention
+                     {
+                       obj = t.name;
+                       txn = qid;
+                       payload = Wal.Codec.encode_op codec (i, r);
+                       cell = t.cell;
+                     })
+              | None -> ());
+              push_event t (H.Respond (q, r));
+              emit t ~txn:qid (Obs.Trace.Respond (encode_res t r));
+              emit t ~txn:qid Obs.Trace.Lock_granted;
+              Ok r
+            | Error `Blocked ->
+              Atomic.incr t.blocked;
+              Obs.Metrics.incr m_blocked;
+              emit t ~txn:qid Obs.Trace.Blocked;
+              Error `Blocked
+            | Error (`Conflict info) ->
+              let conflict = capture_conflict info in
+              Atomic.incr t.conflicts;
+              Obs.Metrics.incr m_conflicts;
+              (if tracing t then
+                 let requested, held =
+                   match info with
+                   | Some ci -> (encode_op t ci.C.c_requested, encode_op t ci.C.c_held)
+                   | None -> (Obs.Trace.no_op, Obs.Trace.no_op)
+                 in
+                 emit t ~txn:qid
+                   (Obs.Trace.Lock_refused
+                      {
+                        holder = Option.map (fun c -> c.Retry.holder) conflict;
+                        requested;
+                        held;
+                      }));
+              Error (`Conflict conflict))
     in
     (* Register even after a refusal: the machine now tracks a pending
        invocation and a timestamp lower bound for this transaction, and
@@ -436,25 +563,25 @@ module Make (A : Spec.Adt_sig.S) = struct
       r
     end
 
+  (* ---- reads: one [Atomic.get] yields a consistent immutable machine,
+     so none of these contend with writers ---- *)
+
   let committed_states t =
-    with_lock t (fun () ->
-        let m = t.machine in
-        (* Extend the forgotten version with remembered committed
-           intentions: replay the permanent prefix. *)
-        C.committed_states m)
+    (* Extend the forgotten version with remembered committed
+       intentions: replay the permanent prefix. *)
+    C.committed_states (Atomic.get t.machine)
 
   let stats t =
-    with_lock t (fun () ->
-        {
-          invocations = t.invocations;
-          conflicts = t.conflicts;
-          blocked = t.blocked;
-          commits = t.commits;
-          aborts = t.aborts;
-          forgotten = C.forgotten t.machine;
-        })
+    {
+      invocations = Atomic.get t.invocations;
+      conflicts = Atomic.get t.conflicts;
+      blocked = Atomic.get t.blocked;
+      commits = Atomic.get t.commits;
+      aborts = Atomic.get t.aborts;
+      forgotten = C.forgotten (Atomic.get t.machine);
+    }
 
-  let live_ops t = with_lock t (fun () -> C.live_ops t.machine)
+  let live_ops t = C.live_ops (Atomic.get t.machine)
   let history t = with_lock t (fun () -> List.rev t.events)
   let decode_op t c = with_lock t (fun () -> decode_op_locked t c)
 
@@ -487,22 +614,22 @@ module Make (A : Spec.Adt_sig.S) = struct
   let snapshot_source t =
     {
       Snapshot.source_name = t.name;
-      pin =
-        (fun reader at ->
-          with_lock t (fun () -> t.machine <- C.pin t.machine reader at));
+      (* Pinning is a pure transition (no fold can result), so readers
+         never take the mutex on entry; unpin can fold — checkpoint and
+         trace side effects keep it on the mutex. *)
+      pin = (fun reader at -> transition t (fun m -> (C.pin m reader at, ())));
       unpin =
         (fun reader ->
           with_lock t (fun () ->
               with_fold_events t ~txn:(Model.Txn.id reader) (fun () ->
-                  t.machine <- C.unpin t.machine reader)));
+                  transition t (fun m -> (C.unpin m reader, ())))));
     }
 
   let read_at t ~at i =
-    with_lock t (fun () ->
-        match C.states_at t.machine ~at with
-        | None -> raise Snapshot.Unavailable
-        | Some ss -> (
-          match List.concat_map (fun s -> A.step s i) ss with
-          | (r, _) :: _ -> Some r
-          | [] -> None))
+    match C.states_at (Atomic.get t.machine) ~at with
+    | None -> raise Snapshot.Unavailable
+    | Some ss -> (
+      match List.concat_map (fun s -> A.step s i) ss with
+      | (r, _) :: _ -> Some r
+      | [] -> None)
 end

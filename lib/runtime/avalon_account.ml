@@ -98,6 +98,14 @@ let release_txn t who =
   Hashtbl.remove t.locks who;
   Hashtbl.remove t.bounds who
 
+(* Capture the holder's wait-die priority with the refusal, inside the
+   same locked section that observed the conflict — a later lookup by id
+   races id recycling (see {!Retry.conflict}). *)
+let capture_conflict holder =
+  Option.map
+    (fun h -> { Retry.holder = h; holder_priority = Txn_rt.priority_of_id h })
+    holder
+
 let participant t (txn : Txn_rt.t) : Txn_rt.participant =
   let who = Txn_rt.id txn in
   {
@@ -117,13 +125,16 @@ let participant t (txn : Txn_rt.t) : Txn_rt.participant =
               | rest -> (ts, i) :: rest
             in
             t.committed <- insert t.committed;
-            forget t));
+            forget t);
+        (* Locks released: wake any transaction parked on this object. *)
+        Sched.notify ~obj:t.key);
     on_abort =
       (fun () ->
         with_lock t (fun () ->
             release_txn t who;
             Hashtbl.remove t.intents who;
-            forget t));
+            forget t);
+        Sched.notify ~obj:t.key);
   }
 
 let register t txn = Txn_rt.add_participant txn ~key:t.key (participant t txn)
@@ -145,7 +156,7 @@ let update_intent t txn mode f =
   let result =
     with_lock t (fun () ->
         match conflict_holder t who mode with
-        | Some holder -> Error (`Conflict (Some holder))
+        | Some holder -> Error (`Conflict (capture_conflict (Some holder)))
         | None ->
           grant t who mode;
           Hashtbl.replace t.intents who (f (intent_of t who));
@@ -187,19 +198,22 @@ let try_debit t txn amt =
         else
           (* MAYBE: lock conflicts leave the status ambiguous. *)
           let holder = if view >= amt then debit_holder else overdraft_holder in
-          Error (`Conflict holder))
+          Error (`Conflict (capture_conflict holder)))
   in
   register t txn;
   result
 
 let credit ?retries t txn amt =
-  Retry.run ?retries ~name:t.obj_name ~self:txn (fun () -> try_credit t txn amt)
+  Retry.run ?retries ~obj:t.key ~name:t.obj_name ~self:txn (fun () ->
+      try_credit t txn amt)
 
 let post ?retries t txn pct =
-  Retry.run ?retries ~name:t.obj_name ~self:txn (fun () -> try_post t txn pct)
+  Retry.run ?retries ~obj:t.key ~name:t.obj_name ~self:txn (fun () ->
+      try_post t txn pct)
 
 let debit ?retries t txn amt =
-  Retry.run ?retries ~name:t.obj_name ~self:txn (fun () -> try_debit t txn amt)
+  Retry.run ?retries ~obj:t.key ~name:t.obj_name ~self:txn (fun () ->
+      try_debit t txn amt)
 
 let committed_balance t =
   with_lock t (fun () ->

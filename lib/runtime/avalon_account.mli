@@ -21,10 +21,14 @@ type t
 val create : ?name:string -> unit -> t
 val name : t -> string
 
-val try_credit : t -> Txn_rt.t -> int -> (unit, [ `Conflict of int option ]) result
-val try_post : t -> Txn_rt.t -> int -> (unit, [ `Conflict of int option ]) result
+val try_credit :
+  t -> Txn_rt.t -> int -> (unit, [ `Conflict of Retry.conflict option ]) result
 
-val try_debit : t -> Txn_rt.t -> int -> (bool, [ `Conflict of int option ]) result
+val try_post :
+  t -> Txn_rt.t -> int -> (unit, [ `Conflict of Retry.conflict option ]) result
+
+val try_debit :
+  t -> Txn_rt.t -> int -> (bool, [ `Conflict of Retry.conflict option ]) result
 (** [Ok true] — debited; [Ok false] — overdraft (balance unchanged, an
     [OVERDRAFT] lock is acquired); [Error `Conflict] — the appendix's
     [MAYBE]: lock conflicts leave the account status ambiguous, retry. *)

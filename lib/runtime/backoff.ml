@@ -17,13 +17,34 @@ let seed = Atomic.make 0
 let set_seed s = Atomic.set seed s
 let current_seed () = Atomic.get seed
 
+(* splitmix64-style avalanche finalizer (Steele et al., "Fast splittable
+   pseudorandom number generators"), truncated to OCaml's 63-bit native
+   int.  Every input bit influences every output bit, which is the
+   property the previous linear prime mix lacked: it kept only the 16
+   low bits of [seed*p1 + key*p2 + attempt*p3], and because
+   [7919 * 65536] contributes nothing mod 2^16's scaling the final
+   division, transaction ids that collide mod small powers of two got
+   near-identical jitter for every attempt — lockstep wake-ups, the
+   exact retry storm this module exists to prevent. *)
+(* The 64-bit splitmix constants exceed OCaml's 63-bit int literals;
+   composing them from halves wraps mod 2^63, which truncates the top
+   bit exactly like the multiplications themselves do. *)
+let c_gamma = (0x9e3779b9 lsl 32) lor 0x7f4a7c15
+let c_mix1 = (0xbf58476d lsl 32) lor 0x1ce4e5b9
+let c_mix2 = (0x94d049bb lsl 32) lor 0x133111eb
+
+let avalanche x =
+  let x = x * c_gamma in
+  let x = (x lxor (x lsr 30)) * c_mix1 in
+  let x = (x lxor (x lsr 27)) * c_mix2 in
+  x lxor (x lsr 31)
+
 (* Uniform-ish fraction in [0, 1), decorrelated across (seed, key,
-   attempt) by the repo's usual prime mix. *)
+   attempt): mix the three inputs through the avalanche so nearby or
+   congruent keys land far apart. *)
 let jitter ~key ~attempt =
-  let h =
-    ((Atomic.get seed * 15485863) + (key * 7919) + (attempt * 104729)) land 0x3fffffff
-  in
-  float_of_int (h land 0xffff) /. 65536.
+  let h = avalanche (avalanche (avalanche (Atomic.get seed) lxor key) lxor attempt) in
+  float_of_int (h land 0x3fffffff) /. 1073741824.
 
 let cap = 1e-3
 

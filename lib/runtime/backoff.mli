@@ -17,6 +17,13 @@ val set_seed : int -> unit
 
 val current_seed : unit -> int
 
+val jitter : key:int -> attempt:int -> float
+(** The raw decorrelation fraction in [0, 1): a splitmix-style avalanche
+    hash of [(seed, key, attempt)].  Exposed for the spread tests —
+    keys that collide modulo a power of two (or differ in one bit) must
+    still receive well-spread jitter, the property the pre-avalanche
+    linear mix violated. *)
+
 val retry_delay : key:int -> attempt:int -> float
 (** Sleep duration (seconds) before retry number [attempt] of a refused
     invocation; [key] decorrelates concurrent sleepers (use the

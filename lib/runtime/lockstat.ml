@@ -1,0 +1,51 @@
+(* Slow-path accounting for the lock-free hot path.
+
+   The hot-path rework (atomic timestamp allocation, CAS lock machine,
+   lock-free priority registry) claims the no-conflict transaction path
+   takes no mutex at all.  That claim is only checkable if every mutex
+   acquisition that remains — Atomic_obj's conflict/trace/WAL slow path,
+   Manager's WAL-ordering section and inflight overflow, Txn_rt's
+   registry overflow — counts itself here.  The bench gate
+   (`--hotpath-only`) then asserts the delta across a no-conflict
+   WAL-off workload is exactly zero.
+
+   These are plain process-wide atomics, deliberately not Obs.Metrics
+   counters: the gate must run with observability disabled (the traced
+   path is a legitimate mutex user), so the accounting cannot live
+   behind the Obs.Control switch. *)
+
+let obj_locks = Atomic.make 0
+let mgr_locks = Atomic.make 0
+let registry_locks = Atomic.make 0
+
+let count_obj () = Atomic.incr obj_locks
+let count_mgr () = Atomic.incr mgr_locks
+let count_registry () = Atomic.incr registry_locks
+
+type snapshot = { s_obj : int; s_mgr : int; s_registry : int }
+
+let snapshot () =
+  {
+    s_obj = Atomic.get obj_locks;
+    s_mgr = Atomic.get mgr_locks;
+    s_registry = Atomic.get registry_locks;
+  }
+
+let diff ~before ~after =
+  {
+    s_obj = after.s_obj - before.s_obj;
+    s_mgr = after.s_mgr - before.s_mgr;
+    s_registry = after.s_registry - before.s_registry;
+  }
+
+let total s = s.s_obj + s.s_mgr + s.s_registry
+
+(* Baseline mode for apples-to-apples measurement: when set, the
+   runtime routes every operation through the pre-rework mutex paths
+   (Atomic_obj skips its CAS fast path, Manager serializes draws behind
+   a mutex even without a WAL).  The hotpath bench reports the ratio
+   fast/forced-slow as the speedup attributable to lock elision alone,
+   on identical hardware in the same process. *)
+let force_slow_flag = Atomic.make false
+let set_force_slow b = Atomic.set force_slow_flag b
+let force_slow () = Atomic.get force_slow_flag

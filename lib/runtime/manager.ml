@@ -1,14 +1,59 @@
 type outcome_stats = { started : int; committed : int; aborted : int }
 
+(* Timestamp allocation is lock-free: instead of a clock guarded by the
+   in-flight mutex, the manager counts its draws ([draws], fetch-and-add)
+   and maps the count onto its stripe's residue class —
+
+     ts_of k = base + k * stripe_count,
+     base    = 0 when stripe_index = 0, stripe_index - stripe_count
+               otherwise (so ts_of 1 is the smallest positive member of
+               the class; the default (0, 1) stripe draws 1, 2, 3, ...
+               exactly like the seed implementation).
+
+   Foreign decided timestamps (2PC, [decide_commit]) Lamport-merge via a
+   CAS-max on [observed]; a draw first bumps [draws] past the count
+   whose timestamp would not exceed [observed], then fetch-and-adds, so
+   every draw that starts after an observe completes exceeds the
+   observed timestamp — the transitive leg of precedes ⊆ TS across
+   shards, now without a mutex.
+
+   The in-flight set (timestamps drawn, commit not yet fully
+   distributed) is a fixed array of per-domain-ish slots: a committer
+   CAS-claims an empty slot (sentinel -1), draws, and publishes the
+   timestamp with a plain atomic store; retiring stores 0.  Claim
+   happens {e before} the draw, so [stable_time] — which reads the
+   allocation state first and then scans the slots, re-scanning while
+   any claim is unresolved — can never miss a drawn-but-undistributed
+   commit: a pin it did not see belongs to a draw that started after the
+   scan read the allocation state, and such a draw's timestamp exceeds
+   the value returned.  If all slots are taken (more simultaneous
+   committers than slots) the loser takes a mutex-guarded overflow list;
+   [overflow_count] is bumped {e before} drawing so the scan knows to
+   look.
+
+   Managers with a WAL keep a mutex around draw + append: the log's
+   commit-record order must equal commit-timestamp order (the group
+   Wal tests rely on it), which a free-running fetch-and-add cannot
+   provide.  That serializes only durable configurations — the WAL-off
+   hot path ROADMAP item 2 targets stays mutex-free end to end (the
+   bench gate counts; see Lockstat). *)
+
+type pin = Slot of int | Overflow
+
 type t = {
-  clock : int Atomic.t; (* last issued or observed timestamp *)
   stripe_index : int; (* this manager draws ts ≡ stripe_index (mod stripe_count) *)
   stripe_count : int;
+  base : int;
+  draws : int Atomic.t; (* local draws so far; k-th draw has ts_of k *)
+  observed : int Atomic.t; (* largest adopted foreign timestamp (0 = none) *)
+  slots : int Atomic.t array; (* 0 empty, -1 claiming, else an in-flight ts *)
+  overflow_mutex : Mutex.t;
+  mutable overflow : int list;
+  overflow_count : int Atomic.t;
+  wal_mutex : Mutex.t; (* draw+append section for WAL configurations *)
   attempts : int Atomic.t;
   commits : int Atomic.t;
   failures : int Atomic.t;
-  inflight_mutex : Mutex.t;
-  mutable inflight : int list; (* timestamps drawn, commit not yet fully distributed *)
   wal : Wal.Log.t option;
 }
 
@@ -21,86 +66,211 @@ let m_aborts = Obs.Metrics.counter "txn.aborts"
 let m_durability_lost = Obs.Metrics.counter "txn.durability_lost"
 let h_attempt = Obs.Metrics.histogram "txn.attempt_latency"
 
+let n_inflight_slots = 64 (* power of two *)
+let claiming = -1
+
 let create ?wal ?(stripe = (0, 1)) () =
   let stripe_index, stripe_count = stripe in
   if stripe_count < 1 || stripe_index < 0 || stripe_index >= stripe_count then
     invalid_arg "Manager.create: stripe must satisfy 0 <= index < count";
   {
-    clock = Atomic.make 0;
     stripe_index;
     stripe_count;
+    base = (if stripe_index = 0 then 0 else stripe_index - stripe_count);
+    draws = Atomic.make 0;
+    observed = Atomic.make 0;
+    slots = Array.init n_inflight_slots (fun _ -> Atomic.make 0);
+    overflow_mutex = Mutex.create ();
+    overflow = [];
+    overflow_count = Atomic.make 0;
+    wal_mutex = Mutex.create ();
     attempts = Atomic.make 0;
     commits = Atomic.make 0;
     failures = Atomic.make 0;
-    inflight_mutex = Mutex.create ();
-    inflight = [];
     wal;
   }
 
 let wal t = t.wal
 
-let current_time t = Atomic.get t.clock
+let ts_of t k = t.base + (k * t.stripe_count)
+let last_issued t = match Atomic.get t.draws with 0 -> 0 | k -> ts_of t k
+let current_time t = max (last_issued t) (Atomic.get t.observed)
 
-let with_inflight t f =
-  Mutex.lock t.inflight_mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.inflight_mutex) f
+let with_overflow t f =
+  Lockstat.count_mgr ();
+  Mutex.lock t.overflow_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.overflow_mutex) f
 
-(* Timestamps come from the manager's stripe: the smallest value above
-   the clock congruent to [stripe_index] mod [stripe_count].  With the
-   default (0, 1) stripe this is exactly clock+1 (the single-manager
-   behaviour); shard [i] of [N] draws only from its own residue class,
-   so timestamps are process-unique across shards without any shared
-   state — which is what lets a cross-shard decision adopt one shard's
-   prepared timestamp (the max) knowing no other shard can ever issue
-   it locally.  Callers hold the in-flight mutex; the clock stays an
-   atomic so [current_time] reads without the lock. *)
-let draw_locked t =
-  let c = Atomic.get t.clock in
-  let r = ((t.stripe_index - c) mod t.stripe_count + t.stripe_count) mod t.stripe_count in
-  let ts = c + if r = 0 then t.stripe_count else r in
-  Atomic.set t.clock ts;
-  ts
+(* The smallest draw count whose successor's timestamp exceeds
+   [observed]: base + (need+1)*stripe_count > observed. *)
+let need_for t observed =
+  if observed <= t.base then 0 else (observed - t.base) / t.stripe_count
 
-(* Lamport merge: adopting a foreign timestamp pushes the local clock
-   past it, so every later local draw exceeds it — the transitive leg of
-   precedes ⊆ TS across shards. *)
-let observe_locked t ts = if ts > Atomic.get t.clock then Atomic.set t.clock ts
+let rec draw t =
+  let obs = Atomic.get t.observed in
+  let k = Atomic.get t.draws in
+  let need = need_for t obs in
+  if k < need then begin
+    (* Skip the counts whose timestamps an adopted foreign decision
+       already covers (the CAS may lose to a parallel bump or draw —
+       re-check either way). *)
+    ignore (Atomic.compare_and_set t.draws k need : bool);
+    draw t
+  end
+  else ts_of t (Atomic.fetch_and_add t.draws 1 + 1)
 
-(* Draw a timestamp and mark it in flight in one critical section, so
-   [stable_time] can never miss a drawn-but-undistributed commit.  The
-   WAL commit record is appended inside the same critical section: the
-   log's commit-record order is then exactly the commit-timestamp order,
-   i.e. the hybrid serialization order (decided cross-shard commits are
-   the one exception — see [decide_commit]; recovery sorts by timestamp
-   and never relies on record order).  Returns the commit record's
-   LSN alongside the timestamp — the handle [attempt_once] passes to
-   [Wal.Log.sync_upto], this transaction's durability point.
+(* Lamport merge (CAS-max): adopting a foreign timestamp makes every
+   draw that starts after this returns exceed it. *)
+let rec observe t ts =
+  let cur = Atomic.get t.observed in
+  if ts > cur && not (Atomic.compare_and_set t.observed cur ts) then observe t ts
+
+(* ---- the in-flight set ---- *)
+
+let try_claim_slot t =
+  (* Start probing at a per-domain offset so concurrent committers land
+     on distinct slots without coordination. *)
+  let start = (Domain.self () :> int) * 13 land (n_inflight_slots - 1) in
+  let rec go i =
+    if i >= n_inflight_slots then None
+    else
+      let idx = (start + i) land (n_inflight_slots - 1) in
+      let s = t.slots.(idx) in
+      if Atomic.get s = 0 && Atomic.compare_and_set s 0 claiming then Some idx
+      else go (i + 1)
+  in
+  go 0
+
+(* Claim a pin, then draw, then publish — in that order; see the header
+   comment for why [stable_time] depends on it.  [publish] is separate
+   from [claim] because the WAL path draws under its mutex. *)
+let claim t =
+  match try_claim_slot t with
+  | Some idx -> Slot idx
+  | None ->
+    Atomic.incr t.overflow_count;
+    Overflow
+
+let publish t pin ts =
+  match pin with
+  | Slot idx -> Atomic.set t.slots.(idx) ts
+  | Overflow -> with_overflow t (fun () -> t.overflow <- ts :: t.overflow)
+
+let retire t pin ts =
+  match pin with
+  | Slot idx -> Atomic.set t.slots.(idx) 0
+  | Overflow ->
+    with_overflow t (fun () -> t.overflow <- List.filter (fun x -> x <> ts) t.overflow);
+    Atomic.decr t.overflow_count
+
+(* Pin lookup by timestamp, for the 2PC entry points whose public
+   interface names the prepared timestamp only.  Timestamps are unique
+   per manager, so the scan is unambiguous. *)
+let find_pin t ts =
+  let rec go i =
+    if i >= n_inflight_slots then Overflow
+    else if Atomic.get t.slots.(i) = ts then Slot i
+    else go (i + 1)
+  in
+  go 0
+
+(* Move an in-flight pin from [from_ts] to [to_ts] without a gap (the
+   2PC decided-timestamp adoption). *)
+let repin t ~from_ts ~to_ts =
+  match find_pin t from_ts with
+  | Slot idx -> Atomic.set t.slots.(idx) to_ts
+  | Overflow ->
+    with_overflow t (fun () ->
+        t.overflow <- to_ts :: List.filter (fun x -> x <> from_ts) t.overflow)
+
+let inflight_count t =
+  Array.fold_left (fun n s -> if Atomic.get s <> 0 then n + 1 else n) 0 t.slots
+  + Atomic.get t.overflow_count
+
+(* The commit watermark.  Read the allocation state (draws, observed)
+   {e first}, then scan the pins, re-scanning while any claim is
+   unresolved (sentinel): a committer that claimed after its slot was
+   scanned performs its fetch-and-add after our [draws]/[observed] reads
+   (program order on its side, monotone atomics on ours), so its
+   timestamp is at least the next-draw timestamp computed from the state
+   we read — strictly above what we return.  With pins in flight the
+   watermark is min(pin) - 1, as before.
+
+   With {e no} pins in flight the seed returned the clock, which is
+   wrong under striping: an idle shard 1-of-4 whose last draw was 9 can
+   never issue 10, 11 or 12, yet "stable = 9" makes a cross-shard
+   wait-till-stable for timestamp 12 hang (and Theorem 24 truncation
+   needlessly conservative) — while adopting a foreign decided 11 would
+   first require a {e prepared} pin, which the scan would have seen.  So
+   idle stability extends to everything below the next timestamp this
+   shard could possibly issue or adopt: next_draw(draws, observed) - 1.
+   For the default (0, 1) stripe that is exactly the old clock value. *)
+let stable_time t =
+  let rec scan () =
+    let d = Atomic.get t.draws in
+    let obs = Atomic.get t.observed in
+    let lo = ref max_int in
+    let unresolved = ref false in
+    Array.iter
+      (fun s ->
+        let v = Atomic.get s in
+        if v = claiming then unresolved := true else if v <> 0 && v < !lo then lo := v)
+      t.slots;
+    if !unresolved then begin
+      Domain.cpu_relax ();
+      scan ()
+    end
+    else begin
+      let lo =
+        if Atomic.get t.overflow_count = 0 then !lo
+        else with_overflow t (fun () -> List.fold_left min !lo t.overflow)
+      in
+      if lo <> max_int then lo - 1 else ts_of t (max d (need_for t obs) + 1) - 1
+    end
+  in
+  scan ()
+
+(* Serialize the draw+append section for WAL configurations (and for
+   Lockstat's forced-slow baseline mode, which emulates the pre-rework
+   mutex-guarded draw even without a WAL). *)
+let draw_section t f =
+  if Option.is_some t.wal || Lockstat.force_slow () then begin
+    Lockstat.count_mgr ();
+    Mutex.lock t.wal_mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.wal_mutex) f
+  end
+  else f ()
+
+(* Draw a timestamp and pin it in flight — claim before draw, so
+   [stable_time] can never miss a drawn-but-undistributed commit.  With
+   a WAL, the commit record is appended inside the same mutex-guarded
+   section: the log's commit-record order is then exactly the
+   commit-timestamp order, i.e. the hybrid serialization order (decided
+   cross-shard commits are the one exception — see [decide_commit];
+   recovery sorts by timestamp and never relies on record order).
+   Returns the commit record's LSN alongside the timestamp — the handle
+   [attempt_once] passes to [Wal.Log.sync_upto], this transaction's
+   durability point.
 
    Exception-safe: a failing append retires the timestamp before
    re-raising, so a full disk can never wedge [stable_time].  (A failed
    append also means the commit record is not durably complete — the
    frame's CRC cannot check out — so aborting afterwards is sound.) *)
 let begin_commit t txn =
-  with_inflight t (fun () ->
-      let ts = draw_locked t in
-      t.inflight <- ts :: t.inflight;
+  draw_section t (fun () ->
+      let pin = claim t in
+      let ts = draw t in
+      publish t pin ts;
       match t.wal with
-      | None -> (ts, None)
+      | None -> (ts, pin, None)
       | Some w -> (
         match Wal.Log.append_lsn w (Wal.Log.Commit { txn = Txn_rt.id txn; ts }) with
-        | lsn -> (ts, Some (w, lsn))
+        | lsn -> (ts, pin, Some (w, lsn))
         | exception e ->
-          t.inflight <- List.filter (fun x -> x <> ts) t.inflight;
+          retire t pin ts;
           raise e))
 
-let end_commit t ts =
-  with_inflight t (fun () -> t.inflight <- List.filter (fun x -> x <> ts) t.inflight)
-
-let stable_time t =
-  with_inflight t (fun () ->
-      match t.inflight with
-      | [] -> Atomic.get t.clock
-      | l -> List.fold_left min max_int l - 1)
+let end_commit t pin ts = retire t pin ts
 
 (* Abort records are an optimization, not a correctness requirement:
    recovery discards any intentions without a commit record, so a lost
@@ -131,7 +301,7 @@ let commit_txn t txn =
     Atomic.incr t.failures;
     Obs.Metrics.incr m_aborts;
     raise e
-  | ts, lsn -> (
+  | ts, pin, lsn -> (
     let durable =
       match lsn with
       | Some (w, l) ->
@@ -150,14 +320,14 @@ let commit_txn t txn =
     in
     match durable with
     | Error e ->
-      end_commit t ts;
+      end_commit t pin ts;
       Obs.Metrics.incr m_durability_lost;
       raise
         (Durability_lost
            (Printf.sprintf "txn %d (ts %d): commit record appended but not synced: %s"
               (Txn_rt.id txn) ts (Printexc.to_string e)))
     | Ok () ->
-      Fun.protect ~finally:(fun () -> end_commit t ts) (fun () -> Txn_rt.commit txn ts);
+      Fun.protect ~finally:(fun () -> end_commit t pin ts) (fun () -> Txn_rt.commit txn ts);
       Atomic.incr t.commits;
       Obs.Metrics.incr m_commits;
       if Obs.Span.enabled () then Obs.Span.txn_commit ~txn:(Txn_rt.id txn) ~ts;
@@ -183,17 +353,20 @@ let abort_txn t txn =
 let prepare t txn ~gtxn =
   if Obs.Span.enabled () then
     Obs.Span.prepare ~txn:(Txn_rt.id txn) ~shard:t.stripe_index;
-  let ts, lsn =
-    with_inflight t (fun () ->
-        let ts = draw_locked t in
-        t.inflight <- ts :: t.inflight;
+  let ts, pin, lsn =
+    draw_section t (fun () ->
+        let pin = claim t in
+        let ts = draw t in
+        publish t pin ts;
         match t.wal with
-        | None -> (ts, None)
+        | None -> (ts, pin, None)
         | Some w -> (
-          match Wal.Log.append_lsn w (Wal.Log.Prepare { txn = Txn_rt.id txn; gtxn; ts }) with
-          | lsn -> (ts, Some (w, lsn))
+          match
+            Wal.Log.append_lsn w (Wal.Log.Prepare { txn = Txn_rt.id txn; gtxn; ts })
+          with
+          | lsn -> (ts, pin, Some (w, lsn))
           | exception e ->
-            t.inflight <- List.filter (fun x -> x <> ts) t.inflight;
+            retire t pin ts;
             raise e))
   in
   (match lsn with
@@ -204,7 +377,7 @@ let prepare t txn ~gtxn =
          acked, the coordinator will not decide commit, and recovery
          presumes abort — so retiring the timestamp and failing the
          prepare is sound. *)
-      end_commit t ts;
+      retire t pin ts;
       raise e)
   | None -> ());
   if Obs.Span.enabled () then
@@ -212,21 +385,21 @@ let prepare t txn ~gtxn =
   ts
 
 (* Phase 2, commit: adopt the decided timestamp (max over all
-   participants' prepares).  Inside one critical section the clock is
-   pushed past it, the in-flight reservation moves from the prepared to
-   the decided timestamp (the stability pin transfers without a gap),
-   and the commit record is appended — possibly out of local record
-   order, which recovery's sort-by-timestamp absorbs.  The record is
-   forced before returning, so a return is the durable ack the
-   coordinator needs before it may forget the decision; a sync failure
-   raises only {e after} the commit events are distributed, because the
-   global decision is already durable at the coordinator and cannot be
-   un-taken. *)
+   participants' prepares).  The in-flight reservation moves from the
+   prepared to the decided timestamp with one atomic store (the
+   stability pin transfers without a gap), the clock observes the
+   decision (CAS-max Lamport merge), and the commit record is appended —
+   possibly out of local record order, which recovery's sort-by-timestamp
+   absorbs.  The record is forced before returning, so a return is the
+   durable ack the coordinator needs before it may forget the decision;
+   a sync failure raises only {e after} the commit events are
+   distributed, because the global decision is already durable at the
+   coordinator and cannot be un-taken. *)
 let decide_commit t txn ~prepared ~ts =
   let logged =
-    with_inflight t (fun () ->
-        observe_locked t ts;
-        t.inflight <- ts :: List.filter (fun x -> x <> prepared) t.inflight;
+    draw_section t (fun () ->
+        repin t ~from_ts:prepared ~to_ts:ts;
+        observe t ts;
         match t.wal with
         | None -> Ok None
         | Some w -> (
@@ -235,7 +408,8 @@ let decide_commit t txn ~prepared ~ts =
   in
   if Obs.Span.enabled () then
     Obs.Span.decide_commit ~txn:(Txn_rt.id txn) ~shard:t.stripe_index ~ts;
-  Fun.protect ~finally:(fun () -> end_commit t ts) (fun () -> Txn_rt.commit txn ts);
+  let pin = find_pin t ts in
+  Fun.protect ~finally:(fun () -> retire t pin ts) (fun () -> Txn_rt.commit txn ts);
   Atomic.incr t.commits;
   Obs.Metrics.incr m_commits;
   match logged with
@@ -251,7 +425,7 @@ let decide_abort t txn ~prepared =
     Obs.Span.decide_abort ~txn:(Txn_rt.id txn) ~shard:t.stripe_index;
   log_abort t txn;
   Txn_rt.abort txn;
-  end_commit t prepared;
+  retire t (find_pin t prepared) prepared;
   Atomic.incr t.failures;
   Obs.Metrics.incr m_aborts
 
@@ -261,7 +435,7 @@ let attempt_once ?priority t body =
   (* Monotonic, like the trace timestamps: attempt latencies must never
      go negative under a wall-clock adjustment. *)
   let t0 = if Obs.Control.enabled () then Obs.Clock.now_ns () else 0 in
-  let observe () =
+  let observe_latency () =
     if Obs.Control.enabled () then
       Obs.Metrics.observe h_attempt (Obs.Clock.ns_to_s (Obs.Clock.now_ns () - t0))
   in
@@ -280,11 +454,11 @@ let attempt_once ?priority t body =
        this transaction is committed iff [commit_txn] returned (see its
        exit analysis above). *)
     let _ts : int = commit_txn t txn in
-    observe ();
+    observe_latency ();
     Ok (v, Txn_rt.priority txn)
   | exception Txn_rt.Abort_requested reason ->
     abort_txn t txn;
-    observe ();
+    observe_latency ();
     Error (reason, Txn_rt.priority txn)
   | exception e ->
     abort_txn t txn;
@@ -300,7 +474,10 @@ let run ?(max_attempts = 1000) t body =
      wait-die's no-starvation argument needs seniority to be stable.
      The restart delay backs off exponentially with jitter keyed on
      that stable priority, so the losers of one conflict spread out
-     instead of re-colliding in lockstep (see Backoff). *)
+     instead of re-colliding in lockstep (see Backoff).  When the dying
+     attempt recorded which object it lost (Sched's restart hint), the
+     delay parks on that object and a release re-dispatches the restart
+     immediately; the jittered delay remains as the timeout backstop. *)
   let rec go attempt priority last_reason =
     if attempt >= max_attempts then
       raise
@@ -316,7 +493,11 @@ let run ?(max_attempts = 1000) t body =
            every attempt of this transaction shares. *)
         if Obs.Span.enabled () then
           Obs.Span.backoff ~txn:prio ~sleep_ns:(int_of_float (delay *. 1e9));
-        Unix.sleepf delay;
+        (match Sched.take_restart_hint () with
+        | Some obj ->
+          let ticket = Sched.register ~obj ~txn:prio in
+          ignore (Sched.park ticket ~timeout:delay : [ `Woken | `Timeout ])
+        | None -> Sched.sleep delay);
         go (attempt + 1) (Some prio) reason
   in
   go 0 None "never attempted"
@@ -333,13 +514,12 @@ let stats t =
 (* ---- live introspection ---- *)
 
 let clock_json ?(name = "manager") t () =
-  let inflight = with_inflight t (fun () -> List.length t.inflight) in
   Obs.Json.Obj
     [
       ("object", Obs.Json.String name);
       ("clock", Obs.Json.Int (current_time t));
       ("stable_time", Obs.Json.Int (stable_time t));
-      ("inflight", Obs.Json.Int inflight);
+      ("inflight", Obs.Json.Int (inflight_count t));
       ("attempts", Obs.Json.Int (Atomic.get t.attempts));
       ("commits", Obs.Json.Int (Atomic.get t.commits));
       ("aborts", Obs.Json.Int (Atomic.get t.failures));
@@ -352,5 +532,4 @@ let register_introspection ?(name = "manager") t =
   (* Commits whose timestamp is drawn but whose events are still being
      distributed: the gap between the clock and the stable watermark
      snapshot readers wait behind. *)
-  Obs.Gauge.callback ~labels "txn_inflight" (fun () ->
-      float_of_int (with_inflight t (fun () -> List.length t.inflight)))
+  Obs.Gauge.callback ~labels "txn_inflight" (fun () -> float_of_int (inflight_count t))

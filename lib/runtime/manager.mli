@@ -51,7 +51,16 @@ val stable_time : t -> Model.Timestamp.t
     this has fully distributed its commit events to the objects it
     touched.  Snapshot readers (see {!Snapshot}) serialize at a stable
     timestamp so they can never miss a smaller-timestamped commit that
-    is still in flight. *)
+    is still in flight.
+
+    With nothing in flight, a striped manager is stable up to (one
+    below) the next timestamp it could possibly issue or adopt — not
+    just its last draw: stripe [(1, 4)] idle after issuing 5 reports 8,
+    because 6 and 7 belong to residue classes this shard never draws and
+    adopting a foreign decided timestamp first pins a {e prepared} one
+    in flight.  A cross-shard wait-till-stable (and the Theorem 24
+    horizon) therefore cannot hang on an idle shard.  The default
+    [(0, 1)] stripe reduces to the classic "clock when idle". *)
 
 exception Too_many_attempts of string
 

@@ -1,4 +1,5 @@
-type failure = [ `Blocked | `Conflict of int option ]
+type conflict = { holder : int; holder_priority : int option }
+type failure = [ `Blocked | `Conflict of conflict option ]
 
 let m_retries = Obs.Metrics.counter "retry.retries"
 let m_wait_die = Obs.Metrics.counter "retry.wait_die_deaths"
@@ -13,8 +14,12 @@ let g_waiting = Obs.Gauge.make "retry_waiting"
 let die ~name reason =
   raise (Txn_rt.Abort_requested (Printf.sprintf "%s: %s" name reason))
 
+(* How many attempts spin (helping the scheduler) before parking. *)
+let spin_limit = 10
+
 let run ?(retries = 500) ?(on_retry = ignore) ?(obj = 0) ~name ~self attempt =
   let my_priority = Txn_rt.priority self in
+  let my_id = Txn_rt.id self in
   let waiting = ref false in
   let enter_wait () =
     if not !waiting then begin
@@ -23,45 +28,84 @@ let run ?(retries = 500) ?(on_retry = ignore) ?(obj = 0) ~name ~self attempt =
       (* One lock-wait window per stalled invocation, however many
          retries it takes: the flight span charges wait→resume, not
          individual poll iterations. *)
-      if Obs.Span.enabled () then Obs.Span.lock_wait ~txn:(Txn_rt.id self) ~obj
+      if Obs.Span.enabled () then Obs.Span.lock_wait ~txn:my_id ~obj
     end
   in
   let leave_wait () =
     if !waiting then begin
       Obs.Gauge.decr g_waiting;
-      if Obs.Span.enabled () then Obs.Span.lock_resume ~txn:(Txn_rt.id self) ~obj
+      if Obs.Span.enabled () then Obs.Span.lock_resume ~txn:my_id ~obj
     end
+  in
+  (* Wait-die on the priority {e captured with the refusal}: the object
+     resolved the holder's priority inside the same consistent section
+     that observed the conflict.  Resolving here instead — by id against
+     the live registry, as this loop used to — raced the holder's
+     completion: an id recycled between the refusal and the lookup
+     (coordinators re-register explicit ids) resolves to an unrelated
+     transaction's priority and kills or spares the wrong victim.
+     [holder_priority = None] means the holder completed before the
+     capture — the retry will likely succeed, so wait. *)
+  let check_wait_die = function
+    | `Conflict (Some { holder; holder_priority = Some hp }) when my_priority > hp ->
+      (* Wait-die: the younger transaction dies immediately.  Leave the
+         contended object as the restart hint so the manager's restart
+         delay parks on its release instead of sleeping blind. *)
+      Obs.Metrics.incr m_wait_die;
+      Sched.set_restart_hint ~obj;
+      die ~name (Printf.sprintf "wait-die vs txn %d" holder)
+    | `Conflict _ | `Blocked -> ()
   in
   Fun.protect ~finally:leave_wait @@ fun () ->
   let rec go n =
     match attempt () with
     | Ok v -> v
     | Error failure ->
-      (match failure with
-      | `Conflict (Some holder_id) -> (
-        match Txn_rt.priority_of_id holder_id with
-        | Some holder_priority when my_priority > holder_priority ->
-          (* Wait-die: the younger transaction dies immediately. *)
-          Obs.Metrics.incr m_wait_die;
-          die ~name (Printf.sprintf "wait-die vs txn %d" holder_id)
-        | Some _ | None ->
-          (* Older than the holder (wait), or the holder just completed
-             (retry will likely succeed). *)
-          ())
-      | `Conflict None | `Blocked -> ());
+      check_wait_die failure;
       if n >= retries then begin
         Obs.Metrics.incr m_give_ups;
+        Sched.set_restart_hint ~obj;
         die ~name (Printf.sprintf "giving up after %d attempts" n)
       end;
-      (* Spin briefly (the holder is usually mid-operation), then sleep
-         on a jittered exponential quantum keyed on our transaction id:
-         a flat quantum makes every loser of a conflict wake in
-         lockstep and collide again (see Backoff). *)
       enter_wait ();
-      if n < 10 then Domain.cpu_relax ()
-      else Unix.sleepf (Backoff.retry_delay ~key:(Txn_rt.id self) ~attempt:(n - 10));
-      Obs.Metrics.incr m_retries;
-      on_retry ();
-      go (n + 1)
+      (* Spin briefly (the holder is usually mid-operation), helping the
+         scheduler deliver pending wake-ups; then park on the contended
+         object until a commit/abort releases it, with the jittered
+         exponential quantum as the timeout backstop — a missed signal
+         degrades to exactly the old backoff sleep, never a stranded
+         waiter (see Sched). *)
+      let early =
+        if n < spin_limit then begin
+          ignore (Sched.help () : bool);
+          Domain.cpu_relax ();
+          None
+        end
+        else begin
+          (* Register, re-attempt, park: the re-attempt observes any
+             release that beat the registration, so a wake-up can only
+             be missed by a release that will still find our waiter. *)
+          let ticket = Sched.register ~obj ~txn:my_id in
+          match attempt () with
+          | Ok v ->
+            Sched.cancel ticket;
+            Some v
+          | Error f2 ->
+            (try check_wait_die f2
+             with e ->
+               Sched.cancel ticket;
+               raise e);
+            ignore
+              (Sched.park ticket
+                 ~timeout:(Backoff.retry_delay ~key:my_id ~attempt:(n - spin_limit))
+                : [ `Woken | `Timeout ]);
+            None
+        end
+      in
+      (match early with
+      | Some v -> v
+      | None ->
+        Obs.Metrics.incr m_retries;
+        on_retry ();
+        go (n + 1))
   in
   go 0

@@ -11,12 +11,29 @@
     its original priority.  Waits-for edges then only point from older
     to younger transactions, so cycles are impossible, and a restarted
     transaction eventually becomes the oldest in the system, so it
-    cannot starve. *)
+    cannot starve.
 
-type failure = [ `Blocked | `Conflict of int option ]
+    Waiting parks on the contended object via {!Sched} (woken by the
+    holder's commit/abort) after a short helping spin; the jittered
+    exponential backoff ({!Backoff.retry_delay}) remains as each park's
+    timeout backstop. *)
+
+type conflict = {
+  holder : int;  (** the lock holder's transaction id *)
+  holder_priority : int option;
+      (** the holder's wait-die priority, captured by the object {e in
+          the same consistent section that observed the conflict} —
+          [None] when the holder completed before the capture.  Wait-die
+          decisions use this captured value, never a later registry
+          lookup by id: holder ids can be recycled (coordinators
+          re-register explicit ids) between refusal and lookup, and a
+          recycled id resolves to the wrong transaction's priority. *)
+}
+
+type failure = [ `Blocked | `Conflict of conflict option ]
 (** [`Blocked]: no legal response right now (partial operation) — wait
-    for some transaction to commit.  [`Conflict h]: a lock conflict with
-    holder id [h] (when known). *)
+    for some transaction to commit.  [`Conflict c]: a lock conflict with
+    holder [c.holder] (when known). *)
 
 val run :
   ?retries:int ->
@@ -27,15 +44,19 @@ val run :
   (unit -> ('a, [< failure ]) result) ->
   'a
 (** Attempt until [Ok].  Conflicts against a younger holder (or unknown
-    holder, or [`Blocked]) are retried — a brief spin, then a seeded,
-    jittered exponential backoff ({!Backoff.retry_delay}, capped ~1ms)
-    — at most [retries] times (default 500) before dying; conflicts
-    where wait-die says "die" raise {!Txn_rt.Abort_requested}
-    immediately.
+    holder, or [`Blocked]) are retried — a brief spin that also steals
+    pending scheduler wake-ups ({!Sched.help}), then register-and-park
+    on the contended object with the seeded, jittered exponential
+    backoff ({!Backoff.retry_delay}, capped ~1ms) as timeout — at most
+    [retries] times (default 500) before dying; conflicts where
+    wait-die says "die" raise {!Txn_rt.Abort_requested} immediately.
+    Each park is preceded by a re-attempt after registration, so a
+    release can never slip between the failed attempt and the park.
 
     [on_retry] is called just before each re-attempt — the object layer
     uses it to stamp a [Retry] trace event.  [obj] names the contended
-    object in the flight recorder's lock-wait span marks (one
-    wait/resume pair per stalled invocation).  Retry volume, wait-die
-    deaths and give-ups are also counted in the {!Obs.Metrics} registry
-    ([retry.retries], [retry.wait_die_deaths], [retry.give_ups]). *)
+    object for the scheduler's waiter registry and the flight recorder's
+    lock-wait span marks (one wait/resume pair per stalled invocation).
+    Retry volume, wait-die deaths and give-ups are also counted in the
+    {!Obs.Metrics} registry ([retry.retries], [retry.wait_die_deaths],
+    [retry.give_ups]). *)

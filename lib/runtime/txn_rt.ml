@@ -24,29 +24,90 @@ let fresh_object_key () = Atomic.fetch_and_add object_key_counter 1
    shard branches of one global transaction share its id, and the id
    must stay resolvable until the {e last} branch completes — wait-die
    reads [None] as "holder finished", which would be wrong while a
-   sibling branch still holds locks. *)
-let registry_mutex = Mutex.create ()
-let registry : (int, int * int) Hashtbl.t = Hashtbl.create 64 (* id -> (priority, refs) *)
+   sibling branch still holds locks.
 
-let with_registry f =
-  Mutex.lock registry_mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+   Lock-free: registration/deregistration runs on {e every} transaction,
+   so a mutex here would put one lock on the otherwise mutex-free hot
+   path (see Lockstat).  Entries live in a fixed array of atomics
+   indexed by [id mod cap]; the cells hold immutable tuples, so
+   compare-and-set on physical equality suffices (a fresh allocation per
+   update rules out ABA).  Ids come from one monotone counter, so two
+   {e live} ids only collide in a cell when more than [cap] transactions
+   are simultaneously live (or a coordinator holds an old [~id] across
+   that many draws) — that rare loser takes the mutex-guarded overflow
+   table.  [overflow_count] is maintained so lookups skip the table —
+   and its lock — entirely when it is empty. *)
+let cap = 8192 (* power of two *)
+
+type entry = { e_id : int; e_priority : int; e_refs : int }
+
+let cells : entry option Atomic.t array = Array.init cap (fun _ -> Atomic.make None)
+let overflow_mutex = Mutex.create ()
+let overflow : (int, int * int) Hashtbl.t = Hashtbl.create 8 (* id -> (priority, refs) *)
+let overflow_count = Atomic.make 0
+
+let with_overflow f =
+  Lockstat.count_registry ();
+  Mutex.lock overflow_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock overflow_mutex) f
+
+let overflow_register id priority =
+  with_overflow (fun () ->
+      match Hashtbl.find_opt overflow id with
+      | Some (p, refs) -> Hashtbl.replace overflow id (p, refs + 1)
+      | None ->
+        Atomic.incr overflow_count;
+        Hashtbl.replace overflow id (priority, 1))
+
+let rec cell_register cell id priority =
+  let cur = Atomic.get cell in
+  match cur with
+  | None ->
+    if Atomic.compare_and_set cell cur (Some { e_id = id; e_priority = priority; e_refs = 1 })
+    then ()
+    else cell_register cell id priority
+  | Some e when e.e_id = id ->
+    (* A sibling branch of the same global transaction: bump the
+       refcount, keep the first registration's priority (the branches
+       share one seniority). *)
+    if Atomic.compare_and_set cell cur (Some { e with e_refs = e.e_refs + 1 }) then ()
+    else cell_register cell id priority
+  | Some _ -> overflow_register id priority
+
+let register_id id priority =
+  (* A shared id must refcount in one place: if an earlier branch was
+     pushed to the overflow table (its cell was occupied by another
+     live transaction), later branches must join it there even if the
+     cell has since freed up. *)
+  let in_overflow =
+    Atomic.get overflow_count > 0
+    && with_overflow (fun () ->
+           match Hashtbl.find_opt overflow id with
+           | Some (p, refs) ->
+             Hashtbl.replace overflow id (p, refs + 1);
+             true
+           | None -> false)
+  in
+  if not in_overflow then cell_register cells.(id land (cap - 1)) id priority
 
 let fresh_id () = Atomic.fetch_and_add counter 1
 
 let fresh ?id ?priority () =
   let id = match id with Some id -> id | None -> fresh_id () in
   let priority = Option.value ~default:id priority in
-  with_registry (fun () ->
-      match Hashtbl.find_opt registry id with
-      | Some (p, refs) -> Hashtbl.replace registry id (p, refs + 1)
-      | None -> Hashtbl.replace registry id (priority, 1));
+  register_id id priority;
   { id; priority; status = Active; participants = [] }
 
 let id t = t.id
 let priority t = t.priority
+
 let priority_of_id id =
-  with_registry (fun () -> Option.map fst (Hashtbl.find_opt registry id))
+  match Atomic.get cells.(id land (cap - 1)) with
+  | Some e when e.e_id = id -> Some e.e_priority
+  | Some _ | None ->
+    if Atomic.get overflow_count = 0 then None
+    else with_overflow (fun () -> Option.map fst (Hashtbl.find_opt overflow id))
+
 let model_txn t = Model.Txn.make t.id
 
 let status t =
@@ -61,13 +122,25 @@ let add_participant t ~key p =
 
 let participant_count t = List.length t.participants
 
-let deregister t =
-  with_registry (fun () ->
-      match Hashtbl.find_opt registry t.id with
-      | Some (_, refs) when refs > 1 ->
-        Hashtbl.replace registry t.id (fst (Hashtbl.find registry t.id), refs - 1)
-      | Some _ -> Hashtbl.remove registry t.id
-      | None -> ())
+let rec cell_deregister cell id =
+  let cur = Atomic.get cell in
+  match cur with
+  | Some e when e.e_id = id ->
+    let next = if e.e_refs > 1 then Some { e with e_refs = e.e_refs - 1 } else None in
+    if Atomic.compare_and_set cell cur next then () else cell_deregister cell id
+  | Some _ | None ->
+    (* Not (or no longer) in the cell: this registration lives in the
+       overflow table. *)
+    if Atomic.get overflow_count > 0 then
+      with_overflow (fun () ->
+          match Hashtbl.find_opt overflow id with
+          | Some (p, refs) when refs > 1 -> Hashtbl.replace overflow id (p, refs - 1)
+          | Some _ ->
+            Hashtbl.remove overflow id;
+            Atomic.decr overflow_count
+          | None -> ())
+
+let deregister t = cell_deregister cells.(t.id land (cap - 1)) t.id
 
 let commit t ts =
   match t.status with

@@ -69,7 +69,8 @@ let test_credit_conflicts_with_overdraft_only () =
   | Ok false -> ()
   | _ -> Alcotest.fail "expected overdraft");
   (match Av.try_credit acc t2 3 with
-  | Error (`Conflict (Some id)) -> check_int "holder is t1" (Runtime.Txn_rt.id t1) id
+  | Error (`Conflict (Some c)) ->
+    check_int "holder is t1" (Runtime.Txn_rt.id t1) c.Runtime.Retry.holder
   | _ -> Alcotest.fail "expected conflict");
   (* posts conflict with the overdraft too *)
   (match Av.try_post acc t2 1 with

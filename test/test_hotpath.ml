@@ -1,0 +1,325 @@
+(* Regression tests for the lock-free hot-path rework: the splitmix
+   jitter avalanche (congruent keys must decorrelate), wait-die on the
+   priority captured with the refusal (recycled holder ids must not
+   change the verdict), the striped stable_time watermark (an idle shard
+   is stable up to the next timestamp it could possibly issue, not just
+   its last draw), multi-domain timestamp allocation (residue class,
+   uniqueness, monotone watermark under concurrency), and the park/wake
+   scheduler rendezvous.  The ENOSPC no-wedge behaviour of the in-flight
+   set is covered by test_wal_group, which must stay green against the
+   slot-based implementation. *)
+
+module Q = Adt.Fifo_queue
+module QObj = Runtime.Atomic_obj.Make (Q)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_prio = Alcotest.(check (option int))
+
+(* ---------------- Backoff.jitter (satellite: weak 16-bit mix) ------- *)
+
+(* The seed implementation kept only the 16 low bits of a linear prime
+   mix, so keys congruent mod 65536 — e.g. transaction ids from two
+   restarts of the same striped workload — got identical jitter on every
+   attempt and woke in lockstep.  The avalanche must spread them. *)
+let test_jitter_spreads_congruent_keys () =
+  let saved = Runtime.Backoff.current_seed () in
+  Runtime.Backoff.set_seed 0;
+  Fun.protect ~finally:(fun () -> Runtime.Backoff.set_seed saved) @@ fun () ->
+  let n = 32 in
+  let vals = List.init n (fun i -> Runtime.Backoff.jitter ~key:(i * 65536) ~attempt:3) in
+  List.iter (fun v -> check_bool "jitter in [0,1)" true (0.0 <= v && v < 1.0)) vals;
+  let distinct = List.length (List.sort_uniq compare vals) in
+  check_bool
+    (Printf.sprintf "congruent keys decorrelate (%d/%d distinct)" distinct n)
+    true (distinct >= 24)
+
+let prop_jitter_range_and_determinism =
+  QCheck2.Test.make ~name:"jitter is deterministic and in [0,1)" ~count:200
+    QCheck2.Gen.(pair (0 -- 1_000_000) (0 -- 20))
+    (fun (key, attempt) ->
+      let a = Runtime.Backoff.jitter ~key ~attempt in
+      let b = Runtime.Backoff.jitter ~key ~attempt in
+      0.0 <= a && a < 1.0 && a = b)
+
+(* ---------------- wait-die on the captured priority ---------------- *)
+
+(* The refusal must carry the holder's priority, resolved by the object
+   inside the locked/consistent section that observed the conflict. *)
+let test_conflict_carries_captured_priority () =
+  let q = QObj.create ~conflict:Q.conflict_rw () in
+  let holder = Runtime.Txn_rt.fresh ~priority:77 () in
+  (match QObj.try_invoke q holder (Q.Enq 1) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "holder's enq should succeed");
+  let req = Runtime.Txn_rt.fresh () in
+  (match QObj.try_invoke q req (Q.Enq 2) with
+  | Error (`Conflict (Some c)) ->
+    check_int "holder id" (Runtime.Txn_rt.id holder) c.Runtime.Retry.holder;
+    check_prio "captured priority" (Some 77) c.Runtime.Retry.holder_priority
+  | _ -> Alcotest.fail "expected a conflict with a known holder");
+  Runtime.Txn_rt.abort req;
+  Runtime.Txn_rt.abort holder
+
+(* The recycled-holder-id regression: the holder completes between the
+   refusal and the wait-die check, and its id is immediately re-used by
+   a much older transaction (coordinators register explicit ids, so ids
+   genuinely recur).  The old implementation looked the priority up by
+   id at check time, resolved the {e new} transaction, and killed a
+   requester that should have waited.  The captured priority must make
+   the requester survive. *)
+let test_wait_die_survives_recycled_holder_id () =
+  let q = QObj.create ~conflict:Q.conflict_rw () in
+  let holder = Runtime.Txn_rt.fresh ~priority:100 () in
+  (match QObj.try_invoke q holder (Q.Enq 1) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "holder's enq should succeed");
+  let requester = Runtime.Txn_rt.fresh ~priority:50 () in
+  let captured =
+    match QObj.try_invoke q requester (Q.Enq 2) with
+    | Error (`Conflict (Some c)) -> c
+    | _ -> Alcotest.fail "expected a conflict"
+  in
+  check_prio "refusal captured the live priority" (Some 100)
+    captured.Runtime.Retry.holder_priority;
+  (* Holder completes; an older transaction takes over its id. *)
+  Runtime.Txn_rt.abort holder;
+  let recycled =
+    Runtime.Txn_rt.fresh ~id:captured.Runtime.Retry.holder ~priority:1 ()
+  in
+  check_prio "registry now resolves the id to the recycled priority" (Some 1)
+    (Runtime.Txn_rt.priority_of_id captured.Runtime.Retry.holder);
+  (* Replay the stale refusal through the retry loop.  A live registry
+     lookup would compare 50 > 1 and kill the requester; the captured
+     priority (100) says wait — and the subsequent re-attempt succeeds
+     because the real holder is gone. *)
+  let first = ref true in
+  let r =
+    Runtime.Retry.run ~name:"recycled-holder" ~self:requester (fun () ->
+        if !first then begin
+          first := false;
+          Error (`Conflict (Some captured))
+        end
+        else QObj.try_invoke q requester (Q.Enq 2))
+  in
+  check_bool "requester survived and enqueued" true (r = Q.Ok);
+  Runtime.Txn_rt.abort requester;
+  Runtime.Txn_rt.abort recycled
+
+(* The policy itself is unchanged: a captured priority older than the
+   requester still kills immediately. *)
+let test_wait_die_still_dies_on_older_holder () =
+  let self = Runtime.Txn_rt.fresh ~priority:50 () in
+  let stale = { Runtime.Retry.holder = 424242; holder_priority = Some 10 } in
+  (match
+     Runtime.Retry.run ~name:"older-holder" ~self (fun () ->
+         (Error (`Conflict (Some stale)) : (unit, Runtime.Retry.failure) result))
+   with
+  | () -> Alcotest.fail "should have died"
+  | exception Runtime.Txn_rt.Abort_requested _ -> ());
+  Runtime.Txn_rt.abort self
+
+(* ---------------- striped stable_time (satellite: residue bug) ----- *)
+
+(* Stripe (1, 4) issues 1, 5, 9, ...  After committing timestamp 5 with
+   nothing in flight, the shard can never issue 6, 7 or 8 — and adopting
+   a foreign decided timestamp first pins a prepared one in flight — so
+   the watermark must read 8, not 5: a cross-shard wait-till-stable for
+   timestamp 7 would otherwise hang forever on an idle shard. *)
+let test_striped_idle_watermark () =
+  let mgr = Runtime.Manager.create ~stripe:(1, 4) () in
+  check_int "initial stable" 0 (Runtime.Manager.stable_time mgr);
+  Runtime.Manager.run mgr (fun _ -> ());
+  check_int "clock after first commit" 1 (Runtime.Manager.current_time mgr);
+  check_int "idle watermark covers the unissuable gap" 4
+    (Runtime.Manager.stable_time mgr);
+  Runtime.Manager.run mgr (fun _ -> ());
+  check_int "clock after second commit" 5 (Runtime.Manager.current_time mgr);
+  check_int "idle watermark after ts 5" 8 (Runtime.Manager.stable_time mgr)
+
+(* The default (0, 1) stripe must keep the seed behaviour exactly:
+   stable = clock when idle. *)
+let test_default_stripe_watermark_unchanged () =
+  let mgr = Runtime.Manager.create () in
+  check_int "initial stable" 0 (Runtime.Manager.stable_time mgr);
+  Runtime.Manager.run mgr (fun _ -> ());
+  check_int "stable = clock when idle" 1 (Runtime.Manager.stable_time mgr);
+  check_int "clock" 1 (Runtime.Manager.current_time mgr)
+
+(* A prepared-but-undecided transaction pins the watermark below its
+   timestamp; the decision releases it. *)
+let test_prepared_pin_blocks_watermark () =
+  let mgr = Runtime.Manager.create ~stripe:(1, 4) () in
+  Runtime.Manager.run mgr (fun _ -> ());
+  Runtime.Manager.run mgr (fun _ -> ());
+  (* draws so far: 1, 5; idle watermark 8 *)
+  let b = Runtime.Txn_rt.fresh () in
+  let prepared = Runtime.Manager.prepare mgr b ~gtxn:(Runtime.Txn_rt.id b) in
+  check_int "third draw" 9 prepared;
+  check_int "prepared pin holds the watermark" 8 (Runtime.Manager.stable_time mgr);
+  Runtime.Manager.decide_abort mgr b ~prepared;
+  check_int "abort releases the pin" 12 (Runtime.Manager.stable_time mgr)
+
+(* Adopting a foreign decided timestamp (2PC phase 2) Lamport-merges
+   into the stripe: the watermark and the next draw both jump past it. *)
+let test_decided_adoption_advances_stripe () =
+  let mgr = Runtime.Manager.create ~stripe:(1, 4) () in
+  let b = Runtime.Txn_rt.fresh () in
+  let prepared = Runtime.Manager.prepare mgr b ~gtxn:(Runtime.Txn_rt.id b) in
+  check_int "first draw" 1 prepared;
+  (* decided timestamp 15 ≡ 3 (mod 4): another stripe's draw won. *)
+  Runtime.Manager.decide_commit mgr b ~prepared ~ts:15;
+  check_int "clock observed the decision" 15 (Runtime.Manager.current_time mgr);
+  check_int "watermark covers up to the next issuable ts" 16
+    (Runtime.Manager.stable_time mgr);
+  let b2 = Runtime.Txn_rt.fresh () in
+  let p2 = Runtime.Manager.prepare mgr b2 ~gtxn:(Runtime.Txn_rt.id b2) in
+  check_int "next draw exceeds the adopted ts, in residue" 17 p2;
+  Runtime.Manager.decide_abort mgr b2 ~prepared:p2
+
+(* ---------------- multi-domain allocation (satellite: 4-domain) ---- *)
+
+let prop_striped_draws_multicore =
+  QCheck2.Test.make
+    ~name:"4-domain draws: residue class, uniqueness, monotone watermark" ~count:5
+    QCheck2.Gen.(pair (0 -- 3) (20 -- 60))
+    (fun (idx, per_domain) ->
+      let mgr = Runtime.Manager.create ~stripe:(idx, 4) () in
+      let stop = Atomic.make false in
+      let monotone = Atomic.make true in
+      (* The watermark, sampled concurrently with the committers, must
+         never move backwards (snapshot readers poll it upwards). *)
+      let monitor =
+        Domain.spawn (fun () ->
+            let last = ref (-1) in
+            while not (Atomic.get stop) do
+              let s = Runtime.Manager.stable_time mgr in
+              if s < !last then Atomic.set monotone false;
+              last := s;
+              Domain.cpu_relax ()
+            done)
+      in
+      let workers =
+        List.init 4 (fun _ ->
+            Domain.spawn (fun () ->
+                List.init per_domain (fun _ ->
+                    Runtime.Manager.commit_txn mgr (Runtime.Txn_rt.fresh ()))))
+      in
+      let per_worker = List.map Domain.join workers in
+      Atomic.set stop true;
+      Domain.join monitor;
+      let all = List.concat per_worker in
+      let residue_ok =
+        List.for_all (fun ts -> ts > 0 && ts mod 4 = idx mod 4) all
+      in
+      let unique_ok =
+        List.length (List.sort_uniq compare all) = List.length all
+      in
+      (* A domain's successive draws are strictly increasing (local
+         monotonicity of the fetch-and-add allocation). *)
+      let ascending_ok =
+        List.for_all
+          (fun tss -> List.sort compare tss = tss)
+          per_worker
+      in
+      (* Everything committed and retired: the idle watermark now covers
+         every issued timestamp. *)
+      let final_ok =
+        Runtime.Manager.stable_time mgr >= List.fold_left max 0 all
+      in
+      residue_ok && unique_ok && ascending_ok && final_ok && Atomic.get monotone)
+
+(* ---------------- scheduler rendezvous ---------------- *)
+
+let test_sched_park_and_wake () =
+  let obj = Runtime.Txn_rt.fresh_object_key () in
+  let ticket = Runtime.Sched.register ~obj ~txn:1 in
+  let waker = Domain.spawn (fun () -> Runtime.Sched.notify ~obj) in
+  (* The notify may land before the park; the pre-check makes that a
+     fast [`Woken], not a stranded waiter. *)
+  let r = Runtime.Sched.park ticket ~timeout:2.0 in
+  Domain.join waker;
+  check_bool "woken by the release" true (r = `Woken)
+
+let test_sched_timeout_backstop () =
+  let obj = Runtime.Txn_rt.fresh_object_key () in
+  let ticket = Runtime.Sched.register ~obj ~txn:2 in
+  let t0 = Unix.gettimeofday () in
+  let r = Runtime.Sched.park ticket ~timeout:0.02 in
+  let waited = Unix.gettimeofday () -. t0 in
+  check_bool "timed out" true (r = `Timeout);
+  check_bool "did not oversleep grossly" true (waited < 1.0);
+  (* A timed-out (settled) waiter must not absorb the next release. *)
+  Runtime.Sched.notify ~obj
+
+let test_sched_cancel_is_inert () =
+  let obj = Runtime.Txn_rt.fresh_object_key () in
+  let ticket = Runtime.Sched.register ~obj ~txn:3 in
+  Runtime.Sched.cancel ticket;
+  (* The lazy sweep drops the cancelled waiter without delivering. *)
+  Runtime.Sched.notify ~obj;
+  let live = Runtime.Sched.register ~obj ~txn:4 in
+  let waker = Domain.spawn (fun () -> Runtime.Sched.notify ~obj) in
+  let r = Runtime.Sched.park live ~timeout:2.0 in
+  Domain.join waker;
+  check_bool "later waiter still wakes" true (r = `Woken)
+
+(* End to end: a transaction blocked on a lock is woken by the holder's
+   commit well before its timeout backstop would fire. *)
+let test_blocked_txn_woken_by_release () =
+  let mgr = Runtime.Manager.create () in
+  let q = QObj.create ~conflict:Q.conflict_rw () in
+  let holder = Runtime.Txn_rt.fresh ~priority:1 () in
+  (match QObj.try_invoke q holder (Q.Enq 1) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "holder's enq should succeed");
+  let blocked =
+    Domain.spawn (fun () ->
+        (* Older than any fresh default priority?  No — make it young so
+           wait-die says wait (holder priority 1 is oldest). *)
+        Runtime.Manager.run mgr (fun txn -> QObj.invoke q txn (Q.Enq 2)))
+  in
+  (* Give the blocked transaction time to register and park. *)
+  Unix.sleepf 0.05;
+  Runtime.Txn_rt.commit holder 1;
+  let r = Domain.join blocked in
+  check_bool "blocked txn completed after release" true (r = Q.Ok)
+
+let () =
+  Alcotest.run "hotpath"
+    [
+      ( "backoff",
+        [
+          Alcotest.test_case "avalanche spreads congruent keys" `Quick
+            test_jitter_spreads_congruent_keys;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_jitter_range_and_determinism ] );
+      ( "wait-die",
+        [
+          Alcotest.test_case "refusal captures holder priority" `Quick
+            test_conflict_carries_captured_priority;
+          Alcotest.test_case "survives recycled holder id" `Quick
+            test_wait_die_survives_recycled_holder_id;
+          Alcotest.test_case "still dies on older holder" `Quick
+            test_wait_die_still_dies_on_older_holder;
+        ] );
+      ( "stable-time",
+        [
+          Alcotest.test_case "striped idle watermark" `Quick test_striped_idle_watermark;
+          Alcotest.test_case "default stripe unchanged" `Quick
+            test_default_stripe_watermark_unchanged;
+          Alcotest.test_case "prepared pin blocks watermark" `Quick
+            test_prepared_pin_blocks_watermark;
+          Alcotest.test_case "decided adoption advances stripe" `Quick
+            test_decided_adoption_advances_stripe;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_striped_draws_multicore ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "park and wake" `Quick test_sched_park_and_wake;
+          Alcotest.test_case "timeout backstop" `Quick test_sched_timeout_backstop;
+          Alcotest.test_case "cancel is inert" `Quick test_sched_cancel_is_inert;
+          Alcotest.test_case "blocked txn woken by release" `Quick
+            test_blocked_txn_woken_by_release;
+        ] );
+    ]

@@ -103,7 +103,8 @@ let test_refusal_attribution () =
   | Ok A.Ok -> ()
   | _ -> Alcotest.fail "t1's debit should succeed");
   (match AObj.try_invoke acc t2 (A.Debit 3) with
-  | Error (`Conflict (Some h)) -> check_int "failure names t1" (Runtime.Txn_rt.id t1) h
+  | Error (`Conflict (Some c)) ->
+    check_int "failure names t1" (Runtime.Txn_rt.id t1) c.Runtime.Retry.holder
   | Ok _ -> Alcotest.fail "t2's debit should conflict"
   | Error _ -> Alcotest.fail "expected a conflict with a known holder");
   (match

@@ -162,8 +162,8 @@ let test_obj_conflict_reported_with_holder () =
   | _ -> Alcotest.fail "first enq should succeed");
   Runtime.Manager.run mgr (fun txn ->
       match QObj.try_invoke q txn (Q.Enq 2) with
-      | Error (`Conflict (Some id)) ->
-        check_int "holder id" (Runtime.Txn_rt.id holder) id
+      | Error (`Conflict (Some c)) ->
+        check_int "holder id" (Runtime.Txn_rt.id holder) c.Runtime.Retry.holder
       | _ -> Alcotest.fail "expected conflict with holder");
   Runtime.Txn_rt.abort holder
 
