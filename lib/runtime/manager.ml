@@ -28,8 +28,17 @@ type outcome_stats = { started : int; committed : int; aborted : int }
    scan read the allocation state, and such a draw's timestamp exceeds
    the value returned.  If all slots are taken (more simultaneous
    committers than slots) the loser takes a mutex-guarded overflow list;
-   [overflow_count] is bumped {e before} drawing so the scan knows to
-   look.
+   the claim pushes the same [claiming] sentinel into the list {e
+   before} drawing (replaced by the timestamp at publish), so an
+   unresolved overflow claim is exactly as visible to the scan as an
+   unresolved slot claim.
+
+   A draw additionally re-validates [observed] {e after} its
+   fetch-and-add: a drawer stalled between its pre-draw [observed] read
+   and the FAA can otherwise issue a count that a foreign adoption has
+   meanwhile covered — and that a concurrent scan, seeing the raised
+   [observed] with no pin yet, already reported as stable.  A count at
+   or below the re-read need is discarded (never issued) and redrawn.
 
    Managers with a WAL keep a mutex around draw + append: the log's
    commit-record order must equal commit-timestamp order (the group
@@ -106,6 +115,10 @@ let with_overflow t f =
 let need_for t observed =
   if observed <= t.base then 0 else (observed - t.base) / t.stripe_count
 
+let rec bump_draws t need =
+  let k = Atomic.get t.draws in
+  if k < need && not (Atomic.compare_and_set t.draws k need) then bump_draws t need
+
 let rec draw t =
   let obs = Atomic.get t.observed in
   let k = Atomic.get t.draws in
@@ -117,7 +130,28 @@ let rec draw t =
     ignore (Atomic.compare_and_set t.draws k need : bool);
     draw t
   end
-  else ts_of t (Atomic.fetch_and_add t.draws 1 + 1)
+  else begin
+    let c = Atomic.fetch_and_add t.draws 1 + 1 in
+    (* Re-validate against [observed] {e after} the fetch-and-add.  The
+       pre-check above read a possibly stale [observed]: if a foreign
+       decision was adopted (and retired) while we were between that
+       read and the FAA, a concurrent [stable_time] — whose own
+       [observed] read saw the raised value and whose pin scan found
+       nothing, because our claim postdates it — may already have
+       reported an idle watermark at or above ts_of c.  Issuing c now
+       would place a commit at or below a reported stable watermark.  A
+       count the re-read need still covers is therefore discarded
+       (never issued): bump [draws] past the new need and redraw.  Any
+       scan our FAA {e preceded} instead sees the claimed pin, so every
+       issued timestamp stays strictly above every previously returned
+       watermark. *)
+    let need' = need_for t (Atomic.get t.observed) in
+    if c <= need' then begin
+      bump_draws t need';
+      draw t
+    end
+    else ts_of t c
+  end
 
 (* Lamport merge (CAS-max): adopting a foreign timestamp makes every
    draw that starts after this returns exceed it. *)
@@ -148,20 +182,37 @@ let claim t =
   match try_claim_slot t with
   | Some idx -> Slot idx
   | None ->
-    Atomic.incr t.overflow_count;
+    (* Overflow claims must be as visible to [stable_time] as slot
+       claims: push the [claiming] sentinel into the list {e now}, under
+       the mutex, so a scan running between this claim and [publish]
+       finds an unresolved entry and re-scans — the slot path's -1
+       protocol.  (Issued timestamps are >= 1, so the sentinel is
+       unambiguous.)  [overflow_count] turns nonzero only after the
+       sentinel is in place: a scan that reads 0 precedes this claim,
+       hence precedes the draw, whose timestamp then exceeds the
+       scan's watermark. *)
+    with_overflow t (fun () ->
+        t.overflow <- claiming :: t.overflow;
+        Atomic.incr t.overflow_count);
     Overflow
+
+let rec replace_first ~from ~to_ = function
+  | [] -> [ to_ ]
+  | x :: rest -> if x = from then to_ :: rest else x :: replace_first ~from ~to_ rest
 
 let publish t pin ts =
   match pin with
   | Slot idx -> Atomic.set t.slots.(idx) ts
-  | Overflow -> with_overflow t (fun () -> t.overflow <- ts :: t.overflow)
+  | Overflow ->
+    with_overflow t (fun () -> t.overflow <- replace_first ~from:claiming ~to_:ts t.overflow)
 
 let retire t pin ts =
   match pin with
   | Slot idx -> Atomic.set t.slots.(idx) 0
   | Overflow ->
-    with_overflow t (fun () -> t.overflow <- List.filter (fun x -> x <> ts) t.overflow);
-    Atomic.decr t.overflow_count
+    with_overflow t (fun () ->
+        t.overflow <- List.filter (fun x -> x <> ts) t.overflow;
+        Atomic.decr t.overflow_count)
 
 (* Pin lookup by timestamp, for the 2PC entry points whose public
    interface names the prepared timestamp only.  Timestamps are unique
@@ -216,17 +267,21 @@ let stable_time t =
         let v = Atomic.get s in
         if v = claiming then unresolved := true else if v <> 0 && v < !lo then lo := v)
       t.slots;
+    (* Overflow pins follow the same sentinel protocol as slots: a claim
+       pushed [claiming] before its draw, so an unresolved entry forces
+       a re-scan exactly like an unresolved slot. *)
+    if Atomic.get t.overflow_count <> 0 then
+      with_overflow t (fun () ->
+          List.iter
+            (fun x ->
+              if x = claiming then unresolved := true else if x < !lo then lo := x)
+            t.overflow);
     if !unresolved then begin
       Domain.cpu_relax ();
       scan ()
     end
-    else begin
-      let lo =
-        if Atomic.get t.overflow_count = 0 then !lo
-        else with_overflow t (fun () -> List.fold_left min !lo t.overflow)
-      in
-      if lo <> max_int then lo - 1 else ts_of t (max d (need_for t obs) + 1) - 1
-    end
+    else if !lo <> max_int then !lo - 1
+    else ts_of t (max d (need_for t obs) + 1) - 1
   in
   scan ()
 
@@ -385,10 +440,10 @@ let prepare t txn ~gtxn =
   ts
 
 (* Phase 2, commit: adopt the decided timestamp (max over all
-   participants' prepares).  The in-flight reservation moves from the
-   prepared to the decided timestamp with one atomic store (the
-   stability pin transfers without a gap), the clock observes the
-   decision (CAS-max Lamport merge), and the commit record is appended —
+   participants' prepares).  The clock observes the decision (CAS-max
+   Lamport merge), the in-flight reservation moves from the prepared to
+   the decided timestamp with one atomic store (the stability pin
+   transfers without a gap), and the commit record is appended —
    possibly out of local record order, which recovery's sort-by-timestamp
    absorbs.  The record is forced before returning, so a return is the
    durable ack the coordinator needs before it may forget the decision;
@@ -398,8 +453,15 @@ let prepare t txn ~gtxn =
 let decide_commit t txn ~prepared ~ts =
   let logged =
     draw_section t (fun () ->
-        repin t ~from_ts:prepared ~to_ts:ts;
+        (* Observe {e before} repinning: once the pin sits at the
+           decided timestamp it can become the scan minimum, so a
+           watermark of [ts - 1] may be reported — every draw issued
+           after that point must already exceed it, which the raised
+           [observed] (plus the drawer's post-FAA re-validation)
+           guarantees.  In between, the pin still holds the smaller
+           prepared timestamp, keeping scans conservative. *)
         observe t ts;
+        repin t ~from_ts:prepared ~to_ts:ts;
         match t.wal with
         | None -> Ok None
         | Some w -> (

@@ -24,7 +24,8 @@
      missed signal can delay a waiter by at most its backoff quantum,
      never strand it.  OCaml's runtime locks per domain, so one domain
      parks at most one transaction at a time and a single slot per
-     domain suffices.
+     domain suffices — slots are leased per {e live} domain from a free
+     list (see below), not keyed on the monotone domain id.
 
    Everything here is allocation-light and lock-free: buckets are
    Treiber push / exchange-drain lists, wake rings are bounded arrays
@@ -66,11 +67,46 @@ let stats () =
     notifies = Atomic.get n_notifies;
   }
 
+(* ---- per-domain slot indices ----
+
+   A domain's park slot, wake ring, and restart-hint cell are keyed by a
+   small index.  Masking [Domain.self] — monotone across the process —
+   onto the table would alias two {e live} domains onto one index once
+   their ids drift [n_slots] apart (domains spawned over time, e.g. a
+   bench running each trial on fresh domains), and two parkers sharing a
+   self-pipe can eat each other's wake bytes: the victim sleeps to its
+   full timeout.  Indices are instead leased from a free list on first
+   use (domain-local state) and returned by [Domain.at_exit], so
+   concurrently live domains hold distinct indices as long as at most
+   [n_slots] are alive; past that the latecomers fall back to masking
+   (a shared slot degrades wake-ups to the timeout backstop, never
+   loses a waiter). *)
+
+let free_indices : int list Atomic.t = Atomic.make (List.init n_slots (fun i -> i))
+
+let rec pop_index () =
+  match Atomic.get free_indices with
+  | [] -> None
+  | (i :: rest) as cur ->
+    if Atomic.compare_and_set free_indices cur rest then Some i else pop_index ()
+
+let rec push_index i =
+  let cur = Atomic.get free_indices in
+  if not (Atomic.compare_and_set free_indices cur (i :: cur)) then push_index i
+
+let index_key : int Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      match pop_index () with
+      | Some i ->
+        Domain.at_exit (fun () -> push_index i);
+        i
+      | None -> (Domain.self () :> int) land (n_slots - 1))
+
+let domain_index () = Domain.DLS.get index_key
+
 (* ---- per-domain park slots ---- *)
 
 let slots : park_slot option Atomic.t array = Array.init n_slots (fun _ -> Atomic.make None)
-
-let domain_index () = (Domain.self () :> int) land (n_slots - 1)
 
 let rec slot_for index =
   let cell = slots.(index) in
@@ -129,9 +165,11 @@ let deliver w =
    a bounded number inline, keeping the commit path O(1); spinning
    retriers steal the rest ({!help}).  Push claims an index by CAS on
    [bottom] and then stores the waiter; a stealer reads the slot
-   {e before} CASing [top] past it and gives up on a not-yet-visible
-   store, so a claimed token is never lost — it is delivered by a later
-   steal, or its owner's park timeout makes delivery moot. *)
+   {e before} CASing [top] past it, gives up on a not-yet-visible
+   store, and clears the slot it consumed (so a later lap can never
+   mistake a dead previous-lap waiter for a pending token) — a claimed
+   token is never lost: it is delivered by a later steal, or its
+   owner's park timeout makes delivery moot. *)
 
 type ring = {
   r_slots : waiter option Atomic.t array;
@@ -160,9 +198,21 @@ let ring_steal r =
   let b = Atomic.get r.r_bottom in
   if t >= b then None
   else
-    match Atomic.get r.r_slots.(t land (ring_cap - 1)) with
+    let slot = r.r_slots.(t land (ring_cap - 1)) in
+    match Atomic.get slot with
     | None -> None (* claimed index, store not yet visible: try again later *)
-    | Some w -> if Atomic.compare_and_set r.r_top t (t + 1) then Some w else None
+    | Some w as v ->
+      if Atomic.compare_and_set r.r_top t (t + 1) then begin
+        (* Clear the slot we just consumed, so on the next lap a
+           claimed-but-not-yet-stored push reads as [None] — never as
+           this (dead) waiter, which a stealer racing that push could
+           otherwise deliver while the fresh waiter is skipped for good.
+           CAS rather than a blind store: once [r_top] moved, the push
+           re-claiming this index may already have stored its waiter. *)
+        ignore (Atomic.compare_and_set slot v None : bool);
+        Some w
+      end
+      else None
 
 (* ---- waiter buckets ---- *)
 

@@ -55,6 +55,14 @@ val take_restart_hint : unit -> int option
 (** Consume the current domain's restart hint: [Manager.run] parks its
     restart delay on that object instead of sleeping blind. *)
 
+val domain_index : unit -> int
+(** The calling domain's slot index (park slot, wake ring, restart-hint
+    cell), leased from a free list for the domain's lifetime and
+    returned when it exits.  Two concurrently live domains never share
+    an index while fewer than the table size are alive — masking the
+    monotone domain id used to alias them once ids drifted a table
+    length apart.  Exposed for tests. *)
+
 type stats = { parks : int; wakes : int; steals : int; timeouts : int; notifies : int }
 
 val stats : unit -> stats

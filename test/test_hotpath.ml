@@ -177,6 +177,110 @@ let test_decided_adoption_advances_stripe () =
   check_int "next draw exceeds the adopted ts, in residue" 17 p2;
   Runtime.Manager.decide_abort mgr b2 ~prepared:p2
 
+(* ---------------- in-flight overflow + allocation races ------------ *)
+
+(* More than 64 simultaneous in-flight commits spill past the slot array
+   into the overflow list; the watermark must track overflow pins
+   exactly like slot pins through claim (sentinel), publish and retire. *)
+let test_overflow_pins_hold_watermark () =
+  let mgr = Runtime.Manager.create () in
+  let n = 70 in
+  let pins =
+    List.init n (fun _ ->
+        let b = Runtime.Txn_rt.fresh () in
+        (b, Runtime.Manager.prepare mgr b ~gtxn:(Runtime.Txn_rt.id b)))
+  in
+  check_int "watermark pinned below the oldest in-flight ts" 0
+    (Runtime.Manager.stable_time mgr);
+  List.iteri
+    (fun i (b, ts) ->
+      Runtime.Manager.decide_abort mgr b ~prepared:ts;
+      check_int
+        (Printf.sprintf "watermark after retiring ts %d" ts)
+        (i + 1)
+        (Runtime.Manager.stable_time mgr))
+    pins
+
+(* The overflow claim-visibility race: a committer past the 64 slots
+   used to be invisible to [stable_time] between its claim and its
+   publish, so the scan could return a watermark at or above a
+   drawn-but-undistributed timestamp.  Four domains keep 20 pins each in
+   flight (80 > 64, so claims constantly cross the overflow boundary)
+   and assert, while their own pin is live, that the watermark stays
+   strictly below it. *)
+let test_overflow_claim_visibility_multicore () =
+  let mgr = Runtime.Manager.create () in
+  let violations = Atomic.make 0 in
+  let workers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 25 do
+              let pins =
+                List.init 20 (fun _ ->
+                    let b = Runtime.Txn_rt.fresh () in
+                    let ts =
+                      Runtime.Manager.prepare mgr b ~gtxn:(Runtime.Txn_rt.id b)
+                    in
+                    if Runtime.Manager.stable_time mgr >= ts then
+                      Atomic.incr violations;
+                    (b, ts))
+              in
+              List.iter
+                (fun (b, ts) -> Runtime.Manager.decide_abort mgr b ~prepared:ts)
+                pins
+            done))
+  in
+  List.iter Domain.join workers;
+  check_int "stable_time never reached a live pin" 0 (Atomic.get violations)
+
+(* The stale-[observed] draw race: a drawer stalled between its pre-draw
+   [observed] read and its fetch-and-add used to issue a count a foreign
+   adoption had meanwhile covered — at or below a watermark a concurrent
+   scan had already reported from the raised [observed].  The invariant:
+   every watermark ever returned stays strictly below every timestamp
+   issued afterwards.  A monitor keeps the largest watermark seen;
+   workers check their freshly prepared timestamp against it while the
+   pin is live.  A third of the branches adopt a decided timestamp far
+   above the stripe (in a residue class the stripe never issues, so
+   pins stay unique) — the Lamport merge + retire that opens the
+   window. *)
+let test_draw_revalidates_observed_multicore () =
+  let mgr = Runtime.Manager.create ~stripe:(1, 4) () in
+  let max_seen = Atomic.make 0 in
+  let rec record w =
+    let cur = Atomic.get max_seen in
+    if w > cur && not (Atomic.compare_and_set max_seen cur w) then record w
+  in
+  let stop = Atomic.make false in
+  let monitor =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          record (Runtime.Manager.stable_time mgr);
+          Domain.cpu_relax ()
+        done)
+  in
+  let violations = Atomic.make 0 in
+  let workers =
+    List.init 4 (fun w ->
+        Domain.spawn (fun () ->
+            for i = 1 to 150 do
+              let b = Runtime.Txn_rt.fresh () in
+              let prepared =
+                Runtime.Manager.prepare mgr b ~gtxn:(Runtime.Txn_rt.id b)
+              in
+              if Atomic.get max_seen >= prepared then Atomic.incr violations;
+              if (w + i) mod 3 = 0 then
+                Runtime.Manager.decide_commit mgr b ~prepared
+                  ~ts:((4 * prepared) + 2)
+              else Runtime.Manager.decide_abort mgr b ~prepared
+            done))
+  in
+  List.iter Domain.join workers;
+  Atomic.set stop true;
+  Domain.join monitor;
+  check_int "no watermark ever reached a later-issued timestamp" 0
+    (Atomic.get violations)
+
 (* ---------------- multi-domain allocation (satellite: 4-domain) ---- *)
 
 let prop_striped_draws_multicore =
@@ -264,6 +368,74 @@ let test_sched_cancel_is_inert () =
   Domain.join waker;
   check_bool "later waiter still wakes" true (r = `Woken)
 
+(* Wake-ring wrap-around: a stolen slot left uncleared lets a stealer
+   racing a claimed-but-not-yet-stored push on a later lap deliver the
+   previous lap's dead waiter — and the fresh waiter is skipped until
+   its park timeout.  Drive several laps of the 64-slot ring (5 waiters
+   per notify: 4 inline + exactly one ring push) against a concurrent
+   thief; every waiter must end up delivered. *)
+let test_ring_wrap_steal_no_lost_waiter () =
+  let obj = Runtime.Txn_rt.fresh_object_key () in
+  let rounds = 500 in
+  let per_round = 5 in
+  let waiters = ref [] in
+  let stop = Atomic.make false in
+  let thief =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          if not (Runtime.Sched.help ()) then Domain.cpu_relax ()
+        done)
+  in
+  for i = 1 to rounds do
+    for j = 1 to per_round do
+      waiters := Runtime.Sched.register ~obj ~txn:((i * 10) + j) :: !waiters
+    done;
+    Runtime.Sched.notify ~obj
+  done;
+  Atomic.set stop true;
+  Domain.join thief;
+  (* Drain what the thief left pending; afterwards every waiter must be
+     in the signalled state, so its park returns [`Woken] immediately. *)
+  while Runtime.Sched.help () do
+    ()
+  done;
+  let woken =
+    List.filter (fun w -> Runtime.Sched.park w ~timeout:0.001 = `Woken) !waiters
+  in
+  check_int "every waiter was delivered" (rounds * per_round) (List.length woken)
+
+(* Park-slot aliasing: slots were keyed on the monotone domain id masked
+   to the table size, so a long-lived domain and one spawned exactly 64
+   domain-ids later shared a self-pipe — one parker's drain could eat
+   the other's wake byte.  Slots are now leased per live domain: hold
+   one domain alive, churn exactly 63 short-lived domains (the next
+   spawn's id is 64 past the pinned one), and the latecomer must still
+   get a distinct slot. *)
+let test_park_slots_distinct_across_domain_churn () =
+  let pinned_idx = Atomic.make (-1) in
+  let release = Atomic.make false in
+  let pinned =
+    Domain.spawn (fun () ->
+        Atomic.set pinned_idx (Runtime.Sched.domain_index ());
+        while not (Atomic.get release) do
+          Domain.cpu_relax ()
+        done)
+  in
+  while Atomic.get pinned_idx < 0 do
+    Domain.cpu_relax ()
+  done;
+  for _ = 1 to 63 do
+    Domain.join (Domain.spawn (fun () -> ()))
+  done;
+  let late_idx = Domain.join (Domain.spawn (fun () -> Runtime.Sched.domain_index ())) in
+  Atomic.set release true;
+  Domain.join pinned;
+  check_bool
+    (Printf.sprintf "concurrently live domains own distinct park slots (%d vs %d)"
+       (Atomic.get pinned_idx) late_idx)
+    true
+    (Atomic.get pinned_idx <> late_idx)
+
 (* End to end: a transaction blocked on a lock is woken by the holder's
    commit well before its timeout backstop would fire. *)
 let test_blocked_txn_woken_by_release () =
@@ -312,6 +484,12 @@ let () =
             test_prepared_pin_blocks_watermark;
           Alcotest.test_case "decided adoption advances stripe" `Quick
             test_decided_adoption_advances_stripe;
+          Alcotest.test_case "overflow pins hold the watermark" `Quick
+            test_overflow_pins_hold_watermark;
+          Alcotest.test_case "overflow claims visible under contention" `Quick
+            test_overflow_claim_visibility_multicore;
+          Alcotest.test_case "draw revalidates observed under adoption" `Quick
+            test_draw_revalidates_observed_multicore;
         ]
         @ List.map QCheck_alcotest.to_alcotest [ prop_striped_draws_multicore ] );
       ( "scheduler",
@@ -319,6 +497,10 @@ let () =
           Alcotest.test_case "park and wake" `Quick test_sched_park_and_wake;
           Alcotest.test_case "timeout backstop" `Quick test_sched_timeout_backstop;
           Alcotest.test_case "cancel is inert" `Quick test_sched_cancel_is_inert;
+          Alcotest.test_case "ring wrap loses no waiter" `Quick
+            test_ring_wrap_steal_no_lost_waiter;
+          Alcotest.test_case "park slots distinct across domain churn" `Quick
+            test_park_slots_distinct_across_domain_churn;
           Alcotest.test_case "blocked txn woken by release" `Quick
             test_blocked_txn_woken_by_release;
         ] );
